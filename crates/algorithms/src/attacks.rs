@@ -1,0 +1,285 @@
+//! Concrete adaptive-adversary strategies.
+//!
+//! The paper's Section 4 is motivated by the observation that the
+//! O(log* k) algorithm of Theorem 2.3 collapses to Ω(k) steps under an
+//! **adaptive** adversary. [`AscendingWriteAttack`] is a concrete such
+//! strategy (experiment E9):
+//!
+//! * it keeps every process elected in every geometric group election by
+//!   ordering the array writes of Figure 1 in ascending register order
+//!   and letting each process perform its write and its check-read
+//!   back-to-back — a process writing `R[x]` then reads `R[x+1]` before
+//!   any later (higher-slot) write can land, so it always sees 0;
+//! * at the splitters it batches all `X`-writes before the door phase, so
+//!   exactly one process stops per level and the other `k − 1` continue.
+//!
+//! The result: the cohort shrinks by one per level, and the last
+//! survivor pays Θ(k) steps. The same strategy leaves RatRace's O(log k)
+//! bound intact, which is exactly the gap Theorem 4.1's combiner closes
+//! (experiment E5).
+
+use rtas_sim::adversary::{Adversary, AdversaryClass, View};
+use rtas_sim::op::OpKind;
+use rtas_sim::word::ProcessId;
+
+/// The ascending-write adaptive strategy (see module docs).
+///
+/// Scheduling rule, in priority order:
+///
+/// 1. if the last-scheduled process is now poised on a **read**, schedule
+///    it again — this welds each write to its check-read, so a Figure 1
+///    participant reads `R[x+1]` before any higher slot is written;
+/// 2. otherwise, among the active processes with the **fewest steps**
+///    (keeping the cohort in phase lockstep): those poised on a write
+///    with the smallest register id first, then those poised on a read
+///    with the smallest register id.
+#[derive(Debug, Clone, Default)]
+pub struct AscendingWriteAttack {
+    last: Option<ProcessId>,
+}
+
+impl AscendingWriteAttack {
+    /// A fresh attack strategy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Adversary for AscendingWriteAttack {
+    fn class(&self) -> AdversaryClass {
+        AdversaryClass::Adaptive
+    }
+
+    fn next(&mut self, view: &View<'_>) -> Option<ProcessId> {
+        // Rule 1: finish the write→read pair of the last process.
+        if let Some(last) = self.last {
+            if view.is_active(last) {
+                if let Some(p) = view.pending(last) {
+                    if p.kind == Some(OpKind::Read) {
+                        return Some(last);
+                    }
+                }
+            }
+        }
+        // Rule 2: laggards first; writes before reads; ascending register.
+        let active = view.active();
+        let min_steps = active.iter().map(|&p| view.steps_of(p)).min()?;
+        let mut best_write: Option<(u64, ProcessId)> = None;
+        let mut best_read: Option<(u64, ProcessId)> = None;
+        for &pid in &active {
+            if view.steps_of(pid) != min_steps {
+                continue;
+            }
+            let Some(p) = view.pending(pid) else { continue };
+            let reg = p.reg.map(|r| r.0).unwrap_or(u64::MAX);
+            match p.kind {
+                Some(OpKind::Write) => {
+                    if best_write.map_or(true, |(b, _)| reg < b) {
+                        best_write = Some((reg, pid));
+                    }
+                }
+                _ => {
+                    if best_read.map_or(true, |(b, _)| reg < b) {
+                        best_read = Some((reg, pid));
+                    }
+                }
+            }
+        }
+        let chosen = best_write.or(best_read).map(|(_, pid)| pid);
+        self.last = chosen;
+        chosen
+    }
+}
+
+/// A **location-oblivious** strategy: it sees read-vs-write and write
+/// values (never registers) and greedily schedules pending writes with the
+/// largest value first, pairing each write with the writer's next read.
+///
+/// This is the strongest natural attack available to the paper's
+/// location-oblivious adversary against the Figure 1 group election — and
+/// Lemma 2.2 predicts it cannot push the elected count past
+/// `2·log₂ k + 6`, because the slot choice `x` is hidden. The tests pit it
+/// against the geometric group election to confirm the bound's robustness
+/// (contrast with [`AscendingWriteAttack`], which *can* see registers and
+/// breaks the O(log* k) algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct ValuePriorityLocationOblivious {
+    last: Option<ProcessId>,
+}
+
+impl ValuePriorityLocationOblivious {
+    /// A fresh strategy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Adversary for ValuePriorityLocationOblivious {
+    fn class(&self) -> AdversaryClass {
+        AdversaryClass::LocationOblivious
+    }
+
+    fn next(&mut self, view: &View<'_>) -> Option<ProcessId> {
+        if let Some(last) = self.last {
+            if view.is_active(last) {
+                if let Some(p) = view.pending(last) {
+                    if p.kind == Some(OpKind::Read) {
+                        return Some(last);
+                    }
+                }
+            }
+        }
+        let mut best_write: Option<(u64, ProcessId)> = None;
+        let mut any_read: Option<ProcessId> = None;
+        for pid in view.active() {
+            let Some(p) = view.pending(pid) else { continue };
+            match p.kind {
+                Some(OpKind::Write) => {
+                    let v = p.write_value.unwrap_or(0);
+                    if best_write.map_or(true, |(b, _)| v > b) {
+                        best_write = Some((v, pid));
+                    }
+                }
+                _ => any_read = any_read.or(Some(pid)),
+            }
+        }
+        let chosen = best_write.map(|(_, p)| p).or(any_read);
+        self.last = chosen;
+        chosen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group_elect::{run_group_election, GeometricGroupElect};
+    use crate::logstar::LogStarLe;
+    use crate::ratrace::SpaceEfficientRatRace;
+    use rtas_sim::adversary::RandomSchedule;
+    use rtas_sim::executor::Execution;
+    use rtas_sim::memory::Memory;
+    use rtas_sim::protocol::ret;
+
+    fn logstar_max_steps_under_attack(k: usize, seed: u64) -> u64 {
+        let mut mem = Memory::new();
+        let le = LogStarLe::new(&mut mem, k);
+        let protos = (0..k).map(|_| le.elect()).collect();
+        let res = Execution::new(mem, protos, seed).run(&mut AscendingWriteAttack::new());
+        assert!(res.all_finished());
+        assert_eq!(res.processes_with_outcome(ret::WIN).len(), 1);
+        res.steps().max()
+    }
+
+    #[test]
+    fn attack_preserves_correctness() {
+        for k in [2usize, 4, 8] {
+            for seed in 0..10 {
+                let _ = logstar_max_steps_under_attack(k, seed);
+            }
+        }
+    }
+
+    #[test]
+    fn attack_forces_linear_steps_on_logstar() {
+        // Mean max-steps under attack should grow ~linearly in k: at least
+        // k steps for the last survivor (each level retires one process
+        // and costs it a constant number of steps).
+        let mean = |k: usize| {
+            let trials = 5;
+            let total: u64 = (0..trials)
+                .map(|s| logstar_max_steps_under_attack(k, s))
+                .sum();
+            total as f64 / trials as f64
+        };
+        let m8 = mean(8);
+        let m32 = mean(32);
+        assert!(
+            m32 > m8 * 2.0,
+            "attack not forcing linear growth: m8={m8} m32={m32}"
+        );
+        // The attacked max-steps at k=32 should exceed anything log-like.
+        assert!(m32 >= 32.0, "m32={m32}");
+    }
+
+    #[test]
+    fn attack_leaves_ratrace_logarithmic() {
+        let mean = |k: usize| {
+            let trials = 5;
+            let total: u64 = (0..trials)
+                .map(|seed| {
+                    let mut mem = Memory::new();
+                    let rr = SpaceEfficientRatRace::new(&mut mem, k);
+                    let protos = (0..k).map(|_| rr.elect()).collect();
+                    let res = Execution::new(mem, protos, seed)
+                        .run(&mut AscendingWriteAttack::new());
+                    assert!(res.all_finished());
+                    res.steps().max()
+                })
+                .sum();
+            total as f64 / trials as f64
+        };
+        let m8 = mean(8);
+        let m64 = mean(64);
+        // RatRace stays ~logarithmic even under this strategy.
+        assert!(m64 < m8 * 4.0, "m8={m8} m64={m64}");
+    }
+
+    #[test]
+    fn location_oblivious_attack_cannot_break_lemma_2_2() {
+        // Lemma 2.2 holds against *any* location-oblivious adversary; the
+        // value-priority strategy must stay within the bound.
+        for k in [16usize, 64, 256] {
+            let mut total = 0usize;
+            let trials = 12;
+            for seed in 0..trials {
+                let mut mem = Memory::new();
+                let ge = GeometricGroupElect::new(&mut mem, 1024, "ge");
+                let (elected, finished) = run_group_election(
+                    mem,
+                    &ge,
+                    k,
+                    seed,
+                    &mut ValuePriorityLocationOblivious::new(),
+                );
+                assert_eq!(finished, k);
+                assert!(elected >= 1);
+                total += elected;
+            }
+            let mean = total as f64 / trials as f64;
+            let bound = 2.0 * (k as f64).log2() + 6.0;
+            assert!(
+                mean <= bound,
+                "k={k}: location-oblivious attack reached {mean} > {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn location_oblivious_attack_preserves_le_correctness() {
+        for seed in 0..10 {
+            let k = 12;
+            let mut mem = Memory::new();
+            let le = LogStarLe::new(&mut mem, k);
+            let protos = (0..k).map(|_| le.elect()).collect();
+            let res = Execution::new(mem, protos, seed)
+                .run(&mut ValuePriorityLocationOblivious::new());
+            assert!(res.all_finished());
+            assert_eq!(res.processes_with_outcome(ret::WIN).len(), 1);
+        }
+    }
+
+    #[test]
+    fn attack_is_much_worse_than_random_for_logstar() {
+        let k = 24;
+        let attacked = logstar_max_steps_under_attack(k, 1);
+        let mut mem = Memory::new();
+        let le = LogStarLe::new(&mut mem, k);
+        let protos = (0..k).map(|_| le.elect()).collect();
+        let res = Execution::new(mem, protos, 1).run(&mut RandomSchedule::new(1));
+        let random = res.steps().max();
+        assert!(
+            attacked > random,
+            "attack ({attacked}) not worse than random ({random})"
+        );
+    }
+}

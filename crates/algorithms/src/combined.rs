@@ -1,0 +1,349 @@
+//! Adversary independence (Section 4, Theorem 4.1).
+//!
+//! Given any leader election `A` designed for a weak (location- or
+//! R/W-oblivious) adversary, the combiner runs `A` and RatRace **in
+//! parallel, round-robin**: each process performs a RatRace step on odd
+//! steps and an `A` step on even steps, with the combination rules:
+//!
+//! 1. winning *either* execution stops the other and sends the process to
+//!    a top-level 2-process election `LEtop` (RatRace winner as role 0,
+//!    `A` winner as role 1); winning `LEtop` wins the combined object;
+//! 2. losing RatRace stops `A` and loses;
+//! 3. losing `A` stops RatRace and loses — **unless** the process has
+//!    already won a splitter in RatRace, in which case it abandons `A`
+//!    and continues RatRace alone (this is what rules out executions
+//!    where the two sides eliminate each other and nobody wins).
+//!
+//! The result (Theorem 4.1): O(log k) steps against the adaptive
+//! adversary (RatRace's bound) *and* `A`'s step complexity against `A`'s
+//! weak adversary — experiment E5 regenerates this table, pairing the
+//! O(log* k) algorithm with the ascending-write attack of
+//! [`crate::attacks`].
+//!
+//! Implementation note: each side runs in its own
+//! [`rtas_sim::executor::SubRuntime`] *inside* one process's protocol —
+//! the protocol interleaves the two operation streams one shared-memory
+//! operation at a time, exactly as the paper's round-robin demands.
+
+use std::sync::Arc;
+
+use rtas_primitives::{RoleLeaderElect, TwoProcessLe};
+use rtas_sim::executor::{SubPoll, SubRuntime};
+use rtas_sim::memory::Memory;
+use rtas_sim::op::OpKind;
+use rtas_sim::protocol::{ret, Ctx, Poll, Protocol, Resume};
+use rtas_sim::word::Word;
+
+use crate::ratrace::SpaceEfficientRatRace;
+use crate::LeaderElect;
+
+/// The Section 4 combined leader election.
+#[derive(Clone)]
+pub struct Combined {
+    ratrace: SpaceEfficientRatRace,
+    weak: Arc<dyn LeaderElect>,
+    letop: TwoProcessLe,
+}
+
+impl std::fmt::Debug for Combined {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Combined")
+            .field("ratrace", &self.ratrace)
+            .finish()
+    }
+}
+
+impl Combined {
+    /// Combine `weak` (an algorithm for a weak adversary) with a RatRace
+    /// sized for `n` processes.
+    pub fn new(memory: &mut Memory, weak: Arc<dyn LeaderElect>, n: usize) -> Self {
+        let ratrace = SpaceEfficientRatRace::new(memory, n);
+        let letop = TwoProcessLe::new(memory, "combined-letop");
+        Combined { ratrace, weak, letop }
+    }
+
+    /// Build the per-process `elect()` protocol.
+    pub fn elect(&self) -> Box<dyn Protocol> {
+        Box::new(CombinedProtocol {
+            combined: self.clone(),
+            rr: Side::new(SubRuntime::new(self.ratrace.elect())),
+            weak: Side::new(SubRuntime::new(self.weak.elect())),
+            pending: None,
+            next_turn: Turn::RatRace,
+            state: State::Interleaving,
+        })
+    }
+}
+
+impl LeaderElect for Combined {
+    fn elect(&self) -> Box<dyn Protocol> {
+        Combined::elect(self)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Turn {
+    RatRace,
+    Weak,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Alternating steps between the two sides.
+    Interleaving,
+    /// Waiting for `LEtop`.
+    AfterTop,
+}
+
+/// One side of the interleaving: its runtime plus a stopped flag.
+struct Side {
+    runtime: SubRuntime,
+    stopped: bool,
+}
+
+impl Side {
+    fn new(runtime: SubRuntime) -> Self {
+        Side { runtime, stopped: false }
+    }
+
+    /// Whether this side can still take a step.
+    fn live(&self) -> bool {
+        !self.stopped && self.runtime.finished().is_none()
+    }
+}
+
+struct CombinedProtocol {
+    combined: Combined,
+    rr: Side,
+    weak: Side,
+    pending: Option<Turn>,
+    next_turn: Turn,
+    state: State,
+}
+
+/// What the rule engine decided after a side produced a result.
+enum RuleOutcome {
+    /// Keep interleaving (or continuing one side).
+    Continue,
+    /// Enter `LEtop` with this role.
+    Top(usize),
+    /// The combined election is lost.
+    Lose,
+}
+
+impl CombinedProtocol {
+    /// Apply rules 1–3 for a side that just finished with `value`.
+    fn on_side_finished(&mut self, side: Turn, value: Word, won_splitter: bool) -> RuleOutcome {
+        match (side, value) {
+            (Turn::RatRace, v) if v == ret::WIN => {
+                // Rule 1: stop A, go for LEtop as the RatRace winner.
+                self.weak.stopped = true;
+                RuleOutcome::Top(0)
+            }
+            (Turn::RatRace, _) => {
+                // Rule 2: losing RatRace loses everything.
+                self.weak.stopped = true;
+                RuleOutcome::Lose
+            }
+            (Turn::Weak, v) if v == ret::WIN => {
+                // Rule 1: stop RatRace, go for LEtop as the A winner.
+                self.rr.stopped = true;
+                RuleOutcome::Top(1)
+            }
+            (Turn::Weak, _) => {
+                if won_splitter {
+                    // Rule 3 (exception): already holds a RatRace
+                    // splitter — continue RatRace alone.
+                    RuleOutcome::Continue
+                } else {
+                    // Rule 3: stop RatRace and lose.
+                    self.rr.stopped = true;
+                    RuleOutcome::Lose
+                }
+            }
+        }
+    }
+
+    fn side_mut(&mut self, turn: Turn) -> &mut Side {
+        match turn {
+            Turn::RatRace => &mut self.rr,
+            Turn::Weak => &mut self.weak,
+        }
+    }
+}
+
+impl Protocol for CombinedProtocol {
+    fn resume(&mut self, input: Resume, ctx: &mut Ctx<'_>) -> Poll {
+        if self.state == State::AfterTop {
+            return Poll::Done(input.child_value());
+        }
+        // Deliver the result of the op we issued on behalf of a side.
+        if let Some(turn) = self.pending.take() {
+            match input {
+                Resume::Read(_) | Resume::Wrote => {
+                    self.side_mut(turn).runtime.feed(input);
+                }
+                other => panic!("unexpected resume {other:?} while interleaving"),
+            }
+        } else {
+            debug_assert!(matches!(input, Resume::Start));
+        }
+        loop {
+            // Advance any live side that is not poised yet, applying the
+            // combination rules as sides finish.
+            for turn in [Turn::RatRace, Turn::Weak] {
+                let side = self.side_mut(turn);
+                if side.stopped || side.runtime.finished().is_some() {
+                    continue;
+                }
+                if side.runtime.pending().is_none() {
+                    if let SubPoll::Finished(v) = side.runtime.advance(ctx) {
+                        let won_splitter = ctx.notes.won_splitter;
+                        match self.on_side_finished(turn, v, won_splitter) {
+                            RuleOutcome::Continue => {}
+                            RuleOutcome::Lose => return Poll::Done(ret::LOSE),
+                            RuleOutcome::Top(role) => {
+                                self.state = State::AfterTop;
+                                return Poll::Call(self.combined.letop.elect_as(role));
+                            }
+                        }
+                    }
+                }
+            }
+            // Pick the next side to step, alternating when both are live.
+            let turn = match (self.rr.live(), self.weak.live()) {
+                (true, true) => {
+                    let t = self.next_turn;
+                    self.next_turn = match t {
+                        Turn::RatRace => Turn::Weak,
+                        Turn::Weak => Turn::RatRace,
+                    };
+                    t
+                }
+                (true, false) => Turn::RatRace,
+                (false, true) => Turn::Weak,
+                (false, false) => {
+                    // Both sides stopped without triggering a rule — only
+                    // possible if a side finished while stopped, which the
+                    // rules exclude; be safe and lose.
+                    debug_assert!(false, "combined: both sides dead without outcome");
+                    return Poll::Done(ret::LOSE);
+                }
+            };
+            let side = self.side_mut(turn);
+            if let Some(op) = side.runtime.pending() {
+                debug_assert!(matches!(op.kind(), OpKind::Read | OpKind::Write));
+                self.pending = Some(turn);
+                return Poll::Op(op);
+            }
+            // Side had no pending op (it just finished or advanced);
+            // loop to re-apply rules / re-pick.
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "combined"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logstar::LogStarLe;
+    use rtas_sim::adversary::{AdversaryClass, FnAdversary, RandomSchedule, RoundRobin, View};
+    use rtas_sim::executor::Execution;
+    use rtas_sim::word::ProcessId;
+
+    fn combined_system(k: usize, n: usize) -> (Memory, Vec<Box<dyn Protocol>>) {
+        let mut mem = Memory::new();
+        let weak = Arc::new(LogStarLe::new(&mut mem, n));
+        let comb = Combined::new(&mut mem, weak, n);
+        let protos = (0..k).map(|_| comb.elect()).collect();
+        (mem, protos)
+    }
+
+    #[test]
+    fn solo_process_wins() {
+        let (mem, protos) = combined_system(1, 8);
+        let res = Execution::new(mem, protos, 0).run(&mut RoundRobin::new(1));
+        assert_eq!(res.outcome(ProcessId(0)), Some(ret::WIN));
+    }
+
+    #[test]
+    fn unique_winner_random_schedules() {
+        for k in [2usize, 4, 10] {
+            for seed in 0..40 {
+                let (mem, protos) = combined_system(k, k);
+                let res =
+                    Execution::new(mem, protos, seed).run(&mut RandomSchedule::new(seed * 37));
+                assert!(res.all_finished(), "k={k} seed={seed}");
+                assert_eq!(
+                    res.processes_with_outcome(ret::WIN).len(),
+                    1,
+                    "k={k} seed={seed}: {:?}",
+                    res.outcomes()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unique_winner_lockstep() {
+        for k in [2usize, 6, 12] {
+            for seed in 0..15 {
+                let (mem, protos) = combined_system(k, k);
+                let res = Execution::new(mem, protos, seed).run(&mut RoundRobin::new(k));
+                assert!(res.all_finished());
+                assert_eq!(res.processes_with_outcome(ret::WIN).len(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn unique_winner_adaptive_laggard() {
+        for seed in 0..20 {
+            let (mem, protos) = combined_system(6, 6);
+            let mut adv = FnAdversary::new(AdversaryClass::Adaptive, |view: &View<'_>| {
+                view.active().into_iter().min_by_key(|&p| view.steps_of(p))
+            });
+            let res = Execution::new(mem, protos, seed).run(&mut adv);
+            assert!(res.all_finished());
+            assert_eq!(res.processes_with_outcome(ret::WIN).len(), 1);
+        }
+    }
+
+    #[test]
+    fn combined_with_ratrace_as_weak_side() {
+        // The paper's pathological example: A = RatRace. The combination
+        // rules must still produce exactly one winner.
+        for seed in 0..20 {
+            let k = 5;
+            let mut mem = Memory::new();
+            let weak = Arc::new(SpaceEfficientRatRace::new(&mut mem, k));
+            let comb = Combined::new(&mut mem, weak, k);
+            let protos = (0..k).map(|_| comb.elect()).collect();
+            let res = Execution::new(mem, protos, seed).run(&mut RandomSchedule::new(seed));
+            assert!(res.all_finished());
+            assert_eq!(
+                res.processes_with_outcome(ret::WIN).len(),
+                1,
+                "seed {seed}: {:?}",
+                res.outcomes()
+            );
+        }
+    }
+
+    #[test]
+    fn space_overhead_is_linear() {
+        let mut mem = Memory::new();
+        let weak = Arc::new(LogStarLe::new(&mut mem, 256));
+        let weak_regs = mem.declared_registers();
+        let _comb = Combined::new(&mut mem, weak, 256);
+        let total = mem.declared_registers();
+        assert!(
+            total - weak_regs <= 40 * 256 + 200,
+            "combiner overhead {} not Θ(n)",
+            total - weak_regs
+        );
+    }
+}

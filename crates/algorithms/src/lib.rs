@@ -1,0 +1,59 @@
+//! # rtas-algorithms — the paper's leader-election algorithms
+//!
+//! Every algorithm of Giakkoupis & Woelfel (PODC 2012), built on
+//! [`rtas_sim`] and [`rtas_primitives`]:
+//!
+//! * [`group_elect`] — the Group Election primitive of Section 2.1, its
+//!   geometric implementation for the location-oblivious adversary
+//!   (Figure 1, Lemma 2.2) and the Alistarh–Aspnes *sifting*
+//!   implementation for the R/W-oblivious adversary (Section 2.3).
+//! * [`le_chain`] — leader election from a ladder of group elections,
+//!   splitters and 2-process elections (Section 2.1, Lemma 2.1).
+//! * [`logstar`] — the O(log* k) adaptive leader election from O(n)
+//!   registers (Theorem 2.3).
+//! * [`loglog`] — the O(log log k) adaptive leader election for the
+//!   R/W-oblivious adversary (Theorem 2.4).
+//! * [`elimination_path`] — the elimination-path structure of Section 3.2
+//!   (Claim 3.1).
+//! * [`ratrace`] — the original RatRace of Alistarh et al. (Θ(n³)
+//!   registers) and the paper's space-efficient variant (Θ(n) registers),
+//!   both with O(log k) step complexity (Section 3).
+//! * [`combined`] — the adversary-independence combiner of Section 4
+//!   (Theorem 4.1): run any weak-adversary algorithm alongside RatRace and
+//!   inherit the best step complexity of both.
+//! * [`attacks`] — concrete adaptive-adversary strategies, including the
+//!   ascending-write attack that forces Ω(k) steps on the log* algorithm
+//!   (the observation motivating Section 4).
+//!
+//! ```
+//! use rtas_algorithms::LogStarLe;
+//! use rtas_sim::prelude::*;
+//! use rtas_sim::protocol::ret;
+//!
+//! let k = 8;
+//! let mut mem = Memory::new();
+//! let le = LogStarLe::new(&mut mem, k);
+//! let protos = (0..k).map(|_| le.elect()).collect();
+//! let res = Execution::new(mem, protos, 1).run(&mut RandomSchedule::new(2));
+//! assert!(res.all_finished());
+//! assert_eq!(res.processes_with_outcome(ret::WIN).len(), 1);
+//! ```
+
+pub mod attacks;
+pub mod combined;
+pub mod elimination_path;
+pub mod group_elect;
+pub mod le_chain;
+pub mod loglog;
+pub mod logstar;
+pub mod ratrace;
+
+pub use rtas_primitives::LeaderElect;
+
+pub use combined::Combined;
+pub use elimination_path::EliminationPath;
+pub use group_elect::{DummyGroupElect, GeometricGroupElect, GroupElect, SiftingGroupElect};
+pub use le_chain::{ChainOutcome, LeChain, OverflowPolicy};
+pub use loglog::{AaLe, LogLogLe};
+pub use logstar::LogStarLe;
+pub use ratrace::{OriginalRatRace, SpaceEfficientRatRace};

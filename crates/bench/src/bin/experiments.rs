@@ -1,0 +1,54 @@
+//! Regenerate every table of EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run -p rtas-bench --release --bin experiments          # full scale
+//! cargo run -p rtas-bench --release --bin experiments -- --fast
+//! cargo run -p rtas-bench --release --bin experiments -- e4 e7 # subset
+//! ```
+
+use rtas_bench::experiments;
+use rtas_bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let scale = if fast { Scale::fast() } else { Scale::full() };
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
+    let run = |id: &str| wanted.is_empty() || wanted.contains(&id);
+
+    println!("randomized test-and-set reproduction — experiments (scale: {scale:?})");
+    if run("e1") {
+        experiments::e1_group_election_performance(scale);
+    }
+    if run("e2") {
+        experiments::e2_logstar_steps(scale);
+    }
+    if run("e3") {
+        experiments::e3_loglog_steps(scale);
+    }
+    if run("e4") {
+        experiments::e4_ratrace(scale);
+    }
+    if run("e5") {
+        experiments::e5_combiner(scale);
+    }
+    if run("e6") {
+        experiments::e6_space_lower_bound(scale);
+    }
+    if run("e7") {
+        experiments::e7_two_process_tail(scale);
+    }
+    if run("e8") {
+        experiments::e8_sifting_rounds(scale);
+    }
+    if run("e9") {
+        experiments::e9_adaptive_attack(scale);
+    }
+    if run("e10") {
+        experiments::e10_ladder_depth(scale);
+    }
+}

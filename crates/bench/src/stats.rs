@@ -1,0 +1,111 @@
+//! Tiny statistics helpers for the experiment tables.
+//!
+//! The reproduction targets are growth *shapes*: "flat in k", "linear in
+//! k", "logarithmic in k". [`log_log_slope`] estimates the exponent `p`
+//! of a power law `y ≈ c·k^p` by least squares on `(ln k, ln y)`; the
+//! experiment assertions then read naturally: the attacked log* algorithm
+//! has slope ≈ 1, the friendly one ≈ 0.
+
+/// Least-squares slope of `ln y` against `ln x`.
+///
+/// Returns the estimated power-law exponent. Points with non-positive
+/// coordinates are skipped.
+///
+/// # Panics
+///
+/// Panics if fewer than two usable points remain.
+pub fn log_log_slope(points: &[(f64, f64)]) -> f64 {
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|&&(x, y)| x > 0.0 && y > 0.0)
+        .map(|&(x, y)| (x.ln(), y.ln()))
+        .collect();
+    assert!(logs.len() >= 2, "need at least two positive points");
+    let n = logs.len() as f64;
+    let sx: f64 = logs.iter().map(|p| p.0).sum();
+    let sy: f64 = logs.iter().map(|p| p.1).sum();
+    let sxx: f64 = logs.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = logs.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    assert!(denom.abs() > 1e-12, "x values are degenerate");
+    (n * sxy - sx * sy) / denom
+}
+
+/// Pearson correlation between `x` and `y`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or have fewer than two points.
+pub fn correlation(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "length mismatch");
+    assert!(x.len() >= 2, "need at least two points");
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for i in 0..x.len() {
+        let dx = x[i] - mx;
+        let dy = y[i] - my;
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slope_of_linear_data_is_one() {
+        let pts: Vec<(f64, f64)> = (1..=6).map(|k| (k as f64, 3.0 * k as f64)).collect();
+        assert!((log_log_slope(&pts) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slope_of_quadratic_data_is_two() {
+        let pts: Vec<(f64, f64)> = (1..=6)
+            .map(|k| (k as f64, 0.5 * (k as f64).powi(2)))
+            .collect();
+        assert!((log_log_slope(&pts) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slope_of_constant_data_is_zero() {
+        let pts: Vec<(f64, f64)> = (1..=6).map(|k| (k as f64, 7.0)).collect();
+        assert!(log_log_slope(&pts).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slope_of_logarithmic_data_is_small() {
+        let pts: Vec<(f64, f64)> = (2..=64)
+            .step_by(8)
+            .map(|k| (k as f64, (k as f64).log2() + 5.0))
+            .collect();
+        let s = log_log_slope(&pts);
+        assert!(s > 0.0 && s < 0.5, "slope {s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "two positive points")]
+    fn too_few_points_panics() {
+        let _ = log_log_slope(&[(1.0, 1.0)]);
+    }
+
+    #[test]
+    fn correlation_extremes() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y_pos = [2.0, 4.0, 6.0, 8.0];
+        let y_neg = [8.0, 6.0, 4.0, 2.0];
+        assert!((correlation(&x, &y_pos) - 1.0).abs() < 1e-9);
+        assert!((correlation(&x, &y_neg) + 1.0).abs() < 1e-9);
+        let flat = [5.0, 5.0, 5.0, 5.0];
+        assert_eq!(correlation(&x, &flat), 0.0);
+    }
+}

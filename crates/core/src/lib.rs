@@ -1,0 +1,373 @@
+//! # rtas — randomized test-and-set from atomic read/write registers
+//!
+//! A complete implementation of *On the time and space complexity of
+//! randomized test-and-set* (Giakkoupis & Woelfel, PODC 2012): every
+//! algorithm in the paper, runnable both on a simulated asynchronous
+//! shared-memory machine with adversarial scheduling (for reproducing the
+//! paper's complexity claims) and on real threads over
+//! `std::sync::atomic` registers (for actual use).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use rtas::TestAndSet;
+//!
+//! let tas = TestAndSet::new(4); // up to 4 participants
+//! let mut winners = 0;
+//! crossbeam::thread::scope(|s| {
+//!     let handles: Vec<_> = (0..4).map(|_| s.spawn(|_| tas.test_and_set())).collect();
+//!     winners = handles
+//!         .into_iter()
+//!         .map(|h| h.join().unwrap())
+//!         .filter(|&already_set| !already_set)
+//!         .count();
+//! })
+//! .unwrap();
+//! assert_eq!(winners, 1);
+//! ```
+//!
+//! ## What is inside
+//!
+//! | Layer | Crate | Contents |
+//! |-------|-------|----------|
+//! | simulator | [`rtas_sim`] (re-exported as [`sim`]) | registers, adversaries, executor, exhaustive explorer |
+//! | primitives | [`rtas_primitives`] (re-exported as [`primitives`]) | splitters, 2/3-process elections, TAS-from-LE |
+//! | algorithms | [`rtas_algorithms`] (re-exported as [`algorithms`]) | Fig. 1 group election, O(log* k) LE, O(log log k) LE, RatRace ×2, Section 4 combiner |
+//! | lower bounds | [`rtas_lowerbound`] (re-exported as [`lowerbound`]) | Section 5 recurrence + covering, Theorem 6.1 schedule search |
+//! | native | [`native`] | the same protocols on real `AtomicU64`s |
+//!
+//! ## One-shot objects
+//!
+//! Like the paper's objects, [`TestAndSet`] and [`LeaderElection`] are
+//! **one-shot**: each participant may call the operation once, and the
+//! number of participants must not exceed the capacity given at
+//! construction. They are `Sync` — share them by reference across
+//! threads.
+
+pub mod native;
+pub mod once;
+pub mod renaming;
+
+pub use once::RegisterOnce;
+pub use renaming::Renaming;
+
+pub use rtas_algorithms as algorithms;
+pub use rtas_lowerbound as lowerbound;
+pub use rtas_primitives as primitives;
+pub use rtas_sim as sim;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use rtas_algorithms::{Combined, LogLogLe, LogStarLe, SpaceEfficientRatRace};
+use rtas_primitives::LeaderElect;
+use rtas_sim::memory::Memory;
+use rtas_sim::protocol::ret;
+
+use native::{run_protocol, NativeMemory};
+
+/// Which algorithm backs a [`TestAndSet`] / [`LeaderElection`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Theorem 2.3: O(log* k) expected steps against the
+    /// location-oblivious adversary, O(n) registers.
+    LogStar,
+    /// Theorem 2.4: O(log log k) expected steps against the R/W-oblivious
+    /// adversary, O(n) registers.
+    LogLog,
+    /// Section 3.2: space-efficient RatRace — O(log k) expected steps
+    /// against the adaptive adversary, Θ(n) registers.
+    RatRace,
+    /// Section 4 (default): the combiner of `LogStar` and `RatRace` —
+    /// O(log* k) under weak adversaries *and* O(log k) under the adaptive
+    /// one.
+    Combined,
+}
+
+struct Inner {
+    le: Arc<dyn LeaderElect>,
+    memory: NativeMemory,
+    registers: u64,
+    capacity: usize,
+    issued: AtomicUsize,
+    backend: Backend,
+}
+
+fn build(backend: Backend, capacity: usize) -> Inner {
+    assert!(capacity >= 1, "capacity must be at least 1");
+    let mut mem = Memory::new();
+    let le: Arc<dyn LeaderElect> = match backend {
+        Backend::LogStar => Arc::new(LogStarLe::new(&mut mem, capacity)),
+        Backend::LogLog => Arc::new(LogLogLe::new(&mut mem, capacity)),
+        Backend::RatRace => Arc::new(SpaceEfficientRatRace::new(&mut mem, capacity)),
+        Backend::Combined => {
+            let weak = Arc::new(LogStarLe::new(&mut mem, capacity));
+            Arc::new(Combined::new(&mut mem, weak, capacity))
+        }
+    };
+    let registers = mem.declared_registers();
+    let memory = NativeMemory::from_layout(&mem);
+    Inner {
+        le,
+        memory,
+        registers,
+        capacity,
+        issued: AtomicUsize::new(0),
+        backend,
+    }
+}
+
+impl Inner {
+    fn elect(&self) -> bool {
+        let slot = self.issued.fetch_add(1, Ordering::Relaxed);
+        assert!(
+            slot < self.capacity,
+            "more than {} participants entered a one-shot object",
+            self.capacity
+        );
+        // Per-slot deterministic seeding keeps runs reproducible while
+        // giving each participant an independent coin stream.
+        let seed = 0x7a5_u64
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(slot as u64);
+        run_protocol(self.le.elect(), &self.memory, slot, seed) == ret::WIN
+    }
+}
+
+/// A one-shot leader election for real threads.
+///
+/// At most `capacity` participants may call [`LeaderElection::elect`],
+/// each at most once; at most one call returns `true`, and if every
+/// participating call runs to completion, exactly one does.
+pub struct LeaderElection {
+    inner: Inner,
+}
+
+impl std::fmt::Debug for LeaderElection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LeaderElection")
+            .field("backend", &self.inner.backend)
+            .field("capacity", &self.inner.capacity)
+            .field("registers", &self.inner.registers)
+            .finish()
+    }
+}
+
+impl LeaderElection {
+    /// A leader election for up to `capacity` participants with the
+    /// default [`Backend::Combined`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_backend(Backend::Combined, capacity)
+    }
+
+    /// Choose the algorithm explicitly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn with_backend(backend: Backend, capacity: usize) -> Self {
+        LeaderElection { inner: build(backend, capacity) }
+    }
+
+    /// Participate; returns `true` iff this caller is the unique winner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called more than `capacity` times on this object.
+    pub fn elect(&self) -> bool {
+        self.inner.elect()
+    }
+
+    /// The configured backend.
+    pub fn backend(&self) -> Backend {
+        self.inner.backend
+    }
+
+    /// Maximum number of participants.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Number of atomic registers the object occupies.
+    pub fn registers(&self) -> u64 {
+        self.inner.registers
+    }
+}
+
+/// A one-shot test-and-set bit for real threads.
+///
+/// The object stores a bit, initially 0. [`TestAndSet::test_and_set`]
+/// sets it and returns the previous value: the unique *winner* observes
+/// `false`, everyone else `true`. Built from [`LeaderElection`] plus one
+/// register, exactly as in the paper (Preliminaries).
+pub struct TestAndSet {
+    le: LeaderElection,
+    done: std::sync::atomic::AtomicU64,
+}
+
+impl std::fmt::Debug for TestAndSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TestAndSet")
+            .field("backend", &self.le.backend())
+            .field("capacity", &self.le.capacity())
+            .finish()
+    }
+}
+
+impl TestAndSet {
+    /// A TAS for up to `capacity` participants with the default
+    /// [`Backend::Combined`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_backend(Backend::Combined, capacity)
+    }
+
+    /// Choose the algorithm explicitly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn with_backend(backend: Backend, capacity: usize) -> Self {
+        TestAndSet {
+            le: LeaderElection::with_backend(backend, capacity),
+            done: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Set the bit, returning its previous value.
+    ///
+    /// `false` means this caller won (the bit was clear); `true` means it
+    /// was already set (or being set by the eventual winner, which
+    /// linearizes first). One call per participant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called more than `capacity` times on this object.
+    pub fn test_and_set(&self) -> bool {
+        if self.done.load(Ordering::SeqCst) == 1 {
+            return true;
+        }
+        if self.le.elect() {
+            return false;
+        }
+        self.done.store(1, Ordering::SeqCst);
+        true
+    }
+
+    /// The configured backend.
+    pub fn backend(&self) -> Backend {
+        self.le.backend()
+    }
+
+    /// Maximum number of participants.
+    pub fn capacity(&self) -> usize {
+        self.le.capacity()
+    }
+
+    /// Number of atomic registers the object occupies (including the
+    /// extra TAS register).
+    pub fn registers(&self) -> u64 {
+        self.le.registers() + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BACKENDS: [Backend; 4] = [
+        Backend::LogStar,
+        Backend::LogLog,
+        Backend::RatRace,
+        Backend::Combined,
+    ];
+
+    #[test]
+    fn solo_elect_wins_every_backend() {
+        for backend in BACKENDS {
+            let le = LeaderElection::with_backend(backend, 4);
+            assert!(le.elect(), "{backend:?}");
+            assert_eq!(le.backend(), backend);
+        }
+    }
+
+    #[test]
+    fn solo_tas_returns_false_then_true() {
+        let tas = TestAndSet::new(2);
+        assert!(!tas.test_and_set());
+        assert!(tas.test_and_set());
+    }
+
+    #[test]
+    fn concurrent_unique_winner_all_backends() {
+        for backend in BACKENDS {
+            for round in 0..10 {
+                let n = 8;
+                let le = LeaderElection::with_backend(backend, n);
+                let wins: Vec<bool> = crossbeam::thread::scope(|s| {
+                    let handles: Vec<_> =
+                        (0..n).map(|_| s.spawn(|_| le.elect())).collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).collect()
+                })
+                .unwrap();
+                let winners = wins.iter().filter(|&&w| w).count();
+                assert_eq!(winners, 1, "{backend:?} round {round}: {wins:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_tas_exactly_one_false() {
+        for round in 0..10 {
+            let n = 8;
+            let tas = TestAndSet::with_backend(Backend::RatRace, n);
+            let outs: Vec<bool> = crossbeam::thread::scope(|s| {
+                let handles: Vec<_> =
+                    (0..n).map(|_| s.spawn(|_| tas.test_and_set())).collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            })
+            .unwrap();
+            let winners = outs.iter().filter(|&&w| !w).count();
+            assert_eq!(winners, 1, "round {round}: {outs:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one-shot")]
+    fn over_capacity_panics() {
+        let le = LeaderElection::new(1);
+        let _ = le.elect();
+        let _ = le.elect();
+    }
+
+    #[test]
+    fn registers_scale_linearly() {
+        let small = LeaderElection::with_backend(Backend::RatRace, 64);
+        let large = LeaderElection::with_backend(Backend::RatRace, 512);
+        assert!(large.registers() < small.registers() * 16);
+        assert!(large.registers() > small.registers());
+        assert_eq!(small.capacity(), 64);
+    }
+
+    #[test]
+    fn debug_formats_are_informative() {
+        let le = LeaderElection::new(2);
+        assert!(format!("{le:?}").contains("Combined"));
+        let tas = TestAndSet::new(2);
+        assert!(format!("{tas:?}").contains("capacity"));
+    }
+
+    #[test]
+    fn tas_registers_one_more_than_le() {
+        let le = LeaderElection::with_backend(Backend::LogStar, 16);
+        let tas = TestAndSet::with_backend(Backend::LogStar, 16);
+        assert_eq!(tas.registers(), le.registers() + 1);
+    }
+}

@@ -1,0 +1,49 @@
+//! Native execution: the verified protocols on real atomics.
+//!
+//! The simulator protocols ([`rtas_sim::protocol::Protocol`]) are pure
+//! state machines that interact with the world only through single-register
+//! atomic reads and writes. That makes them directly executable on real
+//! hardware: [`NativeMemory`] maps every simulated register onto a
+//! `std::sync::atomic::AtomicU64`, and [`run_protocol`] drives a protocol
+//! to completion on the calling thread, performing each `Poll::Op` as a
+//! sequentially-consistent load or store.
+//!
+//! Because the *same* state machines run in both worlds, every safety
+//! property established by the exhaustive explorer and the simulator test
+//! suite carries over to the native objects — the only difference is who
+//! schedules the interleaving (the OS instead of an adversary).
+
+mod driver;
+
+pub use driver::{run_protocol, NativeMemory};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtas_primitives::{RoleLeaderElect, TwoProcessLe};
+    use rtas_sim::memory::Memory;
+    use rtas_sim::protocol::ret;
+
+    #[test]
+    fn two_process_le_on_real_threads() {
+        for round in 0..50 {
+            let mut mem = Memory::new();
+            let le = TwoProcessLe::new(&mut mem, "2le");
+            let shared = NativeMemory::from_layout(&mem);
+            let wins: Vec<u64> = crossbeam::thread::scope(|s| {
+                let handles: Vec<_> = (0..2)
+                    .map(|role| {
+                        let shared = &shared;
+                        s.spawn(move |_| {
+                            run_protocol(le.elect_as(role), shared, role, round * 2 + role as u64)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            })
+            .unwrap();
+            let winners = wins.iter().filter(|&&w| w == ret::WIN).count();
+            assert_eq!(winners, 1, "round {round}: {wins:?}");
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Tight one-shot renaming from a chain of test-and-set objects.
+//!
+//! The paper's introduction names renaming (Eberly, Higham &
+//! Warpechowska-Gruca) as a core application of TAS. [`Renaming`] gives
+//! up to `n` participants distinct names in `0..n` ("tight" name space):
+//! each participant walks the array of TAS objects and keeps the index of
+//! the first one it wins. A participant loses `TAS_j` only to a distinct
+//! winner, so after at most `n` attempts it must win one — the acquired
+//! names are unique and at most `n` are ever needed.
+//!
+//! Step complexity: each TAS costs the backend's election complexity, and
+//! a participant visits at most `n` slots (at most `k` in contention-`k`
+//! executions, since only winners block slots).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::{Backend, TestAndSet};
+
+/// A one-shot renaming object: distinct names in `0..capacity`.
+pub struct Renaming {
+    slots: Vec<TestAndSet>,
+    issued: AtomicUsize,
+}
+
+impl std::fmt::Debug for Renaming {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Renaming")
+            .field("capacity", &self.slots.len())
+            .finish()
+    }
+}
+
+impl Renaming {
+    /// A renaming object for up to `capacity` participants, with the
+    /// default [`Backend::Combined`] elections.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_backend(Backend::Combined, capacity)
+    }
+
+    /// Choose the election backend for the underlying TAS objects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn with_backend(backend: Backend, capacity: usize) -> Self {
+        assert!(capacity >= 1, "capacity must be at least 1");
+        Renaming {
+            slots: (0..capacity)
+                .map(|_| TestAndSet::with_backend(backend, capacity))
+                .collect(),
+            issued: AtomicUsize::new(0),
+        }
+    }
+
+    /// Acquire a distinct name in `0..capacity`.
+    ///
+    /// One call per participant; at most `capacity` calls total.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called more than `capacity` times.
+    pub fn acquire(&self) -> usize {
+        let issued = self.issued.fetch_add(1, Ordering::Relaxed);
+        assert!(
+            issued < self.slots.len(),
+            "more than {} participants entered a one-shot renaming",
+            self.slots.len()
+        );
+        for (name, slot) in self.slots.iter().enumerate() {
+            if !slot.test_and_set() {
+                return name;
+            }
+        }
+        unreachable!("pigeonhole: {} slots, {} participants", self.slots.len(), issued + 1)
+    }
+
+    /// Maximum number of participants (= size of the name space).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solo_gets_name_zero() {
+        let r = Renaming::new(4);
+        assert_eq!(r.acquire(), 0);
+        assert_eq!(r.capacity(), 4);
+    }
+
+    #[test]
+    fn sequential_names_are_increasing() {
+        let r = Renaming::new(4);
+        assert_eq!(r.acquire(), 0);
+        assert_eq!(r.acquire(), 1);
+        assert_eq!(r.acquire(), 2);
+        assert_eq!(r.acquire(), 3);
+    }
+
+    #[test]
+    fn concurrent_names_are_distinct_and_tight() {
+        for backend in [Backend::RatRace, Backend::Combined] {
+            for round in 0..8 {
+                let n = 8;
+                let r = Renaming::with_backend(backend, n);
+                let mut names: Vec<usize> = crossbeam::thread::scope(|s| {
+                    let handles: Vec<_> =
+                        (0..n).map(|_| s.spawn(|_| r.acquire())).collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).collect()
+                })
+                .unwrap();
+                names.sort_unstable();
+                assert_eq!(
+                    names,
+                    (0..n).collect::<Vec<_>>(),
+                    "{backend:?} round {round}: name space not tight"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one-shot renaming")]
+    fn over_capacity_panics() {
+        let r = Renaming::new(1);
+        let _ = r.acquire();
+        let _ = r.acquire();
+    }
+}

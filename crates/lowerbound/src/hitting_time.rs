@@ -1,0 +1,174 @@
+//! Hitting times of non-increasing Markov chains (Lemma 2.1).
+//!
+//! The ladder analysis of Section 2.1 bounds the number of levels by
+//! `Δ_{f−1}(k)`: the worst expected time for a non-increasing Markov
+//! chain on `{0, …, n}` with rate at most `r(j) = f(j) − 1` to hit 0,
+//! started at `k`. Two tools here:
+//!
+//! * [`expected_hitting_times`] — exact expected hitting times for an
+//!   explicit non-increasing chain (solved in one backward pass);
+//! * [`iterated_rate_depth`] — the deterministic iteration count of
+//!   `j ↦ r(j)` until the value drops below 1, which tracks `Δ_r` up to
+//!   constants and exhibits the Θ(log* k) behaviour for
+//!   `r(j) = 2·log₂ j + 5` (experiment E10).
+
+/// Exact expected hitting times to state 0 for a **non-increasing** chain.
+///
+/// `transitions[j]` lists `(i, p)` pairs with `i ≤ j` and `Σp = 1`;
+/// self-loops (`i == j`) are allowed with probability < 1 for `j > 0`.
+/// Returns `E[T_0]` indexed by start state; `E[0] = 0`.
+///
+/// # Panics
+///
+/// Panics if a row's probabilities do not sum to ≈1, move upward, or
+/// self-loop with probability 1 (for `j > 0`).
+pub fn expected_hitting_times(transitions: &[Vec<(usize, f64)>]) -> Vec<f64> {
+    let n = transitions.len();
+    let mut e = vec![0.0f64; n];
+    for j in 1..n {
+        let row = &transitions[j];
+        let total: f64 = row.iter().map(|&(_, p)| p).sum();
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "row {j} probabilities sum to {total}"
+        );
+        let mut self_p = 0.0;
+        let mut acc = 1.0; // the step itself
+        for &(i, p) in row {
+            assert!(i <= j, "row {j} moves upward to {i}");
+            if i == j {
+                self_p += p;
+            } else {
+                acc += p * e[i];
+            }
+        }
+        assert!(self_p < 1.0 - 1e-12, "state {j} is absorbing");
+        e[j] = acc / (1.0 - self_p);
+    }
+    e
+}
+
+/// Number of iterations of `j ↦ rate(j)` from `start` until the value
+/// drops below `floor` (capped at 128 to guard non-contracting rates).
+///
+/// For `rate(j) = f(j) − 1` this is the natural deterministic version of
+/// `Δ_{f−1}`: each ladder level maps an expected `j` survivors to at most
+/// `f(j) − 1`.
+pub fn iterated_rate_depth(rate: impl Fn(f64) -> f64, start: f64, floor: f64) -> u32 {
+    let mut v = start;
+    let mut depth = 0;
+    while v >= floor && depth < 128 {
+        let next = rate(v);
+        assert!(
+            next >= 0.0,
+            "rate produced a negative expected count: {next}"
+        );
+        // A non-contracting rate would loop forever; the cap reports it.
+        v = next;
+        depth += 1;
+    }
+    depth
+}
+
+/// The Lemma 2.2 rate: `r(j) = f(j) − 1` with `f(j) = min(j, 2·log₂ j +
+/// 6)` — at most `j` processes can be elected, and the splitter always
+/// retires one, so the effective rate is `min(j − 1, 2·log₂ j + 5)`.
+/// (Without the `j − 1` cap the logarithmic expression has a fixed point
+/// near 12 and the iteration would stall.)
+pub fn geometric_ge_rate(j: f64) -> f64 {
+    if j <= 1.0 {
+        0.0
+    } else {
+        (j - 1.0).min(2.0 * j.log2() + 5.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_decrement_chain() {
+        // j → j−1 with probability 1: E[j] = j.
+        let chain: Vec<Vec<(usize, f64)>> = (0..6)
+            .map(|j| if j == 0 { vec![] } else { vec![(j - 1, 1.0)] })
+            .collect();
+        let e = expected_hitting_times(&chain);
+        for (j, &ej) in e.iter().enumerate() {
+            assert!((ej - j as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lazy_chain_doubles_time() {
+        // Stay with p = 1/2, else step down: E[j] = 2j.
+        let chain: Vec<Vec<(usize, f64)>> = (0..5)
+            .map(|j| {
+                if j == 0 {
+                    vec![]
+                } else {
+                    vec![(j, 0.5), (j - 1, 0.5)]
+                }
+            })
+            .collect();
+        let e = expected_hitting_times(&chain);
+        for (j, &ej) in e.iter().enumerate() {
+            assert!((ej - 2.0 * j as f64).abs() < 1e-9, "j={j} e={ej}");
+        }
+    }
+
+    #[test]
+    fn halving_chain_is_logarithmic() {
+        // j → ⌈j/2⌉−ish: E grows like log j.
+        let n = 1024;
+        let chain: Vec<Vec<(usize, f64)>> = (0..=n)
+            .map(|j| if j == 0 { vec![] } else { vec![(j / 2, 1.0)] })
+            .collect();
+        let e = expected_hitting_times(&chain);
+        assert!((e[1024] - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "absorbing")]
+    fn absorbing_state_panics() {
+        let chain = vec![vec![], vec![(1usize, 1.0)]];
+        let _ = expected_hitting_times(&chain);
+    }
+
+    #[test]
+    #[should_panic(expected = "moves upward")]
+    fn increasing_chain_panics() {
+        let chain = vec![vec![], vec![(2usize, 1.0)], vec![(1usize, 1.0)]];
+        let _ = expected_hitting_times(&chain);
+    }
+
+    #[test]
+    fn iterated_geometric_rate_is_log_star_like() {
+        // Depth for the Lemma 2.2 rate behaves like log*: single-digit
+        // even for astronomically large k, and growing with k.
+        // The depth is log*(k) + O(1): the log phase collapses any k to
+        // ≈12 within log* k steps, then the −1 cap walks down linearly.
+        let d16 = iterated_rate_depth(geometric_ge_rate, 16.0, 1.0);
+        let d_2_64 = iterated_rate_depth(geometric_ge_rate, 2f64.powi(64), 1.0);
+        let d_2_1000 = iterated_rate_depth(geometric_ge_rate, 2f64.powi(1000), 1.0);
+        assert!(d16 <= 20, "d16={d16}");
+        assert!(d_2_64 <= 25, "d_2_64={d_2_64}");
+        assert!(d_2_1000 <= 30, "d_2_1000={d_2_1000}");
+        assert!(d16 <= d_2_64 && d_2_64 <= d_2_1000);
+    }
+
+    #[test]
+    fn iterated_linear_rate_hits_cap() {
+        // A non-contracting rate (identity) must hit the safety cap.
+        let d = iterated_rate_depth(|j| j, 10.0, 1.0);
+        assert_eq!(d, 128);
+    }
+
+    #[test]
+    fn sifting_rate_is_log_log_like() {
+        // r(j) = 2√j: depth ~ log log j.
+        let rate = |j: f64| 2.0 * j.sqrt();
+        let d = iterated_rate_depth(rate, 2f64.powi(32), 16.0);
+        assert!(d <= 6, "d={d}");
+    }
+}

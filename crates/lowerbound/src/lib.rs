@@ -1,0 +1,39 @@
+//! # rtas-lowerbound — the paper's lower bounds, made executable
+//!
+//! Machinery for the two lower bounds of Giakkoupis & Woelfel (PODC 2012)
+//! and the Markov-chain calibration of Lemma 2.1:
+//!
+//! * [`recurrence`] — Section 5's covering recurrence `f(k+1) = f(k) −
+//!   ⌊f(k)/(n−k)⌋ + 1`, its closed form (Claim 5.5), and the resulting
+//!   Ω(log n) register bound (`f(n−4) = 4(log₂ n − 1)`), all computed
+//!   exactly (experiment E6).
+//! * [`covering`] — the base case of the covering argument (Lemma 5.4,
+//!   k = 0) executed against *real* leader-election implementations: run
+//!   every process solo until it is poised to write; nondeterministic
+//!   solo-termination forces all `n` processes to cover registers while
+//!   none is visible.
+//! * [`hitting_time`] — exact expected hitting times of non-increasing
+//!   Markov chains, and the iterated-rate depth `Δ_{f−1}(k)` that bounds
+//!   the ladder length in Lemma 2.1 (Θ(log* k) for `f(k) = 2·log k + 6`;
+//!   experiment E10).
+//! * [`yao`] — Theorem 6.1's 2-process time bound: over all balanced
+//!   oblivious schedules of length `2t`, some schedule keeps a process
+//!   busy for ≥ t steps with probability ≥ 1/4^t (experiment E7).
+
+//! ```
+//! use rtas_lowerbound::recurrence::{closed_form_f, register_lower_bound};
+//!
+//! // Theorem 5.1's quantity, exactly:
+//! assert_eq!(closed_form_f(1024, 1020), 4 * 9);
+//! assert_eq!(register_lower_bound(1024), 9);
+//! ```
+
+pub mod covering;
+pub mod hitting_time;
+pub mod recurrence;
+pub mod yao;
+
+pub use covering::{covering_base_case, max_simultaneous_covering, CoveringReport};
+pub use hitting_time::{expected_hitting_times, iterated_rate_depth};
+pub use recurrence::{closed_form_f, delta_step, f_sequence, interval_index, register_lower_bound};
+pub use yao::{schedule_tail_probabilities, TailReport};

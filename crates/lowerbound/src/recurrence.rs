@@ -1,0 +1,190 @@
+//! The covering recurrence of Section 5.
+//!
+//! Lemma 5.4 constructs executions in rounds; `f(k)` lower-bounds the
+//! number of "undecided representative" processes after round `k`:
+//!
+//! ```text
+//! f(0)   = n,
+//! f(k+1) = f(k) − ⌊f(k) / (n − k)⌋ + 1.
+//! ```
+//!
+//! Claim 5.5 gives the closed form: for `k ∈ I(s) = {n − n/2^s, …,
+//! n − n/2^(s+1) − 1}` (with `n` a power of two),
+//!
+//! ```text
+//! f(k) = n·(s+1)/2^s − s·(k − n + n/2^s),   and   δ(k+1) = s.
+//! ```
+//!
+//! Evaluating at `k = n − 4 ∈ I(log₂ n − 2)` yields `f(n−4) =
+//! 4·(log₂ n − 1)`: at least `log₂ n − 1` registers are covered (each by
+//! at most 4 processes), hence the Ω(log n) space bound of Theorem 5.1.
+//! This module computes both forms exactly so the experiment (E6) can
+//! verify the claim for every `n` rather than trusting the algebra.
+
+/// The sequence `f(0), f(1), …, f(n−1)` for `n` processes.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn f_sequence(n: u64) -> Vec<u64> {
+    assert!(n > 0, "need at least one process");
+    let mut f = Vec::with_capacity(n as usize);
+    let mut value = n;
+    for k in 0..n {
+        f.push(value);
+        // f(k+1) = f(k) − ⌊f(k)/(n−k)⌋ + 1, defined while k < n.
+        value = value - value / (n - k) + 1;
+    }
+    f
+}
+
+/// One step of the recurrence: `f(k+1)` given `f(k)` and `n − k`.
+pub fn next_f(f_k: u64, n_minus_k: u64) -> u64 {
+    assert!(n_minus_k > 0);
+    f_k - f_k / n_minus_k + 1
+}
+
+/// `δ(k+1) = ⌊f(k)/(n−k)⌋ − 1`, the per-round loss.
+pub fn delta_step(f_k: u64, n_minus_k: u64) -> i64 {
+    (f_k / n_minus_k) as i64 - 1
+}
+
+/// The interval index `s` with `k ∈ I(s)` (requires `n` a power of two
+/// and `0 ≤ k < n`).
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two or `k ≥ n`.
+pub fn interval_index(n: u64, k: u64) -> u32 {
+    assert!(n.is_power_of_two(), "n must be a power of two");
+    assert!(k < n, "k must be below n");
+    // I(s) = [n − n/2^s, n − n/2^(s+1) − 1]; k ∈ I(s) ⟺
+    // n/2^(s+1) < n − k ≤ n/2^s.
+    let gap = n - k;
+    let mut s = 0;
+    while n >> (s + 1) >= gap {
+        s += 1;
+    }
+    s
+}
+
+/// Claim 5.5(a): the closed form of `f(k)` for `n` a power of two.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two or `k ≥ n`.
+pub fn closed_form_f(n: u64, k: u64) -> u64 {
+    let s = interval_index(n, k);
+    let pow = 1u64 << s;
+    // f(k) = n(s+1)/2^s − s(k − n + n/2^s); all terms are exact integers
+    // for k in I(s).
+    let base = n * (s as u64 + 1) / pow;
+    let d = k - (n - n / pow);
+    base - s as u64 * d
+}
+
+/// Theorem 5.1's register bound: any nondeterministic solo-terminating
+/// leader election for `n` processes (a power of two ≥ 8) needs at least
+/// `log₂ n − 1` registers, because `f(n−4) = 4(log₂ n − 1)` processes
+/// still cover registers when no register is covered by more than 4.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two or `n < 8`.
+pub fn register_lower_bound(n: u64) -> u64 {
+    assert!(n.is_power_of_two() && n >= 8, "need a power of two n >= 8");
+    let covered = closed_form_f(n, n - 4);
+    covered.div_ceil(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f_sequence_starts_at_n() {
+        let f = f_sequence(16);
+        assert_eq!(f[0], 16);
+        // f(1) = 16 − 1 + 1 = 16 (loss starts once f(k)/(n−k) ≥ 2).
+        assert_eq!(f[1], 16);
+    }
+
+    #[test]
+    fn recurrence_matches_closed_form_for_powers_of_two() {
+        for exp in 3..=14 {
+            let n = 1u64 << exp;
+            let f = f_sequence(n);
+            for k in 0..n {
+                assert_eq!(
+                    f[k as usize],
+                    closed_form_f(n, k),
+                    "n={n} k={k} (s={})",
+                    interval_index(n, k)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn delta_is_constant_on_intervals() {
+        // Claim 5.5(b): δ(k+1) = s for k ∈ I(s).
+        for exp in 3..=10 {
+            let n = 1u64 << exp;
+            let f = f_sequence(n);
+            for k in 0..n - 1 {
+                let s = interval_index(n, k);
+                assert_eq!(
+                    delta_step(f[k as usize], n - k),
+                    s as i64,
+                    "n={n} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_value_at_n_minus_4() {
+        // f(n−4) = 4(log₂ n − 1).
+        for exp in 3..=20 {
+            let n = 1u64 << exp;
+            assert_eq!(closed_form_f(n, n - 4), 4 * (exp as u64 - 1), "n={n}");
+        }
+    }
+
+    #[test]
+    fn register_lower_bound_is_log_n_minus_one() {
+        assert_eq!(register_lower_bound(8), 2);
+        assert_eq!(register_lower_bound(1024), 9);
+        assert_eq!(register_lower_bound(1 << 20), 19);
+    }
+
+    #[test]
+    fn interval_index_boundaries() {
+        let n = 16u64;
+        // I(0) = [0, 7], I(1) = [8, 11], I(2) = [12, 13], I(3) = [14],
+        // I(4) = [15] (the last two intervals are single points because
+        // n/2^(s+1) rounds to zero).
+        assert_eq!(interval_index(n, 0), 0);
+        assert_eq!(interval_index(n, 7), 0);
+        assert_eq!(interval_index(n, 8), 1);
+        assert_eq!(interval_index(n, 11), 1);
+        assert_eq!(interval_index(n, 12), 2);
+        assert_eq!(interval_index(n, 13), 2);
+        assert_eq!(interval_index(n, 14), 3);
+        assert_eq!(interval_index(n, 15), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let _ = interval_index(12, 3);
+    }
+
+    #[test]
+    fn f_is_non_increasing_after_warmup() {
+        let f = f_sequence(256);
+        for w in f.windows(2) {
+            assert!(w[1] <= w[0], "f must be non-increasing: {w:?}");
+        }
+    }
+}

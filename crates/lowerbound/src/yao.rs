@@ -1,0 +1,148 @@
+//! Theorem 6.1: a 2-process time lower bound for randomized TAS.
+//!
+//! For any randomized 2-process TAS and any `t > 0`, some oblivious
+//! schedule in `S_t` (the balanced schedules of length `2t`) makes some
+//! process take ≥ t steps with probability at least `1/4^t ≥ 1/|S_t|`.
+//! The proof is Yao's principle over the `C(2t,t) ≤ 4^t` schedules plus
+//! the deterministic wait-free impossibility.
+//!
+//! [`schedule_tail_probabilities`] measures the empirical counterpart for
+//! a concrete implementation: for every schedule in `S_t`, estimate
+//! `Pr[some process takes ≥ t steps]`, and report the maximum over
+//! schedules next to the `1/4^t` bound (experiment E7).
+
+use rtas_sim::adversary::ObliviousAdversary;
+use rtas_sim::executor::Execution;
+use rtas_sim::memory::Memory;
+use rtas_sim::protocol::Protocol;
+use rtas_sim::schedule::Schedule;
+use rtas_sim::word::ProcessId;
+
+/// Empirical tail probabilities for one `t`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TailReport {
+    /// The step bound `t`.
+    pub t: usize,
+    /// Number of schedules examined (`C(2t, t)`).
+    pub schedules: usize,
+    /// Max over schedules of the estimated `Pr[max steps ≥ t]`.
+    pub max_tail: f64,
+    /// Mean over schedules of the estimated tail probability.
+    pub mean_tail: f64,
+    /// The theorem's bound `1/4^t`.
+    pub bound: f64,
+}
+
+impl TailReport {
+    /// Whether the measured worst schedule meets the theoretical bound.
+    pub fn meets_bound(&self) -> bool {
+        self.max_tail >= self.bound
+    }
+}
+
+/// Estimate, for every balanced 2-process schedule of length `2t`, the
+/// probability that some process fails to finish within fewer than `t`
+/// steps, using `trials` seeded runs of the system from `factory`.
+///
+/// `factory(seed)` must build a fresh 2-process system (memory plus
+/// exactly two protocols).
+///
+/// # Panics
+///
+/// Panics if the factory produces anything but two protocols, or if
+/// `trials == 0`.
+pub fn schedule_tail_probabilities(
+    t: usize,
+    trials: u64,
+    base_seed: u64,
+    mut factory: impl FnMut() -> (Memory, Vec<Box<dyn Protocol>>),
+) -> TailReport {
+    assert!(trials > 0, "need at least one trial");
+    let schedules = Schedule::all_balanced_two_process(t);
+    let mut max_tail: f64 = 0.0;
+    let mut sum_tail = 0.0;
+    for (si, schedule) in schedules.iter().enumerate() {
+        let mut hits = 0u64;
+        for trial in 0..trials {
+            let (mem, protos) = factory();
+            assert_eq!(protos.len(), 2, "Theorem 6.1 is about two processes");
+            let seed = base_seed
+                .wrapping_mul(0x9e37_79b9)
+                .wrapping_add(si as u64 * 1_000_003 + trial);
+            let mut adv = ObliviousAdversary::new(schedule.clone());
+            let res = Execution::new(mem, protos, seed).run(&mut adv);
+            // "Does not finish within fewer than t steps": unfinished after
+            // its t schedule slots, or finished using ≥ t steps.
+            let slow = (0..2).any(|i| {
+                let pid = ProcessId(i);
+                res.outcome(pid).is_none() || res.steps().of(pid) >= t as u64
+            });
+            if slow {
+                hits += 1;
+            }
+        }
+        let tail = hits as f64 / trials as f64;
+        max_tail = max_tail.max(tail);
+        sum_tail += tail;
+    }
+    TailReport {
+        t,
+        schedules: schedules.len(),
+        max_tail,
+        mean_tail: sum_tail / schedules.len() as f64,
+        bound: 0.25f64.powi(t as i32),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtas_primitives::{RoleLeaderElect, TwoProcessLe};
+
+    fn two_le_factory() -> (Memory, Vec<Box<dyn Protocol>>) {
+        let mut mem = Memory::new();
+        let le = TwoProcessLe::new(&mut mem, "2le");
+        (mem, vec![le.elect_as(0), le.elect_as(1)])
+    }
+
+    #[test]
+    fn small_t_tail_is_one() {
+        // Our 2-process election needs ≥ 4 steps even solo, so for t ≤ 4
+        // the tail probability is 1 under every schedule.
+        for t in 1..=4 {
+            let report = schedule_tail_probabilities(t, 20, 7, two_le_factory);
+            assert_eq!(report.max_tail, 1.0, "t={t}");
+            assert!(report.meets_bound());
+        }
+    }
+
+    #[test]
+    fn bound_holds_for_moderate_t() {
+        for t in 5..=7 {
+            let report = schedule_tail_probabilities(t, 60, 11, two_le_factory);
+            assert!(
+                report.meets_bound(),
+                "t={t}: max tail {} < bound {}",
+                report.max_tail,
+                report.bound
+            );
+        }
+    }
+
+    #[test]
+    fn schedule_count_is_central_binomial() {
+        let report = schedule_tail_probabilities(4, 5, 1, two_le_factory);
+        assert_eq!(report.schedules, 70); // C(8,4)
+        assert!(report.mean_tail <= report.max_tail);
+    }
+
+    #[test]
+    #[should_panic(expected = "two processes")]
+    fn wrong_arity_panics() {
+        let _ = schedule_tail_probabilities(2, 1, 0, || {
+            let mut mem = Memory::new();
+            let le = TwoProcessLe::new(&mut mem, "2le");
+            (mem, vec![le.elect_as(0)])
+        });
+    }
+}

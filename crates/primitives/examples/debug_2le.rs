@@ -1,0 +1,31 @@
+use rtas_primitives::{RoleLeaderElect, TwoProcessLe};
+use rtas_sim::adversary::RandomSchedule;
+use rtas_sim::executor::Execution;
+use rtas_sim::history::RecordMode;
+use rtas_sim::memory::Memory;
+use rtas_sim::protocol::ret;
+
+fn main() {
+    for seed in 0..2000u64 {
+        let mut mem = Memory::new();
+        let le = TwoProcessLe::new(&mut mem, "2le");
+        let protos = vec![le.elect_as(0), le.elect_as(1)];
+        let res = Execution::new(mem, protos, seed)
+            .with_recording(RecordMode::Full)
+            .run(&mut RandomSchedule::new(seed * 7));
+        let winners = res.processes_with_outcome(ret::WIN).len();
+        if res.all_finished() && winners != 1 {
+            println!("VIOLATION seed={seed} outcomes={:?}", res.outcomes());
+            for e in res.history().events() {
+                let v = e.value;
+                let (r, c, k) = (v >> 2, (v >> 1) & 1, v & 1);
+                println!(
+                    "  step {:2} {} {:?} reg={:?} val={} (round={} coin={} claim={})",
+                    e.step, e.pid, e.kind, e.reg, v, r, c, k
+                );
+            }
+            return;
+        }
+    }
+    println!("no violation found in 2000 seeds");
+}

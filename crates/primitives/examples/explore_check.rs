@@ -1,0 +1,28 @@
+use rtas_primitives::{RoleLeaderElect, TwoProcessLe};
+use rtas_sim::explore::{explore, ExploreConfig};
+use rtas_sim::memory::Memory;
+use rtas_sim::protocol::ret;
+
+fn main() {
+    for max_steps in [12u64, 14, 16, 18, 20] {
+        let mut violations = 0u64;
+        let stats = explore(
+            || {
+                let mut mem = Memory::new();
+                let le = TwoProcessLe::new(&mut mem, "2le");
+                (mem, vec![le.elect_as(0), le.elect_as(1)])
+            },
+            ExploreConfig { max_steps, max_paths: u64::MAX },
+            |e| {
+                let winners = e.with_outcome(ret::WIN).len();
+                if winners > 1 || (e.all_finished() && winners != 1) {
+                    violations += 1;
+                }
+            },
+        );
+        println!(
+            "max_steps={max_steps}: paths={} truncated={} violations={violations}",
+            stats.paths, stats.truncated_paths
+        );
+    }
+}

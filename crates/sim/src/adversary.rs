@@ -1,0 +1,431 @@
+//! The adversary hierarchy of the paper, with capability enforcement.
+//!
+//! The paper distinguishes four scheduler strengths (Preliminaries):
+//!
+//! * **adaptive** — sees the entire past execution including coin flips,
+//!   and every process's committed next operation;
+//! * **location-oblivious** — sees past events and the *type and argument*
+//!   of pending operations, but not the register they will access;
+//! * **R/W-oblivious** — sees past events and the *register* of pending
+//!   operations, but not whether the operation is a read or a write;
+//! * **oblivious** — fixes the whole schedule before the execution.
+//!
+//! The executor constructs a [`View`] whose [`View::pending`] method
+//! filters each poised operation according to [`AdversaryClass`], so an
+//! adversary implementation *cannot* observe more than its class permits.
+
+use crate::executor::ProcessState;
+use crate::metrics::StepCounts;
+use crate::op::{MemOp, OpKind};
+use crate::rng::SplitMix64;
+use crate::schedule::Schedule;
+use crate::word::{ProcessId, RegId, Word};
+
+/// The strength class of an adversary, in increasing order of power.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AdversaryClass {
+    /// Schedule fixed in advance; pending views are fully hidden.
+    Oblivious,
+    /// Sees registers of pending ops but not read-vs-write.
+    RwOblivious,
+    /// Sees read-vs-write and write values but not registers.
+    LocationOblivious,
+    /// Sees everything.
+    Adaptive,
+}
+
+/// A class-filtered description of a process's poised operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PendingView {
+    /// Read or write — `None` if the class hides it.
+    pub kind: Option<OpKind>,
+    /// Target register — `None` if the class hides it.
+    pub reg: Option<RegId>,
+    /// Value to be written — `None` for reads or if the class hides it.
+    pub write_value: Option<Word>,
+}
+
+impl PendingView {
+    fn filtered(op: MemOp, class: AdversaryClass) -> PendingView {
+        match class {
+            AdversaryClass::Oblivious => PendingView::default(),
+            AdversaryClass::RwOblivious => PendingView {
+                kind: None,
+                reg: Some(op.reg()),
+                write_value: None,
+            },
+            AdversaryClass::LocationOblivious => PendingView {
+                kind: Some(op.kind()),
+                reg: None,
+                write_value: op.write_value(),
+            },
+            AdversaryClass::Adaptive => PendingView {
+                kind: Some(op.kind()),
+                reg: Some(op.reg()),
+                write_value: op.write_value(),
+            },
+        }
+    }
+}
+
+/// What the adversary may inspect when choosing the next process.
+pub struct View<'a> {
+    class: AdversaryClass,
+    procs: &'a [ProcessState],
+    steps: &'a StepCounts,
+}
+
+impl<'a> View<'a> {
+    pub(crate) fn new(
+        class: AdversaryClass,
+        procs: &'a [ProcessState],
+        steps: &'a StepCounts,
+    ) -> Self {
+        View { class, procs, steps }
+    }
+
+    /// Number of processes in the system.
+    pub fn n(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Whether `pid` is still running (not finished).
+    pub fn is_active(&self, pid: ProcessId) -> bool {
+        self.procs[pid.index()].finished().is_none()
+    }
+
+    /// Ids of all processes that have not finished.
+    pub fn active(&self) -> Vec<ProcessId> {
+        (0..self.n())
+            .map(ProcessId)
+            .filter(|&p| self.is_active(p))
+            .collect()
+    }
+
+    /// The class-filtered poised operation of `pid` (`None` if finished).
+    pub fn pending(&self, pid: ProcessId) -> Option<PendingView> {
+        self.procs[pid.index()]
+            .pending()
+            .map(|op| PendingView::filtered(op, self.class))
+    }
+
+    /// Steps taken so far by `pid`.
+    pub fn steps_of(&self, pid: ProcessId) -> u64 {
+        self.steps.of(pid)
+    }
+
+    /// Total steps taken so far.
+    pub fn total_steps(&self) -> u64 {
+        self.steps.total()
+    }
+}
+
+/// A scheduler strategy.
+///
+/// Implementations must only use the information exposed through [`View`]
+/// for their declared [`Adversary::class`]; the view enforces pending-op
+/// filtering, and history access is deliberately not exposed through the
+/// view (strategies that need it can record what they observe).
+pub trait Adversary {
+    /// The capability class, fixed per adversary.
+    fn class(&self) -> AdversaryClass;
+
+    /// Choose the next process to take a step, or `None` to end the
+    /// execution (crashing every unfinished process).
+    fn next(&mut self, view: &View<'_>) -> Option<ProcessId>;
+}
+
+/// Fair round-robin over unfinished processes until all finish.
+///
+/// Equivalent to an oblivious adversary playing the infinite round-robin
+/// schedule (slots of finished processes are no-ops), hence classed
+/// [`AdversaryClass::Oblivious`]. This is the standard "no crashes, fair
+/// scheduling" environment.
+#[derive(Debug, Clone)]
+pub struct RoundRobin {
+    n: usize,
+    cursor: usize,
+}
+
+impl RoundRobin {
+    /// Round-robin over `n` processes.
+    pub fn new(n: usize) -> Self {
+        RoundRobin { n, cursor: 0 }
+    }
+}
+
+impl Adversary for RoundRobin {
+    fn class(&self) -> AdversaryClass {
+        AdversaryClass::Oblivious
+    }
+
+    fn next(&mut self, view: &View<'_>) -> Option<ProcessId> {
+        debug_assert_eq!(view.n(), self.n);
+        for _ in 0..self.n {
+            let pid = ProcessId(self.cursor);
+            self.cursor = (self.cursor + 1) % self.n;
+            if view.is_active(pid) {
+                return Some(pid);
+            }
+        }
+        None
+    }
+}
+
+/// An oblivious adversary replaying a fixed [`Schedule`].
+///
+/// When the schedule is exhausted the execution ends — any unfinished
+/// process is considered crashed. Use [`ObliviousAdversary::then_fair`] to
+/// append fair round-robin completion (the "no crashes" convention used
+/// when measuring step complexity of full executions).
+#[derive(Debug, Clone)]
+pub struct ObliviousAdversary {
+    schedule: Schedule,
+    cursor: usize,
+    fair_tail: bool,
+    rr_cursor: usize,
+}
+
+impl ObliviousAdversary {
+    /// Replay `schedule`, then stop.
+    pub fn new(schedule: Schedule) -> Self {
+        ObliviousAdversary { schedule, cursor: 0, fair_tail: false, rr_cursor: 0 }
+    }
+
+    /// Replay the schedule, then round-robin until everyone finishes.
+    pub fn then_fair(mut self) -> Self {
+        self.fair_tail = true;
+        self
+    }
+}
+
+impl Adversary for ObliviousAdversary {
+    fn class(&self) -> AdversaryClass {
+        AdversaryClass::Oblivious
+    }
+
+    fn next(&mut self, view: &View<'_>) -> Option<ProcessId> {
+        while self.cursor < self.schedule.len() {
+            let pid = self.schedule.steps()[self.cursor];
+            self.cursor += 1;
+            if pid.index() < view.n() && view.is_active(pid) {
+                return Some(pid);
+            }
+        }
+        if self.fair_tail {
+            for _ in 0..view.n() {
+                let pid = ProcessId(self.rr_cursor);
+                self.rr_cursor = (self.rr_cursor + 1) % view.n();
+                if view.is_active(pid) {
+                    return Some(pid);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Uniformly random choice among unfinished processes at every step.
+///
+/// Distributionally this is an oblivious adversary (the choice ignores all
+/// execution content), and it is the workhorse schedule for the step-
+/// complexity experiments.
+#[derive(Debug, Clone)]
+pub struct RandomSchedule {
+    rng: SplitMix64,
+}
+
+impl RandomSchedule {
+    /// Random scheduler with the given seed.
+    pub fn new(seed: u64) -> Self {
+        RandomSchedule { rng: SplitMix64::new(seed ^ 0xada7_5c4e_d05c_4eed) }
+    }
+}
+
+impl Adversary for RandomSchedule {
+    fn class(&self) -> AdversaryClass {
+        AdversaryClass::Oblivious
+    }
+
+    fn next(&mut self, view: &View<'_>) -> Option<ProcessId> {
+        let active = view.active();
+        if active.is_empty() {
+            return None;
+        }
+        let i = self.rng.next_below(active.len() as u64) as usize;
+        Some(active[i])
+    }
+}
+
+/// An adaptive adversary implemented by a closure over the (unfiltered-
+/// within-class) view.
+///
+/// Convenient for one-off attack strategies in tests and experiments.
+pub struct FnAdversary<F> {
+    class: AdversaryClass,
+    f: F,
+}
+
+impl<F> FnAdversary<F>
+where
+    F: FnMut(&View<'_>) -> Option<ProcessId>,
+{
+    /// Wrap `f` as an adversary of the given class.
+    pub fn new(class: AdversaryClass, f: F) -> Self {
+        FnAdversary { class, f }
+    }
+}
+
+impl<F> Adversary for FnAdversary<F>
+where
+    F: FnMut(&View<'_>) -> Option<ProcessId>,
+{
+    fn class(&self) -> AdversaryClass {
+        self.class
+    }
+
+    fn next(&mut self, view: &View<'_>) -> Option<ProcessId> {
+        (self.f)(view)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Execution;
+    use crate::memory::Memory;
+    use crate::protocol::{Ctx, Poll, Protocol, Resume};
+
+    /// Performs `k` writes to its own register, then finishes with 0.
+    struct Writer {
+        reg: RegId,
+        left: u32,
+    }
+
+    impl Protocol for Writer {
+        fn resume(&mut self, _input: Resume, _ctx: &mut Ctx<'_>) -> Poll {
+            if self.left == 0 {
+                Poll::Done(0)
+            } else {
+                self.left -= 1;
+                Poll::Op(MemOp::Write(self.reg, 1))
+            }
+        }
+    }
+
+    fn writer_execution(n: usize, writes: u32) -> Execution {
+        let mut mem = Memory::new();
+        let regs = mem.alloc(n as u64, "w");
+        let protos: Vec<Box<dyn Protocol>> = (0..n)
+            .map(|i| {
+                Box::new(Writer { reg: regs.get(i as u64), left: writes }) as Box<dyn Protocol>
+            })
+            .collect();
+        Execution::new(mem, protos, 0)
+    }
+
+    #[test]
+    fn filtering_per_class() {
+        let op = MemOp::Write(RegId(7), 42);
+        let obl = PendingView::filtered(op, AdversaryClass::Oblivious);
+        assert_eq!(obl, PendingView::default());
+        let rw = PendingView::filtered(op, AdversaryClass::RwOblivious);
+        assert_eq!(rw.reg, Some(RegId(7)));
+        assert_eq!(rw.kind, None);
+        assert_eq!(rw.write_value, None);
+        let loc = PendingView::filtered(op, AdversaryClass::LocationOblivious);
+        assert_eq!(loc.reg, None);
+        assert_eq!(loc.kind, Some(OpKind::Write));
+        assert_eq!(loc.write_value, Some(42));
+        let ad = PendingView::filtered(op, AdversaryClass::Adaptive);
+        assert_eq!(ad.reg, Some(RegId(7)));
+        assert_eq!(ad.kind, Some(OpKind::Write));
+        assert_eq!(ad.write_value, Some(42));
+    }
+
+    #[test]
+    fn read_filtering_has_no_value() {
+        let op = MemOp::Read(RegId(3));
+        let loc = PendingView::filtered(op, AdversaryClass::LocationOblivious);
+        assert_eq!(loc.kind, Some(OpKind::Read));
+        assert_eq!(loc.write_value, None);
+    }
+
+    #[test]
+    fn round_robin_completes_everyone() {
+        let res = writer_execution(3, 5).run(&mut RoundRobin::new(3));
+        assert!(res.all_finished());
+        assert_eq!(res.steps().total(), 15);
+        assert_eq!(res.steps().max(), 5);
+    }
+
+    #[test]
+    fn oblivious_stops_at_schedule_end() {
+        let mut adv = ObliviousAdversary::new(Schedule::from_pids([0, 1]));
+        let res = writer_execution(2, 5).run(&mut adv);
+        assert!(!res.all_finished());
+        assert_eq!(res.steps().total(), 2);
+    }
+
+    #[test]
+    fn oblivious_then_fair_completes() {
+        let mut adv = ObliviousAdversary::new(Schedule::from_pids([0, 0, 0])).then_fair();
+        let res = writer_execution(2, 2).run(&mut adv);
+        assert!(res.all_finished());
+        assert_eq!(res.steps().total(), 4);
+    }
+
+    #[test]
+    fn random_schedule_completes_everyone() {
+        let res = writer_execution(4, 3).run(&mut RandomSchedule::new(9));
+        assert!(res.all_finished());
+        assert_eq!(res.steps().total(), 12);
+    }
+
+    #[test]
+    fn fn_adversary_runs_one_process_solo() {
+        let mut adv = FnAdversary::new(AdversaryClass::Adaptive, |view: &View<'_>| {
+            view.is_active(ProcessId(1)).then_some(ProcessId(1))
+        });
+        let res = writer_execution(2, 4).run(&mut adv);
+        assert_eq!(res.outcome(ProcessId(1)), Some(0));
+        assert_eq!(res.outcome(ProcessId(0)), None);
+        assert_eq!(res.steps().of(ProcessId(0)), 0);
+    }
+
+    #[test]
+    fn adaptive_view_exposes_pending_details() {
+        let mut seen_write = false;
+        {
+            let mut adv = FnAdversary::new(AdversaryClass::Adaptive, |view: &View<'_>| {
+                let active = view.active();
+                if let Some(&pid) = active.first() {
+                    let pv = view.pending(pid).unwrap();
+                    if pv.kind == Some(OpKind::Write) && pv.reg.is_some() {
+                        seen_write = true;
+                    }
+                    Some(pid)
+                } else {
+                    None
+                }
+            });
+            let res = writer_execution(2, 1).run(&mut adv);
+            assert!(res.all_finished());
+        }
+        assert!(seen_write);
+    }
+
+    #[test]
+    fn view_steps_accounting() {
+        let mut max_seen = 0;
+        {
+            let mut adv = FnAdversary::new(AdversaryClass::Adaptive, |view: &View<'_>| {
+                max_seen = max_seen.max(view.total_steps());
+                view.active().first().copied()
+            });
+            let res = writer_execution(2, 3).run(&mut adv);
+            assert!(res.all_finished());
+        }
+        assert_eq!(max_seen, 5, "last call sees all but the final step");
+    }
+}

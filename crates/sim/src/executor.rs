@@ -1,0 +1,517 @@
+//! Driving protocols against an adversary.
+//!
+//! [`Execution`] owns the memory and one [`SubRuntime`] per process. Each
+//! iteration of [`Execution::run`]:
+//!
+//! 1. every live process is *poised* on one committed shared-memory
+//!    operation (produced by its protocol stack),
+//! 2. the adversary inspects a class-filtered [`crate::adversary::View`]
+//!    and picks the next process,
+//! 3. the chosen process's operation executes atomically (one *step*), and
+//!    its protocol advances — flipping local coins as needed — until it is
+//!    poised again or finished.
+//!
+//! Scheduling a finished process is a no-op that consumes the schedule slot
+//! but no step, matching the convention that a crashed/finished process
+//! simply takes no further steps.
+
+use crate::adversary::{Adversary, View};
+use crate::history::{Event, History, RecordMode};
+use crate::memory::Memory;
+use crate::metrics::StepCounts;
+use crate::op::{MemOp, OpKind};
+use crate::protocol::{Ctx, Notes, Poll, Protocol, Resume};
+use crate::rng::SplitMix64;
+use crate::word::{ProcessId, Word};
+
+/// A protocol call stack plus the bookkeeping to drive it.
+///
+/// This is the reusable core of the per-process runtime; Section 4's
+/// combiner also embeds two `SubRuntime`s inside a single process to
+/// interleave RatRace with another algorithm.
+pub struct SubRuntime {
+    stack: Vec<Box<dyn Protocol>>,
+    next_input: Option<Resume>,
+    pending: Option<MemOp>,
+    finished: Option<Word>,
+}
+
+impl std::fmt::Debug for SubRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SubRuntime")
+            .field("depth", &self.stack.len())
+            .field("pending", &self.pending)
+            .field("finished", &self.finished)
+            .finish()
+    }
+}
+
+/// What a [`SubRuntime::advance`] call produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubPoll {
+    /// The runtime is poised on this operation; execute it and call
+    /// [`SubRuntime::feed`] with the result.
+    NeedsOp(MemOp),
+    /// The root protocol finished with this value.
+    Finished(Word),
+}
+
+impl SubRuntime {
+    /// A runtime that will run `root` from its start.
+    pub fn new(root: Box<dyn Protocol>) -> Self {
+        SubRuntime {
+            stack: vec![root],
+            next_input: Some(Resume::Start),
+            pending: None,
+            finished: None,
+        }
+    }
+
+    /// The operation this runtime is currently poised on, if any.
+    pub fn pending(&self) -> Option<MemOp> {
+        self.pending
+    }
+
+    /// The final result, if the root protocol finished.
+    pub fn finished(&self) -> Option<Word> {
+        self.finished
+    }
+
+    /// Deliver the result of the pending operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no pending operation or the resume kind does not
+    /// match it (a read must be fed [`Resume::Read`], a write
+    /// [`Resume::Wrote`]).
+    pub fn feed(&mut self, input: Resume) {
+        let op = self.pending.take().expect("feed without pending op");
+        match (op.kind(), input) {
+            (OpKind::Read, Resume::Read(_)) | (OpKind::Write, Resume::Wrote) => {}
+            (k, i) => panic!("resume {i:?} does not match pending {k:?}"),
+        }
+        self.next_input = Some(input);
+    }
+
+    /// Drive the stack until it is poised on an operation or finished.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while an operation is pending and unfed, or after
+    /// the runtime finished.
+    pub fn advance(&mut self, ctx: &mut Ctx<'_>) -> SubPoll {
+        assert!(self.pending.is_none(), "advance with unfed pending op");
+        if let Some(v) = self.finished {
+            return SubPoll::Finished(v);
+        }
+        loop {
+            let input = self.next_input.take().expect("runtime missing input");
+            let top = self.stack.last_mut().expect("runtime with empty stack");
+            match top.resume(input, ctx) {
+                Poll::Op(op) => {
+                    self.pending = Some(op);
+                    return SubPoll::NeedsOp(op);
+                }
+                Poll::Call(child) => {
+                    self.stack.push(child);
+                    self.next_input = Some(Resume::Start);
+                }
+                Poll::Done(v) => {
+                    self.stack.pop();
+                    if self.stack.is_empty() {
+                        self.finished = Some(v);
+                        return SubPoll::Finished(v);
+                    }
+                    self.next_input = Some(Resume::Child(v));
+                }
+            }
+        }
+    }
+}
+
+/// Per-process state inside an [`Execution`].
+pub(crate) struct ProcessState {
+    pub(crate) runtime: SubRuntime,
+    pub(crate) rng: SplitMix64,
+    pub(crate) notes: Notes,
+}
+
+impl ProcessState {
+    pub(crate) fn pending(&self) -> Option<MemOp> {
+        self.runtime.pending()
+    }
+
+    pub(crate) fn finished(&self) -> Option<Word> {
+        self.runtime.finished()
+    }
+}
+
+/// A configured execution: memory, processes, and accounting.
+pub struct Execution {
+    memory: Memory,
+    procs: Vec<ProcessState>,
+    steps: StepCounts,
+    history: History,
+    step_cap: u64,
+    global_step: u64,
+}
+
+impl std::fmt::Debug for Execution {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Execution")
+            .field("processes", &self.procs.len())
+            .field("global_step", &self.global_step)
+            .finish()
+    }
+}
+
+/// The outcome of a completed [`Execution::run`].
+#[derive(Debug)]
+pub struct ExecutionResult {
+    outcomes: Vec<Option<Word>>,
+    steps: StepCounts,
+    history: History,
+    memory: Memory,
+    hit_cap: bool,
+}
+
+impl ExecutionResult {
+    /// The result of process `pid`'s protocol, or `None` if it never
+    /// finished (crashed / schedule ended / step cap).
+    pub fn outcome(&self, pid: ProcessId) -> Option<Word> {
+        self.outcomes[pid.index()]
+    }
+
+    /// All outcomes, indexed by process id.
+    pub fn outcomes(&self) -> &[Option<Word>] {
+        &self.outcomes
+    }
+
+    /// Whether every process finished its protocol.
+    pub fn all_finished(&self) -> bool {
+        self.outcomes.iter().all(|o| o.is_some())
+    }
+
+    /// Step counts of the execution.
+    pub fn steps(&self) -> &StepCounts {
+        &self.steps
+    }
+
+    /// Recorded history (empty unless full recording was requested).
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// The memory after the execution (for space stats and assertions).
+    pub fn memory(&self) -> &Memory {
+        &self.memory
+    }
+
+    /// Whether the execution was stopped by the safety step cap.
+    pub fn hit_step_cap(&self) -> bool {
+        self.hit_cap
+    }
+
+    /// Process ids whose outcome equals `value`.
+    pub fn processes_with_outcome(&self, value: Word) -> Vec<ProcessId> {
+        self.outcomes
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| **o == Some(value))
+            .map(|(i, _)| ProcessId(i))
+            .collect()
+    }
+}
+
+impl Execution {
+    /// Default safety cap on total steps.
+    pub const DEFAULT_STEP_CAP: u64 = 50_000_000;
+
+    /// Build an execution of the given protocols (one per process) on
+    /// `memory`. Process `i` runs `protocols[i]` with a private RNG derived
+    /// from `seed` and `i`.
+    pub fn new(memory: Memory, protocols: Vec<Box<dyn Protocol>>, seed: u64) -> Self {
+        let n = protocols.len();
+        let procs = protocols
+            .into_iter()
+            .enumerate()
+            .map(|(i, root)| ProcessState {
+                runtime: SubRuntime::new(root),
+                rng: SplitMix64::split(seed, i as u64),
+                notes: Notes::default(),
+            })
+            .collect();
+        Execution {
+            memory,
+            procs,
+            steps: StepCounts::new(n),
+            history: History::new(RecordMode::Counts),
+            step_cap: Self::DEFAULT_STEP_CAP,
+            global_step: 0,
+        }
+    }
+
+    /// Enable full history recording.
+    pub fn with_recording(mut self, mode: RecordMode) -> Self {
+        self.history = History::new(mode);
+        self
+    }
+
+    /// Override the safety cap on total steps.
+    pub fn with_step_cap(mut self, cap: u64) -> Self {
+        self.step_cap = cap;
+        self
+    }
+
+    /// Number of processes.
+    pub fn n_processes(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Run the execution under `adversary` until every process finished,
+    /// the adversary stops scheduling (`None`), or the step cap is hit.
+    pub fn run(mut self, adversary: &mut dyn Adversary) -> ExecutionResult {
+        // Bring every process to its first poised operation (local steps
+        // and coin flips before the first shared-memory access are free).
+        for i in 0..self.procs.len() {
+            self.advance_process(i);
+        }
+        let mut hit_cap = false;
+        loop {
+            if self.procs.iter().all(|p| p.finished().is_some()) {
+                break;
+            }
+            if self.steps.total() >= self.step_cap {
+                hit_cap = true;
+                break;
+            }
+            let class = adversary.class();
+            let chosen = {
+                let view = View::new(class, &self.procs, &self.steps);
+                adversary.next(&view)
+            };
+            let Some(pid) = chosen else { break };
+            assert!(pid.index() < self.procs.len(), "adversary chose unknown {pid:?}");
+            if self.procs[pid.index()].finished().is_some() {
+                // Slot wasted on a finished process: no step taken.
+                continue;
+            }
+            self.execute_step(pid);
+        }
+        ExecutionResult {
+            outcomes: self.procs.iter().map(|p| p.finished()).collect(),
+            steps: self.steps,
+            history: self.history,
+            memory: self.memory,
+            hit_cap,
+        }
+    }
+
+    fn advance_process(&mut self, idx: usize) {
+        let p = &mut self.procs[idx];
+        let mut ctx = Ctx {
+            pid: ProcessId(idx),
+            rng: &mut p.rng,
+            notes: &mut p.notes,
+        };
+        let _ = p.runtime.advance(&mut ctx);
+    }
+
+    fn execute_step(&mut self, pid: ProcessId) {
+        let idx = pid.index();
+        let op = self.procs[idx]
+            .pending()
+            .expect("scheduled process is not poised");
+        let (input, event) = match op {
+            MemOp::Read(reg) => {
+                let cell = self.memory.read(reg);
+                (
+                    Resume::Read(cell.value),
+                    Event {
+                        step: self.global_step,
+                        pid,
+                        kind: OpKind::Read,
+                        reg,
+                        value: cell.value,
+                        observed_writer: cell.writer,
+                    },
+                )
+            }
+            MemOp::Write(reg, value) => {
+                self.memory.write(reg, value, pid);
+                (
+                    Resume::Wrote,
+                    Event {
+                        step: self.global_step,
+                        pid,
+                        kind: OpKind::Write,
+                        reg,
+                        value,
+                        observed_writer: None,
+                    },
+                )
+            }
+        };
+        self.steps.bump(pid);
+        self.history.push(event);
+        self.global_step += 1;
+        self.procs[idx].runtime.feed(input);
+        self.advance_process(idx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::RoundRobin;
+    use crate::memory::Memory;
+    use crate::protocol::{boxed, Const};
+    use crate::word::RegId;
+
+    /// Writes its pid, then reads the register, returning what it saw.
+    struct WriteRead {
+        reg: RegId,
+        state: u8,
+    }
+
+    impl Protocol for WriteRead {
+        fn resume(&mut self, input: Resume, ctx: &mut Ctx<'_>) -> Poll {
+            match self.state {
+                0 => {
+                    self.state = 1;
+                    Poll::Op(MemOp::Write(self.reg, ctx.pid.index() as Word + 1))
+                }
+                1 => {
+                    self.state = 2;
+                    Poll::Op(MemOp::Read(self.reg))
+                }
+                _ => Poll::Done(input.read_value()),
+            }
+        }
+    }
+
+    /// Calls a child `Const` and returns child value + 10.
+    struct Caller;
+    impl Protocol for Caller {
+        fn resume(&mut self, input: Resume, _ctx: &mut Ctx<'_>) -> Poll {
+            match input {
+                Resume::Start => Poll::Call(boxed(Const(5))),
+                Resume::Child(v) => Poll::Done(v + 10),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn single_process_write_read() {
+        let mut mem = Memory::new();
+        let reg = mem.alloc(1, "t").start();
+        let ex = Execution::new(mem, vec![Box::new(WriteRead { reg, state: 0 })], 0);
+        let res = ex.run(&mut RoundRobin::new(1));
+        assert!(res.all_finished());
+        assert_eq!(res.outcome(ProcessId(0)), Some(1));
+        assert_eq!(res.steps().of(ProcessId(0)), 2);
+    }
+
+    #[test]
+    fn two_processes_round_robin_interleaving() {
+        let mut mem = Memory::new();
+        let reg = mem.alloc(1, "t").start();
+        let protos: Vec<Box<dyn Protocol>> = (0..2)
+            .map(|_| Box::new(WriteRead { reg, state: 0 }) as Box<dyn Protocol>)
+            .collect();
+        let res = Execution::new(mem, protos, 0).run(&mut RoundRobin::new(2));
+        // RR order: P0 writes 1, P1 writes 2, P0 reads 2, P1 reads 2.
+        assert_eq!(res.outcome(ProcessId(0)), Some(2));
+        assert_eq!(res.outcome(ProcessId(1)), Some(2));
+        assert_eq!(res.steps().total(), 4);
+        assert_eq!(res.steps().contention(), 2);
+    }
+
+    #[test]
+    fn call_stack_composition() {
+        let mem = Memory::new();
+        let res = Execution::new(mem, vec![Box::new(Caller)], 7).run(&mut RoundRobin::new(1));
+        assert_eq!(res.outcome(ProcessId(0)), Some(15));
+        assert_eq!(res.steps().total(), 0, "no shared-memory steps taken");
+    }
+
+    #[test]
+    fn schedule_truncation_leaves_unfinished() {
+        use crate::adversary::ObliviousAdversary;
+        use crate::schedule::Schedule;
+        let mut mem = Memory::new();
+        let reg = mem.alloc(1, "t").start();
+        let protos: Vec<Box<dyn Protocol>> = (0..2)
+            .map(|_| Box::new(WriteRead { reg, state: 0 }) as Box<dyn Protocol>)
+            .collect();
+        // Only P0 ever runs: P1 "crashes" before its first step.
+        let mut adv = ObliviousAdversary::new(Schedule::from_pids([0, 0, 0]));
+        let res = Execution::new(mem, protos, 0).run(&mut adv);
+        assert_eq!(res.outcome(ProcessId(0)), Some(1));
+        assert_eq!(res.outcome(ProcessId(1)), None);
+        assert!(!res.all_finished());
+    }
+
+    #[test]
+    fn step_cap_stops_runaway() {
+        /// Reads forever.
+        struct Spin {
+            reg: RegId,
+        }
+        impl Protocol for Spin {
+            fn resume(&mut self, _input: Resume, _ctx: &mut Ctx<'_>) -> Poll {
+                Poll::Op(MemOp::Read(self.reg))
+            }
+        }
+        let mut mem = Memory::new();
+        let reg = mem.alloc(1, "spin").start();
+        let res = Execution::new(mem, vec![Box::new(Spin { reg })], 0)
+            .with_step_cap(100)
+            .run(&mut RoundRobin::new(1));
+        assert!(res.hit_step_cap());
+        assert_eq!(res.steps().total(), 100);
+        assert!(!res.all_finished());
+    }
+
+    #[test]
+    fn history_records_visibility() {
+        let mut mem = Memory::new();
+        let reg = mem.alloc(1, "t").start();
+        let protos: Vec<Box<dyn Protocol>> = (0..2)
+            .map(|_| Box::new(WriteRead { reg, state: 0 }) as Box<dyn Protocol>)
+            .collect();
+        let res = Execution::new(mem, protos, 0)
+            .with_recording(RecordMode::Full)
+            .run(&mut RoundRobin::new(2));
+        // P0's read observes P1's write (RR order) — so P0 sees P1.
+        let pairs = res.history().sees_pairs();
+        assert!(pairs.contains(&(ProcessId(0), ProcessId(1))));
+        assert_eq!(res.history().events().len(), 4);
+    }
+
+    #[test]
+    fn processes_with_outcome_filters() {
+        let mem = Memory::new();
+        let protos: Vec<Box<dyn Protocol>> =
+            vec![boxed(Const(1)), boxed(Const(0)), boxed(Const(1))];
+        let res = Execution::new(mem, protos, 0).run(&mut RoundRobin::new(3));
+        assert_eq!(
+            res.processes_with_outcome(1),
+            vec![ProcessId(0), ProcessId(2)]
+        );
+    }
+
+    #[test]
+    fn subruntime_feed_mismatch_panics() {
+        let mut rt = SubRuntime::new(boxed(Const(0)));
+        let mut rng = SplitMix64::new(0);
+        let mut notes = Notes::default();
+        let mut ctx = Ctx { pid: ProcessId(0), rng: &mut rng, notes: &mut notes };
+        assert_eq!(rt.advance(&mut ctx), SubPoll::Finished(0));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            rt.feed(Resume::Wrote);
+        }));
+        assert!(result.is_err());
+    }
+}

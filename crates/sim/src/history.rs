@@ -1,0 +1,211 @@
+//! Execution history recording and the paper's "sees" relation.
+//!
+//! Section 5's lower-bound argument is phrased in terms of *visibility*:
+//! process `p` **sees** process `q` when `p` reads a register whose current
+//! value was written by `q`. The executor can record every step so tests and
+//! the covering-argument experiments can reconstruct this relation, compute
+//! the equivalence classes `≡_E`, and check covering invariants.
+
+use crate::op::OpKind;
+use crate::word::{ProcessId, RegId, Word};
+
+/// One executed shared-memory step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Global step index (0-based, total order of the execution).
+    pub step: u64,
+    /// The process that took the step.
+    pub pid: ProcessId,
+    /// Read or write.
+    pub kind: OpKind,
+    /// The register accessed.
+    pub reg: RegId,
+    /// For writes: the value written. For reads: the value observed.
+    pub value: Word,
+    /// For reads: the process visible on the register (its last writer), if
+    /// any. For writes: `None`.
+    pub observed_writer: Option<ProcessId>,
+}
+
+/// How much history to keep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecordMode {
+    /// Keep nothing (counters only) — the default; large sweeps use this.
+    #[default]
+    Counts,
+    /// Keep every event.
+    Full,
+}
+
+/// The recorded history of an execution.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    mode: RecordMode,
+    events: Vec<Event>,
+}
+
+impl History {
+    /// New history with the given recording mode.
+    pub fn new(mode: RecordMode) -> Self {
+        History { mode, events: Vec::new() }
+    }
+
+    /// Record one event (no-op in [`RecordMode::Counts`]).
+    pub fn push(&mut self, event: Event) {
+        if self.mode == RecordMode::Full {
+            self.events.push(event);
+        }
+    }
+
+    /// All recorded events, in execution order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Whether full events were recorded.
+    pub fn is_full(&self) -> bool {
+        self.mode == RecordMode::Full
+    }
+
+    /// The pairs `(p, q)` such that `p` saw `q` during the execution
+    /// (`p` read a register on which `q` was visible).
+    pub fn sees_pairs(&self) -> Vec<(ProcessId, ProcessId)> {
+        self.events
+            .iter()
+            .filter_map(|e| match (e.kind, e.observed_writer) {
+                (OpKind::Read, Some(q)) => Some((e.pid, q)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The equivalence classes of the paper's `≡_E` relation over the given
+    /// process universe: the transitive closure of "p saw q or q saw p",
+    /// with every process related to itself.
+    ///
+    /// Returned as a vector of sorted classes, sorted by smallest member.
+    pub fn equivalence_classes(&self, n_processes: usize) -> Vec<Vec<ProcessId>> {
+        let mut dsu = DisjointSet::new(n_processes);
+        for (p, q) in self.sees_pairs() {
+            dsu.union(p.index(), q.index());
+        }
+        dsu.classes()
+            .into_iter()
+            .map(|class| class.into_iter().map(ProcessId).collect())
+            .collect()
+    }
+
+    /// Number of steps taken by `pid` according to the recorded events.
+    pub fn steps_of(&self, pid: ProcessId) -> u64 {
+        self.events.iter().filter(|e| e.pid == pid).count() as u64
+    }
+}
+
+/// Minimal union-find used for `≡_E` classes.
+#[derive(Debug, Clone)]
+struct DisjointSet {
+    parent: Vec<usize>,
+}
+
+impl DisjointSet {
+    fn new(n: usize) -> Self {
+        DisjointSet { parent: (0..n).collect() }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[rb.max(ra)] = ra.min(rb);
+        }
+    }
+
+    fn classes(&mut self) -> Vec<Vec<usize>> {
+        let n = self.parent.len();
+        let mut by_root: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+        for x in 0..n {
+            let r = self.find(x);
+            by_root.entry(r).or_default().push(x);
+        }
+        by_root.into_values().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read_event(step: u64, p: usize, q: Option<usize>) -> Event {
+        Event {
+            step,
+            pid: ProcessId(p),
+            kind: OpKind::Read,
+            reg: RegId(0),
+            value: 0,
+            observed_writer: q.map(ProcessId),
+        }
+    }
+
+    #[test]
+    fn counts_mode_discards() {
+        let mut h = History::new(RecordMode::Counts);
+        h.push(read_event(0, 0, None));
+        assert!(h.events().is_empty());
+        assert!(!h.is_full());
+    }
+
+    #[test]
+    fn full_mode_records() {
+        let mut h = History::new(RecordMode::Full);
+        h.push(read_event(0, 0, Some(1)));
+        h.push(read_event(1, 0, None));
+        assert_eq!(h.events().len(), 2);
+        assert_eq!(h.steps_of(ProcessId(0)), 2);
+        assert_eq!(h.steps_of(ProcessId(1)), 0);
+    }
+
+    #[test]
+    fn sees_pairs_only_from_reads_with_writers() {
+        let mut h = History::new(RecordMode::Full);
+        h.push(read_event(0, 0, Some(1)));
+        h.push(read_event(1, 2, None));
+        h.push(Event {
+            step: 2,
+            pid: ProcessId(1),
+            kind: OpKind::Write,
+            reg: RegId(0),
+            value: 3,
+            observed_writer: None,
+        });
+        assert_eq!(h.sees_pairs(), vec![(ProcessId(0), ProcessId(1))]);
+    }
+
+    #[test]
+    fn equivalence_classes_transitive() {
+        let mut h = History::new(RecordMode::Full);
+        // 0 sees 1, 2 sees 1  =>  {0,1,2} one class; 3 alone.
+        h.push(read_event(0, 0, Some(1)));
+        h.push(read_event(1, 2, Some(1)));
+        let classes = h.equivalence_classes(4);
+        assert_eq!(
+            classes,
+            vec![
+                vec![ProcessId(0), ProcessId(1), ProcessId(2)],
+                vec![ProcessId(3)],
+            ]
+        );
+    }
+
+    #[test]
+    fn singleton_classes_without_events() {
+        let h = History::new(RecordMode::Full);
+        assert_eq!(h.equivalence_classes(3).len(), 3);
+    }
+}

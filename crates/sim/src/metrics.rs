@@ -1,0 +1,132 @@
+//! Step-complexity accounting.
+//!
+//! The paper measures *individual step complexity*: the maximum, over all
+//! processes, of the number of shared-memory steps the process takes.
+//! Contention `k` is the number of processes that take at least one step.
+
+use crate::word::ProcessId;
+
+/// Per-process and aggregate step counts for one execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StepCounts {
+    per_process: Vec<u64>,
+}
+
+impl StepCounts {
+    /// Counts for `n` processes, all zero.
+    pub fn new(n: usize) -> Self {
+        StepCounts { per_process: vec![0; n] }
+    }
+
+    /// Record one step by `pid`.
+    pub fn bump(&mut self, pid: ProcessId) {
+        self.per_process[pid.index()] += 1;
+    }
+
+    /// Steps taken by `pid`.
+    pub fn of(&self, pid: ProcessId) -> u64 {
+        self.per_process[pid.index()]
+    }
+
+    /// Maximum steps taken by any process — the paper's individual step
+    /// complexity of this execution.
+    pub fn max(&self) -> u64 {
+        self.per_process.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total steps taken by all processes.
+    pub fn total(&self) -> u64 {
+        self.per_process.iter().sum()
+    }
+
+    /// Contention: the number of processes that took at least one step.
+    pub fn contention(&self) -> usize {
+        self.per_process.iter().filter(|&&s| s > 0).count()
+    }
+
+    /// Per-process counts, indexed by process id.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.per_process
+    }
+}
+
+/// Online mean/max aggregator across executions (for experiment sweeps).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Aggregate {
+    count: u64,
+    sum: f64,
+    max: f64,
+}
+
+impl Aggregate {
+    /// Empty aggregate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// Mean of observations (0 if none).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Maximum observation (0 if none).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_counts_basics() {
+        let mut s = StepCounts::new(3);
+        s.bump(ProcessId(0));
+        s.bump(ProcessId(0));
+        s.bump(ProcessId(2));
+        assert_eq!(s.of(ProcessId(0)), 2);
+        assert_eq!(s.of(ProcessId(1)), 0);
+        assert_eq!(s.max(), 2);
+        assert_eq!(s.total(), 3);
+        assert_eq!(s.contention(), 2);
+        assert_eq!(s.as_slice(), &[2, 0, 1]);
+    }
+
+    #[test]
+    fn empty_counts() {
+        let s = StepCounts::new(0);
+        assert_eq!(s.max(), 0);
+        assert_eq!(s.total(), 0);
+        assert_eq!(s.contention(), 0);
+    }
+
+    #[test]
+    fn aggregate_mean_max() {
+        let mut a = Aggregate::new();
+        assert_eq!(a.mean(), 0.0);
+        a.push(2.0);
+        a.push(4.0);
+        assert_eq!(a.mean(), 3.0);
+        assert_eq!(a.max(), 4.0);
+        assert_eq!(a.count(), 2);
+    }
+}

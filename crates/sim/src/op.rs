@@ -1,0 +1,64 @@
+//! Shared-memory operations and their adversary-facing descriptions.
+
+use crate::word::{RegId, Word};
+
+/// A single shared-memory operation — one *step* in the paper's complexity
+/// measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemOp {
+    /// Atomically read a register.
+    Read(RegId),
+    /// Atomically write a value to a register.
+    Write(RegId, Word),
+}
+
+impl MemOp {
+    /// The register this operation targets.
+    pub fn reg(&self) -> RegId {
+        match *self {
+            MemOp::Read(r) | MemOp::Write(r, _) => r,
+        }
+    }
+
+    /// The kind of this operation.
+    pub fn kind(&self) -> OpKind {
+        match self {
+            MemOp::Read(_) => OpKind::Read,
+            MemOp::Write(_, _) => OpKind::Write,
+        }
+    }
+
+    /// The value to be written, if this is a write.
+    pub fn write_value(&self) -> Option<Word> {
+        match *self {
+            MemOp::Write(_, v) => Some(v),
+            MemOp::Read(_) => None,
+        }
+    }
+}
+
+/// Read vs write, without operands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// A read operation.
+    Read,
+    /// A write operation.
+    Write,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let r = MemOp::Read(RegId(3));
+        let w = MemOp::Write(RegId(4), 9);
+        assert_eq!(r.reg(), RegId(3));
+        assert_eq!(w.reg(), RegId(4));
+        assert_eq!(r.kind(), OpKind::Read);
+        assert_eq!(w.kind(), OpKind::Write);
+        assert_eq!(r.write_value(), None);
+        assert_eq!(w.write_value(), Some(9));
+    }
+}

@@ -1,0 +1,191 @@
+//! Fixed schedules for the oblivious adversary.
+//!
+//! An *oblivious* adversary commits to the entire schedule before the
+//! execution starts: a schedule is simply a sequence of process ids. This
+//! module provides the schedule type plus the generators the experiments
+//! use (round-robin, uniformly random interleavings, block schedules, and
+//! solo runs).
+
+use crate::rng::SplitMix64;
+use crate::word::ProcessId;
+
+/// A fixed sequence of process ids.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schedule {
+    steps: Vec<ProcessId>,
+}
+
+impl Schedule {
+    /// Schedule from an explicit sequence.
+    pub fn from_pids<I: IntoIterator<Item = usize>>(pids: I) -> Self {
+        Schedule { steps: pids.into_iter().map(ProcessId).collect() }
+    }
+
+    /// Round-robin over `n` processes, `rounds` full rounds.
+    pub fn round_robin(n: usize, rounds: usize) -> Self {
+        let mut steps = Vec::with_capacity(n * rounds);
+        for _ in 0..rounds {
+            steps.extend((0..n).map(ProcessId));
+        }
+        Schedule { steps }
+    }
+
+    /// Uniformly random interleaving: `len` slots, each an independent
+    /// uniformly random process in `0..n`.
+    pub fn uniform_random(n: usize, len: usize, rng: &mut SplitMix64) -> Self {
+        assert!(n > 0, "need at least one process");
+        let steps = (0..len)
+            .map(|_| ProcessId(rng.next_below(n as u64) as usize))
+            .collect();
+        Schedule { steps }
+    }
+
+    /// Processes run one after another, each getting `steps_each`
+    /// consecutive slots, in a uniformly random process order.
+    ///
+    /// This is the "sequential arrivals" workload: low interference, the
+    /// best case for splitters.
+    pub fn sequential(n: usize, steps_each: usize, rng: &mut SplitMix64) -> Self {
+        let mut order: Vec<usize> = (0..n).collect();
+        // Fisher–Yates shuffle.
+        for i in (1..n).rev() {
+            let j = rng.next_below(i as u64 + 1) as usize;
+            order.swap(i, j);
+        }
+        let mut steps = Vec::with_capacity(n * steps_each);
+        for p in order {
+            steps.extend(std::iter::repeat(ProcessId(p)).take(steps_each));
+        }
+        Schedule { steps }
+    }
+
+    /// All schedules of length `2t` over two processes in which each process
+    /// appears exactly `t` times — the schedule set `S_t` of Theorem 6.1.
+    ///
+    /// The number of such schedules is `C(2t, t) ≤ 4^t`; keep `t` small.
+    pub fn all_balanced_two_process(t: usize) -> Vec<Schedule> {
+        let mut out = Vec::new();
+        let mut current = Vec::with_capacity(2 * t);
+        fn rec(current: &mut Vec<ProcessId>, a: usize, b: usize, out: &mut Vec<Schedule>) {
+            if a == 0 && b == 0 {
+                out.push(Schedule { steps: current.clone() });
+                return;
+            }
+            if a > 0 {
+                current.push(ProcessId(0));
+                rec(current, a - 1, b, out);
+                current.pop();
+            }
+            if b > 0 {
+                current.push(ProcessId(1));
+                rec(current, a, b - 1, out);
+                current.pop();
+            }
+        }
+        rec(&mut current, t, t, &mut out);
+        out
+    }
+
+    /// The scheduled process ids.
+    pub fn steps(&self) -> &[ProcessId] {
+        &self.steps
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the schedule has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Append another schedule.
+    pub fn extend(&mut self, other: &Schedule) {
+        self.steps.extend_from_slice(&other.steps);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_shape() {
+        let s = Schedule::round_robin(3, 2);
+        let ids: Vec<usize> = s.steps().iter().map(|p| p.index()).collect();
+        assert_eq!(ids, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn from_pids_roundtrip() {
+        let s = Schedule::from_pids([2, 0, 1]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.steps()[0], ProcessId(2));
+        assert!(!s.is_empty());
+        assert!(Schedule::default().is_empty());
+    }
+
+    #[test]
+    fn uniform_random_in_range() {
+        let mut rng = SplitMix64::new(1);
+        let s = Schedule::uniform_random(4, 100, &mut rng);
+        assert_eq!(s.len(), 100);
+        assert!(s.steps().iter().all(|p| p.index() < 4));
+    }
+
+    #[test]
+    fn uniform_random_covers_processes() {
+        let mut rng = SplitMix64::new(2);
+        let s = Schedule::uniform_random(4, 400, &mut rng);
+        for p in 0..4 {
+            assert!(s.steps().iter().any(|q| q.index() == p), "P{p} missing");
+        }
+    }
+
+    #[test]
+    fn sequential_blocks() {
+        let mut rng = SplitMix64::new(3);
+        let s = Schedule::sequential(3, 4, &mut rng);
+        assert_eq!(s.len(), 12);
+        // Each process appears exactly 4 times, in one contiguous block.
+        for p in 0..3 {
+            let positions: Vec<usize> = s
+                .steps()
+                .iter()
+                .enumerate()
+                .filter(|(_, q)| q.index() == p)
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(positions.len(), 4);
+            assert_eq!(positions[3] - positions[0], 3, "block not contiguous");
+        }
+    }
+
+    #[test]
+    fn balanced_two_process_count() {
+        // C(2t, t) for t = 3 is 20.
+        let all = Schedule::all_balanced_two_process(3);
+        assert_eq!(all.len(), 20);
+        for s in &all {
+            assert_eq!(s.len(), 6);
+            let zeros = s.steps().iter().filter(|p| p.index() == 0).count();
+            assert_eq!(zeros, 3);
+        }
+        // All distinct.
+        let mut seen = std::collections::HashSet::new();
+        for s in &all {
+            let key: Vec<usize> = s.steps().iter().map(|p| p.index()).collect();
+            assert!(seen.insert(key));
+        }
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = Schedule::from_pids([0]);
+        a.extend(&Schedule::from_pids([1, 1]));
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.steps()[2], ProcessId(1));
+    }
+}

@@ -1,0 +1,170 @@
+//! Human-readable execution traces.
+//!
+//! Debugging a randomized distributed algorithm means staring at
+//! interleavings. This module renders a recorded [`crate::history::History`]
+//! as an annotated, per-step listing — the tool that located both
+//! historical safety bugs in the 2-process election (see
+//! `rtas_primitives::two_process`).
+//!
+//! ```
+//! use rtas_sim::prelude::*;
+//! use rtas_sim::trace::render;
+//! # use rtas_sim::history::RecordMode;
+//!
+//! # struct W(RegId, bool);
+//! # impl Protocol for W {
+//! #     fn resume(&mut self, _i: Resume, _c: &mut Ctx<'_>) -> Poll {
+//! #         if self.1 { return Poll::Done(0); }
+//! #         self.1 = true;
+//! #         Poll::Op(MemOp::Write(self.0, 7))
+//! #     }
+//! # }
+//! let mut mem = Memory::new();
+//! let reg = mem.alloc(1, "demo").start();
+//! let res = Execution::new(mem, vec![Box::new(W(reg, false))], 0)
+//!     .with_recording(RecordMode::Full)
+//!     .run(&mut RoundRobin::new(1));
+//! let text = render(res.history(), None);
+//! assert!(text.contains("P0"));
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::history::History;
+use crate::op::OpKind;
+use crate::word::Word;
+
+/// Optional decoder turning a register value into a readable annotation
+/// (e.g. unpacking the 2-process election's `(round, coin, claim)`
+/// triple).
+pub type ValueDecoder<'a> = &'a dyn Fn(Word) -> String;
+
+/// Render a recorded history as text, one line per step.
+///
+/// Pass a `decoder` to annotate raw register values; `None` prints them
+/// as plain integers.
+pub fn render(history: &History, decoder: Option<ValueDecoder<'_>>) -> String {
+    let mut out = String::new();
+    if !history.is_full() {
+        out.push_str("(history was not recorded; run with RecordMode::Full)\n");
+        return out;
+    }
+    for e in history.events() {
+        let value = match decoder {
+            Some(d) => d(e.value),
+            None => e.value.to_string(),
+        };
+        match e.kind {
+            OpKind::Write => {
+                let _ = writeln!(out, "step {:>4}  {}  write {:?} := {}", e.step, e.pid, e.reg, value);
+            }
+            OpKind::Read => {
+                let seen = match e.observed_writer {
+                    Some(w) => format!("  (sees {w})"),
+                    None => String::new(),
+                };
+                let _ = writeln!(
+                    out,
+                    "step {:>4}  {}  read  {:?} -> {}{}",
+                    e.step, e.pid, e.reg, value, seen
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Summarize a history: step counts per process and the "sees" pairs.
+pub fn summarize(history: &History, n_processes: usize) -> String {
+    let mut out = String::new();
+    if !history.is_full() {
+        return "(history was not recorded)".to_string();
+    }
+    let _ = writeln!(out, "total events: {}", history.events().len());
+    for i in 0..n_processes {
+        let pid = crate::word::ProcessId(i);
+        let _ = writeln!(out, "  {pid}: {} steps", history.steps_of(pid));
+    }
+    let classes = history.equivalence_classes(n_processes);
+    let _ = writeln!(out, "visibility classes (≡_E): {classes:?}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::RoundRobin;
+    use crate::executor::Execution;
+    use crate::history::RecordMode;
+    use crate::memory::Memory;
+    use crate::op::MemOp;
+    use crate::protocol::{Ctx, Poll, Protocol, Resume};
+    use crate::word::RegId;
+
+    struct WriteRead {
+        reg: RegId,
+        state: u8,
+    }
+
+    impl Protocol for WriteRead {
+        fn resume(&mut self, input: Resume, ctx: &mut Ctx<'_>) -> Poll {
+            match self.state {
+                0 => {
+                    self.state = 1;
+                    Poll::Op(MemOp::Write(self.reg, ctx.pid.index() as Word + 10))
+                }
+                1 => {
+                    self.state = 2;
+                    Poll::Op(MemOp::Read(self.reg))
+                }
+                _ => Poll::Done(input.read_value()),
+            }
+        }
+    }
+
+    fn recorded_history() -> crate::executor::ExecutionResult {
+        let mut mem = Memory::new();
+        let reg = mem.alloc(1, "t").start();
+        let protos: Vec<Box<dyn Protocol>> = (0..2)
+            .map(|_| Box::new(WriteRead { reg, state: 0 }) as Box<dyn Protocol>)
+            .collect();
+        Execution::new(mem, protos, 0)
+            .with_recording(RecordMode::Full)
+            .run(&mut RoundRobin::new(2))
+    }
+
+    #[test]
+    fn render_contains_all_steps() {
+        let res = recorded_history();
+        let text = render(res.history(), None);
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.contains("write"));
+        assert!(text.contains("read"));
+        assert!(text.contains("sees"));
+    }
+
+    #[test]
+    fn render_with_decoder() {
+        let res = recorded_history();
+        let decoder = |v: Word| format!("<{v}>");
+        let text = render(res.history(), Some(&decoder));
+        assert!(text.contains("<10>") || text.contains("<11>"));
+    }
+
+    #[test]
+    fn render_without_recording_notes_it() {
+        let mem = Memory::new();
+        let res = Execution::new(mem, vec![], 0).run(&mut RoundRobin::new(1));
+        let text = render(res.history(), None);
+        assert!(text.contains("not recorded"));
+    }
+
+    #[test]
+    fn summarize_reports_counts_and_classes() {
+        let res = recorded_history();
+        let text = summarize(res.history(), 2);
+        assert!(text.contains("total events: 4"));
+        assert!(text.contains("P0: 2 steps"));
+        assert!(text.contains("≡_E"));
+    }
+}

@@ -1,0 +1,118 @@
+//! Fundamental identifier and value types of the simulated machine.
+
+use std::fmt;
+
+/// The value stored in a simulated atomic register.
+///
+/// All algorithms in the paper store small integers (ids, rounds, flags), so
+/// one machine word suffices. The initial value of every register is `0`,
+/// matching the paper's convention that registers start empty/zero.
+pub type Word = u64;
+
+/// Identifier of a process (0-based).
+///
+/// Processes are the unit of scheduling: the adversary picks which
+/// `ProcessId` takes the next shared-memory step.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessId(pub usize);
+
+impl ProcessId {
+    /// Index into per-process arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Debug for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Identifier of an atomic register.
+///
+/// Registers live in [`crate::memory::Memory`]; ids are globally unique
+/// within one memory. Ids at or above [`RegId::LAZY_BASE`] belong to lazily
+/// materialized regions (used for the huge structures of the original
+/// RatRace, which declares Θ(n³) registers but touches few).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegId(pub u64);
+
+impl RegId {
+    /// Ids at or above this bound are backed by a hash map instead of a
+    /// dense vector.
+    pub const LAZY_BASE: u64 = 1 << 48;
+
+    /// Whether this register belongs to a lazily materialized region.
+    #[inline]
+    pub fn is_lazy(self) -> bool {
+        self.0 >= Self::LAZY_BASE
+    }
+
+    /// Register at `offset` slots after `self`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics on overflow; callers allocate ranges via
+    /// [`crate::memory::Memory::alloc`] so offsets are in range by
+    /// construction.
+    #[inline]
+    pub fn offset(self, offset: u64) -> RegId {
+        debug_assert!(self.0.checked_add(offset).is_some());
+        RegId(self.0 + offset)
+    }
+}
+
+impl fmt::Debug for RegId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_lazy() {
+            write!(f, "r~{}", self.0 - Self::LAZY_BASE)
+        } else {
+            write!(f, "r{}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_id_display() {
+        assert_eq!(ProcessId(3).to_string(), "P3");
+        assert_eq!(format!("{:?}", ProcessId(3)), "P3");
+        assert_eq!(ProcessId(7).index(), 7);
+    }
+
+    #[test]
+    fn reg_id_lazy_detection() {
+        assert!(!RegId(0).is_lazy());
+        assert!(!RegId(RegId::LAZY_BASE - 1).is_lazy());
+        assert!(RegId(RegId::LAZY_BASE).is_lazy());
+    }
+
+    #[test]
+    fn reg_id_offset() {
+        assert_eq!(RegId(10).offset(5), RegId(15));
+        assert_eq!(RegId(0).offset(0), RegId(0));
+    }
+
+    #[test]
+    fn reg_id_debug_formats() {
+        assert_eq!(format!("{:?}", RegId(4)), "r4");
+        assert_eq!(format!("{:?}", RegId(RegId::LAZY_BASE + 2)), "r~2");
+    }
+
+    #[test]
+    fn ordering_is_by_raw_value() {
+        assert!(RegId(1) < RegId(2));
+        assert!(ProcessId(0) < ProcessId(1));
+    }
+}

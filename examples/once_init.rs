@@ -1,0 +1,71 @@
+//! One-time initialization — the classic TAS workload.
+//!
+//! ```text
+//! cargo run --example once_init --release
+//! ```
+//!
+//! `N` worker threads all need a shared lookup table, and whichever
+//! worker gets there first should build it exactly once (the motivating
+//! use of test-and-set in the paper's introduction: mutual exclusion /
+//! renaming substrates). The winner of the TAS builds the table and
+//! publishes it; everyone else spins until the publication flag flips.
+//!
+//! Note this is a *one-shot* coordination: each worker consults the TAS
+//! at most once, matching the paper's object semantics.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+use rtas::TestAndSet;
+
+const WORKERS: usize = 6;
+
+fn expensive_table() -> Vec<u64> {
+    // Stand-in for a costly computation: first 64 squares.
+    (0..64u64).map(|i| i * i).collect()
+}
+
+fn main() {
+    let tas = TestAndSet::new(WORKERS);
+    let table: OnceLock<Vec<u64>> = OnceLock::new();
+    let ready = AtomicBool::new(false);
+
+    let sums: Vec<(usize, bool, u64)> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..WORKERS)
+            .map(|i| {
+                let tas = &tas;
+                let table = &table;
+                let ready = &ready;
+                s.spawn(move |_| {
+                    let already_initialized = tas.test_and_set();
+                    if !already_initialized {
+                        // We won: build and publish.
+                        table.set(expensive_table()).expect("single initializer");
+                        ready.store(true, Ordering::Release);
+                    } else {
+                        // Someone else is (or was) building it; wait.
+                        while !ready.load(Ordering::Acquire) {
+                            std::hint::spin_loop();
+                        }
+                    }
+                    let sum: u64 = table.get().expect("published").iter().sum();
+                    (i, !already_initialized, sum)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .unwrap();
+
+    let mut initializers = 0;
+    for (i, built_it, sum) in sums {
+        println!(
+            "worker {i}: table sum = {sum}{}",
+            if built_it { "  (built the table)" } else { "" }
+        );
+        assert_eq!(sum, (0..64u64).map(|x| x * x).sum::<u64>());
+        initializers += built_it as usize;
+    }
+    assert_eq!(initializers, 1, "the table must be built exactly once");
+    println!("table built exactly once by {WORKERS} racing workers.");
+}

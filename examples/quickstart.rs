@@ -1,0 +1,53 @@
+//! Quickstart: a one-shot test-and-set across real threads.
+//!
+//! ```text
+//! cargo run --example quickstart --release
+//! ```
+//!
+//! Eight threads race on one [`rtas::TestAndSet`]; exactly one observes
+//! the bit as previously-unset (it "wins"). The object is built from
+//! atomic read/write registers only — no compare-and-swap, no
+//! fetch-and-or — using the PODC 2012 algorithms.
+
+use rtas::{Backend, TestAndSet};
+
+fn main() {
+    const THREADS: usize = 8;
+
+    for backend in [
+        Backend::LogStar,
+        Backend::LogLog,
+        Backend::RatRace,
+        Backend::Combined,
+    ] {
+        let tas = TestAndSet::with_backend(backend, THREADS);
+        println!(
+            "{backend:?}: {} atomic registers for {} participants",
+            tas.registers(),
+            tas.capacity()
+        );
+
+        let results: Vec<(usize, bool)> = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|i| {
+                    let tas = &tas;
+                    s.spawn(move |_| (i, tas.test_and_set()))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .unwrap();
+
+        for (i, already_set) in &results {
+            println!(
+                "  thread {i}: test_and_set() -> {} ({})",
+                already_set,
+                if *already_set { "lost" } else { "WON" }
+            );
+        }
+        let winners = results.iter().filter(|(_, set)| !set).count();
+        assert_eq!(winners, 1, "exactly one winner expected");
+        println!();
+    }
+    println!("every backend elected exactly one winner.");
+}

@@ -1,0 +1,50 @@
+//! Renaming from a chain of test-and-set objects.
+//!
+//! ```text
+//! cargo run --example renaming --release
+//! ```
+//!
+//! The paper cites renaming (Eberly–Higham–Warpechowska-Gruca) as a core
+//! application of TAS: `n` threads with large, sparse identities acquire
+//! small distinct names by racing along an array of TAS objects and
+//! keeping the index of the first one they win. With `n` objects every
+//! thread is guaranteed a name below `n` (a thread loses `TAS_j` only to
+//! a distinct winner, so by the pigeonhole principle it wins one of the
+//! first `n`).
+
+use rtas::{Backend, TestAndSet};
+
+const THREADS: usize = 8;
+
+fn main() {
+    // One TAS per candidate name; each accepts up to THREADS contenders.
+    let slots: Vec<TestAndSet> = (0..THREADS)
+        .map(|_| TestAndSet::with_backend(Backend::RatRace, THREADS))
+        .collect();
+
+    let names: Vec<(usize, usize)> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|i| {
+                let slots = &slots;
+                s.spawn(move |_| {
+                    for (name, slot) in slots.iter().enumerate() {
+                        if !slot.test_and_set() {
+                            return (i, name);
+                        }
+                    }
+                    unreachable!("pigeonhole: {THREADS} slots for {THREADS} threads");
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .unwrap();
+
+    let mut seen = vec![false; THREADS];
+    for (thread, name) in &names {
+        println!("thread {thread} acquired name {name}");
+        assert!(!seen[*name], "duplicate name {name}");
+        seen[*name] = true;
+    }
+    println!("all {THREADS} threads got distinct names in 0..{THREADS}.");
+}

@@ -1,0 +1,5 @@
+//! Umbrella crate for the workspace: hosts the runnable examples in
+//! `examples/` and the cross-crate integration tests in `tests/`.
+//!
+//! The actual library lives in the `rtas` crate (see `crates/core`).
+pub use rtas;

@@ -1,0 +1,177 @@
+//! Failure injection: crashes at every point of every structure.
+//!
+//! The paper's model lets the adversary crash processes at any step. The
+//! safety obligations that survive crashes: never two winners, and any
+//! process that keeps getting scheduled finishes (wait-freedom).
+
+use std::sync::Arc;
+
+use rtas::algorithms::{Combined, LogLogLe, LogStarLe, SpaceEfficientRatRace};
+use rtas::primitives::LeaderElect;
+use rtas::sim::adversary::{Adversary, AdversaryClass, View};
+use rtas::sim::executor::Execution;
+use rtas::sim::memory::Memory;
+use rtas::sim::protocol::{ret, Protocol};
+use rtas::sim::rng::{Randomness, SplitMix64};
+use rtas::sim::word::ProcessId;
+
+/// Randomly crashes each process with probability `p_crash` per step, and
+/// otherwise schedules uniformly at random among survivors.
+struct CrashyScheduler {
+    rng: SplitMix64,
+    crashed: Vec<bool>,
+    p_crash: f64,
+}
+
+impl CrashyScheduler {
+    fn new(n: usize, seed: u64, p_crash: f64) -> Self {
+        CrashyScheduler {
+            rng: SplitMix64::new(seed),
+            crashed: vec![false; n],
+            p_crash,
+        }
+    }
+}
+
+impl Adversary for CrashyScheduler {
+    fn class(&self) -> AdversaryClass {
+        AdversaryClass::Adaptive
+    }
+
+    fn next(&mut self, view: &View<'_>) -> Option<ProcessId> {
+        let alive: Vec<ProcessId> = view
+            .active()
+            .into_iter()
+            .filter(|p| !self.crashed[p.index()])
+            .collect();
+        if alive.is_empty() {
+            return None;
+        }
+        let pid = alive[self.rng.choose(alive.len() as u64) as usize];
+        // Crash it instead of scheduling it, sometimes — but never crash
+        // the last survivor (we want to observe completions too).
+        if alive.len() > 1 && self.rng.bernoulli(self.p_crash) {
+            self.crashed[pid.index()] = true;
+            return self.next(view);
+        }
+        Some(pid)
+    }
+}
+
+type Builder = fn(&mut Memory, usize) -> Arc<dyn LeaderElect>;
+
+fn builders() -> Vec<(&'static str, Builder)> {
+    vec![
+        ("logstar", |m, n| Arc::new(LogStarLe::new(m, n))),
+        ("loglog", |m, n| Arc::new(LogLogLe::new(m, n))),
+        ("ratrace", |m, n| Arc::new(SpaceEfficientRatRace::new(m, n))),
+        ("combined", |m, n| {
+            let weak = Arc::new(LogStarLe::new(m, n));
+            Arc::new(Combined::new(m, weak, n))
+        }),
+    ]
+}
+
+#[test]
+fn random_crashes_never_two_winners() {
+    for (name, builder) in builders() {
+        for seed in 0..25 {
+            let k = 8;
+            let mut mem = Memory::new();
+            let le = builder(&mut mem, k);
+            let protos: Vec<Box<dyn Protocol>> = (0..k).map(|_| le.elect()).collect();
+            let mut adv = CrashyScheduler::new(k, seed * 7 + 1, 0.02);
+            let res = Execution::new(mem, protos, seed).run(&mut adv);
+            let winners = res.processes_with_outcome(ret::WIN).len();
+            assert!(winners <= 1, "{name} seed={seed}: {winners} winners");
+        }
+    }
+}
+
+#[test]
+fn lone_survivor_always_finishes() {
+    // Crash everyone but process k−1 at time zero: the survivor runs solo
+    // and must win (wait-freedom + solo termination).
+    for (name, builder) in builders() {
+        for seed in 0..8 {
+            let k = 6;
+            let mut mem = Memory::new();
+            let le = builder(&mut mem, k);
+            let protos: Vec<Box<dyn Protocol>> = (0..k).map(|_| le.elect()).collect();
+            let survivor = ProcessId(k - 1);
+            let mut adv = rtas::sim::adversary::FnAdversary::new(
+                AdversaryClass::Adaptive,
+                move |view: &View<'_>| view.is_active(survivor).then_some(survivor),
+            );
+            let res = Execution::new(mem, protos, seed).run(&mut adv);
+            assert_eq!(
+                res.outcome(survivor),
+                Some(ret::WIN),
+                "{name} seed={seed}: lone survivor must win"
+            );
+        }
+    }
+}
+
+#[test]
+fn crash_just_before_winning_blocks_nobody_else_scheduled() {
+    // Crash the would-be winner at a random late step; survivors that are
+    // still scheduled must all finish (no deadlock on a dead process).
+    for (name, builder) in builders() {
+        for seed in 0..12 {
+            let k = 5;
+            let mut mem = Memory::new();
+            let le = builder(&mut mem, k);
+            let protos: Vec<Box<dyn Protocol>> = (0..k).map(|_| le.elect()).collect();
+            let crash_step = 10 + seed % 17;
+            let victim = ProcessId((seed % k as u64) as usize);
+            let mut adv = rtas::sim::adversary::FnAdversary::new(AdversaryClass::Adaptive, {
+                let mut rng = SplitMix64::new(seed);
+                move |view: &View<'_>| {
+                    let alive: Vec<ProcessId> = view
+                        .active()
+                        .into_iter()
+                        .filter(|&p| p != victim || view.steps_of(p) < crash_step)
+                        .collect();
+                    if alive.is_empty() {
+                        None
+                    } else {
+                        Some(alive[rng.choose(alive.len() as u64) as usize])
+                    }
+                }
+            });
+            let res = Execution::new(mem, protos, seed).run(&mut adv);
+            // Every non-victim must have finished.
+            for i in 0..k {
+                let pid = ProcessId(i);
+                if pid != victim {
+                    assert!(
+                        res.outcome(pid).is_some(),
+                        "{name} seed={seed}: {pid} stuck behind crashed {victim}"
+                    );
+                }
+            }
+            assert!(res.processes_with_outcome(ret::WIN).len() <= 1);
+        }
+    }
+}
+
+#[test]
+fn heavy_crash_rate_still_safe() {
+    // 20% crash probability per decision: most runs end with most
+    // processes dead; safety must be unconditional.
+    for (name, builder) in builders() {
+        for seed in 0..20 {
+            let k = 10;
+            let mut mem = Memory::new();
+            let le = builder(&mut mem, k);
+            let protos: Vec<Box<dyn Protocol>> = (0..k).map(|_| le.elect()).collect();
+            let mut adv = CrashyScheduler::new(k, seed + 100, 0.2);
+            let res = Execution::new(mem, protos, seed).run(&mut adv);
+            assert!(
+                res.processes_with_outcome(ret::WIN).len() <= 1,
+                "{name} seed={seed}"
+            );
+        }
+    }
+}

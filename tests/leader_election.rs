@@ -1,0 +1,151 @@
+//! Cross-crate integration: every leader-election algorithm × every
+//! scheduler class must elect exactly one leader in crash-free runs.
+
+use std::sync::Arc;
+
+use rtas::algorithms::{Combined, LogLogLe, LogStarLe, OriginalRatRace, SpaceEfficientRatRace};
+use rtas::algorithms::attacks::AscendingWriteAttack;
+use rtas::primitives::LeaderElect;
+use rtas::sim::adversary::{
+    Adversary, AdversaryClass, FnAdversary, ObliviousAdversary, RandomSchedule, RoundRobin, View,
+};
+use rtas::sim::executor::Execution;
+use rtas::sim::memory::Memory;
+use rtas::sim::protocol::{ret, Protocol};
+use rtas::sim::schedule::Schedule;
+use rtas::sim::rng::SplitMix64;
+use rtas::sim::word::ProcessId;
+
+type Builder = fn(&mut Memory, usize) -> Arc<dyn LeaderElect>;
+
+fn builders() -> Vec<(&'static str, Builder)> {
+    vec![
+        ("logstar", |m, n| Arc::new(LogStarLe::new(m, n))),
+        ("loglog", |m, n| Arc::new(LogLogLe::new(m, n))),
+        ("ratrace-se", |m, n| Arc::new(SpaceEfficientRatRace::new(m, n))),
+        ("ratrace-orig", |m, n| Arc::new(OriginalRatRace::new(m, n))),
+        ("combined", |m, n| {
+            let weak = Arc::new(LogStarLe::new(m, n));
+            Arc::new(Combined::new(m, weak, n))
+        }),
+    ]
+}
+
+fn run_and_check(
+    name: &str,
+    builder: Builder,
+    k: usize,
+    n: usize,
+    seed: u64,
+    adversary: &mut dyn Adversary,
+) {
+    let mut mem = Memory::new();
+    let le = builder(&mut mem, n);
+    let protos: Vec<Box<dyn Protocol>> = (0..k).map(|_| le.elect()).collect();
+    let res = Execution::new(mem, protos, seed).run(adversary);
+    assert!(res.all_finished(), "{name} k={k} seed={seed}: unfinished");
+    assert_eq!(
+        res.processes_with_outcome(ret::WIN).len(),
+        1,
+        "{name} k={k} seed={seed}: {:?}",
+        res.outcomes()
+    );
+}
+
+#[test]
+fn unique_winner_random_schedules_all_algorithms() {
+    for (name, builder) in builders() {
+        for k in [1usize, 2, 5, 16] {
+            for seed in 0..12 {
+                let mut adv = RandomSchedule::new(seed * 101 + k as u64);
+                run_and_check(name, builder, k, k, seed, &mut adv);
+            }
+        }
+    }
+}
+
+#[test]
+fn unique_winner_round_robin_all_algorithms() {
+    for (name, builder) in builders() {
+        for k in [2usize, 7, 12] {
+            for seed in 0..6 {
+                let mut adv = RoundRobin::new(k);
+                run_and_check(name, builder, k, k, seed, &mut adv);
+            }
+        }
+    }
+}
+
+#[test]
+fn unique_winner_under_adaptive_attack() {
+    for (name, builder) in builders() {
+        for seed in 0..4 {
+            let mut adv = AscendingWriteAttack::new();
+            run_and_check(name, builder, 8, 8, seed, &mut adv);
+        }
+    }
+}
+
+#[test]
+fn unique_winner_with_fewer_processes_than_capacity() {
+    for (name, builder) in builders() {
+        for seed in 0..6 {
+            let mut adv = RandomSchedule::new(seed + 5);
+            run_and_check(name, builder, 3, 32, seed, &mut adv);
+        }
+    }
+}
+
+#[test]
+fn sequential_arrivals_first_process_wins_cheaply() {
+    // A process that runs completely alone must win; everyone arriving
+    // after a winner exists must lose.
+    for (name, builder) in builders() {
+        let k = 6;
+        let mut mem = Memory::new();
+        let le = builder(&mut mem, k);
+        let protos: Vec<Box<dyn Protocol>> = (0..k).map(|_| le.elect()).collect();
+        let mut rng = SplitMix64::new(9);
+        let schedule = Schedule::sequential(k, 4_000, &mut rng);
+        let first = schedule.steps()[0];
+        let mut adv = ObliviousAdversary::new(schedule.clone()).then_fair();
+        let res = Execution::new(mem, protos, 3).run(&mut adv);
+        assert!(res.all_finished(), "{name}");
+        assert_eq!(
+            res.outcome(first),
+            Some(ret::WIN),
+            "{name}: solo-first process must win"
+        );
+    }
+}
+
+#[test]
+fn crashes_never_produce_two_winners() {
+    // Crash a random prefix of processes after a few steps: at most one
+    // winner must ever exist among the finishers.
+    for (name, builder) in builders() {
+        for seed in 0..10 {
+            let k = 8;
+            let mut mem = Memory::new();
+            let le = builder(&mut mem, k);
+            let protos: Vec<Box<dyn Protocol>> = (0..k).map(|_| le.elect()).collect();
+            let crash_after = 5 + (seed % 11);
+            let mut adv = FnAdversary::new(AdversaryClass::Adaptive, move |view: &View<'_>| {
+                // Processes 0 and 1 crash after `crash_after` steps.
+                view.active()
+                    .into_iter()
+                    .find(|&p| p.index() >= 2 || view.steps_of(p) < crash_after)
+            });
+            let res = Execution::new(mem, protos, seed).run(&mut adv);
+            let winners = res.processes_with_outcome(ret::WIN).len();
+            assert!(winners <= 1, "{name} seed={seed}: {winners} winners");
+            // The crash-free survivors (2..k) must finish.
+            for i in 2..k {
+                assert!(
+                    res.outcome(ProcessId(i)).is_some(),
+                    "{name} seed={seed}: P{i} did not finish"
+                );
+            }
+        }
+    }
+}

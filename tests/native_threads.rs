@@ -1,0 +1,106 @@
+//! Integration: the native (real-atomics) objects under genuine OS-thread
+//! concurrency, across all backends.
+
+use rtas::{Backend, LeaderElection, TestAndSet};
+
+const BACKENDS: [Backend; 4] = [
+    Backend::LogStar,
+    Backend::LogLog,
+    Backend::RatRace,
+    Backend::Combined,
+];
+
+#[test]
+fn hammered_leader_election_unique_winner() {
+    for backend in BACKENDS {
+        for round in 0..20 {
+            let n = 16;
+            let le = LeaderElection::with_backend(backend, n);
+            let wins: Vec<bool> = crossbeam::thread::scope(|s| {
+                let handles: Vec<_> = (0..n).map(|_| s.spawn(|_| le.elect())).collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            })
+            .unwrap();
+            assert_eq!(
+                wins.iter().filter(|&&w| w).count(),
+                1,
+                "{backend:?} round {round}"
+            );
+        }
+    }
+}
+
+#[test]
+fn hammered_tas_exactly_one_winner() {
+    for backend in BACKENDS {
+        for round in 0..15 {
+            let n = 12;
+            let tas = TestAndSet::with_backend(backend, n);
+            let outs: Vec<bool> = crossbeam::thread::scope(|s| {
+                let handles: Vec<_> =
+                    (0..n).map(|_| s.spawn(|_| tas.test_and_set())).collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            })
+            .unwrap();
+            assert_eq!(
+                outs.iter().filter(|&&set| !set).count(),
+                1,
+                "{backend:?} round {round}: {outs:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn staggered_arrivals_still_one_winner() {
+    // Threads arrive with real delays; later arrivals should overwhelmingly
+    // lose, and there must never be more than one winner.
+    let n = 8;
+    let tas = TestAndSet::new(n);
+    let outs: Vec<(usize, bool)> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let tas = &tas;
+                s.spawn(move |_| {
+                    std::thread::sleep(std::time::Duration::from_micros(i as u64 * 200));
+                    (i, tas.test_and_set())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .unwrap();
+    assert_eq!(outs.iter().filter(|(_, set)| !set).count(), 1);
+}
+
+#[test]
+fn tas_chain_assigns_distinct_names() {
+    // The renaming construction (examples/renaming.rs) as a test.
+    let n = 6;
+    let slots: Vec<TestAndSet> = (0..n).map(|_| TestAndSet::new(n)).collect();
+    let names: Vec<usize> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..n)
+            .map(|_| {
+                let slots = &slots;
+                s.spawn(move |_| {
+                    slots
+                        .iter()
+                        .position(|slot| !slot.test_and_set())
+                        .expect("pigeonhole guarantees a name")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+    .unwrap();
+    let mut sorted = names.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), n, "duplicate names: {names:?}");
+}
+
+#[test]
+fn capacity_one_object_is_trivially_won() {
+    let le = LeaderElection::new(1);
+    assert!(le.elect());
+}

@@ -1,0 +1,147 @@
+//! Property-based tests over the core invariants.
+//!
+//! Rather than fixed seeds and contentions, let proptest draw them: the
+//! uniqueness of winners, splitter properties, and recurrence identities
+//! must hold for *every* drawn configuration.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rtas::algorithms::{LogLogLe, LogStarLe, SpaceEfficientRatRace};
+use rtas::lowerbound::recurrence::{closed_form_f, f_sequence, next_f};
+use rtas::primitives::{LeaderElect, RoleLeaderElect, Splitter, SplitterObject, TwoProcessLe};
+use rtas::sim::adversary::{ObliviousAdversary, RandomSchedule};
+use rtas::sim::executor::Execution;
+use rtas::sim::memory::Memory;
+use rtas::sim::protocol::{ret, Protocol};
+use rtas::sim::rng::SplitMix64;
+use rtas::sim::schedule::Schedule;
+use rtas::sim::word::ProcessId;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn two_process_le_unique_winner(seed in any::<u64>(), sched_seed in any::<u64>()) {
+        let mut mem = Memory::new();
+        let le = TwoProcessLe::new(&mut mem, "2le");
+        let protos: Vec<Box<dyn Protocol>> = vec![le.elect_as(0), le.elect_as(1)];
+        let res = Execution::new(mem, protos, seed).run(&mut RandomSchedule::new(sched_seed));
+        prop_assert!(res.all_finished());
+        prop_assert_eq!(res.processes_with_outcome(ret::WIN).len(), 1);
+    }
+
+    #[test]
+    fn splitter_properties_any_contention(k in 1usize..12, seed in any::<u64>()) {
+        let mut mem = Memory::new();
+        let sp = Splitter::new(&mut mem, "sp");
+        let protos: Vec<Box<dyn Protocol>> = (0..k).map(|_| sp.split()).collect();
+        let res = Execution::new(mem, protos, seed).run(&mut RandomSchedule::new(seed ^ 1));
+        prop_assert!(res.all_finished());
+        let outs: Vec<u64> = (0..k).map(|i| res.outcome(ProcessId(i)).unwrap()).collect();
+        let stops = outs.iter().filter(|&&o| o == ret::SPLIT_STOP).count();
+        let lefts = outs.iter().filter(|&&o| o == ret::SPLIT_LEFT).count();
+        let rights = outs.iter().filter(|&&o| o == ret::SPLIT_RIGHT).count();
+        prop_assert!(stops <= 1);
+        prop_assert!(lefts <= k - 1);
+        prop_assert!(rights <= k - 1);
+        if k == 1 {
+            prop_assert_eq!(stops, 1);
+        }
+    }
+
+    #[test]
+    fn logstar_unique_winner(k in 1usize..14, seed in any::<u64>()) {
+        let mut mem = Memory::new();
+        let le = LogStarLe::new(&mut mem, k);
+        let protos: Vec<Box<dyn Protocol>> = (0..k).map(|_| le.elect()).collect();
+        let res = Execution::new(mem, protos, seed).run(&mut RandomSchedule::new(seed ^ 3));
+        prop_assert!(res.all_finished());
+        prop_assert_eq!(res.processes_with_outcome(ret::WIN).len(), 1);
+    }
+
+    #[test]
+    fn loglog_unique_winner(k in 1usize..12, seed in any::<u64>()) {
+        let mut mem = Memory::new();
+        let le = LogLogLe::new(&mut mem, k);
+        let protos: Vec<Box<dyn Protocol>> = (0..k).map(|_| le.elect()).collect();
+        let res = Execution::new(mem, protos, seed).run(&mut RandomSchedule::new(seed ^ 5));
+        prop_assert!(res.all_finished());
+        prop_assert_eq!(res.processes_with_outcome(ret::WIN).len(), 1);
+    }
+
+    #[test]
+    fn ratrace_unique_winner(k in 1usize..12, seed in any::<u64>()) {
+        let mut mem = Memory::new();
+        let le = SpaceEfficientRatRace::new(&mut mem, k);
+        let protos: Vec<Box<dyn Protocol>> = (0..k).map(|_| le.elect()).collect();
+        let res = Execution::new(mem, protos, seed).run(&mut RandomSchedule::new(seed ^ 7));
+        prop_assert!(res.all_finished());
+        prop_assert_eq!(res.processes_with_outcome(ret::WIN).len(), 1);
+    }
+
+    #[test]
+    fn arbitrary_schedule_prefix_never_two_winners(
+        k in 2usize..8,
+        seed in any::<u64>(),
+        len in 0usize..300,
+    ) {
+        // Truncated oblivious schedules crash processes mid-protocol; at
+        // most one winner may exist among those that finished.
+        let mut mem = Memory::new();
+        let le = SpaceEfficientRatRace::new(&mut mem, k);
+        let protos: Vec<Box<dyn Protocol>> = (0..k).map(|_| le.elect()).collect();
+        let mut rng = SplitMix64::new(seed);
+        let schedule = Schedule::uniform_random(k, len, &mut rng);
+        let mut adv = ObliviousAdversary::new(schedule);
+        let res = Execution::new(mem, protos, seed).run(&mut adv);
+        prop_assert!(res.processes_with_outcome(ret::WIN).len() <= 1);
+    }
+
+    #[test]
+    fn recurrence_closed_form_agree(exp in 3u32..12, offset in 0u64..64) {
+        let n = 1u64 << exp;
+        let k = offset % n;
+        let seq = f_sequence(n);
+        prop_assert_eq!(seq[k as usize], closed_form_f(n, k));
+    }
+
+    #[test]
+    fn recurrence_step_is_contractive(f_k in 1u64..1_000_000, gap in 1u64..1_000) {
+        // f(k+1) = f(k) − ⌊f(k)/gap⌋ + 1 never increases by more than 1
+        // and never goes negative.
+        let next = next_f(f_k, gap);
+        prop_assert!(next <= f_k + 1);
+    }
+
+    #[test]
+    fn schedule_generators_are_well_formed(
+        n in 1usize..9,
+        len in 0usize..200,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        let s = Schedule::uniform_random(n, len, &mut rng);
+        prop_assert_eq!(s.len(), len);
+        prop_assert!(s.steps().iter().all(|p| p.index() < n));
+        let rr = Schedule::round_robin(n, 3);
+        prop_assert_eq!(rr.len(), 3 * n);
+    }
+}
+
+proptest! {
+    // Heavier cases, fewer iterations.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn combined_unique_winner(k in 1usize..8, seed in any::<u64>()) {
+        use rtas::algorithms::Combined;
+        let mut mem = Memory::new();
+        let weak: Arc<dyn LeaderElect> = Arc::new(LogStarLe::new(&mut mem, k));
+        let le = Combined::new(&mut mem, weak, k);
+        let protos: Vec<Box<dyn Protocol>> = (0..k).map(|_| le.elect()).collect();
+        let res = Execution::new(mem, protos, seed).run(&mut RandomSchedule::new(seed ^ 11));
+        prop_assert!(res.all_finished());
+        prop_assert_eq!(res.processes_with_outcome(ret::WIN).len(), 1);
+    }
+}
