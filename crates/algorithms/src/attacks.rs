@@ -74,12 +74,12 @@ impl Adversary for AscendingWriteAttack {
             let reg = p.reg.map(|r| r.0).unwrap_or(u64::MAX);
             match p.kind {
                 Some(OpKind::Write) => {
-                    if best_write.map_or(true, |(b, _)| reg < b) {
+                    if best_write.is_none_or(|(b, _)| reg < b) {
                         best_write = Some((reg, pid));
                     }
                 }
                 _ => {
-                    if best_read.map_or(true, |(b, _)| reg < b) {
+                    if best_read.is_none_or(|(b, _)| reg < b) {
                         best_read = Some((reg, pid));
                     }
                 }
@@ -136,7 +136,7 @@ impl Adversary for ValuePriorityLocationOblivious {
             match p.kind {
                 Some(OpKind::Write) => {
                     let v = p.write_value.unwrap_or(0);
-                    if best_write.map_or(true, |(b, _)| v > b) {
+                    if best_write.is_none_or(|(b, _)| v > b) {
                         best_write = Some((v, pid));
                     }
                 }
@@ -210,8 +210,8 @@ mod tests {
                     let mut mem = Memory::new();
                     let rr = SpaceEfficientRatRace::new(&mut mem, k);
                     let protos = (0..k).map(|_| rr.elect()).collect();
-                    let res = Execution::new(mem, protos, seed)
-                        .run(&mut AscendingWriteAttack::new());
+                    let res =
+                        Execution::new(mem, protos, seed).run(&mut AscendingWriteAttack::new());
                     assert!(res.all_finished());
                     res.steps().max()
                 })
@@ -261,8 +261,8 @@ mod tests {
             let mut mem = Memory::new();
             let le = LogStarLe::new(&mut mem, k);
             let protos = (0..k).map(|_| le.elect()).collect();
-            let res = Execution::new(mem, protos, seed)
-                .run(&mut ValuePriorityLocationOblivious::new());
+            let res =
+                Execution::new(mem, protos, seed).run(&mut ValuePriorityLocationOblivious::new());
             assert!(res.all_finished());
             assert_eq!(res.processes_with_outcome(ret::WIN).len(), 1);
         }

@@ -59,7 +59,11 @@ impl Combined {
     pub fn new(memory: &mut Memory, weak: Arc<dyn LeaderElect>, n: usize) -> Self {
         let ratrace = SpaceEfficientRatRace::new(memory, n);
         let letop = TwoProcessLe::new(memory, "combined-letop");
-        Combined { ratrace, weak, letop }
+        Combined {
+            ratrace,
+            weak,
+            letop,
+        }
     }
 
     /// Build the per-process `elect()` protocol.
@@ -103,7 +107,10 @@ struct Side {
 
 impl Side {
     fn new(runtime: SubRuntime) -> Self {
-        Side { runtime, stopped: false }
+        Side {
+            runtime,
+            stopped: false,
+        }
     }
 
     /// Whether this side can still take a step.

@@ -72,7 +72,9 @@ impl EliminationPath {
                 le: TwoProcessLe::new(memory, label),
             })
             .collect();
-        EliminationPath { nodes: Arc::new(nodes) }
+        EliminationPath {
+            nodes: Arc::new(nodes),
+        }
     }
 
     /// Path length `ℓ`.
@@ -219,7 +221,7 @@ mod tests {
             let outs = run_path(2, 5, seed);
             let wins = outs.iter().filter(|&&o| is_win(o)).count();
             assert!(wins <= 1);
-            fell |= outs.iter().any(|&o| o == path_ret::FELL_OFF);
+            fell |= outs.contains(&path_ret::FELL_OFF);
         }
         // With 5 processes on a length-2 path, fall-off should occur at
         // least sometimes.
@@ -267,7 +269,10 @@ mod tests {
                 let path = EliminationPath::new(&mut mem, 2, "ep");
                 (mem, (0..2).map(|_| path.enter()).collect())
             },
-            ExploreConfig { max_steps, max_paths: 40_000_000 },
+            ExploreConfig {
+                max_steps,
+                max_paths: 40_000_000,
+            },
             |e| {
                 let wins = e.with_outcome(path_ret::WIN).len();
                 assert!(wins <= 1, "{:?}", e.outcomes);
@@ -288,10 +293,10 @@ mod tests {
     fn splitter_win_sets_combiner_note() {
         // The elimination path must raise Notes::won_splitter for Rule 3
         // of the Section 4 combiner.
-        use rtas_sim::protocol::{Ctx, Notes, Resume};
         use rtas_sim::executor::{SubPoll, SubRuntime};
-        use rtas_sim::rng::SplitMix64;
         use rtas_sim::op::MemOp;
+        use rtas_sim::protocol::{Ctx, Notes, Resume};
+        use rtas_sim::rng::SplitMix64;
         let mut mem = Memory::new();
         let path = EliminationPath::new(&mut mem, 2, "ep");
         let mut rt = SubRuntime::new(path.enter());

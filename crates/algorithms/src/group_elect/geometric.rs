@@ -41,7 +41,11 @@ impl GeometricGroupElect {
     pub fn new(memory: &mut Memory, n: usize, label: &str) -> Self {
         let ell = ceil_log2(n.max(2)) as u64;
         let regs = memory.alloc(ell + 2, label); // flag + R[1..=ell+1]
-        GeometricGroupElect { flag: regs.get(0), r_base: regs.get(1), ell }
+        GeometricGroupElect {
+            flag: regs.get(0),
+            r_base: regs.get(1),
+            ell,
+        }
     }
 
     /// Allocate with an explicit array parameter `ℓ` (ablation knob: the
@@ -54,7 +58,11 @@ impl GeometricGroupElect {
     pub fn with_ell(memory: &mut Memory, ell: u64, label: &str) -> Self {
         assert!(ell >= 1, "ell must be at least 1");
         let regs = memory.alloc(ell + 2, label);
-        GeometricGroupElect { flag: regs.get(0), r_base: regs.get(1), ell }
+        GeometricGroupElect {
+            flag: regs.get(0),
+            r_base: regs.get(1),
+            ell,
+        }
     }
 
     /// The array length parameter `ℓ`.
@@ -85,7 +93,11 @@ pub fn ceil_log2(n: usize) -> u32 {
 
 impl GroupElect for GeometricGroupElect {
     fn elect(&self) -> Box<dyn Protocol> {
-        Box::new(GeometricProtocol { ge: *self, state: State::Start, x: 0 })
+        Box::new(GeometricProtocol {
+            ge: *self,
+            state: State::Start,
+            x: 0,
+        })
     }
 }
 
@@ -221,13 +233,8 @@ mod tests {
             for seed in 0..60 {
                 let mut mem = Memory::new();
                 let ge = GeometricGroupElect::new(&mut mem, 1024, "ge");
-                let (elected, _) = run_group_election(
-                    mem,
-                    &ge,
-                    k,
-                    seed,
-                    &mut RandomSchedule::new(seed * 31 + 7),
-                );
+                let (elected, _) =
+                    run_group_election(mem, &ge, k, seed, &mut RandomSchedule::new(seed * 31 + 7));
                 agg.push(elected as f64);
             }
             let bound = 2.0 * (k as f64).log2() + 6.0;

@@ -101,13 +101,8 @@ mod tests {
     #[test]
     fn run_group_election_counts() {
         let mem = Memory::new();
-        let (elected, finished) = run_group_election(
-            mem,
-            &DummyGroupElect::new(),
-            7,
-            0,
-            &mut RoundRobin::new(7),
-        );
+        let (elected, finished) =
+            run_group_election(mem, &DummyGroupElect::new(), 7, 0, &mut RoundRobin::new(7));
         assert_eq!(elected, 7);
         assert_eq!(finished, 7);
     }

@@ -37,7 +37,10 @@ impl SiftingGroupElect {
             "write probability must be in (0, 1], got {write_probability}"
         );
         let reg = memory.alloc(1, label).get(0);
-        SiftingGroupElect { reg, write_probability }
+        SiftingGroupElect {
+            reg,
+            write_probability,
+        }
     }
 
     /// The write probability `π` used for the expected-survivor tuning
@@ -57,7 +60,10 @@ impl SiftingGroupElect {
 
 impl GroupElect for SiftingGroupElect {
     fn elect(&self) -> Box<dyn Protocol> {
-        Box::new(SiftingProtocol { ge: *self, state: State::Start })
+        Box::new(SiftingProtocol {
+            ge: *self,
+            state: State::Start,
+        })
     }
 }
 

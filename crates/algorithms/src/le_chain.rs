@@ -131,7 +131,10 @@ impl LeChain {
                 le: TwoProcessLe::new(memory, label),
             })
             .collect();
-        LeChain { levels: Arc::new(levels), policy }
+        LeChain {
+            levels: Arc::new(levels),
+            policy,
+        }
     }
 
     /// Number of levels.
@@ -211,9 +214,7 @@ impl Protocol for ChainProtocol {
                             if self.level == self.chain.levels.len() {
                                 return match self.chain.policy {
                                     OverflowPolicy::Lose => Poll::Done(chain_ret::LOSE),
-                                    OverflowPolicy::Overflow => {
-                                        Poll::Done(chain_ret::OVERFLOW)
-                                    }
+                                    OverflowPolicy::Overflow => Poll::Done(chain_ret::OVERFLOW),
                                 };
                             }
                             self.state = State::Descend;
@@ -223,9 +224,7 @@ impl Protocol for ChainProtocol {
                 }
                 State::Climb => {
                     self.state = State::AfterClimb;
-                    return Poll::Call(
-                        self.chain.levels[self.level].le.elect_as(self.role),
-                    );
+                    return Poll::Call(self.chain.levels[self.level].le.elect_as(self.role));
                 }
                 State::AfterClimb => {
                     if input.child_value() == ret::LOSE {
@@ -264,9 +263,7 @@ mod tests {
 
     fn geometric_chain(memory: &mut Memory, n: usize) -> LeChain {
         let ges: Vec<Arc<dyn GroupElect>> = (0..n)
-            .map(|_| {
-                Arc::new(GeometricGroupElect::new(memory, n, "ge")) as Arc<dyn GroupElect>
-            })
+            .map(|_| Arc::new(GeometricGroupElect::new(memory, n, "ge")) as Arc<dyn GroupElect>)
             .collect();
         LeChain::new(memory, ges, OverflowPolicy::Lose, "chain")
     }
@@ -304,8 +301,7 @@ mod tests {
                 // splitter, so k levels always suffice.
                 let chain = dummy_chain(&mut mem, k);
                 let protos = (0..k).map(|_| chain.elect()).collect();
-                let res =
-                    Execution::new(mem, protos, seed).run(&mut RandomSchedule::new(seed * 5));
+                let res = Execution::new(mem, protos, seed).run(&mut RandomSchedule::new(seed * 5));
                 assert!(res.all_finished(), "k={k} seed={seed}");
                 assert_eq!(
                     res.processes_with_outcome(chain_ret::WIN).len(),
@@ -324,8 +320,7 @@ mod tests {
                 let mut mem = Memory::new();
                 let chain = geometric_chain(&mut mem, k.max(4));
                 let protos = (0..k).map(|_| chain.elect()).collect();
-                let res =
-                    Execution::new(mem, protos, seed).run(&mut RandomSchedule::new(seed * 9));
+                let res = Execution::new(mem, protos, seed).run(&mut RandomSchedule::new(seed * 9));
                 assert!(res.all_finished(), "k={k} seed={seed}");
                 assert_eq!(
                     res.processes_with_outcome(chain_ret::WIN).len(),

@@ -58,15 +58,16 @@ impl AaLe {
         let probs = sifting_probabilities(n_eff, rounds);
         let mut ges: Vec<Arc<dyn GroupElect>> = probs
             .iter()
-            .map(|&p| {
-                Arc::new(SiftingGroupElect::new(memory, p, "aa-sift")) as Arc<dyn GroupElect>
-            })
+            .map(|&p| Arc::new(SiftingGroupElect::new(memory, p, "aa-sift")) as Arc<dyn GroupElect>)
             .collect();
         while ges.len() < n_eff {
             ges.push(Arc::new(DummyGroupElect::new()));
         }
         let chain = LeChain::new(memory, ges, OverflowPolicy::Lose, "aa-ladder");
-        AaLe { chain, sifting_rounds: rounds }
+        AaLe {
+            chain,
+            sifting_rounds: rounds,
+        }
     }
 
     /// Number of sifting rounds (Θ(log log n)).

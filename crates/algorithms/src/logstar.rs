@@ -12,6 +12,7 @@
 //!
 //! Space: O(log n) geometric group elections × O(log n) registers each
 //! + `n` levels × 4 ladder registers = O(n) total (for n ≥ log² n).
+//!
 //! Experiment E2 regenerates the step-complexity curve; experiment E9
 //! shows the adaptive adversary forcing Ω(k) on this same algorithm — the
 //! observation motivating Section 4's combiner.
@@ -62,13 +63,21 @@ impl LogStarLe {
         assert!(real_levels <= n_eff, "more real levels than ladder levels");
         let mut ges: Vec<Arc<dyn GroupElect>> = Vec::with_capacity(n_eff);
         for _ in 0..real_levels {
-            ges.push(Arc::new(GeometricGroupElect::new(memory, n_eff, "logstar-ge")));
+            ges.push(Arc::new(GeometricGroupElect::new(
+                memory,
+                n_eff,
+                "logstar-ge",
+            )));
         }
         for _ in real_levels..n_eff {
             ges.push(Arc::new(DummyGroupElect::new()));
         }
         let chain = LeChain::new(memory, ges, OverflowPolicy::Lose, "logstar-ladder");
-        LogStarLe { chain, n, real_levels }
+        LogStarLe {
+            chain,
+            n,
+            real_levels,
+        }
     }
 
     /// Maximum number of participating processes.
@@ -146,8 +155,7 @@ mod tests {
                 let mut mem = Memory::new();
                 let le = LogStarLe::new(&mut mem, k);
                 let protos = (0..k).map(|_| le.elect()).collect();
-                let res =
-                    Execution::new(mem, protos, seed).run(&mut RandomSchedule::new(seed * 3));
+                let res = Execution::new(mem, protos, seed).run(&mut RandomSchedule::new(seed * 3));
                 assert!(res.all_finished(), "k={k} seed={seed}");
                 assert_eq!(
                     res.processes_with_outcome(ret::WIN).len(),
@@ -196,8 +204,7 @@ mod tests {
                 let mut mem = Memory::new();
                 let le = LogStarLe::new(&mut mem, k);
                 let protos = (0..k).map(|_| le.elect()).collect();
-                let res =
-                    Execution::new(mem, protos, seed).run(&mut RandomSchedule::new(seed + 5));
+                let res = Execution::new(mem, protos, seed).run(&mut RandomSchedule::new(seed + 5));
                 assert!(res.all_finished());
                 total += res.steps().max();
             }

@@ -18,7 +18,7 @@
 use std::sync::Arc;
 
 use rtas_primitives::{
-    RoleLeaderElect, RSplitter, Splitter, SplitterObject, ThreeProcessLe, TwoProcessLe,
+    RSplitter, RoleLeaderElect, Splitter, SplitterObject, ThreeProcessLe, TwoProcessLe,
 };
 use rtas_sim::memory::{Memory, RegRange};
 use rtas_sim::protocol::{ret, Ctx, Poll, Protocol, Resume};
@@ -94,7 +94,14 @@ impl OriginalRatRace {
         let grid = memory.alloc_lazy(n_eff * n_eff * NODE_REGS, "ratrace-orig-grid");
         let letop = TwoProcessLe::new(memory, "ratrace-orig-letop");
         OriginalRatRace {
-            s: Arc::new(Structure { tree, tree_height, tree_nodes, grid, n: n_eff, letop }),
+            s: Arc::new(Structure {
+                tree,
+                tree_height,
+                tree_nodes,
+                grid,
+                n: n_eff,
+                letop,
+            }),
             capacity: n,
         }
     }
@@ -111,9 +118,7 @@ impl OriginalRatRace {
 
     /// Total declared registers (Θ(n³)).
     pub fn declared_registers(&self) -> u64 {
-        self.s.tree_nodes * NODE_REGS
-            + self.s.n * self.s.n * NODE_REGS
-            + TwoProcessLe::REGISTERS
+        self.s.tree_nodes * NODE_REGS + self.s.n * self.s.n * NODE_REGS + TwoProcessLe::REGISTERS
     }
 
     /// Build the per-process `elect()` protocol.

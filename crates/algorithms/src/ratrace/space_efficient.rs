@@ -22,7 +22,7 @@
 
 use std::sync::Arc;
 
-use rtas_primitives::{RoleLeaderElect, RSplitter, SplitterObject, ThreeProcessLe, TwoProcessLe};
+use rtas_primitives::{RSplitter, RoleLeaderElect, SplitterObject, ThreeProcessLe, TwoProcessLe};
 use rtas_sim::memory::Memory;
 use rtas_sim::protocol::{ret, Ctx, Poll, Protocol, Resume};
 
@@ -185,14 +185,12 @@ impl Protocol for RatRaceProtocol {
                             self.state = State::Climb;
                         }
                         v => {
-                            let child = 2 * self.node
-                                + usize::from(v == ret::SPLIT_RIGHT);
+                            let child = 2 * self.node + usize::from(v == ret::SPLIT_RIGHT);
                             if child >= s.nodes.len() {
                                 // Fell off a leaf: leaf index j, enter
                                 // overflow path ⌊j / log n⌋.
                                 let leaf_j = self.node - s.leaf_base;
-                                self.node =
-                                    (leaf_j / s.log_n).min(s.paths.len() - 1);
+                                self.node = (leaf_j / s.log_n).min(s.paths.len() - 1);
                                 self.state = State::EnterPath;
                             } else {
                                 self.node = child;
@@ -208,7 +206,7 @@ impl Protocol for RatRaceProtocol {
                 State::AfterPath => match input.child_value() {
                     v if v == path_ret::WIN => {
                         // Re-enter the tree at leaf `path index` as role 0.
-                        self.node = s.leaf_base + self.node;
+                        self.node += s.leaf_base;
                         self.role = 0;
                         self.state = State::Climb;
                     }

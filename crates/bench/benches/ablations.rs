@@ -10,7 +10,6 @@
 
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rtas::algorithms::group_elect::{run_group_election, GeometricGroupElect, SiftingGroupElect};
 use rtas::algorithms::LogStarLe;
 use rtas::primitives::LeaderElect;
@@ -18,52 +17,37 @@ use rtas::sim::adversary::RandomSchedule;
 use rtas::sim::executor::Execution;
 use rtas::sim::memory::Memory;
 use rtas::sim::protocol::Protocol;
+use rtas_bench::microbench::Micro;
 
-fn bench_geometric_ell(c: &mut Criterion) {
-    let mut group = c.benchmark_group("geometric-ell");
+fn bench_geometric_ell(micro: &Micro) {
+    micro.group("geometric-ell");
     let k = 128;
     for ell in [2u64, 4, 8, 16] {
-        group.bench_with_input(BenchmarkId::from_parameter(ell), &ell, |b, &ell| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                let mut mem = Memory::new();
-                let ge = GeometricGroupElect::with_ell(&mut mem, ell, "ge");
-                run_group_election(mem, &ge, k, seed, &mut RandomSchedule::new(seed))
-            });
+        micro.bench(&format!("ell/{ell}"), |seed| {
+            let mut mem = Memory::new();
+            let ge = GeometricGroupElect::with_ell(&mut mem, ell, "ge");
+            run_group_election(mem, &ge, k, seed, &mut RandomSchedule::new(seed))
         });
     }
-    group.finish();
 }
 
-fn bench_logstar_real_levels(c: &mut Criterion) {
-    let mut group = c.benchmark_group("logstar-real-levels");
+fn bench_logstar_real_levels(micro: &Micro) {
+    micro.group("logstar-real-levels");
     let k = 64;
     for levels in [1usize, 4, 12, 32] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(levels),
-            &levels,
-            |b, &levels| {
-                let mut seed = 0u64;
-                b.iter(|| {
-                    seed += 1;
-                    let mut mem = Memory::new();
-                    let le = LogStarLe::with_real_levels(&mut mem, k, levels);
-                    let protos: Vec<Box<dyn Protocol>> =
-                        (0..k).map(|_| LeaderElect::elect(&le)).collect();
-                    let res = Execution::new(mem, protos, seed)
-                        .run(&mut RandomSchedule::new(seed ^ 0xab));
-                    assert!(res.all_finished());
-                    res.steps().max()
-                });
-            },
-        );
+        micro.bench(&format!("levels/{levels}"), |seed| {
+            let mut mem = Memory::new();
+            let le = LogStarLe::with_real_levels(&mut mem, k, levels);
+            let protos: Vec<Box<dyn Protocol>> = (0..k).map(|_| LeaderElect::elect(&le)).collect();
+            let res = Execution::new(mem, protos, seed).run(&mut RandomSchedule::new(seed ^ 0xab));
+            assert!(res.all_finished());
+            res.steps().max()
+        });
     }
-    group.finish();
 }
 
-fn bench_sifting_pi(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sifting-pi");
+fn bench_sifting_pi(micro: &Micro) {
+    micro.group("sifting-pi");
     let k = 256usize;
     let opt = 1.0 / (k as f64).sqrt();
     for (name, pi) in [
@@ -71,60 +55,45 @@ fn bench_sifting_pi(c: &mut Criterion) {
         ("optimal", opt),
         ("4x-opt", (opt * 4.0).min(1.0)),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &pi, |b, &pi| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                let mut mem = Memory::new();
-                let ge = SiftingGroupElect::new(&mut mem, pi, "sift");
-                run_group_election(mem, &ge, k, seed, &mut RandomSchedule::new(seed))
-            });
+        micro.bench(name, |seed| {
+            let mut mem = Memory::new();
+            let ge = SiftingGroupElect::new(&mut mem, pi, "sift");
+            run_group_election(mem, &ge, k, seed, &mut RandomSchedule::new(seed))
         });
     }
-    group.finish();
 }
 
-fn bench_combined_overhead(c: &mut Criterion) {
+fn bench_combined_overhead(micro: &Micro) {
     // The combiner interleaves two executions: measure its constant-factor
     // overhead against plain RatRace at equal contention.
     use rtas::algorithms::{Combined, SpaceEfficientRatRace};
-    let mut group = c.benchmark_group("combiner-overhead");
+    micro.group("combiner-overhead");
     let k = 64;
-    group.bench_function("ratrace-alone", |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            let mut mem = Memory::new();
-            let le = SpaceEfficientRatRace::new(&mut mem, k);
-            let protos: Vec<Box<dyn Protocol>> =
-                (0..k).map(|_| LeaderElect::elect(&le)).collect();
-            Execution::new(mem, protos, seed)
-                .run(&mut RandomSchedule::new(seed))
-                .steps()
-                .total()
-        });
+    micro.bench("ratrace-alone", |seed| {
+        let mut mem = Memory::new();
+        let le = SpaceEfficientRatRace::new(&mut mem, k);
+        let protos: Vec<Box<dyn Protocol>> = (0..k).map(|_| LeaderElect::elect(&le)).collect();
+        Execution::new(mem, protos, seed)
+            .run(&mut RandomSchedule::new(seed))
+            .steps()
+            .total()
     });
-    group.bench_function("combined", |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            let mut mem = Memory::new();
-            let weak = Arc::new(LogStarLe::new(&mut mem, k));
-            let le = Combined::new(&mut mem, weak, k);
-            let protos: Vec<Box<dyn Protocol>> =
-                (0..k).map(|_| LeaderElect::elect(&le)).collect();
-            Execution::new(mem, protos, seed)
-                .run(&mut RandomSchedule::new(seed))
-                .steps()
-                .total()
-        });
+    micro.bench("combined", |seed| {
+        let mut mem = Memory::new();
+        let weak = Arc::new(LogStarLe::new(&mut mem, k));
+        let le = Combined::new(&mut mem, weak, k);
+        let protos: Vec<Box<dyn Protocol>> = (0..k).map(|_| LeaderElect::elect(&le)).collect();
+        Execution::new(mem, protos, seed)
+            .run(&mut RandomSchedule::new(seed))
+            .steps()
+            .total()
     });
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_geometric_ell, bench_logstar_real_levels, bench_sifting_pi, bench_combined_overhead
+fn main() {
+    let micro = Micro::from_env();
+    bench_geometric_ell(&micro);
+    bench_logstar_real_levels(&micro);
+    bench_sifting_pi(&micro);
+    bench_combined_overhead(&micro);
 }
-criterion_main!(benches);

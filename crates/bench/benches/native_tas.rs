@@ -1,46 +1,36 @@
-//! Criterion benches for the native (real-atomics) objects.
+//! Wall-clock benches for the native (real-atomics) objects.
 //!
-//! Measures the wall-clock latency of a full `test_and_set` resolution
-//! with `k` concurrent threads per backend — the "would you actually use
-//! this" numbers.
+//! Measures the latency of a full `test_and_set` resolution with `k`
+//! concurrent threads per backend — the "would you actually use this"
+//! numbers.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rtas::{Backend, TestAndSet};
+use rtas_bench::microbench::Micro;
 
 fn resolve_once(backend: Backend, threads: usize) -> usize {
     let tas = TestAndSet::with_backend(backend, threads);
-    let winners: usize = crossbeam::thread::scope(|s| {
+    let winners: usize = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
-            .map(|_| s.spawn(|_| tas.test_and_set()))
+            .map(|_| s.spawn(|| tas.test_and_set()))
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().unwrap())
-            .filter(|&already| !already)
+            .filter(|&already_set| !already_set)
             .count()
-    })
-    .unwrap();
+    });
     assert_eq!(winners, 1);
     winners
 }
 
-fn bench_native(c: &mut Criterion) {
-    let mut group = c.benchmark_group("native-tas");
+fn main() {
+    let micro = Micro::from_env();
+    micro.group("native-tas");
     for threads in [2usize, 4, 8] {
         for backend in [Backend::LogStar, Backend::RatRace, Backend::Combined] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("{backend:?}"), threads),
-                &threads,
-                |b, &threads| b.iter(|| resolve_once(backend, threads)),
-            );
+            micro.bench(&format!("{backend:?}/{threads}"), |_| {
+                resolve_once(backend, threads)
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_native
-}
-criterion_main!(benches);

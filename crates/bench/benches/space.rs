@@ -1,49 +1,34 @@
-//! Criterion benches for structure construction cost and space (E4
+//! Wall-clock benches for structure construction cost and space (E4
 //! companion): building the Θ(n) space-efficient RatRace vs declaring the
 //! Θ(n³) original, across n.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rtas::algorithms::{LogLogLe, LogStarLe, OriginalRatRace, SpaceEfficientRatRace};
 use rtas::sim::memory::Memory;
+use rtas_bench::microbench::Micro;
 
-fn bench_construction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("construction");
+fn main() {
+    let micro = Micro::from_env();
+    micro.group("construction");
     for n in [64usize, 256, 1024] {
-        group.bench_with_input(BenchmarkId::new("logstar", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut mem = Memory::new();
-                let le = LogStarLe::new(&mut mem, n);
-                (le.levels(), mem.declared_registers())
-            });
+        micro.bench(&format!("logstar/{n}"), |_| {
+            let mut mem = Memory::new();
+            let le = LogStarLe::new(&mut mem, n);
+            (le.levels(), mem.declared_registers())
         });
-        group.bench_with_input(BenchmarkId::new("loglog", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut mem = Memory::new();
-                let le = LogLogLe::new(&mut mem, n);
-                (le.stages(), mem.declared_registers())
-            });
+        micro.bench(&format!("loglog/{n}"), |_| {
+            let mut mem = Memory::new();
+            let le = LogLogLe::new(&mut mem, n);
+            (le.stages(), mem.declared_registers())
         });
-        group.bench_with_input(BenchmarkId::new("ratrace-space-eff", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut mem = Memory::new();
-                let rr = SpaceEfficientRatRace::new(&mut mem, n);
-                (rr.height(), mem.declared_registers())
-            });
+        micro.bench(&format!("ratrace-space-eff/{n}"), |_| {
+            let mut mem = Memory::new();
+            let rr = SpaceEfficientRatRace::new(&mut mem, n);
+            (rr.height(), mem.declared_registers())
         });
-        group.bench_with_input(BenchmarkId::new("ratrace-original", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut mem = Memory::new();
-                let rr = OriginalRatRace::new(&mut mem, n);
-                (rr.tree_height(), mem.declared_registers())
-            });
+        micro.bench(&format!("ratrace-original/{n}"), |_| {
+            let mut mem = Memory::new();
+            let rr = OriginalRatRace::new(&mut mem, n);
+            (rr.tree_height(), mem.declared_registers())
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_construction
-}
-criterion_main!(benches);

@@ -1,19 +1,19 @@
-//! Criterion benches for simulated step complexity (E2/E3/E4 companions).
+//! Wall-clock benches for simulated step complexity (E2/E3/E4
+//! companions).
 //!
-//! Criterion measures wall-clock of whole simulated executions; the
-//! interesting output is the *relative* cost across algorithms at equal
-//! contention, which tracks their step complexity since per-step cost is
-//! uniform in the simulator.
+//! Measures whole simulated executions; the interesting output is the
+//! *relative* cost across algorithms at equal contention, which tracks
+//! their step complexity since per-step cost is uniform in the simulator.
 
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rtas::algorithms::{LogLogLe, LogStarLe, SpaceEfficientRatRace};
 use rtas::primitives::LeaderElect;
 use rtas::sim::adversary::RandomSchedule;
 use rtas::sim::executor::Execution;
 use rtas::sim::memory::Memory;
 use rtas::sim::protocol::Protocol;
+use rtas_bench::microbench::Micro;
 
 fn run_le(build: impl Fn(&mut Memory) -> Arc<dyn LeaderElect>, k: usize, seed: u64) -> u64 {
     let mut mem = Memory::new();
@@ -24,37 +24,18 @@ fn run_le(build: impl Fn(&mut Memory) -> Arc<dyn LeaderElect>, k: usize, seed: u
     res.steps().total()
 }
 
-fn bench_algorithms(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulated-election");
+fn main() {
+    let micro = Micro::from_env();
+    micro.group("simulated-election");
     for k in [16usize, 64, 256] {
-        group.bench_with_input(BenchmarkId::new("logstar", k), &k, |b, &k| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                run_le(|m| Arc::new(LogStarLe::new(m, k)), k, seed)
-            });
+        micro.bench(&format!("logstar/{k}"), |seed| {
+            run_le(|m| Arc::new(LogStarLe::new(m, k)), k, seed)
         });
-        group.bench_with_input(BenchmarkId::new("loglog", k), &k, |b, &k| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                run_le(|m| Arc::new(LogLogLe::new(m, k)), k, seed)
-            });
+        micro.bench(&format!("loglog/{k}"), |seed| {
+            run_le(|m| Arc::new(LogLogLe::new(m, k)), k, seed)
         });
-        group.bench_with_input(BenchmarkId::new("ratrace", k), &k, |b, &k| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                run_le(|m| Arc::new(SpaceEfficientRatRace::new(m, k)), k, seed)
-            });
+        micro.bench(&format!("ratrace/{k}"), |seed| {
+            run_le(|m| Arc::new(SpaceEfficientRatRace::new(m, k)), k, seed)
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_algorithms
-}
-criterion_main!(benches);

@@ -1,54 +1,131 @@
-//! Regenerate every table of EXPERIMENTS.md.
+//! Regenerate every table of EXPERIMENTS.md, and the machine-readable
+//! `BENCH_*.json` perf baselines.
 //!
 //! ```text
 //! cargo run -p rtas-bench --release --bin experiments          # full scale
 //! cargo run -p rtas-bench --release --bin experiments -- --fast
 //! cargo run -p rtas-bench --release --bin experiments -- e4 e7 # subset
+//! cargo run -p rtas-bench --release --bin experiments -- --threads 8 e2
 //! ```
+//!
+//! Trials fan out over OS threads (`--threads N`, or the `RTAS_THREADS`
+//! environment variable, defaulting to the host's available parallelism);
+//! results are bit-identical at every thread count. Experiments with
+//! step-complexity sweeps additionally write `BENCH_<name>.json` rows
+//! (per-k mean/worst steps plus wall-clock) to `RTAS_BENCH_DIR` (default:
+//! current directory) so the simulator's perf trajectory is tracked
+//! across PRs. Pass `--no-json` to skip the files.
 
 use rtas_bench::experiments;
+use rtas_bench::report::BenchReport;
+use rtas_bench::runner::TrialRunner;
 use rtas_bench::Scale;
+
+fn write_report(report: BenchReport) {
+    match report.write() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(err) => eprintln!("failed to write {}: {err}", report.path().display()),
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
+    let no_json = args.iter().any(|a| a == "--no-json");
+    // One pass: `--threads` takes a mandatory numeric value; everything
+    // else that is not a flag selects experiments.
+    let mut threads = None;
+    let mut wanted: Vec<&str> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--threads" {
+            let value = iter.next().unwrap_or_else(|| {
+                eprintln!("error: --threads requires a value");
+                std::process::exit(2);
+            });
+            threads = Some(value.parse::<usize>().unwrap_or_else(|_| {
+                eprintln!("error: --threads value {value:?} is not a number");
+                std::process::exit(2);
+            }));
+        } else if !arg.starts_with("--") {
+            wanted.push(arg.as_str());
+        }
+    }
+    let runner = match threads {
+        Some(n) => TrialRunner::new(n),
+        None => TrialRunner::from_env(),
+    };
     let scale = if fast { Scale::fast() } else { Scale::full() };
-    let wanted: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|s| s.as_str())
-        .collect();
     let run = |id: &str| wanted.is_empty() || wanted.contains(&id);
 
-    println!("randomized test-and-set reproduction — experiments (scale: {scale:?})");
+    println!(
+        "randomized test-and-set reproduction — experiments (scale: {scale:?}, threads: {})",
+        runner.threads()
+    );
     if run("e1") {
-        experiments::e1_group_election_performance(scale);
+        experiments::e1_group_election_performance(scale, &runner);
     }
     if run("e2") {
-        experiments::e2_logstar_steps(scale);
+        let rows = experiments::e2_logstar_steps(scale, &runner);
+        if !no_json {
+            let mut report = BenchReport::new("step_complexity", runner.threads());
+            for r in &rows {
+                report.push(
+                    r.steps
+                        .bench_row(scale.trials)
+                        .with("log_star", r.log_star as f64)
+                        .with("registers", r.registers as f64),
+                );
+            }
+            write_report(report);
+        }
     }
     if run("e3") {
-        experiments::e3_loglog_steps(scale);
+        let rows = experiments::e3_loglog_steps(scale, &runner);
+        if !no_json {
+            let mut report = BenchReport::new("loglog_steps", runner.threads());
+            for r in &rows {
+                report.push(
+                    r.steps
+                        .bench_row(scale.trials)
+                        .with("baseline_mean", r.baseline.mean_max_steps),
+                );
+            }
+            write_report(report);
+        }
     }
     if run("e4") {
-        experiments::e4_ratrace(scale);
+        let rows = experiments::e4_ratrace(scale, &runner);
+        if !no_json {
+            let mut report = BenchReport::new("ratrace", runner.threads());
+            for r in &rows {
+                report.push(
+                    r.steps
+                        .bench_row(scale.trials)
+                        .with("regs_space_efficient", r.regs_space_efficient as f64)
+                        .with("regs_original_declared", r.regs_original_declared as f64)
+                        .with("regs_original_touched", r.regs_original_touched as f64),
+                );
+            }
+            write_report(report);
+        }
     }
     if run("e5") {
-        experiments::e5_combiner(scale);
+        experiments::e5_combiner(scale, &runner);
     }
     if run("e6") {
-        experiments::e6_space_lower_bound(scale);
+        experiments::e6_space_lower_bound(scale, &runner);
     }
     if run("e7") {
-        experiments::e7_two_process_tail(scale);
+        experiments::e7_two_process_tail(scale, &runner);
     }
     if run("e8") {
-        experiments::e8_sifting_rounds(scale);
+        experiments::e8_sifting_rounds(scale, &runner);
     }
     if run("e9") {
-        experiments::e9_adaptive_attack(scale);
+        experiments::e9_adaptive_attack(scale, &runner);
     }
     if run("e10") {
-        experiments::e10_ladder_depth(scale);
+        experiments::e10_ladder_depth(scale, &runner);
     }
 }

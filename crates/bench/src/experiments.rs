@@ -4,6 +4,14 @@
 //! point) and returns the raw rows so integration tests can assert the
 //! claims' *shape* (who wins, growth order, crossovers) rather than
 //! absolute constants.
+//!
+//! All Monte Carlo trials go through the [`crate::runner`] batch engine:
+//! one [`TrialRunner`] fans a point's trials out across OS threads with
+//! deterministic per-trial seeds, so every table below is reproducible
+//! bit for bit at any thread count. Step-complexity sweeps additionally
+//! use the executor's allocation-light reuse path: each worker builds its
+//! simulated memory once per sweep point and re-runs trials in place via
+//! [`Execution::reset`].
 
 use std::sync::Arc;
 
@@ -11,17 +19,18 @@ use rtas::algorithms::attacks::AscendingWriteAttack;
 use rtas::algorithms::group_elect::{run_group_election, GeometricGroupElect, SiftingGroupElect};
 use rtas::algorithms::logstar::log_star;
 use rtas::algorithms::{Combined, LogLogLe, LogStarLe, OriginalRatRace, SpaceEfficientRatRace};
+use rtas::lowerbound::covering::covering_base_case;
 use rtas::lowerbound::hitting_time::{geometric_ge_rate, iterated_rate_depth};
 use rtas::lowerbound::recurrence::{closed_form_f, f_sequence};
 use rtas::lowerbound::yao::schedule_tail_probabilities;
-use rtas::lowerbound::covering::covering_base_case;
 use rtas::primitives::{LeaderElect, RoleLeaderElect, TwoProcessLe};
 use rtas::sim::adversary::{Adversary, RandomSchedule};
 use rtas::sim::executor::Execution;
 use rtas::sim::memory::Memory;
-use rtas::sim::metrics::Aggregate;
 use rtas::sim::protocol::{ret, Protocol};
 
+use crate::report::BenchRow;
+use crate::runner::{Sweep, SweepPoint, Trial, TrialRunner};
 use crate::Scale;
 
 /// One row of a step-complexity sweep.
@@ -33,42 +42,100 @@ pub struct StepRow {
     pub mean_max_steps: f64,
     /// Max over trials.
     pub worst_max_steps: f64,
+    /// Wall-clock cost of the point's whole trial batch, in milliseconds.
+    pub wall_ms: f64,
 }
 
-fn k_sweep(max_k: usize) -> Vec<usize> {
+impl From<&SweepPoint> for StepRow {
+    fn from(p: &SweepPoint) -> Self {
+        StepRow {
+            k: p.k,
+            mean_max_steps: p.mean(),
+            worst_max_steps: p.worst(),
+            wall_ms: p.wall_ms(),
+        }
+    }
+}
+
+impl StepRow {
+    /// This row as a [`BenchRow`] for a `BENCH_*.json` report; extras are
+    /// appended with [`BenchRow::with`].
+    pub fn bench_row(&self, trials: u64) -> BenchRow {
+        BenchRow {
+            k: self.k as u64,
+            trials,
+            mean: self.mean_max_steps,
+            worst: self.worst_max_steps,
+            wall_ms: self.wall_ms,
+            extra: Vec::new(),
+        }
+    }
+}
+
+/// The contention values of a sweep up to `max_k`: powers of four from 2,
+/// plus `max_k` itself. Empty when `max_k < 2` (there is nothing to
+/// sweep), never panics.
+pub(crate) fn k_sweep(max_k: usize) -> Vec<usize> {
     let mut ks = Vec::new();
     let mut k = 2;
     while k <= max_k {
         ks.push(k);
         k *= 4;
     }
-    if *ks.last().unwrap() != max_k {
+    if max_k >= 2 && ks.last() != Some(&max_k) {
         ks.push(max_k);
     }
     ks
 }
 
-fn measure_steps<F>(k: usize, trials: u64, seed: u64, mut build: F) -> StepRow
+/// Per-worker scratch of a step-complexity sweep point: the structure is
+/// built once, then every trial reuses the warm memory and executor.
+struct LeScratch {
+    le: Arc<dyn LeaderElect>,
+    exec: Execution,
+}
+
+fn le_scratch<F>(k: usize, build: &F) -> LeScratch
 where
-    F: FnMut(&mut Memory) -> Arc<dyn LeaderElect>,
+    F: Fn(&mut Memory, usize) -> Arc<dyn LeaderElect> + Sync,
 {
-    let mut agg = Aggregate::new();
-    for t in 0..trials {
-        let mut mem = Memory::new();
-        let le = build(&mut mem);
-        let protos: Vec<Box<dyn Protocol>> = (0..k).map(|_| le.elect()).collect();
-        let run_seed = seed.wrapping_add(t.wrapping_mul(0x9e37));
-        let res = Execution::new(mem, protos, run_seed)
-            .run(&mut RandomSchedule::new(run_seed ^ 0x5c4e));
-        assert!(res.all_finished(), "k={k} trial={t} did not finish");
-        assert_eq!(
-            res.processes_with_outcome(ret::WIN).len(),
-            1,
-            "k={k} trial={t}: winner count wrong"
-        );
-        agg.push(res.steps().max() as f64);
+    let mut mem = Memory::new();
+    let le = build(&mut mem, k);
+    LeScratch {
+        le,
+        exec: Execution::new(mem, Vec::new(), 0),
     }
-    StepRow { k, mean_max_steps: agg.mean(), worst_max_steps: agg.max() }
+}
+
+fn le_trial(scratch: &mut LeScratch, k: usize, trial: Trial) -> f64 {
+    let protos: Vec<Box<dyn Protocol>> = (0..k).map(|_| scratch.le.elect()).collect();
+    scratch.exec.reset(protos, trial.seed);
+    let out = scratch
+        .exec
+        .run_in_place(&mut RandomSchedule::new(trial.subseed(1)));
+    assert!(
+        out.all_finished(),
+        "k={k} trial={} did not finish",
+        trial.index
+    );
+    assert_eq!(
+        scratch.exec.count_outcome(ret::WIN),
+        1,
+        "k={k} trial={}: winner count wrong",
+        trial.index
+    );
+    scratch.exec.steps().max() as f64
+}
+
+fn measure_steps<F>(sweep: &Sweep<'_>, k: usize, build: F) -> SweepPoint
+where
+    F: Fn(&mut Memory, usize) -> Arc<dyn LeaderElect> + Sync,
+{
+    sweep.measure_with(
+        k,
+        || le_scratch(k, &build),
+        |scratch, trial| le_trial(scratch, k, trial),
+    )
 }
 
 fn print_header(id: &str, claim: &str) {
@@ -78,56 +145,88 @@ fn print_header(id: &str, claim: &str) {
 
 /// E1 — Lemma 2.2: the geometric group election's performance parameter
 /// stays below `2·log₂ k + 6`.
-pub fn e1_group_election_performance(scale: Scale) -> Vec<(usize, f64, f64)> {
+pub fn e1_group_election_performance(scale: Scale, runner: &TrialRunner) -> Vec<(usize, f64, f64)> {
     print_header("E1", "Fig.1 group election: E[elected] <= 2 log2 k + 6");
     println!("k | mean elected | bound");
+    let sweep = Sweep::new(runner, scale.trials, scale.seed);
     let mut rows = Vec::new();
     for k in k_sweep(scale.max_k) {
-        let mut agg = Aggregate::new();
-        for t in 0..scale.trials {
+        let point = sweep.measure(k, |trial| {
             let mut mem = Memory::new();
             let ge = GeometricGroupElect::new(&mut mem, scale.max_k.max(2), "ge");
-            let seed = scale.seed + t * 131 + k as u64;
-            let (elected, _) =
-                run_group_election(mem, &ge, k, seed, &mut RandomSchedule::new(seed));
-            agg.push(elected as f64);
-        }
+            let (elected, _) = run_group_election(
+                mem,
+                &ge,
+                k,
+                trial.seed,
+                &mut RandomSchedule::new(trial.subseed(1)),
+            );
+            elected as f64
+        });
         let bound = 2.0 * (k as f64).log2() + 6.0;
-        println!("{k} | {:.2} | {:.2}", agg.mean(), bound);
-        rows.push((k, agg.mean(), bound));
+        println!("{k} | {:.2} | {bound:.2}", point.mean());
+        rows.push((k, point.mean(), bound));
     }
     rows
 }
 
+/// One row of the E2 sweep: steps, the log* yardstick, and space.
+#[derive(Debug, Clone, Copy)]
+pub struct E2Row {
+    /// Step statistics and timing at this contention.
+    pub steps: StepRow,
+    /// `log* k`.
+    pub log_star: u32,
+    /// Registers the structure declares at this `k`.
+    pub registers: u64,
+}
+
 /// E2 — Theorem 2.3: O(log* k) step complexity of the log* algorithm,
 /// with its register count.
-pub fn e2_logstar_steps(scale: Scale) -> Vec<(StepRow, u32, u64)> {
+pub fn e2_logstar_steps(scale: Scale, runner: &TrialRunner) -> Vec<E2Row> {
     print_header(
         "E2",
         "Theorem 2.3: log* LE steps vs k (random oblivious schedules)",
     );
-    println!("k | mean max steps | worst | log* k | registers");
+    println!("k | mean max steps | worst | log* k | registers | wall ms");
+    let sweep = Sweep::new(runner, scale.trials, scale.seed);
     let mut rows = Vec::new();
     for k in k_sweep(scale.max_k) {
-        let row = measure_steps(k, scale.trials, scale.seed, |mem| {
-            Arc::new(LogStarLe::new(mem, k))
-        });
+        let point = measure_steps(&sweep, k, |mem, k| Arc::new(LogStarLe::new(mem, k)));
         let mut mem = Memory::new();
         let _ = LogStarLe::new(&mut mem, k);
         let regs = mem.declared_registers();
         let ls = log_star(k as f64);
         println!(
-            "{k} | {:.1} | {:.0} | {ls} | {regs}",
-            row.mean_max_steps, row.worst_max_steps
+            "{k} | {:.1} | {:.0} | {ls} | {regs} | {:.1}",
+            point.mean(),
+            point.worst(),
+            point.wall_ms()
         );
-        rows.push((row, ls, regs));
+        rows.push(E2Row {
+            steps: StepRow::from(&point),
+            log_star: ls,
+            registers: regs,
+        });
     }
     rows
 }
 
+/// One row of the E3 sweep: the adaptive algorithm against the
+/// non-adaptive baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct E3Row {
+    /// Adaptive sifting-ladder steps at this contention.
+    pub steps: StepRow,
+    /// Alistarh–Aspnes baseline (sized for `n = max_k`) at the same `k`.
+    pub baseline: StepRow,
+    /// `log₂ log₂ k`.
+    pub loglog: f64,
+}
+
 /// E3 — Theorem 2.4: O(log log k) step complexity of the sifting ladder,
 /// next to the non-adaptive Alistarh–Aspnes baseline it improves on.
-pub fn e3_loglog_steps(scale: Scale) -> Vec<(StepRow, f64)> {
+pub fn e3_loglog_steps(scale: Scale, runner: &TrialRunner) -> Vec<E3Row> {
     print_header(
         "E3",
         "Theorem 2.4: adaptive sifting LE steps vs k (with non-adaptive AA baseline)",
@@ -135,41 +234,58 @@ pub fn e3_loglog_steps(scale: Scale) -> Vec<(StepRow, f64)> {
     println!("k | adaptive mean max steps | worst | AA baseline (n=max_k) | log2 log2 k");
     let mut rows = Vec::new();
     let n_big = scale.max_k;
+    let sweep = Sweep::new(runner, scale.trials, scale.seed + 7);
+    let baseline_sweep = Sweep::new(runner, scale.trials.min(8), scale.seed + 9);
     for k in k_sweep(scale.max_k) {
-        let row = measure_steps(k, scale.trials, scale.seed + 7, |mem| {
-            Arc::new(LogLogLe::new(mem, k))
-        });
+        let point = measure_steps(&sweep, k, |mem, k| Arc::new(LogLogLe::new(mem, k)));
         // The baseline is sized for n = max_k regardless of k: its step
         // count depends on n, which is exactly the non-adaptivity the
         // theorem removes.
-        let baseline = measure_steps(k, scale.trials.min(8), scale.seed + 9, |mem| {
+        let baseline = measure_steps(&baseline_sweep, k, |mem, _| {
             Arc::new(rtas::algorithms::AaLe::new(mem, n_big))
         });
         let ll = (k as f64).log2().max(1.0).log2().max(0.0);
         println!(
             "{k} | {:.1} | {:.0} | {:.1} | {ll:.2}",
-            row.mean_max_steps, row.worst_max_steps, baseline.mean_max_steps
+            point.mean(),
+            point.worst(),
+            baseline.mean()
         );
-        rows.push((row, ll));
+        rows.push(E3Row {
+            steps: StepRow::from(&point),
+            baseline: StepRow::from(&baseline),
+            loglog: ll,
+        });
     }
     rows
 }
 
+/// One row of the E4 sweep: steps and the space separation.
+#[derive(Debug, Clone, Copy)]
+pub struct E4Row {
+    /// Space-efficient RatRace steps at this contention.
+    pub steps: StepRow,
+    /// Registers the space-efficient variant declares.
+    pub regs_space_efficient: u64,
+    /// Registers the original declares (Θ(n³)).
+    pub regs_original_declared: u64,
+    /// Registers the original actually touches in one execution.
+    pub regs_original_touched: u64,
+}
+
 /// E4 — Section 3: step complexity and space of the two RatRaces.
-///
-/// Returns `(k, steps_space_efficient, declared_se, declared_orig,
-/// touched_orig)` rows.
-pub fn e4_ratrace(scale: Scale) -> Vec<(usize, f64, u64, u64, u64)> {
+pub fn e4_ratrace(scale: Scale, runner: &TrialRunner) -> Vec<E4Row> {
     print_header(
         "E4",
         "Section 3: RatRace steps O(log k); space Θ(n) vs Θ(n³)",
     );
     println!("n=k | mean max steps (space-eff) | regs space-eff | regs original (declared) | original touched");
     let mut rows = Vec::new();
+    let sweep = Sweep::new(runner, scale.trials, scale.seed + 13);
     // The original declares Θ(n³) registers; cap the sweep so tables stay
     // readable (the asymptotic is visible long before 2^12).
     for k in k_sweep(scale.max_k.min(1 << 9)) {
-        let row = measure_steps(k, scale.trials, scale.seed + 13, |mem| {
+        let point = measure_steps(&sweep, k, |mem, k| {
             Arc::new(SpaceEfficientRatRace::new(mem, k))
         });
         let mut mem_se = Memory::new();
@@ -180,16 +296,21 @@ pub fn e4_ratrace(scale: Scale) -> Vec<(usize, f64, u64, u64, u64)> {
         let orr = OriginalRatRace::new(&mut mem_o, k);
         let declared_o = mem_o.declared_registers();
         let protos: Vec<Box<dyn Protocol>> = (0..k).map(|_| orr.elect()).collect();
-        let res = Execution::new(mem_o, protos, scale.seed)
-            .run(&mut RandomSchedule::new(scale.seed + 1));
+        let res =
+            Execution::new(mem_o, protos, scale.seed).run(&mut RandomSchedule::new(scale.seed + 1));
         assert!(res.all_finished());
         let touched_o = res.memory().touched_registers();
 
         println!(
             "{k} | {:.1} | {regs_se} | {declared_o} | {touched_o}",
-            row.mean_max_steps
+            point.mean()
         );
-        rows.push((k, row.mean_max_steps, regs_se, declared_o, touched_o));
+        rows.push(E4Row {
+            steps: StepRow::from(&point),
+            regs_space_efficient: regs_se,
+            regs_original_declared: declared_o,
+            regs_original_touched: touched_o,
+        });
     }
     rows
 }
@@ -197,7 +318,10 @@ pub fn e4_ratrace(scale: Scale) -> Vec<(usize, f64, u64, u64, u64)> {
 /// E5 — Theorem 4.1: the combiner inherits the best of both worlds.
 ///
 /// Rows: `(k, algorithm, adversary, mean_max_steps)`.
-pub fn e5_combiner(scale: Scale) -> Vec<(usize, &'static str, &'static str, f64)> {
+pub fn e5_combiner(
+    scale: Scale,
+    runner: &TrialRunner,
+) -> Vec<(usize, &'static str, &'static str, f64)> {
     print_header(
         "E5",
         "Theorem 4.1: combined = log* under oblivious AND O(log k) under attack",
@@ -206,14 +330,23 @@ pub fn e5_combiner(scale: Scale) -> Vec<(usize, &'static str, &'static str, f64)
     let mut rows = Vec::new();
     let ks: Vec<usize> = k_sweep(scale.max_k.min(1 << 8));
     for &k in &ks {
-        for (alg_name, adv_name) in [
+        for (combo, (alg_name, adv_name)) in [
             ("logstar", "random"),
             ("logstar", "attack"),
             ("combined", "random"),
             ("combined", "attack"),
-        ] {
-            let mut agg = Aggregate::new();
-            for t in 0..scale.trials.min(10) {
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            // One seed stream per (algorithm, adversary) combination, so
+            // combinations stay statistically independent at equal k.
+            let sweep = Sweep::new(
+                runner,
+                scale.trials.min(10),
+                scale.seed + 1000 * combo as u64,
+            );
+            let point = sweep.measure(k, |trial| {
                 let mut mem = Memory::new();
                 let le: Arc<dyn LeaderElect> = if alg_name == "logstar" {
                     Arc::new(LogStarLe::new(&mut mem, k))
@@ -222,23 +355,22 @@ pub fn e5_combiner(scale: Scale) -> Vec<(usize, &'static str, &'static str, f64)
                     Arc::new(Combined::new(&mut mem, weak, k))
                 };
                 let protos: Vec<Box<dyn Protocol>> = (0..k).map(|_| le.elect()).collect();
-                let seed = scale.seed + t * 31 + k as u64;
                 let mut random_adv;
                 let mut attack_adv;
                 let adv: &mut dyn Adversary = if adv_name == "random" {
-                    random_adv = RandomSchedule::new(seed);
+                    random_adv = RandomSchedule::new(trial.subseed(1));
                     &mut random_adv
                 } else {
                     attack_adv = AscendingWriteAttack::new();
                     &mut attack_adv
                 };
-                let res = Execution::new(mem, protos, seed).run(adv);
+                let res = Execution::new(mem, protos, trial.seed).run(adv);
                 assert!(res.all_finished());
                 assert_eq!(res.processes_with_outcome(ret::WIN).len(), 1);
-                agg.push(res.steps().max() as f64);
-            }
-            println!("{k} | {alg_name} | {adv_name} | {:.1}", agg.mean());
-            rows.push((k, alg_name, adv_name, agg.mean()));
+                res.steps().max() as f64
+            });
+            println!("{k} | {alg_name} | {adv_name} | {:.1}", point.mean());
+            rows.push((k, alg_name, adv_name, point.mean()));
         }
     }
     rows
@@ -246,7 +378,7 @@ pub fn e5_combiner(scale: Scale) -> Vec<(usize, &'static str, &'static str, f64)
 
 /// E6 — Theorem 5.1 / Claim 5.5: the covering recurrence and the base
 /// case on real implementations.
-pub fn e6_space_lower_bound(scale: Scale) -> Vec<(u64, u64, u64)> {
+pub fn e6_space_lower_bound(scale: Scale, runner: &TrialRunner) -> Vec<(u64, u64, u64)> {
     print_header(
         "E6",
         "Theorem 5.1: f(n-4) = 4(log2 n - 1); covering base case on real algorithms",
@@ -265,11 +397,17 @@ pub fn e6_space_lower_bound(scale: Scale) -> Vec<(u64, u64, u64)> {
         rows.push((n, rec, closed));
     }
     println!("covering base case (all n processes poised to write, no process visible):");
-    for n in [8usize, 16, 32] {
+    // The three base cases are independent executions: route them through
+    // the runner so they run concurrently on multi-core hosts.
+    let ns = [8usize, 16, 32];
+    let reports = runner.run_trials(ns.len() as u64, scale.seed, |trial| {
+        let n = ns[trial.index as usize];
         let mut mem = Memory::new();
         let le = LogStarLe::new(&mut mem, n);
         let protos = (0..n).map(|_| le.elect()).collect();
-        let report = covering_base_case(mem, protos, scale.seed);
+        covering_base_case(mem, protos, scale.seed)
+    });
+    for (n, report) in ns.iter().zip(&reports) {
         println!(
             "  logstar n={n}: covering={}/{} distinct registers={}",
             report.covering_processes,
@@ -282,51 +420,63 @@ pub fn e6_space_lower_bound(scale: Scale) -> Vec<(u64, u64, u64)> {
 }
 
 /// E7 — Theorem 6.1: schedule-forced tail probabilities vs `1/4^t`.
-pub fn e7_two_process_tail(scale: Scale) -> Vec<rtas::lowerbound::yao::TailReport> {
+pub fn e7_two_process_tail(
+    scale: Scale,
+    runner: &TrialRunner,
+) -> Vec<rtas::lowerbound::yao::TailReport> {
     print_header(
         "E7",
         "Theorem 6.1: max over schedules of Pr[some proc needs >= t steps] >= 1/4^t",
     );
     println!("t | schedules | max tail | mean tail | 1/4^t");
-    let mut rows = Vec::new();
-    for t in 1..=7usize {
-        let report = schedule_tail_probabilities(t, scale.trials.max(20), scale.seed, || {
+    // Each t is an independent schedule search; fan them out.
+    let ts: Vec<usize> = (1..=7).collect();
+    let rows = runner.run_trials(ts.len() as u64, scale.seed, |trial| {
+        let t = ts[trial.index as usize];
+        schedule_tail_probabilities(t, scale.trials.max(20), scale.seed, || {
             let mut mem = Memory::new();
             let le = TwoProcessLe::new(&mut mem, "2le");
             (mem, vec![le.elect_as(0), le.elect_as(1)])
-        });
+        })
+    });
+    for (t, report) in ts.iter().zip(&rows) {
         println!(
             "{t} | {} | {:.3} | {:.3} | {:.5}",
             report.schedules, report.max_tail, report.mean_tail, report.bound
         );
         assert!(report.meets_bound(), "t={t}");
-        rows.push(report);
     }
     rows
 }
 
 /// E8 — Section 2.3: sifting survivor counts per round (`π·k + 1/π`).
-pub fn e8_sifting_rounds(scale: Scale) -> Vec<(usize, usize, f64, f64)> {
+pub fn e8_sifting_rounds(scale: Scale, runner: &TrialRunner) -> Vec<(usize, usize, f64, f64)> {
     print_header("E8", "Sifting rounds: survivors ~ pi*k + 1/pi per round");
     println!("round | participants k | mean elected | predicted");
     let mut rows = Vec::new();
     let mut k = scale.max_k;
     let mut round = 1;
+    // Rounds are sequential by construction (each round's k is the
+    // previous round's mean), but the trials within a round are parallel.
     while k > 4 && round <= 8 {
         let pi = SiftingGroupElect::probability_for_expected(k as f64);
-        let mut agg = Aggregate::new();
-        for t in 0..scale.trials {
+        let sweep = Sweep::new(runner, scale.trials, scale.seed + round as u64);
+        let point = sweep.measure(k, |trial| {
             let mut mem = Memory::new();
             let ge = SiftingGroupElect::new(&mut mem, pi, "sift");
-            let seed = scale.seed + t * 17 + round as u64;
-            let (elected, _) =
-                run_group_election(mem, &ge, k, seed, &mut RandomSchedule::new(seed));
-            agg.push(elected as f64);
-        }
+            let (elected, _) = run_group_election(
+                mem,
+                &ge,
+                k,
+                trial.seed,
+                &mut RandomSchedule::new(trial.subseed(1)),
+            );
+            elected as f64
+        });
         let predicted = pi * k as f64 + 1.0 / pi;
-        println!("{round} | {k} | {:.1} | {predicted:.1}", agg.mean());
-        rows.push((round, k, agg.mean(), predicted));
-        k = agg.mean().round() as usize;
+        println!("{round} | {k} | {:.1} | {predicted:.1}", point.mean());
+        rows.push((round, k, point.mean(), predicted));
+        k = point.mean().round() as usize;
         round += 1;
     }
     rows
@@ -334,7 +484,7 @@ pub fn e8_sifting_rounds(scale: Scale) -> Vec<(usize, usize, f64, f64)> {
 
 /// E9 — Section 4 motivation: the adaptive attack forces ~linear steps on
 /// the log* algorithm.
-pub fn e9_adaptive_attack(scale: Scale) -> Vec<(usize, f64, f64)> {
+pub fn e9_adaptive_attack(scale: Scale, runner: &TrialRunner) -> Vec<(usize, f64, f64)> {
     print_header(
         "E9",
         "Adaptive adversary forces Ω(k) on the log* algorithm (vs random schedule)",
@@ -342,32 +492,33 @@ pub fn e9_adaptive_attack(scale: Scale) -> Vec<(usize, f64, f64)> {
     println!("k | attacked mean max steps | random mean max steps");
     let mut rows = Vec::new();
     for k in k_sweep(scale.max_k.min(1 << 8)) {
-        let mut attacked = Aggregate::new();
-        let mut random = Aggregate::new();
-        for t in 0..scale.trials.min(8) {
-            let seed = scale.seed + t * 7;
-            for mode in 0..2 {
+        let run_mode = |attack: bool| {
+            // Distinct seed streams for the attacked and random modes.
+            let sweep = Sweep::new(
+                runner,
+                scale.trials.min(8),
+                scale.seed + 500 * attack as u64,
+            );
+            sweep.measure(k, |trial: Trial| {
                 let mut mem = Memory::new();
                 let le = LogStarLe::new(&mut mem, k);
                 let protos: Vec<Box<dyn Protocol>> = (0..k).map(|_| le.elect()).collect();
                 let mut att;
                 let mut rnd;
-                let adv: &mut dyn Adversary = if mode == 0 {
+                let adv: &mut dyn Adversary = if attack {
                     att = AscendingWriteAttack::new();
                     &mut att
                 } else {
-                    rnd = RandomSchedule::new(seed);
+                    rnd = RandomSchedule::new(trial.subseed(1));
                     &mut rnd
                 };
-                let res = Execution::new(mem, protos, seed).run(adv);
+                let res = Execution::new(mem, protos, trial.seed).run(adv);
                 assert!(res.all_finished());
-                if mode == 0 {
-                    attacked.push(res.steps().max() as f64);
-                } else {
-                    random.push(res.steps().max() as f64);
-                }
-            }
-        }
+                res.steps().max() as f64
+            })
+        };
+        let attacked = run_mode(true);
+        let random = run_mode(false);
         println!("{k} | {:.1} | {:.1}", attacked.mean(), random.mean());
         rows.push((k, attacked.mean(), random.mean()));
     }
@@ -375,61 +526,53 @@ pub fn e9_adaptive_attack(scale: Scale) -> Vec<(usize, f64, f64)> {
 }
 
 /// E10 — Lemma 2.1: the iterated-rate ladder depth vs measured depth.
-pub fn e10_ladder_depth(scale: Scale) -> Vec<(usize, u32, f64)> {
+pub fn e10_ladder_depth(scale: Scale, runner: &TrialRunner) -> Vec<(usize, u32, f64)> {
     print_header(
         "E10",
         "Lemma 2.1: ladder depth bound Δ_{f-1}(k) (log*-like) vs measured levels",
     );
     println!("k | depth bound (iterated rate) | measured mean levels used");
     let mut rows = Vec::new();
+    let sweep = Sweep::new(runner, scale.trials.min(10), scale.seed);
     for k in k_sweep(scale.max_k.min(1 << 10)) {
         let bound = iterated_rate_depth(geometric_ge_rate, k as f64, 1.0);
         // Measured: run the log* algorithm and count the deepest group
         // election actually touched, via the per-label touched counts.
-        let mut agg = Aggregate::new();
-        for t in 0..scale.trials.min(10) {
+        let point = sweep.measure(k, |trial| {
             let mut mem = Memory::new();
             let le = LogStarLe::new(&mut mem, k);
             let protos: Vec<Box<dyn Protocol>> = (0..k).map(|_| le.elect()).collect();
-            let seed = scale.seed + t * 3;
-            let res =
-                Execution::new(mem, protos, seed).run(&mut RandomSchedule::new(seed + 9));
+            let res = Execution::new(mem, protos, trial.seed)
+                .run(&mut RandomSchedule::new(trial.subseed(1)));
             assert!(res.all_finished());
             // Ladder registers are 4 per level, allocated level by level;
             // the deepest touched ladder register reveals the level count.
             let stats = res.memory().stats_by_label();
-            let ge_touched = stats
-                .get("logstar-ge")
-                .map(|s| s.touched)
-                .unwrap_or(0);
+            let ge_touched = stats.get("logstar-ge").map(|s| s.touched).unwrap_or(0);
             // Each geometric GE level has ~log n + 2 registers; touching
             // any marks the level as used. Approximate levels used by
             // touched ladder register count / 4 (lower bound).
-            let ladder_touched = stats
-                .get("logstar-ladder")
-                .map(|s| s.touched)
-                .unwrap_or(0);
-            let levels_used = (ladder_touched as f64 / 4.0).max(ge_touched as f64 / 12.0);
-            agg.push(levels_used);
-        }
-        println!("{k} | {bound} | {:.1}", agg.mean());
-        rows.push((k, bound, agg.mean()));
+            let ladder_touched = stats.get("logstar-ladder").map(|s| s.touched).unwrap_or(0);
+            (ladder_touched as f64 / 4.0).max(ge_touched as f64 / 12.0)
+        });
+        println!("{k} | {bound} | {:.1}", point.mean());
+        rows.push((k, bound, point.mean()));
     }
     rows
 }
 
-/// Run every experiment at the given scale.
-pub fn run_all(scale: Scale) {
-    e1_group_election_performance(scale);
-    e2_logstar_steps(scale);
-    e3_loglog_steps(scale);
-    e4_ratrace(scale);
-    e5_combiner(scale);
-    e6_space_lower_bound(scale);
-    e7_two_process_tail(scale);
-    e8_sifting_rounds(scale);
-    e9_adaptive_attack(scale);
-    e10_ladder_depth(scale);
+/// Run every experiment at the given scale through one runner.
+pub fn run_all(scale: Scale, runner: &TrialRunner) {
+    e1_group_election_performance(scale, runner);
+    e2_logstar_steps(scale, runner);
+    e3_loglog_steps(scale, runner);
+    e4_ratrace(scale, runner);
+    e5_combiner(scale, runner);
+    e6_space_lower_bound(scale, runner);
+    e7_two_process_tail(scale, runner);
+    e8_sifting_rounds(scale, runner);
+    e9_adaptive_attack(scale, runner);
+    e10_ladder_depth(scale, runner);
 }
 
 #[cfg(test)]
@@ -437,54 +580,93 @@ mod tests {
     use super::*;
 
     fn tiny() -> Scale {
-        Scale { max_k: 32, trials: 4, seed: 42 }
+        Scale {
+            max_k: 32,
+            trials: 4,
+            seed: 42,
+        }
+    }
+
+    fn runner() -> TrialRunner {
+        TrialRunner::new(2)
+    }
+
+    #[test]
+    fn k_sweep_handles_degenerate_max() {
+        assert!(k_sweep(0).is_empty());
+        assert!(k_sweep(1).is_empty());
+        assert_eq!(k_sweep(2), vec![2]);
+        assert_eq!(k_sweep(8), vec![2, 8]);
+        assert_eq!(k_sweep(32), vec![2, 8, 32]);
+        assert_eq!(k_sweep(33), vec![2, 8, 32, 33]);
+        // The final point is never duplicated.
+        let ks = k_sweep(128);
+        assert_eq!(ks, vec![2, 8, 32, 128]);
     }
 
     #[test]
     fn e1_respects_bound() {
-        for (k, mean, bound) in e1_group_election_performance(tiny()) {
+        for (k, mean, bound) in e1_group_election_performance(tiny(), &runner()) {
             assert!(mean <= bound, "k={k}: {mean} > {bound}");
         }
     }
 
     #[test]
     fn e2_is_sublinear() {
-        let rows = e2_logstar_steps(tiny());
+        let rows = e2_logstar_steps(tiny(), &runner());
         let last = rows.last().unwrap();
-        assert!(last.0.mean_max_steps < last.0.k as f64);
+        assert!(last.steps.mean_max_steps < last.steps.k as f64);
     }
 
     #[test]
     fn e4_space_separation() {
-        let rows = e4_ratrace(tiny());
-        for (k, _, se, orig, touched) in rows {
+        let rows = e4_ratrace(tiny(), &runner());
+        for row in rows {
+            let k = row.steps.k;
             if k >= 16 {
-                assert!(orig > 20 * se, "k={k}: original {orig} vs SE {se}");
+                assert!(
+                    row.regs_original_declared > 20 * row.regs_space_efficient,
+                    "k={k}: original {} vs SE {}",
+                    row.regs_original_declared,
+                    row.regs_space_efficient
+                );
             }
-            assert!(touched < orig);
+            assert!(row.regs_original_touched < row.regs_original_declared);
         }
     }
 
     #[test]
     fn e6_exact() {
-        let rows = e6_space_lower_bound(tiny());
+        let rows = e6_space_lower_bound(tiny(), &runner());
         assert!(rows.iter().all(|&(_, a, b)| a == b));
     }
 
     #[test]
     fn e9_attack_dominates_random() {
-        let rows = e9_adaptive_attack(Scale { max_k: 64, trials: 4, seed: 3 });
+        let rows = e9_adaptive_attack(
+            Scale {
+                max_k: 64,
+                trials: 4,
+                seed: 3,
+            },
+            &runner(),
+        );
         let (_, attacked, random) = rows.last().unwrap();
         assert!(attacked > random);
     }
 
     #[test]
     fn e9_attacked_growth_is_linear_friendly_is_flat() {
-        let rows = e9_adaptive_attack(Scale { max_k: 128, trials: 4, seed: 5 });
-        let attacked: Vec<(f64, f64)> =
-            rows.iter().map(|&(k, a, _)| (k as f64, a)).collect();
-        let random: Vec<(f64, f64)> =
-            rows.iter().map(|&(k, _, r)| (k as f64, r)).collect();
+        let rows = e9_adaptive_attack(
+            Scale {
+                max_k: 128,
+                trials: 4,
+                seed: 5,
+            },
+            &runner(),
+        );
+        let attacked: Vec<(f64, f64)> = rows.iter().map(|&(k, a, _)| (k as f64, a)).collect();
+        let random: Vec<(f64, f64)> = rows.iter().map(|&(k, _, r)| (k as f64, r)).collect();
         let s_att = crate::stats::log_log_slope(&attacked);
         let s_rnd = crate::stats::log_log_slope(&random);
         assert!(s_att > 0.6, "attacked slope {s_att} not ~linear");
@@ -493,12 +675,34 @@ mod tests {
 
     #[test]
     fn e2_growth_is_essentially_flat() {
-        let rows = e2_logstar_steps(Scale { max_k: 256, trials: 6, seed: 4 });
+        let rows = e2_logstar_steps(
+            Scale {
+                max_k: 256,
+                trials: 6,
+                seed: 4,
+            },
+            &runner(),
+        );
         let pts: Vec<(f64, f64)> = rows
             .iter()
-            .map(|(r, _, _)| (r.k as f64, r.mean_max_steps))
+            .map(|r| (r.steps.k as f64, r.steps.mean_max_steps))
             .collect();
         let slope = crate::stats::log_log_slope(&pts);
         assert!(slope < 0.25, "log* steps slope {slope} too steep");
+    }
+
+    #[test]
+    fn e2_is_thread_count_invariant() {
+        // The whole experiment — not just one batch — must be identical
+        // between a serial and a parallel runner.
+        let serial = e2_logstar_steps(tiny(), &TrialRunner::serial());
+        let parallel = e2_logstar_steps(tiny(), &TrialRunner::new(4));
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.steps.k, p.steps.k);
+            assert_eq!(s.steps.mean_max_steps, p.steps.mean_max_steps);
+            assert_eq!(s.steps.worst_max_steps, p.steps.worst_max_steps);
+            assert_eq!(s.registers, p.registers);
+        }
     }
 }

@@ -6,6 +6,9 @@
 //! EXPERIMENTS.md records paper-vs-measured for each.
 
 pub mod experiments;
+pub mod microbench;
+pub mod report;
+pub mod runner;
 pub mod stats;
 
 /// Scale knobs shared by all experiments.
@@ -22,11 +25,19 @@ pub struct Scale {
 impl Scale {
     /// Full scale: the numbers recorded in EXPERIMENTS.md.
     pub fn full() -> Self {
-        Scale { max_k: 1 << 10, trials: 24, seed: 0xdead_beef }
+        Scale {
+            max_k: 1 << 10,
+            trials: 24,
+            seed: 0xdead_beef,
+        }
     }
 
     /// Reduced scale for CI and smoke runs (`--fast`).
     pub fn fast() -> Self {
-        Scale { max_k: 1 << 7, trials: 8, seed: 0xdead_beef }
+        Scale {
+            max_k: 1 << 7,
+            trials: 8,
+            seed: 0xdead_beef,
+        }
     }
 }

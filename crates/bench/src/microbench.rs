@@ -1,0 +1,96 @@
+//! A tiny wall-clock micro-bench harness (std-only).
+//!
+//! This environment has no external crates, so the `benches/` targets use
+//! this harness instead of criterion: each benchmark runs a warmup pass
+//! and then `samples` timed iterations, printing mean/min/max per
+//! iteration in a pipe-separated table. Not statistically rigorous — the
+//! interesting output is *relative* cost across parameter points, which
+//! this resolves fine.
+//!
+//! Sample count comes from `RTAS_BENCH_SAMPLES` (default 10); raise it
+//! for less noisy numbers.
+
+use std::time::Instant;
+
+/// Micro-benchmark driver: prints one table row per benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct Micro {
+    samples: u32,
+}
+
+impl Micro {
+    /// A driver with the sample count from `RTAS_BENCH_SAMPLES`
+    /// (default 10).
+    pub fn from_env() -> Self {
+        let samples = std::env::var("RTAS_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10);
+        Micro {
+            samples: samples.max(1),
+        }
+    }
+
+    /// A driver with an explicit sample count (at least 1).
+    pub fn with_samples(samples: u32) -> Self {
+        Micro {
+            samples: samples.max(1),
+        }
+    }
+
+    /// Print the table header for a named benchmark group.
+    pub fn group(&self, name: &str) {
+        println!();
+        println!("== {name} ({} samples)", self.samples);
+        println!("benchmark | mean ms | min ms | max ms");
+    }
+
+    /// Time `f` over the configured samples and print one row.
+    ///
+    /// `f` receives the 1-based iteration index — benchmarks that need a
+    /// fresh seed per iteration use it directly, keeping runs
+    /// reproducible.
+    pub fn bench<R>(&self, label: &str, mut f: impl FnMut(u64) -> R) {
+        // Warmup (not timed).
+        std::hint::black_box(f(0));
+        let mut total = 0.0f64;
+        let mut min = f64::INFINITY;
+        let mut max = 0.0f64;
+        for i in 1..=self.samples {
+            let start = Instant::now();
+            std::hint::black_box(f(i as u64));
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            total += ms;
+            min = min.min(ms);
+            max = max.max(ms);
+        }
+        println!(
+            "{label} | {:.4} | {min:.4} | {max:.4}",
+            total / self.samples as f64
+        );
+    }
+}
+
+impl Default for Micro {
+    fn default() -> Self {
+        Micro::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_warmup_plus_samples() {
+        let micro = Micro::with_samples(3);
+        let mut calls = 0u64;
+        micro.bench("count", |_| calls += 1);
+        assert_eq!(calls, 4, "one warmup + three samples");
+    }
+
+    #[test]
+    fn samples_clamped_to_one() {
+        assert_eq!(Micro::with_samples(0).samples, 1);
+    }
+}

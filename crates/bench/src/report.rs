@@ -1,0 +1,226 @@
+//! Machine-readable benchmark reports: `BENCH_<name>.json`.
+//!
+//! The experiments binary emits one JSON file per tracked experiment so
+//! the perf trajectory of the simulator can be compared across PRs
+//! without scraping the printed tables. The format is a single JSON
+//! object:
+//!
+//! ```json
+//! {
+//!   "experiment": "step_complexity",
+//!   "threads": 8,
+//!   "total_wall_ms": 1234.5,
+//!   "rows": [
+//!     {"k": 2, "trials": 24, "mean": 3.1, "worst": 5.0, "wall_ms": 10.2},
+//!     {"k": 8, "trials": 24, "mean": 4.9, "worst": 8.0, "wall_ms": 15.7,
+//!      "registers": 141.0}
+//!   ]
+//! }
+//! ```
+//!
+//! Every row carries the sweep parameter `k`, the per-trial statistics,
+//! and the wall-clock cost of the batch; experiments may append extra
+//! named numeric fields (`registers` above). No external JSON crate is
+//! available in this environment, so serialization is done by hand — all
+//! emitted values are numbers or fixed-shape strings, and non-finite
+//! floats serialize as `null`.
+//!
+//! Files are written to the directory named by `RTAS_BENCH_DIR` (default:
+//! the current working directory).
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use crate::runner::SweepPoint;
+
+/// One row of a report: a sweep point plus optional extra numeric fields.
+#[derive(Debug, Clone)]
+pub struct BenchRow {
+    /// Sweep parameter.
+    pub k: u64,
+    /// Trials aggregated into `mean`/`worst`.
+    pub trials: u64,
+    /// Mean observation.
+    pub mean: f64,
+    /// Worst observation.
+    pub worst: f64,
+    /// Wall-clock cost of the batch, in milliseconds.
+    pub wall_ms: f64,
+    /// Extra named numeric fields, appended verbatim to the row object.
+    pub extra: Vec<(&'static str, f64)>,
+}
+
+impl From<&SweepPoint> for BenchRow {
+    fn from(p: &SweepPoint) -> Self {
+        BenchRow {
+            k: p.k as u64,
+            trials: p.trials,
+            mean: p.mean(),
+            worst: p.worst(),
+            wall_ms: p.wall_ms(),
+            extra: Vec::new(),
+        }
+    }
+}
+
+impl BenchRow {
+    /// Append an extra named numeric field to this row.
+    pub fn with(mut self, key: &'static str, value: f64) -> Self {
+        self.extra.push((key, value));
+        self
+    }
+}
+
+/// A named collection of [`BenchRow`]s, serializable to `BENCH_<name>.json`.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    name: &'static str,
+    threads: usize,
+    rows: Vec<BenchRow>,
+    total_wall: Duration,
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl BenchReport {
+    /// An empty report for experiment `name` measured with `threads`
+    /// worker threads. `name` becomes part of the file name — keep it
+    /// `[a-z0-9_]`.
+    pub fn new(name: &'static str, threads: usize) -> Self {
+        BenchReport {
+            name,
+            threads,
+            rows: Vec::new(),
+            total_wall: Duration::ZERO,
+        }
+    }
+
+    /// Append a row; the row's wall-clock accrues to the report total.
+    pub fn push(&mut self, row: BenchRow) {
+        self.total_wall += Duration::from_secs_f64(row.wall_ms.max(0.0) / 1e3);
+        self.rows.push(row);
+    }
+
+    /// Append a sweep point as a plain row.
+    pub fn push_point(&mut self, point: &SweepPoint) {
+        self.push(BenchRow::from(point));
+    }
+
+    /// Number of rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the report has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Serialize to the JSON format documented at the [module level](self).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"experiment\": \"{}\",\n", self.name));
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str(&format!(
+            "  \"total_wall_ms\": {},\n",
+            json_f64(self.total_wall.as_secs_f64() * 1e3)
+        ));
+        out.push_str("  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"k\": {}, \"trials\": {}, \"mean\": {}, \"worst\": {}, \"wall_ms\": {}",
+                row.k,
+                row.trials,
+                json_f64(row.mean),
+                json_f64(row.worst),
+                json_f64(row.wall_ms)
+            ));
+            for (key, value) in &row.extra {
+                out.push_str(&format!(", \"{}\": {}", key, json_f64(*value)));
+            }
+            out.push('}');
+            if i + 1 < self.rows.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// The file this report writes to: `RTAS_BENCH_DIR` (or `.`) joined
+    /// with `BENCH_<name>.json`.
+    pub fn path(&self) -> PathBuf {
+        let dir = std::env::var_os("RTAS_BENCH_DIR").unwrap_or_else(|| ".".into());
+        PathBuf::from(dir).join(format!("BENCH_{}.json", self.name))
+    }
+
+    /// Write the report to [`BenchReport::path`], returning the path.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let path = self.path();
+        let mut file = std::fs::File::create(&path)?;
+        file.write_all(self.to_json().as_bytes())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(k: u64) -> BenchRow {
+        BenchRow {
+            k,
+            trials: 4,
+            mean: 1.5,
+            worst: 3.0,
+            wall_ms: 2.25,
+            extra: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let mut r = BenchReport::new("demo", 2);
+        r.push(row(2));
+        r.push(row(8).with("registers", 17.0));
+        let json = r.to_json();
+        assert!(json.contains("\"experiment\": \"demo\""));
+        assert!(json.contains("\"threads\": 2"));
+        assert!(json
+            .contains("{\"k\": 2, \"trials\": 4, \"mean\": 1.5, \"worst\": 3, \"wall_ms\": 2.25}"));
+        assert!(json.contains("\"registers\": 17"));
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn non_finite_serializes_as_null() {
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(0.5), "0.5");
+    }
+
+    #[test]
+    fn total_wall_accumulates() {
+        let mut r = BenchReport::new("t", 1);
+        r.push(row(1));
+        r.push(row(2));
+        let json = r.to_json();
+        assert!(json.contains("\"total_wall_ms\": 4.5"), "{json}");
+    }
+
+    #[test]
+    fn path_uses_env_dir() {
+        let r = BenchReport::new("pathy", 1);
+        assert!(r.path().to_string_lossy().ends_with("BENCH_pathy.json"));
+    }
+}

@@ -14,15 +14,14 @@
 //!
 //! let tas = TestAndSet::new(4); // up to 4 participants
 //! let mut winners = 0;
-//! crossbeam::thread::scope(|s| {
-//!     let handles: Vec<_> = (0..4).map(|_| s.spawn(|_| tas.test_and_set())).collect();
+//! std::thread::scope(|s| {
+//!     let handles: Vec<_> = (0..4).map(|_| s.spawn(|| tas.test_and_set())).collect();
 //!     winners = handles
 //!         .into_iter()
 //!         .map(|h| h.join().unwrap())
 //!         .filter(|&already_set| !already_set)
 //!         .count();
-//! })
-//! .unwrap();
+//! });
 //! assert_eq!(winners, 1);
 //! ```
 //!
@@ -170,7 +169,9 @@ impl LeaderElection {
     ///
     /// Panics if `capacity == 0`.
     pub fn with_backend(backend: Backend, capacity: usize) -> Self {
-        LeaderElection { inner: build(backend, capacity) }
+        LeaderElection {
+            inner: build(backend, capacity),
+        }
     }
 
     /// Participate; returns `true` iff this caller is the unique winner.
@@ -311,12 +312,10 @@ mod tests {
             for round in 0..10 {
                 let n = 8;
                 let le = LeaderElection::with_backend(backend, n);
-                let wins: Vec<bool> = crossbeam::thread::scope(|s| {
-                    let handles: Vec<_> =
-                        (0..n).map(|_| s.spawn(|_| le.elect())).collect();
+                let wins: Vec<bool> = std::thread::scope(|s| {
+                    let handles: Vec<_> = (0..n).map(|_| s.spawn(|| le.elect())).collect();
                     handles.into_iter().map(|h| h.join().unwrap()).collect()
-                })
-                .unwrap();
+                });
                 let winners = wins.iter().filter(|&&w| w).count();
                 assert_eq!(winners, 1, "{backend:?} round {round}: {wins:?}");
             }
@@ -328,12 +327,10 @@ mod tests {
         for round in 0..10 {
             let n = 8;
             let tas = TestAndSet::with_backend(Backend::RatRace, n);
-            let outs: Vec<bool> = crossbeam::thread::scope(|s| {
-                let handles: Vec<_> =
-                    (0..n).map(|_| s.spawn(|_| tas.test_and_set())).collect();
+            let outs: Vec<bool> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..n).map(|_| s.spawn(|| tas.test_and_set())).collect();
                 handles.into_iter().map(|h| h.join().unwrap()).collect()
-            })
-            .unwrap();
+            });
             let winners = outs.iter().filter(|&&w| !w).count();
             assert_eq!(winners, 1, "round {round}: {outs:?}");
         }

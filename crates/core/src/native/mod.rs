@@ -30,18 +30,17 @@ mod tests {
             let mut mem = Memory::new();
             let le = TwoProcessLe::new(&mut mem, "2le");
             let shared = NativeMemory::from_layout(&mem);
-            let wins: Vec<u64> = crossbeam::thread::scope(|s| {
+            let wins: Vec<u64> = std::thread::scope(|s| {
                 let handles: Vec<_> = (0..2)
                     .map(|role| {
                         let shared = &shared;
-                        s.spawn(move |_| {
+                        s.spawn(move || {
                             run_protocol(le.elect_as(role), shared, role, round * 2 + role as u64)
                         })
                     })
                     .collect();
                 handles.into_iter().map(|h| h.join().unwrap()).collect()
-            })
-            .unwrap();
+            });
             let winners = wins.iter().filter(|&&w| w == ret::WIN).count();
             assert_eq!(winners, 1, "round {round}: {wins:?}");
         }

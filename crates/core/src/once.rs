@@ -93,12 +93,12 @@ mod tests {
             let n = 8;
             let once = RegisterOnce::new(n);
             let counter = AtomicUsize::new(0);
-            let ran: Vec<bool> = crossbeam::thread::scope(|s| {
+            let ran: Vec<bool> = std::thread::scope(|s| {
                 let handles: Vec<_> = (0..n)
                     .map(|_| {
                         let once = &once;
                         let counter = &counter;
-                        s.spawn(move |_| {
+                        s.spawn(move || {
                             once.call_once(|| {
                                 counter.fetch_add(1, Ordering::SeqCst);
                             })
@@ -106,8 +106,7 @@ mod tests {
                     })
                     .collect();
                 handles.into_iter().map(|h| h.join().unwrap()).collect()
-            })
-            .unwrap();
+            });
             assert_eq!(counter.load(Ordering::SeqCst), 1, "round {round}");
             assert_eq!(ran.iter().filter(|&&r| r).count(), 1, "round {round}");
             assert!(once.is_completed());
@@ -119,18 +118,17 @@ mod tests {
         let n = 6;
         let once = RegisterOnce::with_backend(Backend::RatRace, n);
         let value = AtomicUsize::new(0);
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for _ in 0..n {
                 let once = &once;
                 let value = &value;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     once.call_once(|| value.store(42, Ordering::SeqCst));
                     // Every caller must see the initialized value.
                     assert_eq!(value.load(Ordering::SeqCst), 42);
                 });
             }
-        })
-        .unwrap();
+        });
     }
 
     #[test]

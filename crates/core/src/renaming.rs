@@ -75,7 +75,11 @@ impl Renaming {
                 return name;
             }
         }
-        unreachable!("pigeonhole: {} slots, {} participants", self.slots.len(), issued + 1)
+        unreachable!(
+            "pigeonhole: {} slots, {} participants",
+            self.slots.len(),
+            issued + 1
+        )
     }
 
     /// Maximum number of participants (= size of the name space).
@@ -110,12 +114,10 @@ mod tests {
             for round in 0..8 {
                 let n = 8;
                 let r = Renaming::with_backend(backend, n);
-                let mut names: Vec<usize> = crossbeam::thread::scope(|s| {
-                    let handles: Vec<_> =
-                        (0..n).map(|_| s.spawn(|_| r.acquire())).collect();
+                let mut names: Vec<usize> = std::thread::scope(|s| {
+                    let handles: Vec<_> = (0..n).map(|_| s.spawn(|| r.acquire())).collect();
                     handles.into_iter().map(|h| h.join().unwrap()).collect()
-                })
-                .unwrap();
+                });
                 names.sort_unstable();
                 assert_eq!(
                     names,

@@ -103,7 +103,10 @@ pub fn covering_base_case(
     seed: u64,
 ) -> CoveringReport {
     let n = protocols.len();
-    let mut driver = ReadOnlyDriver { covered: Vec::new(), poised_writers: 0 };
+    let mut driver = ReadOnlyDriver {
+        covered: Vec::new(),
+        poised_writers: 0,
+    };
     let result = Execution::new(memory, protocols, seed).run(&mut driver);
     let distinct: HashSet<RegId> = driver.covered.iter().copied().collect();
     let mut covered_registers: Vec<RegId> = distinct.into_iter().collect();
@@ -158,7 +161,10 @@ pub fn max_simultaneous_covering(
         }
     }
 
-    let mut watcher = Watcher { rng: SplitMix64::new(seed), best: 0 };
+    let mut watcher = Watcher {
+        rng: SplitMix64::new(seed),
+        best: 0,
+    };
     let _ = Execution::new(memory, protocols, seed).run(&mut watcher);
     watcher.best
 }
@@ -166,17 +172,16 @@ pub fn max_simultaneous_covering(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rtas_algorithms::loglog::LogLogLe;
     use rtas_algorithms::logstar::LogStarLe;
     use rtas_algorithms::ratrace::SpaceEfficientRatRace;
-    use rtas_algorithms::loglog::LogLogLe;
     use rtas_primitives::{RoleLeaderElect, TwoProcessLe};
 
     #[test]
     fn two_process_le_base_case() {
         let mut mem = Memory::new();
         let le = TwoProcessLe::new(&mut mem, "2le");
-        let report =
-            covering_base_case(mem, vec![le.elect_as(0), le.elect_as(1)], 0);
+        let report = covering_base_case(mem, vec![le.elect_as(0), le.elect_as(1)], 0);
         assert!(report.all_cover(), "{report:?}");
         // Each covers its own announcement register.
         assert_eq!(report.distinct_covered(), 2);

@@ -133,11 +133,7 @@ mod tests {
             let f = f_sequence(n);
             for k in 0..n - 1 {
                 let s = interval_index(n, k);
-                assert_eq!(
-                    delta_step(f[k as usize], n - k),
-                    s as i64,
-                    "n={n} k={k}"
-                );
+                assert_eq!(delta_step(f[k as usize], n - k), s as i64, "n={n} k={k}");
             }
         }
     }

@@ -12,7 +12,10 @@ fn main() {
                 let le = TwoProcessLe::new(&mut mem, "2le");
                 (mem, vec![le.elect_as(0), le.elect_as(1)])
             },
-            ExploreConfig { max_steps, max_paths: u64::MAX },
+            ExploreConfig {
+                max_steps,
+                max_paths: u64::MAX,
+            },
             |e| {
                 let winners = e.with_outcome(ret::WIN).len();
                 if winners > 1 || (e.all_finished() && winners != 1) {

@@ -27,13 +27,19 @@ impl RSplitter {
     /// Allocate a randomized splitter's registers under the given label.
     pub fn new(memory: &mut Memory, label: &str) -> Self {
         let regs = memory.alloc(2, label);
-        RSplitter { x: regs.get(0), y: regs.get(1) }
+        RSplitter {
+            x: regs.get(0),
+            y: regs.get(1),
+        }
     }
 
     /// Build from a pre-allocated 2-register range (lazy structures).
     pub fn from_range(range: rtas_sim::memory::RegRange) -> Self {
         assert!(range.len() >= 2, "rsplitter needs 2 registers");
-        RSplitter { x: range.get(0), y: range.get(1) }
+        RSplitter {
+            x: range.get(0),
+            y: range.get(1),
+        }
     }
 
     /// Number of registers a randomized splitter occupies.
@@ -42,7 +48,10 @@ impl RSplitter {
 
 impl SplitterObject for RSplitter {
     fn split(&self) -> Box<dyn Protocol> {
-        Box::new(RSplitProtocol { sp: *self, state: State::Init })
+        Box::new(RSplitProtocol {
+            sp: *self,
+            state: State::Init,
+        })
     }
 }
 
@@ -121,9 +130,7 @@ mod tests {
         let protos = (0..k).map(|_| sp.split()).collect();
         let res = Execution::new(mem, protos, seed).run(&mut RandomSchedule::new(seed));
         assert!(res.all_finished());
-        (0..k)
-            .map(|i| res.outcome(ProcessId(i)).unwrap())
-            .collect()
+        (0..k).map(|i| res.outcome(ProcessId(i)).unwrap()).collect()
     }
 
     #[test]

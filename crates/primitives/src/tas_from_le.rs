@@ -38,7 +38,9 @@ pub struct TasFromLe {
 
 impl std::fmt::Debug for TasFromLe {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TasFromLe").field("done", &self.done).finish()
+        f.debug_struct("TasFromLe")
+            .field("done", &self.done)
+            .finish()
     }
 }
 
@@ -139,7 +141,10 @@ mod tests {
         assert!(k <= 2);
         let mut mem = Memory::new();
         let le = TwoProcessLe::new(&mut mem, "2le");
-        let wrapped = Arc::new(TwoAsLe { inner: le, next_role: 0.into() });
+        let wrapped = Arc::new(TwoAsLe {
+            inner: le,
+            next_role: 0.into(),
+        });
         let tas = TasFromLe::new(&mut mem, wrapped, "done");
         let protos = (0..k).map(|_| tas.tas()).collect();
         (mem, protos)
@@ -168,7 +173,10 @@ mod tests {
         let max_steps = if cfg!(debug_assertions) { 16 } else { 18 };
         let stats = explore(
             || tas_system(2),
-            ExploreConfig { max_steps, max_paths: 40_000_000 },
+            ExploreConfig {
+                max_steps,
+                max_paths: 40_000_000,
+            },
             |e| {
                 let zeros = e.with_outcome(0).len();
                 assert!(zeros <= 1, "two TAS winners: {:?}", e.outcomes);
@@ -185,7 +193,10 @@ mod tests {
         let mut mem = Memory::new();
         let le = TwoProcessLe::new(&mut mem, "2le");
         let before = mem.declared_registers();
-        let wrapped = Arc::new(TwoAsLe { inner: le, next_role: 0.into() });
+        let wrapped = Arc::new(TwoAsLe {
+            inner: le,
+            next_role: 0.into(),
+        });
         let _tas = TasFromLe::new(&mut mem, wrapped, "done");
         assert_eq!(
             mem.declared_registers() - before,

@@ -55,7 +55,11 @@ impl RoleLeaderElect for ThreeProcessLe {
 
     fn elect_as(&self, role: usize) -> Box<dyn Protocol> {
         assert!(role < 3, "3-process LE has roles 0..3, got {role}");
-        Box::new(ThreeProcessProtocol { le: *self, role, state: State::Start })
+        Box::new(ThreeProcessProtocol {
+            le: *self,
+            role,
+            state: State::Start,
+        })
     }
 }
 
@@ -141,8 +145,7 @@ mod tests {
         for roles in role_sets {
             for seed in 0..150 {
                 let (mem, protos) = system(roles);
-                let res =
-                    Execution::new(mem, protos, seed).run(&mut RandomSchedule::new(seed * 3));
+                let res = Execution::new(mem, protos, seed).run(&mut RandomSchedule::new(seed * 3));
                 assert!(res.all_finished(), "roles {roles:?} seed {seed}");
                 assert_eq!(
                     res.processes_with_outcome(ret::WIN).len(),
@@ -160,7 +163,10 @@ mod tests {
         for roles in [[0usize, 1], [0, 2], [1, 2]] {
             let stats = explore(
                 || system(&roles),
-                ExploreConfig { max_steps, max_paths: 40_000_000 },
+                ExploreConfig {
+                    max_steps,
+                    max_paths: 40_000_000,
+                },
                 check_safety,
             );
             assert!(stats.paths > 100, "roles {roles:?}");
@@ -175,7 +181,10 @@ mod tests {
         let max_steps = if cfg!(debug_assertions) { 11 } else { 13 };
         let stats = explore(
             || system(&[0, 1, 2]),
-            ExploreConfig { max_steps, max_paths: 60_000_000 },
+            ExploreConfig {
+                max_steps,
+                max_paths: 60_000_000,
+            },
             check_safety,
         );
         assert!(stats.paths > 10_000);

@@ -72,7 +72,11 @@ impl Slot {
     }
 
     fn unpack(v: Word) -> Slot {
-        Slot { round: v >> 2, coin: (v >> 1) & 1, claim: v & 1 }
+        Slot {
+            round: v >> 2,
+            coin: (v >> 1) & 1,
+            claim: v & 1,
+        }
     }
 }
 
@@ -86,13 +90,17 @@ impl TwoProcessLe {
     /// Allocate the object's registers under the given label.
     pub fn new(memory: &mut Memory, label: &str) -> Self {
         let r = memory.alloc(2, label);
-        TwoProcessLe { regs: [r.get(0), r.get(1)] }
+        TwoProcessLe {
+            regs: [r.get(0), r.get(1)],
+        }
     }
 
     /// Build from a pre-allocated 2-register range (lazy structures).
     pub fn from_range(range: rtas_sim::memory::RegRange) -> Self {
         assert!(range.len() >= 2, "2-process LE needs 2 registers");
-        TwoProcessLe { regs: [range.get(0), range.get(1)] }
+        TwoProcessLe {
+            regs: [range.get(0), range.get(1)],
+        }
     }
 
     /// Number of registers the object occupies.
@@ -156,14 +164,24 @@ impl TwoProcessProtocol {
     fn announce(&mut self, ctx: &mut Ctx<'_>) -> Poll {
         self.coin = ctx.rng.coin() as Word;
         self.state = State::ReadPeer;
-        let v = Slot { round: self.round, coin: self.coin, claim: NO }.pack();
+        let v = Slot {
+            round: self.round,
+            coin: self.coin,
+            claim: NO,
+        }
+        .pack();
         Poll::Op(MemOp::Write(self.my_reg(), v))
     }
 
     fn claim(&mut self) -> Poll {
         self.claimed_round = Some(self.round);
         self.state = State::Confirm;
-        let v = Slot { round: self.round, coin: self.coin, claim: CLAIM }.pack();
+        let v = Slot {
+            round: self.round,
+            coin: self.coin,
+            claim: CLAIM,
+        }
+        .pack();
         Poll::Op(MemOp::Write(self.my_reg(), v))
     }
 }
@@ -283,7 +301,14 @@ mod tests {
                 }
             }
         }
-        assert_eq!(Slot::unpack(0), Slot { round: 0, coin: 0, claim: NO });
+        assert_eq!(
+            Slot::unpack(0),
+            Slot {
+                round: 0,
+                coin: 0,
+                claim: NO
+            }
+        );
     }
 
     #[test]
@@ -323,7 +348,10 @@ mod tests {
         let max_steps = if cfg!(debug_assertions) { 16 } else { 18 };
         let stats = explore(
             system,
-            ExploreConfig { max_steps, max_paths: 40_000_000 },
+            ExploreConfig {
+                max_steps,
+                max_paths: 40_000_000,
+            },
             check_safety,
         );
         assert!(stats.paths > 1000, "explored {} paths", stats.paths);

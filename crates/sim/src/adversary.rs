@@ -81,7 +81,11 @@ impl<'a> View<'a> {
         procs: &'a [ProcessState],
         steps: &'a StepCounts,
     ) -> Self {
-        View { class, procs, steps }
+        View {
+            class,
+            procs,
+            steps,
+        }
     }
 
     /// Number of processes in the system.
@@ -100,6 +104,21 @@ impl<'a> View<'a> {
             .map(ProcessId)
             .filter(|&p| self.is_active(p))
             .collect()
+    }
+
+    /// Number of processes that have not finished, without allocating.
+    pub fn active_count(&self) -> usize {
+        self.procs.iter().filter(|p| p.finished().is_none()).count()
+    }
+
+    /// The `i`-th active process in ascending id order, without allocating
+    /// (`active()[i]`, but with no intermediate vector). `None` if fewer
+    /// than `i + 1` processes are active.
+    pub fn nth_active(&self, i: usize) -> Option<ProcessId> {
+        (0..self.n())
+            .map(ProcessId)
+            .filter(|&p| self.is_active(p))
+            .nth(i)
     }
 
     /// The class-filtered poised operation of `pid` (`None` if finished).
@@ -189,7 +208,12 @@ pub struct ObliviousAdversary {
 impl ObliviousAdversary {
     /// Replay `schedule`, then stop.
     pub fn new(schedule: Schedule) -> Self {
-        ObliviousAdversary { schedule, cursor: 0, fair_tail: false, rr_cursor: 0 }
+        ObliviousAdversary {
+            schedule,
+            cursor: 0,
+            fair_tail: false,
+            rr_cursor: 0,
+        }
     }
 
     /// Replay the schedule, then round-robin until everyone finishes.
@@ -238,7 +262,9 @@ pub struct RandomSchedule {
 impl RandomSchedule {
     /// Random scheduler with the given seed.
     pub fn new(seed: u64) -> Self {
-        RandomSchedule { rng: SplitMix64::new(seed ^ 0xada7_5c4e_d05c_4eed) }
+        RandomSchedule {
+            rng: SplitMix64::new(seed ^ 0xada7_5c4e_d05c_4eed),
+        }
     }
 }
 
@@ -248,12 +274,16 @@ impl Adversary for RandomSchedule {
     }
 
     fn next(&mut self, view: &View<'_>) -> Option<ProcessId> {
-        let active = view.active();
-        if active.is_empty() {
+        // Allocation-free uniform choice: count the active processes, draw
+        // an index, then walk to it. Chooses exactly the element
+        // `view.active()[i]` would, so executions are bit-identical to the
+        // allocating formulation this replaces.
+        let active = view.active_count();
+        if active == 0 {
             return None;
         }
-        let i = self.rng.next_below(active.len() as u64) as usize;
-        Some(active[i])
+        let i = self.rng.next_below(active as u64) as usize;
+        view.nth_active(i)
     }
 }
 
@@ -318,7 +348,10 @@ mod tests {
         let regs = mem.alloc(n as u64, "w");
         let protos: Vec<Box<dyn Protocol>> = (0..n)
             .map(|i| {
-                Box::new(Writer { reg: regs.get(i as u64), left: writes }) as Box<dyn Protocol>
+                Box::new(Writer {
+                    reg: regs.get(i as u64),
+                    left: writes,
+                }) as Box<dyn Protocol>
             })
             .collect();
         Execution::new(mem, protos, 0)

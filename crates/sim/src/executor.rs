@@ -67,6 +67,17 @@ impl SubRuntime {
         }
     }
 
+    /// Rewind this runtime to run `root` from its start, reusing the stack
+    /// allocation. Part of the allocation-light trial loop (see
+    /// [`Execution::reset`]).
+    pub fn reset(&mut self, root: Box<dyn Protocol>) {
+        self.stack.clear();
+        self.stack.push(root);
+        self.next_input = Some(Resume::Start);
+        self.pending = None;
+        self.finished = None;
+    }
+
     /// The operation this runtime is currently poised on, if any.
     pub fn pending(&self) -> Option<MemOp> {
         self.pending
@@ -154,6 +165,10 @@ pub struct Execution {
     history: History,
     step_cap: u64,
     global_step: u64,
+    /// Number of processes whose protocol has not finished. Maintained
+    /// incrementally so the scheduler loop checks completion in O(1)
+    /// instead of scanning all processes every step.
+    live: usize,
 }
 
 impl std::fmt::Debug for Execution {
@@ -162,6 +177,27 @@ impl std::fmt::Debug for Execution {
             .field("processes", &self.procs.len())
             .field("global_step", &self.global_step)
             .finish()
+    }
+}
+
+/// Summary of one [`Execution::run_in_place`] call.
+///
+/// Deliberately `Copy` and allocation-free; detailed results stay inside
+/// the [`Execution`] and are read through its accessors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Whether the execution was stopped by the safety step cap.
+    pub hit_cap: bool,
+    /// Number of processes whose protocol finished.
+    pub finished: usize,
+    /// Total number of processes.
+    pub processes: usize,
+}
+
+impl RunOutcome {
+    /// Whether every process finished its protocol.
+    pub fn all_finished(&self) -> bool {
+        self.finished == self.processes
     }
 }
 
@@ -248,7 +284,43 @@ impl Execution {
             history: History::new(RecordMode::Counts),
             step_cap: Self::DEFAULT_STEP_CAP,
             global_step: 0,
+            live: n,
         }
+    }
+
+    /// Rewind this execution for a fresh trial: reset all registers (keeping
+    /// allocations), zero the accounting, and install new root protocols.
+    ///
+    /// Together with [`SubRuntime::reset`] and [`Memory::reset`] this lets a
+    /// trial loop reuse one `Execution` end to end — after the first trial
+    /// the executor performs no heap allocation in steady state (the only
+    /// remaining allocations are the protocol boxes the caller supplies).
+    ///
+    /// The register *layout* is kept: callers re-running an algorithm on the
+    /// same structure must pass protocols built against the ranges already
+    /// allocated in this memory.
+    pub fn reset(&mut self, protocols: Vec<Box<dyn Protocol>>, seed: u64) {
+        let n = protocols.len();
+        self.procs.truncate(n);
+        for (i, root) in protocols.into_iter().enumerate() {
+            if i < self.procs.len() {
+                let p = &mut self.procs[i];
+                p.runtime.reset(root);
+                p.rng = SplitMix64::split(seed, i as u64);
+                p.notes = Notes::default();
+            } else {
+                self.procs.push(ProcessState {
+                    runtime: SubRuntime::new(root),
+                    rng: SplitMix64::split(seed, i as u64),
+                    notes: Notes::default(),
+                });
+            }
+        }
+        self.memory.reset();
+        self.steps.reset(n);
+        self.history.clear();
+        self.global_step = 0;
+        self.live = n;
     }
 
     /// Enable full history recording.
@@ -271,16 +343,34 @@ impl Execution {
     /// Run the execution under `adversary` until every process finished,
     /// the adversary stops scheduling (`None`), or the step cap is hit.
     pub fn run(mut self, adversary: &mut dyn Adversary) -> ExecutionResult {
+        let outcome = self.run_in_place(adversary);
+        ExecutionResult {
+            outcomes: self.procs.iter().map(|p| p.finished()).collect(),
+            steps: self.steps,
+            history: self.history,
+            memory: self.memory,
+            hit_cap: outcome.hit_cap,
+        }
+    }
+
+    /// Like [`Execution::run`], but borrows instead of consuming, so the
+    /// execution can be [`Execution::reset`] and reused for the next trial
+    /// without reallocating memory, step counters, or runtimes.
+    ///
+    /// Results are read back through the in-place accessors
+    /// ([`Execution::outcome`], [`Execution::steps`], [`Execution::memory`],
+    /// [`Execution::count_outcome`]).
+    ///
+    /// The scheduler loop does O(1) completion checking per step: a live-
+    /// process counter replaces the per-step scan over all processes.
+    pub fn run_in_place(&mut self, adversary: &mut dyn Adversary) -> RunOutcome {
         // Bring every process to its first poised operation (local steps
         // and coin flips before the first shared-memory access are free).
         for i in 0..self.procs.len() {
             self.advance_process(i);
         }
         let mut hit_cap = false;
-        loop {
-            if self.procs.iter().all(|p| p.finished().is_some()) {
-                break;
-            }
+        while self.live > 0 {
             if self.steps.total() >= self.step_cap {
                 hit_cap = true;
                 break;
@@ -291,30 +381,81 @@ impl Execution {
                 adversary.next(&view)
             };
             let Some(pid) = chosen else { break };
-            assert!(pid.index() < self.procs.len(), "adversary chose unknown {pid:?}");
+            assert!(
+                pid.index() < self.procs.len(),
+                "adversary chose unknown {pid:?}"
+            );
             if self.procs[pid.index()].finished().is_some() {
                 // Slot wasted on a finished process: no step taken.
                 continue;
             }
             self.execute_step(pid);
         }
-        ExecutionResult {
-            outcomes: self.procs.iter().map(|p| p.finished()).collect(),
-            steps: self.steps,
-            history: self.history,
-            memory: self.memory,
+        debug_assert_eq!(
+            self.live,
+            self.procs.iter().filter(|p| p.finished().is_none()).count(),
+            "live counter out of sync with process states"
+        );
+        RunOutcome {
             hit_cap,
+            finished: self.procs.len() - self.live,
+            processes: self.procs.len(),
         }
+    }
+
+    /// The result of process `pid`'s protocol so far, or `None` if it has
+    /// not finished. In-place counterpart of [`ExecutionResult::outcome`].
+    pub fn outcome(&self, pid: ProcessId) -> Option<Word> {
+        self.procs[pid.index()].finished()
+    }
+
+    /// Whether every process finished its protocol.
+    pub fn all_finished(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Number of processes whose protocol finished.
+    pub fn finished_count(&self) -> usize {
+        self.procs.len() - self.live
+    }
+
+    /// Number of finished processes whose outcome equals `value`
+    /// (allocation-free counterpart of
+    /// [`ExecutionResult::processes_with_outcome`]).
+    pub fn count_outcome(&self, value: Word) -> usize {
+        self.procs
+            .iter()
+            .filter(|p| p.finished() == Some(value))
+            .count()
+    }
+
+    /// Step counts so far.
+    pub fn steps(&self) -> &StepCounts {
+        &self.steps
+    }
+
+    /// The shared memory (for space stats and assertions between trials).
+    pub fn memory(&self) -> &Memory {
+        &self.memory
+    }
+
+    /// Recorded history so far.
+    pub fn history(&self) -> &History {
+        &self.history
     }
 
     fn advance_process(&mut self, idx: usize) {
         let p = &mut self.procs[idx];
+        let was_finished = p.runtime.finished().is_some();
         let mut ctx = Ctx {
             pid: ProcessId(idx),
             rng: &mut p.rng,
             notes: &mut p.notes,
         };
-        let _ = p.runtime.advance(&mut ctx);
+        let poll = p.runtime.advance(&mut ctx);
+        if !was_finished && matches!(poll, SubPoll::Finished(_)) {
+            self.live -= 1;
+        }
     }
 
     fn execute_step(&mut self, pid: ProcessId) {
@@ -507,7 +648,11 @@ mod tests {
         let mut rt = SubRuntime::new(boxed(Const(0)));
         let mut rng = SplitMix64::new(0);
         let mut notes = Notes::default();
-        let mut ctx = Ctx { pid: ProcessId(0), rng: &mut rng, notes: &mut notes };
+        let mut ctx = Ctx {
+            pid: ProcessId(0),
+            rng: &mut rng,
+            notes: &mut notes,
+        };
         assert_eq!(rt.advance(&mut ctx), SubPoll::Finished(0));
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             rt.feed(Resume::Wrote);

@@ -114,7 +114,10 @@ pub struct ExploreConfig {
 
 impl Default for ExploreConfig {
     fn default() -> Self {
-        ExploreConfig { max_steps: 64, max_paths: 20_000_000 }
+        ExploreConfig {
+            max_steps: 64,
+            max_paths: 20_000_000,
+        }
     }
 }
 
@@ -154,7 +157,11 @@ where
     // Returns the domain of a missing decision, if one was hit.
     macro_rules! advance {
         ($i:expr) => {{
-            let mut cur = ScriptCursor { script, pos, need: None };
+            let mut cur = ScriptCursor {
+                script,
+                pos,
+                need: None,
+            };
             cur.pos = pos;
             let mut ctx = Ctx {
                 pid: ProcessId($i),
@@ -333,7 +340,7 @@ mod tests {
         assert!(outcomes.contains(&(Some(2), Some(2)))); // W0 W1 R0 R1
         assert!(outcomes.contains(&(Some(1), Some(1)))); // W1 W0 R1 R0
         assert!(outcomes.contains(&(Some(1), Some(2)))); // solo runs
-        // (2,1) would need both writes to precede each other — impossible.
+                                                         // (2,1) would need both writes to precede each other — impossible.
         assert!(!outcomes.contains(&(Some(2), Some(1))));
     }
 
@@ -386,7 +393,10 @@ mod tests {
                 let reg = mem.alloc(1, "s").start();
                 (mem, vec![Box::new(Spin { reg }) as Box<dyn Protocol>])
             },
-            ExploreConfig { max_steps: 5, max_paths: 10 },
+            ExploreConfig {
+                max_steps: 5,
+                max_paths: 10,
+            },
             |e| {
                 assert!(e.truncated);
                 assert_eq!(e.total_steps, 5);

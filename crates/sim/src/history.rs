@@ -47,7 +47,15 @@ pub struct History {
 impl History {
     /// New history with the given recording mode.
     pub fn new(mode: RecordMode) -> Self {
-        History { mode, events: Vec::new() }
+        History {
+            mode,
+            events: Vec::new(),
+        }
+    }
+
+    /// Drop all recorded events, keeping the mode and the allocation.
+    pub fn clear(&mut self) {
+        self.events.clear();
     }
 
     /// Record one event (no-op in [`RecordMode::Counts`]).
@@ -109,7 +117,9 @@ struct DisjointSet {
 
 impl DisjointSet {
     fn new(n: usize) -> Self {
-        DisjointSet { parent: (0..n).collect() }
+        DisjointSet {
+            parent: (0..n).collect(),
+        }
     }
 
     fn find(&mut self, x: usize) -> usize {

@@ -78,8 +78,8 @@ pub mod prelude {
         Adversary, AdversaryClass, FnAdversary, ObliviousAdversary, PendingView, RandomSchedule,
         RoundRobin, View,
     };
-    pub use crate::executor::{Execution, ExecutionResult, SubPoll, SubRuntime};
-    pub use crate::explore::{explore, ExploreConfig, Explored, ExploreStats};
+    pub use crate::executor::{Execution, ExecutionResult, RunOutcome, SubPoll, SubRuntime};
+    pub use crate::explore::{explore, ExploreConfig, ExploreStats, Explored};
     pub use crate::history::RecordMode;
     pub use crate::memory::{Memory, RegRange, RegionStats};
     pub use crate::metrics::{Aggregate, StepCounts};

@@ -21,18 +21,12 @@ use crate::word::{ProcessId, RegId, Word};
 /// The writer id implements the paper's *visibility* notion from Section 5
 /// ("process q is visible on register r if r's value is (x, q)"): every
 /// write implicitly carries the writer's identifier.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Cell {
     /// Current register value (initially 0).
     pub value: Word,
     /// Last writer, or `None` if never written (the paper's ⊥).
     pub writer: Option<ProcessId>,
-}
-
-impl Default for Cell {
-    fn default() -> Self {
-        Cell { value: 0, writer: None }
-    }
 }
 
 /// A contiguous range of register ids, returned by allocation.
@@ -64,7 +58,11 @@ impl RegRange {
     ///
     /// Panics if `i >= self.len()`.
     pub fn get(&self, i: u64) -> RegId {
-        assert!(i < self.len, "register index {i} out of range 0..{}", self.len);
+        assert!(
+            i < self.len,
+            "register index {i} out of range 0..{}",
+            self.len
+        );
         self.start.offset(i)
     }
 
@@ -87,7 +85,10 @@ impl RegRange {
             "sub-range {offset}+{len} exceeds range of {}",
             self.len
         );
-        RegRange { start: self.start.offset(offset), len }
+        RegRange {
+            start: self.start.offset(offset),
+            len,
+        }
     }
 }
 
@@ -116,7 +117,13 @@ pub struct Memory {
     lazy_next: u64,
     lazy_declared: u64,
     regions: Vec<Region>,
-    touched_dense: Vec<bool>,
+    /// Touched bits for dense registers, one bit per register. A bitset
+    /// keeps the executor's read/write fast path cache-friendly and makes
+    /// zeroing between trials a word-wise sweep.
+    touched_dense: Vec<u64>,
+    /// Number of set bits in `touched_dense`, maintained incrementally so
+    /// [`Memory::touched_registers`] is O(1).
+    touched_dense_count: u64,
     reads: u64,
     writes: u64,
 }
@@ -139,10 +146,13 @@ impl Memory {
             "dense register space exhausted"
         );
         self.dense
-            .extend(std::iter::repeat(Cell::default()).take(count as usize));
-        self.touched_dense
-            .extend(std::iter::repeat(false).take(count as usize));
-        self.regions.push(Region { label: label.to_string(), start, len: count });
+            .extend(std::iter::repeat_n(Cell::default(), count as usize));
+        self.touched_dense.resize(self.dense.len().div_ceil(64), 0);
+        self.regions.push(Region {
+            label: label.to_string(),
+            start,
+            len: count,
+        });
         RegRange { start, len: count }
     }
 
@@ -158,7 +168,11 @@ impl Memory {
             .checked_add(count)
             .expect("lazy register space exhausted");
         self.lazy_declared += count;
-        self.regions.push(Region { label: label.to_string(), start, len: count });
+        self.regions.push(Region {
+            label: label.to_string(),
+            start,
+            len: count,
+        });
         RegRange { start, len: count }
     }
 
@@ -176,6 +190,21 @@ impl Memory {
         }
     }
 
+    /// Mark dense register `idx` as touched. `idx` must be in bounds.
+    #[inline]
+    fn touch_dense(&mut self, idx: usize) {
+        let word = &mut self.touched_dense[idx >> 6];
+        let bit = 1u64 << (idx & 63);
+        self.touched_dense_count += u64::from(*word & bit == 0);
+        *word |= bit;
+    }
+
+    /// Whether dense register `idx` was touched. `idx` must be in bounds.
+    #[inline]
+    fn dense_touched(&self, idx: usize) -> bool {
+        self.touched_dense[idx >> 6] & (1u64 << (idx & 63)) != 0
+    }
+
     /// Atomically read a register, recording the step.
     ///
     /// Returns the full cell so the executor can log visibility
@@ -184,15 +213,26 @@ impl Memory {
     /// # Panics
     ///
     /// Panics if `reg` was never allocated.
+    #[inline]
     pub fn read(&mut self, reg: RegId) -> Cell {
-        self.check_allocated(reg);
         self.reads += 1;
-        if reg.is_lazy() {
-            *self.lazy.entry(reg.0).or_default()
+        // Dense fast path: one u64 bounds probe doubles as the allocation
+        // check, since lazy ids start at `RegId::LAZY_BASE`, far above any
+        // dense length. Compared as u64 so lazy ids cannot truncate into
+        // the dense range on 32-bit targets.
+        if reg.0 < self.dense.len() as u64 {
+            let idx = reg.0 as usize;
+            self.touch_dense(idx);
+            self.dense[idx]
         } else {
-            self.touched_dense[reg.0 as usize] = true;
-            self.dense[reg.0 as usize]
+            self.read_slow(reg)
         }
+    }
+
+    #[cold]
+    fn read_slow(&mut self, reg: RegId) -> Cell {
+        self.check_allocated(reg);
+        *self.lazy.entry(reg.0).or_default()
     }
 
     /// Atomically write `value` to `reg` on behalf of `writer`.
@@ -200,16 +240,26 @@ impl Memory {
     /// # Panics
     ///
     /// Panics if `reg` was never allocated.
+    #[inline]
     pub fn write(&mut self, reg: RegId, value: Word, writer: ProcessId) {
-        self.check_allocated(reg);
         self.writes += 1;
-        let cell = Cell { value, writer: Some(writer) };
-        if reg.is_lazy() {
-            self.lazy.insert(reg.0, cell);
+        let cell = Cell {
+            value,
+            writer: Some(writer),
+        };
+        if reg.0 < self.dense.len() as u64 {
+            let idx = reg.0 as usize;
+            self.touch_dense(idx);
+            self.dense[idx] = cell;
         } else {
-            self.touched_dense[reg.0 as usize] = true;
-            self.dense[reg.0 as usize] = cell;
+            self.write_slow(reg, cell);
         }
+    }
+
+    #[cold]
+    fn write_slow(&mut self, reg: RegId, cell: Cell) {
+        self.check_allocated(reg);
+        self.lazy.insert(reg.0, cell);
     }
 
     /// Inspect a register without counting it as a step or touching it.
@@ -220,10 +270,7 @@ impl Memory {
         if reg.is_lazy() {
             self.lazy.get(&reg.0).copied().unwrap_or_default()
         } else {
-            self.dense
-                .get(reg.0 as usize)
-                .copied()
-                .unwrap_or_default()
+            self.dense.get(reg.0 as usize).copied().unwrap_or_default()
         }
     }
 
@@ -237,10 +284,10 @@ impl Memory {
         self.dense.len() as u64
     }
 
-    /// Number of registers that were read or written at least once.
+    /// Number of registers that were read or written at least once. O(1):
+    /// both constituents are maintained incrementally.
     pub fn touched_registers(&self) -> u64 {
-        let dense = self.touched_dense.iter().filter(|&&t| t).count() as u64;
-        dense + self.lazy.len() as u64
+        self.touched_dense_count + self.lazy.len() as u64
     }
 
     /// Total shared-memory operations executed so far (reads + writes).
@@ -272,7 +319,7 @@ impl Memory {
                 let touched = if id.is_lazy() {
                     self.lazy.contains_key(&id.0)
                 } else {
-                    self.touched_dense[id.0 as usize]
+                    self.dense_touched(id.0 as usize)
                 };
                 if touched {
                     entry.touched += 1;
@@ -290,12 +337,19 @@ impl Memory {
         for cell in &mut self.dense {
             *cell = Cell::default();
         }
-        for t in &mut self.touched_dense {
-            *t = false;
+        for w in &mut self.touched_dense {
+            *w = 0;
         }
+        self.touched_dense_count = 0;
         self.lazy.clear();
         self.reads = 0;
         self.writes = 0;
+    }
+
+    /// Synonym for [`Memory::reset_values`]: the between-trials reset used
+    /// by the allocation-light executor reuse path ([`crate::executor::Execution::reset`]).
+    pub fn reset(&mut self) {
+        self.reset_values();
     }
 }
 
@@ -364,8 +418,20 @@ mod tests {
         m.write(a1.get(0), 1, ProcessId(0));
         m.write(b.get(5), 1, ProcessId(0));
         let stats = m.stats_by_label();
-        assert_eq!(stats["splitter"], RegionStats { declared: 4, touched: 1 });
-        assert_eq!(stats["grid"], RegionStats { declared: 100, touched: 1 });
+        assert_eq!(
+            stats["splitter"],
+            RegionStats {
+                declared: 4,
+                touched: 1
+            }
+        );
+        assert_eq!(
+            stats["grid"],
+            RegionStats {
+                declared: 100,
+                touched: 1
+            }
+        );
     }
 
     #[test]

@@ -10,17 +10,29 @@ use crate::word::ProcessId;
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StepCounts {
     per_process: Vec<u64>,
+    total: u64,
 }
 
 impl StepCounts {
     /// Counts for `n` processes, all zero.
     pub fn new(n: usize) -> Self {
-        StepCounts { per_process: vec![0; n] }
+        StepCounts {
+            per_process: vec![0; n],
+            total: 0,
+        }
+    }
+
+    /// Zero all counts for `n` processes, reusing the allocation.
+    pub fn reset(&mut self, n: usize) {
+        self.per_process.clear();
+        self.per_process.resize(n, 0);
+        self.total = 0;
     }
 
     /// Record one step by `pid`.
     pub fn bump(&mut self, pid: ProcessId) {
         self.per_process[pid.index()] += 1;
+        self.total += 1;
     }
 
     /// Steps taken by `pid`.
@@ -34,9 +46,10 @@ impl StepCounts {
         self.per_process.iter().copied().max().unwrap_or(0)
     }
 
-    /// Total steps taken by all processes.
+    /// Total steps taken by all processes. O(1): the executor's scheduler
+    /// loop checks this against the step cap on every step.
     pub fn total(&self) -> u64 {
-        self.per_process.iter().sum()
+        self.total
     }
 
     /// Contention: the number of processes that took at least one step.

@@ -204,7 +204,11 @@ mod tests {
     fn const_protocol_finishes_immediately() {
         let mut rng = crate::rng::SplitMix64::new(0);
         let mut notes = Notes::default();
-        let mut ctx = Ctx { pid: ProcessId(0), rng: &mut rng, notes: &mut notes };
+        let mut ctx = Ctx {
+            pid: ProcessId(0),
+            rng: &mut rng,
+            notes: &mut notes,
+        };
         let mut c = Const(9);
         match c.resume(Resume::Start, &mut ctx) {
             Poll::Done(9) => {}

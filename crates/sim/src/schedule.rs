@@ -18,7 +18,9 @@ pub struct Schedule {
 impl Schedule {
     /// Schedule from an explicit sequence.
     pub fn from_pids<I: IntoIterator<Item = usize>>(pids: I) -> Self {
-        Schedule { steps: pids.into_iter().map(ProcessId).collect() }
+        Schedule {
+            steps: pids.into_iter().map(ProcessId).collect(),
+        }
     }
 
     /// Round-robin over `n` processes, `rounds` full rounds.
@@ -54,7 +56,7 @@ impl Schedule {
         }
         let mut steps = Vec::with_capacity(n * steps_each);
         for p in order {
-            steps.extend(std::iter::repeat(ProcessId(p)).take(steps_each));
+            steps.extend(std::iter::repeat_n(ProcessId(p), steps_each));
         }
         Schedule { steps }
     }
@@ -68,7 +70,9 @@ impl Schedule {
         let mut current = Vec::with_capacity(2 * t);
         fn rec(current: &mut Vec<ProcessId>, a: usize, b: usize, out: &mut Vec<Schedule>) {
             if a == 0 && b == 0 {
-                out.push(Schedule { steps: current.clone() });
+                out.push(Schedule {
+                    steps: current.clone(),
+                });
                 return;
             }
             if a > 0 {

@@ -56,7 +56,11 @@ pub fn render(history: &History, decoder: Option<ValueDecoder<'_>>) -> String {
         };
         match e.kind {
             OpKind::Write => {
-                let _ = writeln!(out, "step {:>4}  {}  write {:?} := {}", e.step, e.pid, e.reg, value);
+                let _ = writeln!(
+                    out,
+                    "step {:>4}  {}  write {:?} := {}",
+                    e.step, e.pid, e.reg, value
+                );
             }
             OpKind::Read => {
                 let seen = match e.observed_writer {

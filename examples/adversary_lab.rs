@@ -51,7 +51,8 @@ fn main() {
     println!("mean max-steps per process (k = contention), {trials} trials each\n");
     println!("k | algorithm | random schedule | adaptive attack");
     for k in [8usize, 32, 128] {
-        let rows: Vec<(&str, Box<dyn Fn(&mut Memory) -> Arc<dyn LeaderElect>>)> = vec![
+        type LeBuilder = Box<dyn Fn(&mut Memory) -> Arc<dyn LeaderElect>>;
+        let rows: Vec<(&str, LeBuilder)> = vec![
             (
                 "log*  (Thm 2.3)",
                 Box::new(move |m: &mut Memory| {

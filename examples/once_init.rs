@@ -30,13 +30,13 @@ fn main() {
     let table: OnceLock<Vec<u64>> = OnceLock::new();
     let ready = AtomicBool::new(false);
 
-    let sums: Vec<(usize, bool, u64)> = crossbeam::thread::scope(|s| {
+    let sums: Vec<(usize, bool, u64)> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..WORKERS)
             .map(|i| {
                 let tas = &tas;
                 let table = &table;
                 let ready = &ready;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let already_initialized = tas.test_and_set();
                     if !already_initialized {
                         // We won: build and publish.
@@ -54,8 +54,7 @@ fn main() {
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .unwrap();
+    });
 
     let mut initializers = 0;
     for (i, built_it, sum) in sums {

@@ -27,16 +27,15 @@ fn main() {
             tas.capacity()
         );
 
-        let results: Vec<(usize, bool)> = crossbeam::thread::scope(|s| {
+        let results: Vec<(usize, bool)> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..THREADS)
                 .map(|i| {
                     let tas = &tas;
-                    s.spawn(move |_| (i, tas.test_and_set()))
+                    s.spawn(move || (i, tas.test_and_set()))
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
-        })
-        .unwrap();
+        });
 
         for (i, already_set) in &results {
             println!(

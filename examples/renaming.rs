@@ -22,11 +22,11 @@ fn main() {
         .map(|_| TestAndSet::with_backend(Backend::RatRace, THREADS))
         .collect();
 
-    let names: Vec<(usize, usize)> = crossbeam::thread::scope(|s| {
+    let names: Vec<(usize, usize)> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..THREADS)
             .map(|i| {
                 let slots = &slots;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for (name, slot) in slots.iter().enumerate() {
                         if !slot.test_and_set() {
                             return (i, name);
@@ -37,10 +37,9 @@ fn main() {
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .unwrap();
+    });
 
-    let mut seen = vec![false; THREADS];
+    let mut seen = [false; THREADS];
     for (thread, name) in &names {
         println!("thread {thread} acquired name {name}");
         assert!(!seen[*name], "duplicate name {name}");

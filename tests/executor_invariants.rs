@@ -1,0 +1,287 @@
+//! The executor's O(1) live-process bookkeeping must agree with the old
+//! scan-based completion check under every termination mode: normal
+//! completion, slots wasted on finished processes, the step cap, and an
+//! adversary that stops scheduling (`None`).
+
+use rtas::algorithms::SpaceEfficientRatRace;
+use rtas::sim::adversary::{Adversary, AdversaryClass, RandomSchedule, View};
+use rtas::sim::executor::{Execution, ExecutionResult, RunOutcome};
+use rtas::sim::memory::Memory;
+use rtas::sim::op::MemOp;
+use rtas::sim::protocol::{Ctx, Poll, Protocol, Resume};
+use rtas::sim::rng::SplitMix64;
+use rtas::sim::word::{ProcessId, RegId, Word};
+
+/// Performs `left` writes to its register, then finishes with its pid.
+struct Writer {
+    reg: RegId,
+    left: u32,
+}
+
+impl Protocol for Writer {
+    fn resume(&mut self, _input: Resume, ctx: &mut Ctx<'_>) -> Poll {
+        if self.left == 0 {
+            Poll::Done(ctx.pid.index() as Word)
+        } else {
+            self.left -= 1;
+            Poll::Op(MemOp::Write(self.reg, 1))
+        }
+    }
+}
+
+/// An adversary that replays raw slots with *no* activity filtering: it
+/// happily schedules finished processes (exercising the executor's
+/// wasted-slot path) and returns `None` when the slots run out (crashing
+/// every unfinished process).
+struct RawSlots {
+    slots: Vec<usize>,
+    cursor: usize,
+}
+
+impl Adversary for RawSlots {
+    fn class(&self) -> AdversaryClass {
+        AdversaryClass::Oblivious
+    }
+
+    fn next(&mut self, _view: &View<'_>) -> Option<ProcessId> {
+        let slot = self.slots.get(self.cursor).copied()?;
+        self.cursor += 1;
+        Some(ProcessId(slot))
+    }
+}
+
+/// The old O(n) completion check, applied to the finished result: what the
+/// scan-based loop would have reported.
+fn scan_finished(res: &ExecutionResult) -> usize {
+    res.outcomes().iter().filter(|o| o.is_some()).count()
+}
+
+fn writer_execution(n: usize, writes: &[u32]) -> Execution {
+    let mut mem = Memory::new();
+    let regs = mem.alloc(n as u64, "w");
+    let protos: Vec<Box<dyn Protocol>> = (0..n)
+        .map(|i| {
+            Box::new(Writer {
+                reg: regs.get(i as u64),
+                left: writes[i],
+            }) as Box<dyn Protocol>
+        })
+        .collect();
+    Execution::new(mem, protos, 0)
+}
+
+/// Run the same configuration through both entry points and check that the
+/// O(1) accounting (`RunOutcome`, `all_finished`, `finished_count`,
+/// incremental step totals, incremental touched counts) agrees with a full
+/// scan of the final state.
+fn check_consistency(n: usize, writes: &[u32], adv_slots: Vec<usize>, cap: Option<u64>) {
+    // Entry point 1: in-place run, O(1) accessors.
+    let mut exec = writer_execution(n, writes);
+    if let Some(c) = cap {
+        exec = exec.with_step_cap(c);
+    }
+    let mut adv = RawSlots {
+        slots: adv_slots.clone(),
+        cursor: 0,
+    };
+    let outcome: RunOutcome = exec.run_in_place(&mut adv);
+    let live_finished = exec.finished_count();
+    let scan = (0..n)
+        .filter(|&i| exec.outcome(ProcessId(i)).is_some())
+        .count();
+    assert_eq!(outcome.finished, scan, "RunOutcome.finished vs scan");
+    assert_eq!(live_finished, scan, "finished_count vs scan");
+    assert_eq!(exec.all_finished(), scan == n, "all_finished vs scan");
+    assert_eq!(outcome.processes, n);
+    let total: u64 = exec.steps().as_slice().iter().sum();
+    assert_eq!(
+        exec.steps().total(),
+        total,
+        "incremental total vs per-process sum"
+    );
+    if let Some(c) = cap {
+        assert!(exec.steps().total() <= c, "step cap exceeded");
+        assert_eq!(
+            outcome.hit_cap,
+            exec.steps().total() == c && !exec.all_finished()
+        );
+    }
+    let touched_by_label: u64 = exec
+        .memory()
+        .stats_by_label()
+        .values()
+        .map(|s| s.touched)
+        .sum();
+    assert_eq!(
+        exec.memory().touched_registers(),
+        touched_by_label,
+        "incremental touched count vs per-region scan"
+    );
+
+    // Entry point 2: the consuming run must report the same execution.
+    let mut exec2 = writer_execution(n, writes);
+    if let Some(c) = cap {
+        exec2 = exec2.with_step_cap(c);
+    }
+    let mut adv2 = RawSlots {
+        slots: adv_slots,
+        cursor: 0,
+    };
+    let res = exec2.run(&mut adv2);
+    assert_eq!(scan_finished(&res), scan);
+    assert_eq!(res.all_finished(), scan == n);
+    assert_eq!(res.steps().total(), total);
+    assert_eq!(res.hit_step_cap(), outcome.hit_cap);
+    for i in 0..n {
+        assert_eq!(
+            res.outcome(ProcessId(i)),
+            exec.outcome(ProcessId(i)),
+            "pid {i}"
+        );
+    }
+}
+
+#[test]
+fn randomized_schedules_agree_with_scan_semantics() {
+    let mut rng = SplitMix64::new(0xc047);
+    for case in 0..200 {
+        let n = 1 + rng.next_below(6) as usize;
+        let writes: Vec<u32> = (0..n).map(|_| rng.next_below(6) as u32).collect();
+        let total_work: u64 = writes.iter().map(|&w| w as u64).sum();
+        // Slots deliberately over- and under-shoot the needed work, and
+        // include out-of-order repeats, so finished processes get
+        // scheduled and some runs end via `None` with work left.
+        let slot_count = rng.next_below(2 * total_work.max(1) + 4);
+        let slots: Vec<usize> = (0..slot_count)
+            .map(|_| rng.next_below(n as u64) as usize)
+            .collect();
+        let cap = match rng.next_below(3) {
+            0 => None,
+            _ => Some(rng.next_below(total_work + 2)),
+        };
+        check_consistency(n, &writes, slots, cap);
+        let _ = case;
+    }
+}
+
+#[test]
+fn wasted_slots_on_finished_processes_take_no_steps() {
+    // P0 needs 2 writes; schedule it 10 times. The 8 extra slots must not
+    // count as steps or disturb completion accounting.
+    let mut exec = writer_execution(2, &[2, 1]);
+    let mut adv = RawSlots {
+        slots: vec![0; 10],
+        cursor: 0,
+    };
+    let outcome = exec.run_in_place(&mut adv);
+    assert_eq!(exec.steps().of(ProcessId(0)), 2);
+    assert_eq!(exec.steps().total(), 2);
+    assert_eq!(outcome.finished, 1, "P1 never scheduled");
+    assert!(!outcome.all_finished());
+    assert!(!outcome.hit_cap);
+}
+
+#[test]
+fn adversary_none_crashes_remaining_processes() {
+    let mut exec = writer_execution(3, &[1, 1, 1]);
+    let mut adv = RawSlots {
+        slots: vec![0, 0],
+        cursor: 0,
+    }; // P0 finishes, then None
+    let outcome = exec.run_in_place(&mut adv);
+    assert_eq!(outcome.finished, 1);
+    assert_eq!(exec.outcome(ProcessId(0)), Some(0));
+    assert_eq!(exec.outcome(ProcessId(1)), None);
+    assert!(!outcome.hit_cap);
+}
+
+#[test]
+fn step_cap_reports_hit_and_consistent_counts() {
+    let mut exec = writer_execution(2, &[100, 100]).with_step_cap(7);
+    let mut adv = RawSlots {
+        slots: (0..1000).map(|i| i % 2).collect(),
+        cursor: 0,
+    };
+    let outcome = exec.run_in_place(&mut adv);
+    assert!(outcome.hit_cap);
+    assert_eq!(exec.steps().total(), 7);
+    assert_eq!(outcome.finished, 0);
+}
+
+#[test]
+fn zero_process_execution_finishes_immediately() {
+    let exec = Execution::new(Memory::new(), Vec::new(), 0);
+    let res = exec.run(&mut RandomSchedule::new(0));
+    assert!(res.all_finished());
+    assert_eq!(res.steps().total(), 0);
+}
+
+#[test]
+fn reset_clears_all_accounting() {
+    let mut mem = Memory::new();
+    let le = SpaceEfficientRatRace::new(&mut mem, 4);
+    let declared = mem.declared_registers();
+    let protos: Vec<Box<dyn Protocol>> = (0..4).map(|_| le.elect()).collect();
+    let mut exec = Execution::new(mem, protos, 1);
+    let first = exec.run_in_place(&mut RandomSchedule::new(2));
+    assert!(first.all_finished());
+    assert!(exec.steps().total() > 0);
+    assert!(exec.memory().touched_registers() > 0);
+
+    let protos: Vec<Box<dyn Protocol>> = (0..4).map(|_| le.elect()).collect();
+    exec.reset(protos, 1);
+    assert_eq!(exec.finished_count(), 0);
+    assert!(!exec.all_finished());
+    assert_eq!(exec.steps().total(), 0);
+    assert_eq!(exec.memory().touched_registers(), 0);
+    assert_eq!(exec.memory().declared_registers(), declared, "layout kept");
+
+    // And the re-run behaves like a fresh execution with the same seeds.
+    let second = exec.run_in_place(&mut RandomSchedule::new(2));
+    assert!(second.all_finished());
+    assert_eq!(first, second);
+}
+
+#[test]
+fn reset_supports_changing_process_count() {
+    let mut mem = Memory::new();
+    let regs = mem.alloc(8, "w");
+    let protos: Vec<Box<dyn Protocol>> = (0..2)
+        .map(|i| {
+            Box::new(Writer {
+                reg: regs.get(i),
+                left: 1,
+            }) as Box<dyn Protocol>
+        })
+        .collect();
+    let mut exec = Execution::new(mem, protos, 0);
+    let out = exec.run_in_place(&mut RandomSchedule::new(1));
+    assert_eq!(out.processes, 2);
+    assert!(out.all_finished());
+
+    // Grow to 5 processes.
+    let protos: Vec<Box<dyn Protocol>> = (0..5)
+        .map(|i| {
+            Box::new(Writer {
+                reg: regs.get(i),
+                left: 1,
+            }) as Box<dyn Protocol>
+        })
+        .collect();
+    exec.reset(protos, 0);
+    let out = exec.run_in_place(&mut RandomSchedule::new(1));
+    assert_eq!(out.processes, 5);
+    assert!(out.all_finished());
+    assert_eq!(exec.steps().total(), 5);
+
+    // Shrink to 1.
+    let protos: Vec<Box<dyn Protocol>> = vec![Box::new(Writer {
+        reg: regs.get(0),
+        left: 3,
+    })];
+    exec.reset(protos, 0);
+    let out = exec.run_in_place(&mut RandomSchedule::new(1));
+    assert_eq!(out.processes, 1);
+    assert!(out.all_finished());
+    assert_eq!(exec.steps().total(), 3);
+}

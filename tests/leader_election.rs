@@ -3,8 +3,8 @@
 
 use std::sync::Arc;
 
-use rtas::algorithms::{Combined, LogLogLe, LogStarLe, OriginalRatRace, SpaceEfficientRatRace};
 use rtas::algorithms::attacks::AscendingWriteAttack;
+use rtas::algorithms::{Combined, LogLogLe, LogStarLe, OriginalRatRace, SpaceEfficientRatRace};
 use rtas::primitives::LeaderElect;
 use rtas::sim::adversary::{
     Adversary, AdversaryClass, FnAdversary, ObliviousAdversary, RandomSchedule, RoundRobin, View,
@@ -12,8 +12,8 @@ use rtas::sim::adversary::{
 use rtas::sim::executor::Execution;
 use rtas::sim::memory::Memory;
 use rtas::sim::protocol::{ret, Protocol};
-use rtas::sim::schedule::Schedule;
 use rtas::sim::rng::SplitMix64;
+use rtas::sim::schedule::Schedule;
 use rtas::sim::word::ProcessId;
 
 type Builder = fn(&mut Memory, usize) -> Arc<dyn LeaderElect>;
@@ -22,7 +22,9 @@ fn builders() -> Vec<(&'static str, Builder)> {
     vec![
         ("logstar", |m, n| Arc::new(LogStarLe::new(m, n))),
         ("loglog", |m, n| Arc::new(LogLogLe::new(m, n))),
-        ("ratrace-se", |m, n| Arc::new(SpaceEfficientRatRace::new(m, n))),
+        ("ratrace-se", |m, n| {
+            Arc::new(SpaceEfficientRatRace::new(m, n))
+        }),
         ("ratrace-orig", |m, n| Arc::new(OriginalRatRace::new(m, n))),
         ("combined", |m, n| {
             let weak = Arc::new(LogStarLe::new(m, n));

@@ -13,7 +13,8 @@ fn covering_base_case_holds_for_every_algorithm() {
     // Lemma 5.4 base case: all n processes can be brought to cover
     // registers with nothing visible. True for each implementation.
     let n = 8usize;
-    let systems: Vec<(&str, Memory, Vec<Box<dyn Protocol>>)> = vec![
+    type System = (&'static str, Memory, Vec<Box<dyn Protocol>>);
+    let systems: Vec<System> = vec![
         {
             let mut mem = Memory::new();
             let le = LogStarLe::new(&mut mem, n);

@@ -16,11 +16,10 @@ fn hammered_leader_election_unique_winner() {
         for round in 0..20 {
             let n = 16;
             let le = LeaderElection::with_backend(backend, n);
-            let wins: Vec<bool> = crossbeam::thread::scope(|s| {
-                let handles: Vec<_> = (0..n).map(|_| s.spawn(|_| le.elect())).collect();
+            let wins: Vec<bool> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..n).map(|_| s.spawn(|| le.elect())).collect();
                 handles.into_iter().map(|h| h.join().unwrap()).collect()
-            })
-            .unwrap();
+            });
             assert_eq!(
                 wins.iter().filter(|&&w| w).count(),
                 1,
@@ -36,12 +35,10 @@ fn hammered_tas_exactly_one_winner() {
         for round in 0..15 {
             let n = 12;
             let tas = TestAndSet::with_backend(backend, n);
-            let outs: Vec<bool> = crossbeam::thread::scope(|s| {
-                let handles: Vec<_> =
-                    (0..n).map(|_| s.spawn(|_| tas.test_and_set())).collect();
+            let outs: Vec<bool> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..n).map(|_| s.spawn(|| tas.test_and_set())).collect();
                 handles.into_iter().map(|h| h.join().unwrap()).collect()
-            })
-            .unwrap();
+            });
             assert_eq!(
                 outs.iter().filter(|&&set| !set).count(),
                 1,
@@ -57,19 +54,18 @@ fn staggered_arrivals_still_one_winner() {
     // lose, and there must never be more than one winner.
     let n = 8;
     let tas = TestAndSet::new(n);
-    let outs: Vec<(usize, bool)> = crossbeam::thread::scope(|s| {
+    let outs: Vec<(usize, bool)> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..n)
             .map(|i| {
                 let tas = &tas;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     std::thread::sleep(std::time::Duration::from_micros(i as u64 * 200));
                     (i, tas.test_and_set())
                 })
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .unwrap();
+    });
     assert_eq!(outs.iter().filter(|(_, set)| !set).count(), 1);
 }
 
@@ -78,11 +74,11 @@ fn tas_chain_assigns_distinct_names() {
     // The renaming construction (examples/renaming.rs) as a test.
     let n = 6;
     let slots: Vec<TestAndSet> = (0..n).map(|_| TestAndSet::new(n)).collect();
-    let names: Vec<usize> = crossbeam::thread::scope(|s| {
+    let names: Vec<usize> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..n)
             .map(|_| {
                 let slots = &slots;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     slots
                         .iter()
                         .position(|slot| !slot.test_and_set())
@@ -91,8 +87,7 @@ fn tas_chain_assigns_distinct_names() {
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .unwrap();
+    });
     let mut sorted = names.clone();
     sorted.sort_unstable();
     sorted.dedup();

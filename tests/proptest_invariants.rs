@@ -1,15 +1,18 @@
-//! Property-based tests over the core invariants.
+//! Property-style tests over the core invariants.
 //!
-//! Rather than fixed seeds and contentions, let proptest draw them: the
-//! uniqueness of winners, splitter properties, and recurrence identities
-//! must hold for *every* drawn configuration.
+//! Rather than a handful of fixed configurations, draw many `(seed, k,
+//! schedule)` configurations from a deterministic generator: the uniqueness
+//! of winners, splitter properties, and recurrence identities must hold for
+//! *every* drawn configuration. (The original version of this file used
+//! `proptest`; this environment has no external crates, so the drawing is
+//! done with the repo's own [`SplitMix64`] — failures print the offending
+//! case, which is reproducible by construction.)
 
 use std::sync::Arc;
 
-use proptest::prelude::*;
 use rtas::algorithms::{LogLogLe, LogStarLe, SpaceEfficientRatRace};
 use rtas::lowerbound::recurrence::{closed_form_f, f_sequence, next_f};
-use rtas::primitives::{LeaderElect, RoleLeaderElect, Splitter, SplitterObject, TwoProcessLe};
+use rtas::primitives::{RoleLeaderElect, Splitter, SplitterObject, TwoProcessLe};
 use rtas::sim::adversary::{ObliviousAdversary, RandomSchedule};
 use rtas::sim::executor::Execution;
 use rtas::sim::memory::Memory;
@@ -18,76 +21,95 @@ use rtas::sim::rng::SplitMix64;
 use rtas::sim::schedule::Schedule;
 use rtas::sim::word::ProcessId;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Deterministic case generator: `count` draws from a per-test stream.
+fn cases(test_tag: u64, count: u64) -> impl Iterator<Item = SplitMix64> {
+    (0..count).map(move |i| SplitMix64::split(0x70_70_70 ^ test_tag, i))
+}
 
-    #[test]
-    fn two_process_le_unique_winner(seed in any::<u64>(), sched_seed in any::<u64>()) {
+#[test]
+fn two_process_le_unique_winner() {
+    for mut draw in cases(1, 48) {
+        let seed = draw.next_u64();
+        let sched_seed = draw.next_u64();
         let mut mem = Memory::new();
         let le = TwoProcessLe::new(&mut mem, "2le");
         let protos: Vec<Box<dyn Protocol>> = vec![le.elect_as(0), le.elect_as(1)];
         let res = Execution::new(mem, protos, seed).run(&mut RandomSchedule::new(sched_seed));
-        prop_assert!(res.all_finished());
-        prop_assert_eq!(res.processes_with_outcome(ret::WIN).len(), 1);
+        assert!(res.all_finished(), "seed={seed}");
+        assert_eq!(res.processes_with_outcome(ret::WIN).len(), 1, "seed={seed}");
     }
+}
 
-    #[test]
-    fn splitter_properties_any_contention(k in 1usize..12, seed in any::<u64>()) {
+#[test]
+fn splitter_properties_any_contention() {
+    for mut draw in cases(2, 48) {
+        let k = 1 + draw.next_below(11) as usize;
+        let seed = draw.next_u64();
         let mut mem = Memory::new();
         let sp = Splitter::new(&mut mem, "sp");
         let protos: Vec<Box<dyn Protocol>> = (0..k).map(|_| sp.split()).collect();
         let res = Execution::new(mem, protos, seed).run(&mut RandomSchedule::new(seed ^ 1));
-        prop_assert!(res.all_finished());
+        assert!(res.all_finished(), "k={k} seed={seed}");
         let outs: Vec<u64> = (0..k).map(|i| res.outcome(ProcessId(i)).unwrap()).collect();
         let stops = outs.iter().filter(|&&o| o == ret::SPLIT_STOP).count();
         let lefts = outs.iter().filter(|&&o| o == ret::SPLIT_LEFT).count();
         let rights = outs.iter().filter(|&&o| o == ret::SPLIT_RIGHT).count();
-        prop_assert!(stops <= 1);
-        prop_assert!(lefts <= k - 1);
-        prop_assert!(rights <= k - 1);
+        assert!(stops <= 1, "k={k} seed={seed}");
+        assert!(lefts < k, "k={k} seed={seed}");
+        assert!(rights < k, "k={k} seed={seed}");
         if k == 1 {
-            prop_assert_eq!(stops, 1);
+            assert_eq!(stops, 1, "seed={seed}");
         }
     }
+}
 
-    #[test]
-    fn logstar_unique_winner(k in 1usize..14, seed in any::<u64>()) {
+/// Uniqueness of the winner for a leader-election constructor under random
+/// oblivious schedules, across drawn `(k, seed)` configurations.
+fn assert_unique_winner<F>(test_tag: u64, count: u64, max_k: u64, build: F)
+where
+    F: Fn(&mut Memory, usize) -> Arc<dyn rtas::primitives::LeaderElect>,
+{
+    for mut draw in cases(test_tag, count) {
+        let k = 1 + draw.next_below(max_k) as usize;
+        let seed = draw.next_u64();
         let mut mem = Memory::new();
-        let le = LogStarLe::new(&mut mem, k);
+        let le = build(&mut mem, k);
         let protos: Vec<Box<dyn Protocol>> = (0..k).map(|_| le.elect()).collect();
         let res = Execution::new(mem, protos, seed).run(&mut RandomSchedule::new(seed ^ 3));
-        prop_assert!(res.all_finished());
-        prop_assert_eq!(res.processes_with_outcome(ret::WIN).len(), 1);
+        assert!(res.all_finished(), "k={k} seed={seed}");
+        assert_eq!(
+            res.processes_with_outcome(ret::WIN).len(),
+            1,
+            "k={k} seed={seed}"
+        );
     }
+}
 
-    #[test]
-    fn loglog_unique_winner(k in 1usize..12, seed in any::<u64>()) {
-        let mut mem = Memory::new();
-        let le = LogLogLe::new(&mut mem, k);
-        let protos: Vec<Box<dyn Protocol>> = (0..k).map(|_| le.elect()).collect();
-        let res = Execution::new(mem, protos, seed).run(&mut RandomSchedule::new(seed ^ 5));
-        prop_assert!(res.all_finished());
-        prop_assert_eq!(res.processes_with_outcome(ret::WIN).len(), 1);
-    }
+#[test]
+fn logstar_unique_winner() {
+    assert_unique_winner(3, 48, 13, |mem, k| Arc::new(LogStarLe::new(mem, k)));
+}
 
-    #[test]
-    fn ratrace_unique_winner(k in 1usize..12, seed in any::<u64>()) {
-        let mut mem = Memory::new();
-        let le = SpaceEfficientRatRace::new(&mut mem, k);
-        let protos: Vec<Box<dyn Protocol>> = (0..k).map(|_| le.elect()).collect();
-        let res = Execution::new(mem, protos, seed).run(&mut RandomSchedule::new(seed ^ 7));
-        prop_assert!(res.all_finished());
-        prop_assert_eq!(res.processes_with_outcome(ret::WIN).len(), 1);
-    }
+#[test]
+fn loglog_unique_winner() {
+    assert_unique_winner(4, 48, 11, |mem, k| Arc::new(LogLogLe::new(mem, k)));
+}
 
-    #[test]
-    fn arbitrary_schedule_prefix_never_two_winners(
-        k in 2usize..8,
-        seed in any::<u64>(),
-        len in 0usize..300,
-    ) {
-        // Truncated oblivious schedules crash processes mid-protocol; at
-        // most one winner may exist among those that finished.
+#[test]
+fn ratrace_unique_winner() {
+    assert_unique_winner(5, 48, 11, |mem, k| {
+        Arc::new(SpaceEfficientRatRace::new(mem, k))
+    });
+}
+
+#[test]
+fn arbitrary_schedule_prefix_never_two_winners() {
+    // Truncated oblivious schedules crash processes mid-protocol; at most
+    // one winner may exist among those that finished.
+    for mut draw in cases(6, 48) {
+        let k = 2 + draw.next_below(6) as usize;
+        let seed = draw.next_u64();
+        let len = draw.next_below(300) as usize;
         let mut mem = Memory::new();
         let le = SpaceEfficientRatRace::new(&mut mem, k);
         let protos: Vec<Box<dyn Protocol>> = (0..k).map(|_| le.elect()).collect();
@@ -95,53 +117,68 @@ proptest! {
         let schedule = Schedule::uniform_random(k, len, &mut rng);
         let mut adv = ObliviousAdversary::new(schedule);
         let res = Execution::new(mem, protos, seed).run(&mut adv);
-        prop_assert!(res.processes_with_outcome(ret::WIN).len() <= 1);
-    }
-
-    #[test]
-    fn recurrence_closed_form_agree(exp in 3u32..12, offset in 0u64..64) {
-        let n = 1u64 << exp;
-        let k = offset % n;
-        let seq = f_sequence(n);
-        prop_assert_eq!(seq[k as usize], closed_form_f(n, k));
-    }
-
-    #[test]
-    fn recurrence_step_is_contractive(f_k in 1u64..1_000_000, gap in 1u64..1_000) {
-        // f(k+1) = f(k) − ⌊f(k)/gap⌋ + 1 never increases by more than 1
-        // and never goes negative.
-        let next = next_f(f_k, gap);
-        prop_assert!(next <= f_k + 1);
-    }
-
-    #[test]
-    fn schedule_generators_are_well_formed(
-        n in 1usize..9,
-        len in 0usize..200,
-        seed in any::<u64>(),
-    ) {
-        let mut rng = SplitMix64::new(seed);
-        let s = Schedule::uniform_random(n, len, &mut rng);
-        prop_assert_eq!(s.len(), len);
-        prop_assert!(s.steps().iter().all(|p| p.index() < n));
-        let rr = Schedule::round_robin(n, 3);
-        prop_assert_eq!(rr.len(), 3 * n);
+        assert!(
+            res.processes_with_outcome(ret::WIN).len() <= 1,
+            "k={k} seed={seed} len={len}"
+        );
     }
 }
 
-proptest! {
-    // Heavier cases, fewer iterations.
-    #![proptest_config(ProptestConfig::with_cases(12))]
+#[test]
+fn recurrence_closed_form_agree() {
+    for mut draw in cases(7, 48) {
+        let exp = 3 + draw.next_below(9) as u32;
+        let n = 1u64 << exp;
+        let k = draw.next_below(64) % n;
+        let seq = f_sequence(n);
+        assert_eq!(seq[k as usize], closed_form_f(n, k), "n={n} k={k}");
+    }
+}
 
-    #[test]
-    fn combined_unique_winner(k in 1usize..8, seed in any::<u64>()) {
-        use rtas::algorithms::Combined;
+#[test]
+fn recurrence_step_is_contractive() {
+    // f(k+1) = f(k) − ⌊f(k)/gap⌋ + 1 never increases by more than 1.
+    for mut draw in cases(8, 48) {
+        let f_k = 1 + draw.next_below(1_000_000);
+        let gap = 1 + draw.next_below(999);
+        let next = next_f(f_k, gap);
+        assert!(next <= f_k + 1, "f_k={f_k} gap={gap}");
+    }
+}
+
+#[test]
+fn schedule_generators_are_well_formed() {
+    for mut draw in cases(9, 48) {
+        let n = 1 + draw.next_below(8) as usize;
+        let len = draw.next_below(200) as usize;
+        let seed = draw.next_u64();
+        let mut rng = SplitMix64::new(seed);
+        let s = Schedule::uniform_random(n, len, &mut rng);
+        assert_eq!(s.len(), len);
+        assert!(s.steps().iter().all(|p| p.index() < n));
+        let rr = Schedule::round_robin(n, 3);
+        assert_eq!(rr.len(), 3 * n);
+    }
+}
+
+#[test]
+fn combined_unique_winner() {
+    // Heavier cases, fewer iterations.
+    use rtas::algorithms::Combined;
+    use rtas::primitives::LeaderElect;
+    for mut draw in cases(10, 12) {
+        let k = 1 + draw.next_below(7) as usize;
+        let seed = draw.next_u64();
         let mut mem = Memory::new();
         let weak: Arc<dyn LeaderElect> = Arc::new(LogStarLe::new(&mut mem, k));
         let le = Combined::new(&mut mem, weak, k);
         let protos: Vec<Box<dyn Protocol>> = (0..k).map(|_| le.elect()).collect();
         let res = Execution::new(mem, protos, seed).run(&mut RandomSchedule::new(seed ^ 11));
-        prop_assert!(res.all_finished());
-        prop_assert_eq!(res.processes_with_outcome(ret::WIN).len(), 1);
+        assert!(res.all_finished(), "k={k} seed={seed}");
+        assert_eq!(
+            res.processes_with_outcome(ret::WIN).len(),
+            1,
+            "k={k} seed={seed}"
+        );
     }
 }

@@ -1,0 +1,122 @@
+//! Determinism of the parallel trial engine: the same seed must produce
+//! bit-identical outcomes, step counts, and space statistics whether
+//! trials run serially or fanned out over any number of worker threads —
+//! and whether the executor is rebuilt per trial or reused in place.
+
+use std::sync::Arc;
+
+use rtas::algorithms::{LogStarLe, SpaceEfficientRatRace};
+use rtas::primitives::LeaderElect;
+use rtas::sim::adversary::RandomSchedule;
+use rtas::sim::executor::Execution;
+use rtas::sim::memory::Memory;
+use rtas::sim::protocol::{ret, Protocol};
+use rtas_bench::runner::{Sweep, Trial, TrialRunner};
+
+/// Everything observable from one trial, for exact comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct TrialFingerprint {
+    outcomes: Vec<Option<u64>>,
+    per_process_steps: Vec<u64>,
+    total_steps: u64,
+    touched_registers: u64,
+    declared_registers: u64,
+}
+
+fn fresh_trial(k: usize, trial: Trial) -> TrialFingerprint {
+    let mut mem = Memory::new();
+    let le = LogStarLe::new(&mut mem, k);
+    let protos: Vec<Box<dyn Protocol>> = (0..k).map(|_| le.elect()).collect();
+    let res =
+        Execution::new(mem, protos, trial.seed).run(&mut RandomSchedule::new(trial.subseed(1)));
+    assert!(res.all_finished());
+    TrialFingerprint {
+        outcomes: res.outcomes().to_vec(),
+        per_process_steps: res.steps().as_slice().to_vec(),
+        total_steps: res.steps().total(),
+        touched_registers: res.memory().touched_registers(),
+        declared_registers: res.memory().declared_registers(),
+    }
+}
+
+#[test]
+fn serial_and_parallel_runs_are_bit_identical() {
+    let k = 24;
+    let trials = 32;
+    let seed = 0xfeed_f00d;
+    let serial: Vec<TrialFingerprint> =
+        TrialRunner::serial().run_trials(trials, seed, |t| fresh_trial(k, t));
+    for threads in [2, 3, 4, 8] {
+        let parallel = TrialRunner::new(threads).run_trials(trials, seed, |t| fresh_trial(k, t));
+        assert_eq!(serial, parallel, "threads={threads}");
+    }
+}
+
+#[test]
+fn reused_executor_matches_fresh_executions_exactly() {
+    // The allocation-light path (Execution::reset + run_in_place on a warm
+    // memory) must be observationally identical to building everything
+    // from scratch each trial.
+    let k = 16;
+    let trials = 24;
+    let seed = 0x0dd_ba11;
+    let fresh: Vec<TrialFingerprint> =
+        TrialRunner::serial().run_trials(trials, seed, |t| fresh_trial(k, t));
+    for threads in [1usize, 4] {
+        let reused = TrialRunner::new(threads).run_trials_with(
+            trials,
+            seed,
+            || {
+                let mut mem = Memory::new();
+                let le: Arc<dyn LeaderElect> = Arc::new(LogStarLe::new(&mut mem, k));
+                (le, Execution::new(mem, Vec::new(), 0))
+            },
+            |(le, exec), trial| {
+                let protos: Vec<Box<dyn Protocol>> = (0..k).map(|_| le.elect()).collect();
+                exec.reset(protos, trial.seed);
+                let out = exec.run_in_place(&mut RandomSchedule::new(trial.subseed(1)));
+                assert!(out.all_finished());
+                TrialFingerprint {
+                    outcomes: (0..k)
+                        .map(|i| exec.outcome(rtas::sim::word::ProcessId(i)))
+                        .collect(),
+                    per_process_steps: exec.steps().as_slice().to_vec(),
+                    total_steps: exec.steps().total(),
+                    touched_registers: exec.memory().touched_registers(),
+                    declared_registers: exec.memory().declared_registers(),
+                }
+            },
+        );
+        assert_eq!(fresh, reused, "threads={threads}");
+    }
+}
+
+#[test]
+fn sweep_statistics_are_thread_count_invariant() {
+    let runner_counts = [1usize, 2, 8];
+    let mut reference = None;
+    for threads in runner_counts {
+        let runner = TrialRunner::new(threads);
+        let sweep = Sweep::new(&runner, 16, 0xabad_cafe);
+        let points: Vec<(usize, f64, f64, u64)> = [2usize, 8, 24]
+            .into_iter()
+            .map(|k| {
+                let p = sweep.measure(k, |trial| {
+                    let mut mem = Memory::new();
+                    let le = SpaceEfficientRatRace::new(&mut mem, k);
+                    let protos: Vec<Box<dyn Protocol>> = (0..k).map(|_| le.elect()).collect();
+                    let res = Execution::new(mem, protos, trial.seed)
+                        .run(&mut RandomSchedule::new(trial.subseed(1)));
+                    assert!(res.all_finished());
+                    assert_eq!(res.processes_with_outcome(ret::WIN).len(), 1);
+                    res.steps().max() as f64
+                });
+                (p.k, p.mean(), p.worst(), p.stats.count())
+            })
+            .collect();
+        match &reference {
+            None => reference = Some(points),
+            Some(r) => assert_eq!(r, &points, "threads={threads}"),
+        }
+    }
+}
