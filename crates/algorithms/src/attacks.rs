@@ -18,8 +18,9 @@
 //! bound intact, which is exactly the gap Theorem 4.1's combiner closes
 //! (experiment E5).
 
-use rtas_sim::adversary::{Adversary, AdversaryClass, View};
+use rtas_sim::adversary::{AdversaryClass, Strategy, View};
 use rtas_sim::op::OpKind;
+use rtas_sim::scenario::StrategySpec;
 use rtas_sim::word::ProcessId;
 
 /// The ascending-write adaptive strategy (see module docs).
@@ -43,14 +44,21 @@ impl AscendingWriteAttack {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// This attack as a scenario strategy axis.
+    pub fn spec() -> StrategySpec {
+        StrategySpec::new("ascending-write", |_, _| {
+            Box::new(AscendingWriteAttack::new())
+        })
+    }
 }
 
-impl Adversary for AscendingWriteAttack {
+impl Strategy for AscendingWriteAttack {
     fn class(&self) -> AdversaryClass {
         AdversaryClass::Adaptive
     }
 
-    fn next(&mut self, view: &View<'_>) -> Option<ProcessId> {
+    fn pick(&mut self, view: &View<'_>) -> Option<ProcessId> {
         // Rule 1: finish the write→read pair of the last process.
         if let Some(last) = self.last {
             if view.is_active(last) {
@@ -112,14 +120,21 @@ impl ValuePriorityLocationOblivious {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// This attack as a scenario strategy axis.
+    pub fn spec() -> StrategySpec {
+        StrategySpec::new("value-priority", |_, _| {
+            Box::new(ValuePriorityLocationOblivious::new())
+        })
+    }
 }
 
-impl Adversary for ValuePriorityLocationOblivious {
+impl Strategy for ValuePriorityLocationOblivious {
     fn class(&self) -> AdversaryClass {
         AdversaryClass::LocationOblivious
     }
 
-    fn next(&mut self, view: &View<'_>) -> Option<ProcessId> {
+    fn pick(&mut self, view: &View<'_>) -> Option<ProcessId> {
         if let Some(last) = self.last {
             if view.is_active(last) {
                 if let Some(p) = view.pending(last) {

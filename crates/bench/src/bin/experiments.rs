@@ -6,7 +6,14 @@
 //! cargo run -p rtas-bench --release --bin experiments -- --fast
 //! cargo run -p rtas-bench --release --bin experiments -- e4 e7 # subset
 //! cargo run -p rtas-bench --release --bin experiments -- --threads 8 e2
+//! cargo run -p rtas-bench --release --bin experiments -- --list-scenarios
+//! cargo run -p rtas-bench --release --bin experiments -- \
+//!     --scenario staggered+churn+laggard-first
 //! ```
+//!
+//! `--list-scenarios` prints every cell of the E11 scenario grid
+//! (arrivals × faults × strategies); `--scenario <name>` runs exactly
+//! that cell across all three algorithms instead of the full grid.
 //!
 //! Trials fan out over OS threads (`--threads N`, or the `RTAS_THREADS`
 //! environment variable, defaulting to the host's available parallelism);
@@ -19,6 +26,7 @@
 use rtas_bench::experiments;
 use rtas_bench::report::BenchReport;
 use rtas_bench::runner::TrialRunner;
+use rtas_bench::scenarios;
 use rtas_bench::Scale;
 
 fn write_report(report: BenchReport) {
@@ -28,6 +36,18 @@ fn write_report(report: BenchReport) {
     }
 }
 
+fn scenario_grid_report(
+    name: &'static str,
+    rows: &[experiments::E11Row],
+    threads: usize,
+) -> BenchReport {
+    let mut report = BenchReport::new(name, threads);
+    for row in rows {
+        report.push(row.bench_row());
+    }
+    report
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
@@ -35,6 +55,7 @@ fn main() {
     // One pass: `--threads` takes a mandatory numeric value; everything
     // else that is not a flag selects experiments.
     let mut threads = None;
+    let mut scenario_name: Option<String> = None;
     let mut wanted: Vec<&str> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -47,6 +68,12 @@ fn main() {
                 eprintln!("error: --threads value {value:?} is not a number");
                 std::process::exit(2);
             }));
+        } else if arg == "--scenario" {
+            let value = iter.next().unwrap_or_else(|| {
+                eprintln!("error: --scenario requires a cell name (see --list-scenarios)");
+                std::process::exit(2);
+            });
+            scenario_name = Some(value.clone());
         } else if !arg.starts_with("--") {
             wanted.push(arg.as_str());
         }
@@ -56,6 +83,34 @@ fn main() {
         None => TrialRunner::from_env(),
     };
     let scale = if fast { Scale::fast() } else { Scale::full() };
+
+    if args.iter().any(|a| a == "--list-scenarios") {
+        let k = experiments::e11_contention(scale);
+        println!("E11 scenario grid cells (k={k}), one per arrival+fault+strategy:");
+        for cell in scenarios::grid(k) {
+            println!("  {}", cell.name());
+        }
+        return;
+    }
+    if let Some(name) = scenario_name {
+        let k = experiments::e11_contention(scale);
+        let Some(cell) = scenarios::find(k, &name) else {
+            eprintln!("error: unknown scenario {name:?}; see --list-scenarios");
+            std::process::exit(2);
+        };
+        let rows = experiments::e11_cells(scale, &runner, std::slice::from_ref(&cell), k);
+        if !no_json {
+            // A distinct file name, so drilling into one cell never
+            // clobbers the full-grid BENCH_scenario_grid.json.
+            write_report(scenario_grid_report(
+                "scenario_cell",
+                &rows,
+                runner.threads(),
+            ));
+        }
+        return;
+    }
+
     let run = |id: &str| wanted.is_empty() || wanted.contains(&id);
 
     println!(
@@ -127,5 +182,15 @@ fn main() {
     }
     if run("e10") {
         experiments::e10_ladder_depth(scale, &runner);
+    }
+    if run("e11") {
+        let rows = experiments::e11_scenario_grid(scale, &runner);
+        if !no_json {
+            write_report(scenario_grid_report(
+                "scenario_grid",
+                &rows,
+                runner.threads(),
+            ));
+        }
     }
 }

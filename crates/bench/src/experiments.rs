@@ -13,7 +13,7 @@
 //! simulated memory once per sweep point and re-runs trials in place via
 //! [`Execution::reset`].
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use rtas::algorithms::attacks::AscendingWriteAttack;
 use rtas::algorithms::group_elect::{run_group_election, GeometricGroupElect, SiftingGroupElect};
@@ -24,14 +24,37 @@ use rtas::lowerbound::hitting_time::{geometric_ge_rate, iterated_rate_depth};
 use rtas::lowerbound::recurrence::{closed_form_f, f_sequence};
 use rtas::lowerbound::yao::schedule_tail_probabilities;
 use rtas::primitives::{LeaderElect, RoleLeaderElect, TwoProcessLe};
-use rtas::sim::adversary::{Adversary, RandomSchedule};
 use rtas::sim::executor::Execution;
 use rtas::sim::memory::Memory;
 use rtas::sim::protocol::{ret, Protocol};
+use rtas::sim::scenario::Scenario;
 
 use crate::report::BenchRow;
 use crate::runner::{Sweep, SweepPoint, Trial, TrialRunner};
+use crate::scenarios;
 use crate::Scale;
+
+/// The workload every pre-scenario experiment ran implicitly: all
+/// processes live from slot 0, no faults, fresh uniformly random
+/// scheduling. The scenario passes the strategy seed through verbatim,
+/// so results are bit-identical to the former direct `RandomSchedule`
+/// wiring.
+fn baseline() -> &'static Scenario {
+    static S: OnceLock<Scenario> = OnceLock::new();
+    S.get_or_init(|| Scenario::builder().named("baseline-random").build())
+}
+
+/// The Section 4 attack as a scenario: simultaneous arrivals, no faults,
+/// ascending-write adaptive scheduling (E5/E9).
+fn attack() -> &'static Scenario {
+    static S: OnceLock<Scenario> = OnceLock::new();
+    S.get_or_init(|| {
+        Scenario::builder()
+            .strategy(AscendingWriteAttack::spec())
+            .named("baseline-attack")
+            .build()
+    })
+}
 
 /// One row of a step-complexity sweep.
 #[derive(Debug, Clone, Copy)]
@@ -68,6 +91,7 @@ impl StepRow {
             worst: self.worst_max_steps,
             wall_ms: self.wall_ms,
             extra: Vec::new(),
+            labels: Vec::new(),
         }
     }
 }
@@ -110,9 +134,8 @@ where
 fn le_trial(scratch: &mut LeScratch, k: usize, trial: Trial) -> f64 {
     let protos: Vec<Box<dyn Protocol>> = (0..k).map(|_| scratch.le.elect()).collect();
     scratch.exec.reset(protos, trial.seed);
-    let out = scratch
-        .exec
-        .run_in_place(&mut RandomSchedule::new(trial.subseed(1)));
+    let mut adv = baseline().begin(&mut scratch.exec, trial.subseed(1));
+    let out = scratch.exec.run_in_place(&mut adv);
     assert!(
         out.all_finished(),
         "k={k} trial={} did not finish",
@@ -159,7 +182,7 @@ pub fn e1_group_election_performance(scale: Scale, runner: &TrialRunner) -> Vec<
                 &ge,
                 k,
                 trial.seed,
-                &mut RandomSchedule::new(trial.subseed(1)),
+                &mut baseline().adversary(k, trial.subseed(1)),
             );
             elected as f64
         });
@@ -296,8 +319,8 @@ pub fn e4_ratrace(scale: Scale, runner: &TrialRunner) -> Vec<E4Row> {
         let orr = OriginalRatRace::new(&mut mem_o, k);
         let declared_o = mem_o.declared_registers();
         let protos: Vec<Box<dyn Protocol>> = (0..k).map(|_| orr.elect()).collect();
-        let res =
-            Execution::new(mem_o, protos, scale.seed).run(&mut RandomSchedule::new(scale.seed + 1));
+        let res = Execution::new(mem_o, protos, scale.seed)
+            .run(&mut baseline().adversary(k, scale.seed + 1));
         assert!(res.all_finished());
         let touched_o = res.memory().touched_registers();
 
@@ -355,16 +378,13 @@ pub fn e5_combiner(
                     Arc::new(Combined::new(&mut mem, weak, k))
                 };
                 let protos: Vec<Box<dyn Protocol>> = (0..k).map(|_| le.elect()).collect();
-                let mut random_adv;
-                let mut attack_adv;
-                let adv: &mut dyn Adversary = if adv_name == "random" {
-                    random_adv = RandomSchedule::new(trial.subseed(1));
-                    &mut random_adv
+                let scenario = if adv_name == "random" {
+                    baseline()
                 } else {
-                    attack_adv = AscendingWriteAttack::new();
-                    &mut attack_adv
+                    attack()
                 };
-                let res = Execution::new(mem, protos, trial.seed).run(adv);
+                let mut adv = scenario.adversary(k, trial.subseed(1));
+                let res = Execution::new(mem, protos, trial.seed).run(&mut adv);
                 assert!(res.all_finished());
                 assert_eq!(res.processes_with_outcome(ret::WIN).len(), 1);
                 res.steps().max() as f64
@@ -469,7 +489,7 @@ pub fn e8_sifting_rounds(scale: Scale, runner: &TrialRunner) -> Vec<(usize, usiz
                 &ge,
                 k,
                 trial.seed,
-                &mut RandomSchedule::new(trial.subseed(1)),
+                &mut baseline().adversary(k, trial.subseed(1)),
             );
             elected as f64
         });
@@ -503,16 +523,9 @@ pub fn e9_adaptive_attack(scale: Scale, runner: &TrialRunner) -> Vec<(usize, f64
                 let mut mem = Memory::new();
                 let le = LogStarLe::new(&mut mem, k);
                 let protos: Vec<Box<dyn Protocol>> = (0..k).map(|_| le.elect()).collect();
-                let mut att;
-                let mut rnd;
-                let adv: &mut dyn Adversary = if attack {
-                    att = AscendingWriteAttack::new();
-                    &mut att
-                } else {
-                    rnd = RandomSchedule::new(trial.subseed(1));
-                    &mut rnd
-                };
-                let res = Execution::new(mem, protos, trial.seed).run(adv);
+                let scenario = if attack { self::attack() } else { baseline() };
+                let mut adv = scenario.adversary(k, trial.subseed(1));
+                let res = Execution::new(mem, protos, trial.seed).run(&mut adv);
                 assert!(res.all_finished());
                 res.steps().max() as f64
             })
@@ -543,7 +556,7 @@ pub fn e10_ladder_depth(scale: Scale, runner: &TrialRunner) -> Vec<(usize, u32, 
             let le = LogStarLe::new(&mut mem, k);
             let protos: Vec<Box<dyn Protocol>> = (0..k).map(|_| le.elect()).collect();
             let res = Execution::new(mem, protos, trial.seed)
-                .run(&mut RandomSchedule::new(trial.subseed(1)));
+                .run(&mut baseline().adversary(k, trial.subseed(1)));
             assert!(res.all_finished());
             // Ladder registers are 4 per level, allocated level by level;
             // the deepest touched ladder register reveals the level count.
@@ -561,6 +574,179 @@ pub fn e10_ladder_depth(scale: Scale, runner: &TrialRunner) -> Vec<(usize, u32, 
     rows
 }
 
+/// One `(algorithm, scenario cell)` row of the E11 grid.
+#[derive(Debug, Clone)]
+pub struct E11Row {
+    /// Algorithm under test.
+    pub algorithm: &'static str,
+    /// The cell's `arrival+fault+strategy` name.
+    pub scenario: String,
+    /// Arrival-axis label.
+    pub arrival: &'static str,
+    /// Fault-axis label.
+    pub fault: &'static str,
+    /// Strategy-axis label.
+    pub strategy: &'static str,
+    /// Contention (processes at the start; churn may add more over time).
+    pub k: usize,
+    /// Trials aggregated into the means.
+    pub trials: u64,
+    /// Mean over trials of the max steps taken by any process slot.
+    pub mean_max_steps: f64,
+    /// Worst over trials.
+    pub worst_max_steps: f64,
+    /// Mean number of processes that finished (crashed slots never do).
+    pub mean_finished: f64,
+    /// Mean number of winners — at most 1 in every trial; 0 happens when
+    /// the would-be winner crashed.
+    pub mean_winners: f64,
+    /// Wall-clock cost of the cell's whole trial batch, in milliseconds.
+    pub wall_ms: f64,
+}
+
+impl E11Row {
+    /// This row as a [`BenchRow`] for `BENCH_scenario_grid.json`.
+    pub fn bench_row(&self) -> BenchRow {
+        BenchRow {
+            k: self.k as u64,
+            trials: self.trials,
+            mean: self.mean_max_steps,
+            worst: self.worst_max_steps,
+            wall_ms: self.wall_ms,
+            extra: Vec::new(),
+            labels: Vec::new(),
+        }
+        .with("mean_finished", self.mean_finished)
+        .with("mean_winners", self.mean_winners)
+        .with_label("algorithm", self.algorithm)
+        .with_label("scenario", self.scenario.clone())
+        .with_label("arrival", self.arrival)
+        .with_label("fault", self.fault)
+        .with_label("strategy", self.strategy)
+    }
+}
+
+/// The contention E11 runs at: enough processes for the fault and
+/// arrival axes to matter, small enough that the full grid stays fast.
+pub fn e11_contention(scale: Scale) -> usize {
+    scale.max_k.clamp(2, 24)
+}
+
+/// E11 — the scenario grid: RatRace (original and space-efficient) and
+/// the Theorem 4.1 combiner across arrivals × faults × strategies.
+///
+/// Safety (at most one winner) is asserted in every cell of every trial;
+/// the returned rows record steps, completions, and winners per cell.
+pub fn e11_scenario_grid(scale: Scale, runner: &TrialRunner) -> Vec<E11Row> {
+    print_header(
+        "E11",
+        "scenario grid: RatRace / space-efficient / combined across arrivals x faults x strategies",
+    );
+    let k = e11_contention(scale);
+    e11_cells(scale, runner, &scenarios::grid(k), k)
+}
+
+/// Run E11 over an explicit set of scenario cells (the full grid, or a
+/// single cell for the CLI's `--scenario`).
+pub fn e11_cells(scale: Scale, runner: &TrialRunner, cells: &[Scenario], k: usize) -> Vec<E11Row> {
+    use rtas::sim::rng::SplitMix64;
+    use std::time::Instant;
+
+    type AlgBuilder = fn(&mut Memory, usize) -> Arc<dyn LeaderElect>;
+    let algorithms: [(&'static str, AlgBuilder); 3] = [
+        ("ratrace", |m, n| Arc::new(OriginalRatRace::new(m, n))),
+        ("ratrace-space-efficient", |m, n| {
+            Arc::new(SpaceEfficientRatRace::new(m, n))
+        }),
+        ("combined", |m, n| {
+            let weak = Arc::new(LogStarLe::new(m, n));
+            Arc::new(Combined::new(m, weak, n))
+        }),
+    ];
+    let trials = scale.trials.clamp(1, 6);
+    println!("k={k} trials={trials} cells={}", cells.len());
+    println!("scenario | algorithm | mean max steps | mean finished | mean winners");
+    // One seed stream per (algorithm, cell name): keyed by the cell's
+    // stable name — not its position in `cells` — so a single-cell
+    // `--scenario` run reproduces that cell's full-grid numbers exactly.
+    let cell_seed = |ai: usize, name: &str| {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a over the name
+        for b in name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+        SplitMix64::split(scale.seed.wrapping_add(h), ai as u64).next_u64()
+    };
+    let mut rows = Vec::new();
+    for (ai, (alg_name, build)) in algorithms.iter().enumerate() {
+        for cell in cells.iter() {
+            let base_seed = cell_seed(ai, cell.name());
+            let start = Instant::now();
+            let results = runner.run_trials_with(
+                trials,
+                base_seed,
+                || {
+                    let mut mem = Memory::new();
+                    let le = build(&mut mem, k);
+                    let exec = Execution::new(mem, Vec::new(), 0).with_step_cap(5_000_000);
+                    (le, exec)
+                },
+                |(le, exec), trial| {
+                    let protos: Vec<Box<dyn Protocol>> = (0..k).map(|_| le.elect()).collect();
+                    exec.reset(protos, trial.seed);
+                    let respawn_le = Arc::clone(le);
+                    let mut adv = cell
+                        .begin(exec, trial.subseed(1))
+                        .with_respawn(move |_| respawn_le.elect());
+                    let out = exec.run_in_place(&mut adv);
+                    assert!(
+                        !out.hit_cap,
+                        "{} / {alg_name} k={k} trial={}: hit step cap",
+                        cell.name(),
+                        trial.index
+                    );
+                    let winners = exec.count_outcome(ret::WIN);
+                    assert!(
+                        winners <= 1,
+                        "{} / {alg_name} k={k} trial={}: {winners} winners",
+                        cell.name(),
+                        trial.index
+                    );
+                    (
+                        exec.steps().max() as f64,
+                        out.finished as f64,
+                        winners as f64,
+                    )
+                },
+            );
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            let count = results.len() as f64;
+            let mean_max_steps = results.iter().map(|r| r.0).sum::<f64>() / count;
+            let worst_max_steps = results.iter().map(|r| r.0).fold(0.0, f64::max);
+            let mean_finished = results.iter().map(|r| r.1).sum::<f64>() / count;
+            let mean_winners = results.iter().map(|r| r.2).sum::<f64>() / count;
+            println!(
+                "{} | {alg_name} | {mean_max_steps:.1} | {mean_finished:.1} | {mean_winners:.2}",
+                cell.name()
+            );
+            rows.push(E11Row {
+                algorithm: alg_name,
+                scenario: cell.name().to_string(),
+                arrival: cell.arrivals().label(),
+                fault: cell.faults().label(),
+                strategy: cell.strategy().name(),
+                k,
+                trials,
+                mean_max_steps,
+                worst_max_steps,
+                mean_finished,
+                mean_winners,
+                wall_ms,
+            });
+        }
+    }
+    rows
+}
+
 /// Run every experiment at the given scale through one runner.
 pub fn run_all(scale: Scale, runner: &TrialRunner) {
     e1_group_election_performance(scale, runner);
@@ -573,6 +759,7 @@ pub fn run_all(scale: Scale, runner: &TrialRunner) {
     e8_sifting_rounds(scale, runner);
     e9_adaptive_attack(scale, runner);
     e10_ladder_depth(scale, runner);
+    e11_scenario_grid(scale, runner);
 }
 
 #[cfg(test)]
@@ -689,6 +876,59 @@ mod tests {
             .collect();
         let slope = crate::stats::log_log_slope(&pts);
         assert!(slope < 0.25, "log* steps slope {slope} too steep");
+    }
+
+    #[test]
+    fn e11_covers_axes_and_is_safe() {
+        use std::collections::HashSet;
+        let rows = e11_scenario_grid(tiny(), &runner());
+        let arrivals: HashSet<_> = rows.iter().map(|r| r.arrival).collect();
+        let faults: HashSet<_> = rows.iter().map(|r| r.fault).collect();
+        let strategies: HashSet<_> = rows.iter().map(|r| r.strategy).collect();
+        let algorithms: HashSet<_> = rows.iter().map(|r| r.algorithm).collect();
+        assert!(arrivals.len() >= 3, "arrival axis too small: {arrivals:?}");
+        assert!(faults.len() >= 3, "fault axis too small: {faults:?}");
+        assert!(strategies.len() >= 3, "strategy axis: {strategies:?}");
+        assert_eq!(algorithms.len(), 3);
+        assert_eq!(
+            rows.len(),
+            arrivals.len() * faults.len() * strategies.len() * algorithms.len()
+        );
+        let k = e11_contention(tiny()) as f64;
+        for r in &rows {
+            // Safety is asserted per trial inside the runs; the
+            // aggregates must reflect it too.
+            assert!(r.mean_winners <= 1.0, "{}: {}", r.scenario, r.mean_winners);
+            assert!(r.mean_finished <= k);
+            // Fault-free cells complete everyone.
+            if r.fault == "none" {
+                assert_eq!(r.mean_finished, k, "{} should complete", r.scenario);
+            }
+        }
+    }
+
+    #[test]
+    fn e11_is_thread_count_invariant() {
+        let scale = tiny();
+        let k = 8;
+        let cells: Vec<_> = [
+            "staggered+churn+laggard-first",
+            "random-late+crash-ops+random",
+            "batched+crash-slot+contention-max",
+        ]
+        .iter()
+        .map(|name| crate::scenarios::find(k, name).expect("cell exists"))
+        .collect();
+        let serial = e11_cells(scale, &TrialRunner::serial(), &cells, k);
+        let parallel = e11_cells(scale, &TrialRunner::new(4), &cells, k);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.scenario, p.scenario);
+            assert_eq!(s.mean_max_steps, p.mean_max_steps, "{}", s.scenario);
+            assert_eq!(s.worst_max_steps, p.worst_max_steps, "{}", s.scenario);
+            assert_eq!(s.mean_finished, p.mean_finished, "{}", s.scenario);
+            assert_eq!(s.mean_winners, p.mean_winners, "{}", s.scenario);
+        }
     }
 
     #[test]

@@ -9,6 +9,7 @@ pub mod experiments;
 pub mod microbench;
 pub mod report;
 pub mod runner;
+pub mod scenarios;
 pub mod stats;
 
 /// Scale knobs shared by all experiments.

@@ -49,6 +49,9 @@ pub struct BenchRow {
     pub wall_ms: f64,
     /// Extra named numeric fields, appended verbatim to the row object.
     pub extra: Vec<(&'static str, f64)>,
+    /// Extra named string fields (scenario axis names, algorithm names),
+    /// appended after the numeric extras.
+    pub labels: Vec<(&'static str, String)>,
 }
 
 impl From<&SweepPoint> for BenchRow {
@@ -60,6 +63,7 @@ impl From<&SweepPoint> for BenchRow {
             worst: p.worst(),
             wall_ms: p.wall_ms(),
             extra: Vec::new(),
+            labels: Vec::new(),
         }
     }
 }
@@ -68,6 +72,12 @@ impl BenchRow {
     /// Append an extra named numeric field to this row.
     pub fn with(mut self, key: &'static str, value: f64) -> Self {
         self.extra.push((key, value));
+        self
+    }
+
+    /// Append an extra named string field to this row.
+    pub fn with_label(mut self, key: &'static str, value: impl Into<String>) -> Self {
+        self.labels.push((key, value.into()));
         self
     }
 }
@@ -87,6 +97,23 @@ fn json_f64(v: f64) -> String {
     } else {
         "null".to_string()
     }
+}
+
+/// Minimal JSON string escaping: quotes, backslashes, and control
+/// characters (label values are short identifiers, but stay safe).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 impl BenchReport {
@@ -146,6 +173,9 @@ impl BenchReport {
             for (key, value) in &row.extra {
                 out.push_str(&format!(", \"{}\": {}", key, json_f64(*value)));
             }
+            for (key, value) in &row.labels {
+                out.push_str(&format!(", \"{}\": {}", key, json_str(value)));
+            }
             out.push('}');
             if i + 1 < self.rows.len() {
                 out.push(',');
@@ -184,6 +214,7 @@ mod tests {
             worst: 3.0,
             wall_ms: 2.25,
             extra: Vec::new(),
+            labels: Vec::new(),
         }
     }
 

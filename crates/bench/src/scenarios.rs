@@ -1,0 +1,110 @@
+//! The named scenario cells of the E11 grid, shared by the experiment
+//! and the CLI (`--scenario` / `--list-scenarios`).
+//!
+//! The grid is the cross product of three axes sized for a contention of
+//! `k` processes:
+//!
+//! * **arrivals** — simultaneous, staggered, batched, random-late;
+//! * **faults** — none, crash-slot, crash-ops, churn (a quarter of the
+//!   processes are victims);
+//! * **strategies** — random, contention-max, laggard-first,
+//!   write-chaser, plus the Section 4 ascending-write attack.
+//!
+//! Every cell name is `arrival+fault+strategy`, e.g.
+//! `staggered+churn+laggard-first`.
+
+use rtas::algorithms::attacks::AscendingWriteAttack;
+use rtas::sim::scenario::{ArrivalSpec, FaultSpec, Scenario, StrategySpec};
+
+/// The arrival axis of the grid, sized for `k` processes.
+pub fn arrival_axis(k: usize) -> Vec<ArrivalSpec> {
+    vec![
+        ArrivalSpec::Simultaneous,
+        ArrivalSpec::Staggered { gap: 3 },
+        ArrivalSpec::Batched {
+            size: (k / 4).max(1),
+            gap: 2 * k as u64,
+        },
+        ArrivalSpec::RandomLate {
+            max_delay: 4 * k as u64,
+        },
+    ]
+}
+
+/// The fault axis of the grid, sized for `k` processes: a quarter of the
+/// processes are victims.
+pub fn fault_axis(k: usize) -> Vec<FaultSpec> {
+    let victims = (k / 4).max(1);
+    vec![
+        FaultSpec::None,
+        FaultSpec::CrashAtSlot {
+            victims,
+            slot: k as u64,
+        },
+        FaultSpec::CrashAfterOps { victims, ops: 3 },
+        FaultSpec::Churn { victims, ops: 3 },
+    ]
+}
+
+/// The strategy axis of the grid.
+pub fn strategy_axis() -> Vec<StrategySpec> {
+    vec![
+        StrategySpec::random(),
+        StrategySpec::contention_max(),
+        StrategySpec::laggard_first(),
+        StrategySpec::write_chaser(),
+        AscendingWriteAttack::spec(),
+    ]
+}
+
+/// Every cell of the grid (arrivals × faults × strategies), named
+/// `arrival+fault+strategy`.
+pub fn grid(k: usize) -> Vec<Scenario> {
+    let mut cells = Vec::new();
+    for arrivals in arrival_axis(k) {
+        for faults in fault_axis(k) {
+            for strategy in &strategy_axis() {
+                cells.push(
+                    Scenario::builder()
+                        .arrivals(arrivals)
+                        .faults(faults)
+                        .strategy(strategy.clone())
+                        .build(),
+                );
+            }
+        }
+    }
+    cells
+}
+
+/// Look a cell up by its `arrival+fault+strategy` name.
+pub fn find(k: usize, name: &str) -> Option<Scenario> {
+    grid(k).into_iter().find(|s| s.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn grid_covers_all_axis_combinations() {
+        let k = 16;
+        let cells = grid(k);
+        assert_eq!(
+            cells.len(),
+            arrival_axis(k).len() * fault_axis(k).len() * strategy_axis().len()
+        );
+        let names: HashSet<&str> = cells.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), cells.len(), "cell names are unique");
+        assert!(names.contains("staggered+churn+laggard-first"));
+        assert!(names.contains("simultaneous+none+random"));
+    }
+
+    #[test]
+    fn find_resolves_names() {
+        let cell = find(8, "batched+crash-ops+write-chaser").expect("cell exists");
+        assert_eq!(cell.name(), "batched+crash-ops+write-chaser");
+        assert!(find(8, "no-such-cell").is_none());
+    }
+}

@@ -15,12 +15,14 @@
 //! `m₀ = n` base case — and the number of distinct covered registers.
 
 use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
 
-use rtas_sim::adversary::{Adversary, AdversaryClass, View};
+use rtas_sim::adversary::{AdversaryClass, Strategy, View};
 use rtas_sim::executor::Execution;
 use rtas_sim::memory::Memory;
 use rtas_sim::op::OpKind;
 use rtas_sim::protocol::Protocol;
+use rtas_sim::scenario::{Scenario, StrategySpec};
 use rtas_sim::word::{ProcessId, RegId};
 
 /// Result of the base-case construction.
@@ -49,20 +51,42 @@ impl CoveringReport {
     }
 }
 
-/// Adversary that schedules only processes poised on reads, stopping once
-/// every active process is poised on a write. Also records the covered
-/// registers at that point.
-struct ReadOnlyDriver {
+/// What the read-only covering driver observed when it stopped.
+#[derive(Debug, Default)]
+struct CoveringObservation {
     covered: Vec<RegId>,
     poised_writers: usize,
 }
 
-impl Adversary for ReadOnlyDriver {
+/// Strategy that schedules only processes poised on reads, stopping once
+/// every active process is poised on a write. Records the covering
+/// configuration into a shared observation cell, so the driver can run
+/// inside a [`Scenario`] (whose adversary owns the strategy box).
+struct ReadOnlyDriver {
+    out: Arc<Mutex<CoveringObservation>>,
+}
+
+impl ReadOnlyDriver {
+    /// The driver as a scenario strategy axis, paired with the shared
+    /// cell its observation lands in.
+    fn spec() -> (StrategySpec, Arc<Mutex<CoveringObservation>>) {
+        let out = Arc::new(Mutex::new(CoveringObservation::default()));
+        let handle = Arc::clone(&out);
+        let spec = StrategySpec::new("covering-read-only", move |_, _| {
+            Box::new(ReadOnlyDriver {
+                out: Arc::clone(&handle),
+            })
+        });
+        (spec, out)
+    }
+}
+
+impl Strategy for ReadOnlyDriver {
     fn class(&self) -> AdversaryClass {
         AdversaryClass::Adaptive
     }
 
-    fn next(&mut self, view: &View<'_>) -> Option<ProcessId> {
+    fn pick(&mut self, view: &View<'_>) -> Option<ProcessId> {
         let mut covered = Vec::new();
         let mut writer_count = 0;
         let mut reader = None;
@@ -83,8 +107,9 @@ impl Adversary for ReadOnlyDriver {
             None => {
                 // Every active process is poised on a write: stop and
                 // record the covering configuration.
-                self.covered = covered;
-                self.poised_writers = writer_count;
+                let mut obs = self.out.lock().expect("covering cell poisoned");
+                obs.covered = covered;
+                obs.poised_writers = writer_count;
                 None
             }
         }
@@ -103,16 +128,18 @@ pub fn covering_base_case(
     seed: u64,
 ) -> CoveringReport {
     let n = protocols.len();
-    let mut driver = ReadOnlyDriver {
-        covered: Vec::new(),
-        poised_writers: 0,
-    };
-    let result = Execution::new(memory, protocols, seed).run(&mut driver);
-    let distinct: HashSet<RegId> = driver.covered.iter().copied().collect();
+    let (spec, observation) = ReadOnlyDriver::spec();
+    let scenario = Scenario::builder()
+        .strategy(spec)
+        .named("covering-base-case")
+        .build();
+    let result = Execution::new(memory, protocols, seed).run(&mut scenario.adversary(n, seed));
+    let obs = observation.lock().expect("covering cell poisoned");
+    let distinct: HashSet<RegId> = obs.covered.iter().copied().collect();
     let mut covered_registers: Vec<RegId> = distinct.into_iter().collect();
     covered_registers.sort();
     CoveringReport {
-        covering_processes: driver.poised_writers,
+        covering_processes: obs.poised_writers,
         processes: n,
         covered_registers,
         reads_executed: result.steps().total(),
@@ -135,15 +162,15 @@ pub fn max_simultaneous_covering(
 
     struct Watcher {
         rng: SplitMix64,
-        best: usize,
+        best: Arc<Mutex<usize>>,
     }
 
-    impl Adversary for Watcher {
+    impl Strategy for Watcher {
         fn class(&self) -> AdversaryClass {
             AdversaryClass::Adaptive
         }
 
-        fn next(&mut self, view: &View<'_>) -> Option<ProcessId> {
+        fn pick(&mut self, view: &View<'_>) -> Option<ProcessId> {
             let covered: HashSet<RegId> = view
                 .active()
                 .into_iter()
@@ -151,7 +178,10 @@ pub fn max_simultaneous_covering(
                 .filter(|p| p.kind == Some(OpKind::Write))
                 .filter_map(|p| p.reg)
                 .collect();
-            self.best = self.best.max(covered.len());
+            {
+                let mut best = self.best.lock().expect("watcher cell poisoned");
+                *best = (*best).max(covered.len());
+            }
             let active = view.active();
             if active.is_empty() {
                 return None;
@@ -161,12 +191,21 @@ pub fn max_simultaneous_covering(
         }
     }
 
-    let mut watcher = Watcher {
-        rng: SplitMix64::new(seed),
-        best: 0,
-    };
-    let _ = Execution::new(memory, protocols, seed).run(&mut watcher);
-    watcher.best
+    let n = protocols.len();
+    let best = Arc::new(Mutex::new(0usize));
+    let handle = Arc::clone(&best);
+    let scenario = Scenario::builder()
+        .strategy(StrategySpec::new("covering-watcher", move |_, seed| {
+            Box::new(Watcher {
+                rng: SplitMix64::new(seed),
+                best: Arc::clone(&handle),
+            })
+        }))
+        .named("max-simultaneous-covering")
+        .build();
+    let _ = Execution::new(memory, protocols, seed).run(&mut scenario.adversary(n, seed));
+    let result = *best.lock().expect("watcher cell poisoned");
+    result
 }
 
 #[cfg(test)]

@@ -15,8 +15,20 @@ use rtas_sim::adversary::ObliviousAdversary;
 use rtas_sim::executor::Execution;
 use rtas_sim::memory::Memory;
 use rtas_sim::protocol::Protocol;
+use rtas_sim::scenario::{Scenario, StrategySpec};
 use rtas_sim::schedule::Schedule;
 use rtas_sim::word::ProcessId;
+
+/// The scenario replaying one fixed balanced schedule (the `S_t` member
+/// under test): oblivious strategy, no arrival or fault axes.
+fn replay_scenario(schedule: Schedule) -> Scenario {
+    Scenario::builder()
+        .strategy(StrategySpec::new("oblivious-fixed", move |_, _| {
+            Box::new(ObliviousAdversary::new(schedule.clone()))
+        }))
+        .named("yao-balanced-replay")
+        .build()
+}
 
 /// Empirical tail probabilities for one `t`.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,6 +74,7 @@ pub fn schedule_tail_probabilities(
     let mut max_tail: f64 = 0.0;
     let mut sum_tail = 0.0;
     for (si, schedule) in schedules.iter().enumerate() {
+        let scenario = replay_scenario(schedule.clone());
         let mut hits = 0u64;
         for trial in 0..trials {
             let (mem, protos) = factory();
@@ -69,7 +82,7 @@ pub fn schedule_tail_probabilities(
             let seed = base_seed
                 .wrapping_mul(0x9e37_79b9)
                 .wrapping_add(si as u64 * 1_000_003 + trial);
-            let mut adv = ObliviousAdversary::new(schedule.clone());
+            let mut adv = scenario.adversary(2, seed);
             let res = Execution::new(mem, protos, seed).run(&mut adv);
             // "Does not finish within fewer than t steps": unfinished after
             // its t schedule slots, or finished using ≥ t steps.

@@ -13,10 +13,17 @@
 //! The executor constructs a [`View`] whose [`View::pending`] method
 //! filters each poised operation according to [`AdversaryClass`], so an
 //! adversary implementation *cannot* observe more than its class permits.
+//!
+//! Concrete scheduling policies implement the narrower [`Strategy`] trait
+//! (pure "pick the next process" logic); every strategy is automatically a
+//! full [`Adversary`] through a blanket impl. The workload layer
+//! ([`crate::scenario`]) composes a strategy with arrival and fault plans
+//! into an adversary that also emits lifecycle [`Injection`]s.
 
 use crate::executor::ProcessState;
 use crate::metrics::StepCounts;
 use crate::op::{MemOp, OpKind};
+use crate::protocol::Protocol;
 use crate::rng::SplitMix64;
 use crate::schedule::Schedule;
 use crate::word::{ProcessId, RegId, Word};
@@ -46,7 +53,14 @@ pub struct PendingView {
 }
 
 impl PendingView {
-    fn filtered(op: MemOp, class: AdversaryClass) -> PendingView {
+    /// The class-filtered view of `op`: exactly the fields the paper lets
+    /// an adversary of `class` observe, every other field `None`.
+    ///
+    /// This is the single choke point of capability enforcement — every
+    /// pending operation an adversary sees passes through it, so the
+    /// property tests only need to check this function to know no
+    /// strategy can observe beyond its class.
+    pub fn filtered(op: MemOp, class: AdversaryClass) -> PendingView {
         match class {
             AdversaryClass::Oblivious => PendingView::default(),
             AdversaryClass::RwOblivious => PendingView {
@@ -93,12 +107,24 @@ impl<'a> View<'a> {
         self.procs.len()
     }
 
-    /// Whether `pid` is still running (not finished).
+    /// Whether `pid` is schedulable: arrived, not crashed, not finished.
     pub fn is_active(&self, pid: ProcessId) -> bool {
-        self.procs[pid.index()].finished().is_none()
+        self.procs[pid.index()].can_step()
     }
 
-    /// Ids of all processes that have not finished.
+    /// Whether `pid` has arrived (become live at least once). Processes
+    /// held back by an arrival workload read as not arrived until the
+    /// adversary injects their [`Injection::Arrive`].
+    pub fn has_arrived(&self, pid: ProcessId) -> bool {
+        self.procs[pid.index()].has_arrived()
+    }
+
+    /// Whether `pid` has crashed (and was not respawned since).
+    pub fn is_crashed(&self, pid: ProcessId) -> bool {
+        self.procs[pid.index()].is_crashed()
+    }
+
+    /// Ids of all schedulable processes.
     pub fn active(&self) -> Vec<ProcessId> {
         (0..self.n())
             .map(ProcessId)
@@ -106,9 +132,9 @@ impl<'a> View<'a> {
             .collect()
     }
 
-    /// Number of processes that have not finished, without allocating.
+    /// Number of schedulable processes, without allocating.
     pub fn active_count(&self) -> usize {
-        self.procs.iter().filter(|p| p.finished().is_none()).count()
+        self.procs.iter().filter(|p| p.can_step()).count()
     }
 
     /// The `i`-th active process in ascending id order, without allocating
@@ -121,11 +147,16 @@ impl<'a> View<'a> {
             .nth(i)
     }
 
-    /// The class-filtered poised operation of `pid` (`None` if finished).
+    /// The class-filtered poised operation of `pid` (`None` if the process
+    /// is finished, crashed, or has not arrived — a process that is not
+    /// schedulable exposes nothing, so arrival workloads leak no pending
+    /// operations ahead of time).
     pub fn pending(&self, pid: ProcessId) -> Option<PendingView> {
-        self.procs[pid.index()]
-            .pending()
-            .map(|op| PendingView::filtered(op, self.class))
+        let p = &self.procs[pid.index()];
+        if !p.can_step() {
+            return None;
+        }
+        p.pending().map(|op| PendingView::filtered(op, self.class))
     }
 
     /// Steps taken so far by `pid`.
@@ -139,19 +170,91 @@ impl<'a> View<'a> {
     }
 }
 
-/// A scheduler strategy.
+/// A process-lifecycle event injected by the adversary.
+///
+/// The executor drains injections before every scheduling decision (see
+/// [`Adversary::inject`]) and applies them without per-step allocation:
+/// the only allocating variant is [`Injection::Respawn`], which by nature
+/// carries a freshly built protocol and only occurs on (rare) churn
+/// events.
+pub enum Injection {
+    /// No lifecycle event pending.
+    None,
+    /// A not-yet-arrived process becomes live and gets poised on its
+    /// first operation. Injecting this for a process that already
+    /// arrived is an error.
+    Arrive(ProcessId),
+    /// The process crashes: it keeps consuming schedule slots but takes
+    /// no further steps and never finishes. Crashing a finished or
+    /// already-crashed process is a no-op.
+    Crash(ProcessId),
+    /// Churn: the slot's current process (crashed, finished, or live) is
+    /// replaced by a fresh process running the given protocol with a new
+    /// coin-flip stream.
+    Respawn(ProcessId, Box<dyn Protocol>),
+}
+
+impl std::fmt::Debug for Injection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Injection::None => write!(f, "None"),
+            Injection::Arrive(pid) => write!(f, "Arrive({pid:?})"),
+            Injection::Crash(pid) => write!(f, "Crash({pid:?})"),
+            Injection::Respawn(pid, _) => write!(f, "Respawn({pid:?}, _)"),
+        }
+    }
+}
+
+/// A scheduler controlling one execution: scheduling decisions plus
+/// process-lifecycle injections.
 ///
 /// Implementations must only use the information exposed through [`View`]
 /// for their declared [`Adversary::class`]; the view enforces pending-op
 /// filtering, and history access is deliberately not exposed through the
 /// view (strategies that need it can record what they observe).
+///
+/// Pure scheduling policies should implement [`Strategy`] instead — every
+/// strategy is an `Adversary` (with no injections) through a blanket
+/// impl, and composes with arrival/fault workloads via
+/// [`crate::scenario::Scenario`].
 pub trait Adversary {
     /// The capability class, fixed per adversary.
     fn class(&self) -> AdversaryClass;
 
+    /// The next lifecycle event to apply, or [`Injection::None`]. The
+    /// executor calls this repeatedly (applying each event) until it
+    /// returns `None`, before every scheduling decision.
+    fn inject(&mut self, _view: &View<'_>) -> Injection {
+        Injection::None
+    }
+
     /// Choose the next process to take a step, or `None` to end the
     /// execution (crashing every unfinished process).
     fn next(&mut self, view: &View<'_>) -> Option<ProcessId>;
+}
+
+/// A pure scheduling policy: given the class-filtered view, pick the next
+/// process. This is the composable unit of the scenario engine — the
+/// same strategy runs standalone (every `Strategy` is an [`Adversary`]
+/// via a blanket impl) or wrapped by a [`crate::scenario::Scenario`] that
+/// layers arrivals and faults around it.
+pub trait Strategy {
+    /// The capability class, fixed per strategy.
+    fn class(&self) -> AdversaryClass;
+
+    /// Choose the next process to take a step, or `None` if the strategy
+    /// has no process to schedule.
+    fn pick(&mut self, view: &View<'_>) -> Option<ProcessId>;
+}
+
+impl<S: Strategy> Adversary for S {
+    fn class(&self) -> AdversaryClass {
+        Strategy::class(self)
+    }
+
+    fn next(&mut self, view: &View<'_>) -> Option<ProcessId> {
+        self.pick(view)
+    }
 }
 
 /// Fair round-robin over unfinished processes until all finish.
@@ -173,12 +276,12 @@ impl RoundRobin {
     }
 }
 
-impl Adversary for RoundRobin {
+impl Strategy for RoundRobin {
     fn class(&self) -> AdversaryClass {
         AdversaryClass::Oblivious
     }
 
-    fn next(&mut self, view: &View<'_>) -> Option<ProcessId> {
+    fn pick(&mut self, view: &View<'_>) -> Option<ProcessId> {
         debug_assert_eq!(view.n(), self.n);
         for _ in 0..self.n {
             let pid = ProcessId(self.cursor);
@@ -223,12 +326,12 @@ impl ObliviousAdversary {
     }
 }
 
-impl Adversary for ObliviousAdversary {
+impl Strategy for ObliviousAdversary {
     fn class(&self) -> AdversaryClass {
         AdversaryClass::Oblivious
     }
 
-    fn next(&mut self, view: &View<'_>) -> Option<ProcessId> {
+    fn pick(&mut self, view: &View<'_>) -> Option<ProcessId> {
         while self.cursor < self.schedule.len() {
             let pid = self.schedule.steps()[self.cursor];
             self.cursor += 1;
@@ -268,12 +371,12 @@ impl RandomSchedule {
     }
 }
 
-impl Adversary for RandomSchedule {
+impl Strategy for RandomSchedule {
     fn class(&self) -> AdversaryClass {
         AdversaryClass::Oblivious
     }
 
-    fn next(&mut self, view: &View<'_>) -> Option<ProcessId> {
+    fn pick(&mut self, view: &View<'_>) -> Option<ProcessId> {
         // Allocation-free uniform choice: count the active processes, draw
         // an index, then walk to it. Chooses exactly the element
         // `view.active()[i]` would, so executions are bit-identical to the
@@ -306,7 +409,7 @@ where
     }
 }
 
-impl<F> Adversary for FnAdversary<F>
+impl<F> Strategy for FnAdversary<F>
 where
     F: FnMut(&View<'_>) -> Option<ProcessId>,
 {
@@ -314,7 +417,7 @@ where
         self.class
     }
 
-    fn next(&mut self, view: &View<'_>) -> Option<ProcessId> {
+    fn pick(&mut self, view: &View<'_>) -> Option<ProcessId> {
         (self.f)(view)
     }
 }

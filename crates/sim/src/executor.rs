@@ -14,8 +14,30 @@
 //! Scheduling a finished process is a no-op that consumes the schedule slot
 //! but no step, matching the convention that a crashed/finished process
 //! simply takes no further steps.
+//!
+//! ## Process lifecycle
+//!
+//! Beyond *live* and *finished*, the executor natively supports workload-
+//! driven lifecycle changes so a process can become live or dead mid-run
+//! without any per-step allocation:
+//!
+//! * **late arrival** — a process held back with [`Execution::hold_arrival`]
+//!   takes no part in the execution (its pending operation is hidden from
+//!   the adversary) until the adversary injects
+//!   [`Injection::Arrive`](crate::adversary::Injection), at which point it
+//!   advances to its first poised operation;
+//! * **crash** — [`Injection::Crash`](crate::adversary::Injection) makes a
+//!   process permanently unschedulable; slots spent on it are consumed
+//!   without a step, exactly like slots spent on finished processes;
+//! * **churn** — [`Injection::Respawn`](crate::adversary::Injection)
+//!   replaces a slot's process (typically a crashed one) with a fresh
+//!   protocol and a fresh coin-flip stream.
+//!
+//! Injections are drained from [`Adversary::inject`] before every
+//! scheduling decision; adversaries that do not override it (all plain
+//! [`crate::adversary::Strategy`] policies) run exactly as before.
 
-use crate::adversary::{Adversary, View};
+use crate::adversary::{Adversary, Injection, View};
 use crate::history::{Event, History, RecordMode};
 use crate::memory::Memory;
 use crate::metrics::StepCounts;
@@ -140,11 +162,23 @@ impl SubRuntime {
     }
 }
 
+/// Lifecycle of a process slot inside an [`Execution`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Liveness {
+    /// Held back by an arrival workload; invisible and unschedulable.
+    NotArrived,
+    /// Arrived and participating (may have finished its protocol).
+    Live,
+    /// Crashed; consumes schedule slots but takes no steps.
+    Crashed,
+}
+
 /// Per-process state inside an [`Execution`].
 pub(crate) struct ProcessState {
     pub(crate) runtime: SubRuntime,
     pub(crate) rng: SplitMix64,
     pub(crate) notes: Notes,
+    pub(crate) liveness: Liveness,
 }
 
 impl ProcessState {
@@ -154,6 +188,19 @@ impl ProcessState {
 
     pub(crate) fn finished(&self) -> Option<Word> {
         self.runtime.finished()
+    }
+
+    /// Live and not finished: may be scheduled for a step.
+    pub(crate) fn can_step(&self) -> bool {
+        self.liveness == Liveness::Live && self.runtime.finished().is_none()
+    }
+
+    pub(crate) fn has_arrived(&self) -> bool {
+        self.liveness != Liveness::NotArrived
+    }
+
+    pub(crate) fn is_crashed(&self) -> bool {
+        self.liveness == Liveness::Crashed
     }
 }
 
@@ -165,10 +212,18 @@ pub struct Execution {
     history: History,
     step_cap: u64,
     global_step: u64,
-    /// Number of processes whose protocol has not finished. Maintained
-    /// incrementally so the scheduler loop checks completion in O(1)
-    /// instead of scanning all processes every step.
+    seed: u64,
+    /// Number of live processes whose protocol has not finished.
+    /// Maintained incrementally so the scheduler loop checks completion
+    /// in O(1) instead of scanning all processes every step.
     live: usize,
+    /// Number of processes held back by [`Execution::hold_arrival`] that
+    /// have not yet been injected as arrived.
+    not_arrived: usize,
+    /// Number of crashed processes.
+    crashed: usize,
+    /// Respawns applied so far (distinct RNG streams for fresh processes).
+    respawns: u64,
 }
 
 impl std::fmt::Debug for Execution {
@@ -275,6 +330,7 @@ impl Execution {
                 runtime: SubRuntime::new(root),
                 rng: SplitMix64::split(seed, i as u64),
                 notes: Notes::default(),
+                liveness: Liveness::Live,
             })
             .collect();
         Execution {
@@ -284,7 +340,11 @@ impl Execution {
             history: History::new(RecordMode::Counts),
             step_cap: Self::DEFAULT_STEP_CAP,
             global_step: 0,
+            seed,
             live: n,
+            not_arrived: 0,
+            crashed: 0,
+            respawns: 0,
         }
     }
 
@@ -308,11 +368,13 @@ impl Execution {
                 p.runtime.reset(root);
                 p.rng = SplitMix64::split(seed, i as u64);
                 p.notes = Notes::default();
+                p.liveness = Liveness::Live;
             } else {
                 self.procs.push(ProcessState {
                     runtime: SubRuntime::new(root),
                     rng: SplitMix64::split(seed, i as u64),
                     notes: Notes::default(),
+                    liveness: Liveness::Live,
                 });
             }
         }
@@ -320,7 +382,11 @@ impl Execution {
         self.steps.reset(n);
         self.history.clear();
         self.global_step = 0;
+        self.seed = seed;
         self.live = n;
+        self.not_arrived = 0;
+        self.crashed = 0;
+        self.respawns = 0;
     }
 
     /// Enable full history recording.
@@ -338,6 +404,26 @@ impl Execution {
     /// Number of processes.
     pub fn n_processes(&self) -> usize {
         self.procs.len()
+    }
+
+    /// Hold `pid` back from the execution until the adversary injects its
+    /// arrival ([`Injection::Arrive`]). A held process takes no steps,
+    /// draws no coins, and exposes no pending operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process already took a step (call this before
+    /// running), already finished, or is not currently live.
+    pub fn hold_arrival(&mut self, pid: ProcessId) {
+        let p = &mut self.procs[pid.index()];
+        assert!(
+            p.liveness == Liveness::Live && p.finished().is_none() && p.pending().is_none(),
+            "hold_arrival on a process that already started: {pid:?}"
+        );
+        assert_eq!(self.steps.of(pid), 0, "hold_arrival after steps: {pid:?}");
+        p.liveness = Liveness::NotArrived;
+        self.live -= 1;
+        self.not_arrived += 1;
     }
 
     /// Run the execution under `adversary` until every process finished,
@@ -364,18 +450,37 @@ impl Execution {
     /// The scheduler loop does O(1) completion checking per step: a live-
     /// process counter replaces the per-step scan over all processes.
     pub fn run_in_place(&mut self, adversary: &mut dyn Adversary) -> RunOutcome {
-        // Bring every process to its first poised operation (local steps
-        // and coin flips before the first shared-memory access are free).
+        // Bring every live process to its first poised operation (local
+        // steps and coin flips before the first shared-memory access are
+        // free). Held-back processes advance when their arrival arrives.
         for i in 0..self.procs.len() {
-            self.advance_process(i);
+            if self.procs[i].liveness == Liveness::Live {
+                self.advance_process(i);
+            }
         }
         let mut hit_cap = false;
-        while self.live > 0 {
+        while self.live > 0 || self.not_arrived > 0 {
             if self.steps.total() >= self.step_cap {
                 hit_cap = true;
                 break;
             }
             let class = adversary.class();
+            // Drain lifecycle injections before the scheduling decision.
+            loop {
+                let injection = {
+                    let view = View::new(class, &self.procs, &self.steps);
+                    adversary.inject(&view)
+                };
+                match injection {
+                    Injection::None => break,
+                    Injection::Arrive(pid) => self.arrive(pid),
+                    Injection::Crash(pid) => self.crash(pid),
+                    Injection::Respawn(pid, proto) => self.respawn(pid, proto),
+                }
+            }
+            if self.live == 0 && self.not_arrived == 0 {
+                break;
+            }
             let chosen = {
                 let view = View::new(class, &self.procs, &self.steps);
                 adversary.next(&view)
@@ -385,22 +490,98 @@ impl Execution {
                 pid.index() < self.procs.len(),
                 "adversary chose unknown {pid:?}"
             );
-            if self.procs[pid.index()].finished().is_some() {
-                // Slot wasted on a finished process: no step taken.
+            if !self.procs[pid.index()].can_step() {
+                // Slot wasted on a finished, crashed, or not-yet-arrived
+                // process: no step taken.
                 continue;
             }
             self.execute_step(pid);
         }
         debug_assert_eq!(
             self.live,
-            self.procs.iter().filter(|p| p.finished().is_none()).count(),
+            self.procs.iter().filter(|p| p.can_step()).count(),
             "live counter out of sync with process states"
+        );
+        debug_assert_eq!(
+            self.crashed,
+            self.procs.iter().filter(|p| p.is_crashed()).count(),
+            "crashed counter out of sync with process states"
         );
         RunOutcome {
             hit_cap,
-            finished: self.procs.len() - self.live,
+            finished: self.finished_count(),
             processes: self.procs.len(),
         }
+    }
+
+    /// Inject the arrival of a held-back process: it becomes live and
+    /// advances to its first poised operation.
+    fn arrive(&mut self, pid: ProcessId) {
+        let p = &mut self.procs[pid.index()];
+        assert_eq!(
+            p.liveness,
+            Liveness::NotArrived,
+            "arrival injected for a process that already arrived: {pid:?}"
+        );
+        p.liveness = Liveness::Live;
+        self.not_arrived -= 1;
+        self.live += 1;
+        // May finish immediately (zero-step protocols); advance_process
+        // keeps the live counter consistent.
+        self.advance_process(pid.index());
+    }
+
+    /// Crash a process. Crashing a finished or already-crashed process is
+    /// a no-op; crashing a held-back process cancels its arrival.
+    fn crash(&mut self, pid: ProcessId) {
+        let p = &mut self.procs[pid.index()];
+        match p.liveness {
+            Liveness::Crashed => {}
+            Liveness::NotArrived => {
+                p.liveness = Liveness::Crashed;
+                self.not_arrived -= 1;
+                self.crashed += 1;
+            }
+            Liveness::Live => {
+                if p.finished().is_none() {
+                    p.liveness = Liveness::Crashed;
+                    self.live -= 1;
+                    self.crashed += 1;
+                }
+            }
+        }
+    }
+
+    /// Replace the slot's process with a fresh one running `proto`, with
+    /// a fresh coin-flip stream. The predecessor's steps remain on the
+    /// slot's counter (steps are accounted per slot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot's process never arrived (respawn models churn
+    /// of a previously live slot, not a first arrival).
+    fn respawn(&mut self, pid: ProcessId, proto: Box<dyn Protocol>) {
+        let idx = pid.index();
+        assert!(
+            self.procs[idx].liveness != Liveness::NotArrived,
+            "respawn of a process that never arrived: {pid:?}"
+        );
+        let was_running = self.procs[idx].can_step();
+        if self.procs[idx].liveness == Liveness::Crashed {
+            self.crashed -= 1;
+        }
+        self.respawns += 1;
+        let stream = self.procs.len() as u64 + self.respawns;
+        let p = &mut self.procs[idx];
+        p.runtime.reset(proto);
+        p.rng = SplitMix64::split(self.seed, stream);
+        p.notes = Notes::default();
+        p.liveness = Liveness::Live;
+        if !was_running {
+            // Crashed or finished predecessors were not counted live.
+            self.live += 1;
+        }
+        self.advance_process(idx);
     }
 
     /// The result of process `pid`'s protocol so far, or `None` if it has
@@ -411,12 +592,22 @@ impl Execution {
 
     /// Whether every process finished its protocol.
     pub fn all_finished(&self) -> bool {
-        self.live == 0
+        self.live == 0 && self.not_arrived == 0 && self.crashed == 0
     }
 
     /// Number of processes whose protocol finished.
     pub fn finished_count(&self) -> usize {
-        self.procs.len() - self.live
+        self.procs.len() - self.live - self.not_arrived - self.crashed
+    }
+
+    /// Number of crashed processes.
+    pub fn crashed_count(&self) -> usize {
+        self.crashed
+    }
+
+    /// Number of processes still held back from arriving.
+    pub fn not_arrived_count(&self) -> usize {
+        self.not_arrived
     }
 
     /// Number of finished processes whose outcome equals `value`

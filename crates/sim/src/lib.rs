@@ -20,7 +20,13 @@
 //!   construction so an adversary physically cannot see more than its class
 //!   allows.
 //! * [`executor`] — runs a set of processes against an adversary, recording
-//!   per-process step counts and (optionally) the full history.
+//!   per-process step counts and (optionally) the full history; supports
+//!   mid-run lifecycle changes (late arrivals, crashes, churn respawns)
+//!   without per-step allocation.
+//! * [`scenario`] — composable workloads: one [`scenario::Scenario`]
+//!   combines an arrival pattern, a fault plan, and a scheduling strategy
+//!   into a ready adversary, with class enforcement preserved by
+//!   construction.
 //! * [`explore`] — an exhaustive interleaving + coin-outcome explorer
 //!   (loom-style) used to verify safety of the 2- and 3-process building
 //!   blocks over *all* schedules within bounded depth.
@@ -68,6 +74,7 @@ pub mod metrics;
 pub mod op;
 pub mod protocol;
 pub mod rng;
+pub mod scenario;
 pub mod schedule;
 pub mod trace;
 pub mod word;
@@ -75,8 +82,8 @@ pub mod word;
 /// Convenient glob import of the simulator's core types.
 pub mod prelude {
     pub use crate::adversary::{
-        Adversary, AdversaryClass, FnAdversary, ObliviousAdversary, PendingView, RandomSchedule,
-        RoundRobin, View,
+        Adversary, AdversaryClass, FnAdversary, Injection, ObliviousAdversary, PendingView,
+        RandomSchedule, RoundRobin, Strategy, View,
     };
     pub use crate::executor::{Execution, ExecutionResult, RunOutcome, SubPoll, SubRuntime};
     pub use crate::explore::{explore, ExploreConfig, ExploreStats, Explored};
@@ -86,6 +93,7 @@ pub mod prelude {
     pub use crate::op::{MemOp, OpKind};
     pub use crate::protocol::{boxed, ret, Const, Ctx, Notes, Poll, Protocol, Resume};
     pub use crate::rng::{Randomness, SplitMix64};
+    pub use crate::scenario::{ArrivalSpec, FaultSpec, Scenario, ScenarioAdversary, StrategySpec};
     pub use crate::schedule::Schedule;
     pub use crate::word::{ProcessId, RegId, Word};
 }

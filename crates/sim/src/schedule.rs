@@ -5,9 +5,30 @@
 //! module provides the schedule type plus the generators the experiments
 //! use (round-robin, uniformly random interleavings, block schedules, and
 //! solo runs).
+//!
+//! # Panics
+//!
+//! All generators share one contract: they panic if called with `n == 0`
+//! processes (a schedule over zero processes has no valid slot). Zero
+//! *lengths* are fine everywhere and produce an empty schedule.
 
 use crate::rng::SplitMix64;
 use crate::word::ProcessId;
+
+/// The shared `n > 0` contract of every generator (see module docs).
+#[track_caller]
+fn assert_processes(n: usize) {
+    assert!(
+        n > 0,
+        "schedule generators need at least one process (n > 0)"
+    );
+}
+
+/// The shared id mapping of every generator: `usize` ids to
+/// [`ProcessId`] slots.
+fn to_pids<I: IntoIterator<Item = usize>>(ids: I) -> Vec<ProcessId> {
+    ids.into_iter().map(ProcessId).collect()
+}
 
 /// A fixed sequence of process ids.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -19,27 +40,35 @@ impl Schedule {
     /// Schedule from an explicit sequence.
     pub fn from_pids<I: IntoIterator<Item = usize>>(pids: I) -> Self {
         Schedule {
-            steps: pids.into_iter().map(ProcessId).collect(),
+            steps: to_pids(pids),
         }
     }
 
     /// Round-robin over `n` processes, `rounds` full rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` (the shared generator contract, see the
+    /// [module docs](self)).
     pub fn round_robin(n: usize, rounds: usize) -> Self {
-        let mut steps = Vec::with_capacity(n * rounds);
-        for _ in 0..rounds {
-            steps.extend((0..n).map(ProcessId));
+        assert_processes(n);
+        Schedule {
+            steps: to_pids((0..rounds).flat_map(|_| 0..n)),
         }
-        Schedule { steps }
     }
 
     /// Uniformly random interleaving: `len` slots, each an independent
     /// uniformly random process in `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` (the shared generator contract, see the
+    /// [module docs](self)).
     pub fn uniform_random(n: usize, len: usize, rng: &mut SplitMix64) -> Self {
-        assert!(n > 0, "need at least one process");
-        let steps = (0..len)
-            .map(|_| ProcessId(rng.next_below(n as u64) as usize))
-            .collect();
-        Schedule { steps }
+        assert_processes(n);
+        Schedule {
+            steps: to_pids((0..len).map(|_| rng.next_below(n as u64) as usize)),
+        }
     }
 
     /// Processes run one after another, each getting `steps_each`
@@ -47,18 +76,26 @@ impl Schedule {
     ///
     /// This is the "sequential arrivals" workload: low interference, the
     /// best case for splitters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` (the shared generator contract, see the
+    /// [module docs](self)).
     pub fn sequential(n: usize, steps_each: usize, rng: &mut SplitMix64) -> Self {
+        assert_processes(n);
         let mut order: Vec<usize> = (0..n).collect();
         // Fisher–Yates shuffle.
         for i in (1..n).rev() {
             let j = rng.next_below(i as u64 + 1) as usize;
             order.swap(i, j);
         }
-        let mut steps = Vec::with_capacity(n * steps_each);
-        for p in order {
-            steps.extend(std::iter::repeat_n(ProcessId(p), steps_each));
+        Schedule {
+            steps: to_pids(
+                order
+                    .into_iter()
+                    .flat_map(|p| std::iter::repeat_n(p, steps_each)),
+            ),
         }
-        Schedule { steps }
     }
 
     /// All schedules of length `2t` over two processes in which each process

@@ -208,6 +208,218 @@ fn step_cap_reports_hit_and_consistent_counts() {
     assert_eq!(outcome.finished, 0);
 }
 
+/// Replays raw slots like [`RawSlots`], but first emits a scripted list
+/// of `(slot, injection)` lifecycle events — the minimal harness for the
+/// executor's native crash/arrival support.
+struct ScriptedInjections {
+    slots: Vec<usize>,
+    cursor: usize,
+    events: Vec<(usize, Event)>,
+}
+
+#[derive(Clone, Copy)]
+enum Event {
+    Arrive(usize),
+    Crash(usize),
+}
+
+impl Adversary for ScriptedInjections {
+    fn class(&self) -> AdversaryClass {
+        AdversaryClass::Oblivious
+    }
+
+    fn inject(&mut self, _view: &View<'_>) -> rtas::sim::adversary::Injection {
+        use rtas::sim::adversary::Injection;
+        if let Some(i) = self
+            .events
+            .iter()
+            .position(|&(slot, _)| slot <= self.cursor)
+        {
+            let (_, event) = self.events.remove(i);
+            return match event {
+                Event::Arrive(p) => Injection::Arrive(ProcessId(p)),
+                Event::Crash(p) => Injection::Crash(ProcessId(p)),
+            };
+        }
+        Injection::None
+    }
+
+    fn next(&mut self, _view: &View<'_>) -> Option<ProcessId> {
+        let slot = self.slots.get(self.cursor).copied()?;
+        self.cursor += 1;
+        Some(ProcessId(slot))
+    }
+}
+
+#[test]
+fn crashed_process_consumes_slots_but_takes_no_steps() {
+    // P0 crashes at slot 2 (after 2 writes); the schedule keeps handing
+    // it slots, which are consumed without steps, while P1 finishes.
+    let mut exec = writer_execution(2, &[10, 3]);
+    let mut adv = ScriptedInjections {
+        slots: vec![0, 0, 0, 0, 0, 0, 1, 1, 1],
+        cursor: 0,
+        events: vec![(2, Event::Crash(0))],
+    };
+    let outcome = exec.run_in_place(&mut adv);
+    assert_eq!(exec.steps().of(ProcessId(0)), 2, "steps frozen at crash");
+    assert_eq!(exec.steps().of(ProcessId(1)), 3);
+    assert_eq!(exec.steps().total(), 5);
+    assert_eq!(outcome.finished, 1);
+    assert_eq!(exec.crashed_count(), 1);
+    assert_eq!(exec.outcome(ProcessId(0)), None);
+    assert_eq!(exec.outcome(ProcessId(1)), Some(1));
+    assert!(!outcome.all_finished());
+}
+
+#[test]
+fn late_arrival_first_step_counted_exactly_once() {
+    // P1 is held back and arrives at slot 3. Slots handed to it before
+    // the arrival are wasted (no step); after the arrival each slot is
+    // exactly one step — so its total equals its writes, and the global
+    // total equals the sum of writes, mirroring the scan-semantics tests.
+    let mut exec = writer_execution(2, &[2, 2]);
+    exec.hold_arrival(ProcessId(1));
+    assert_eq!(exec.not_arrived_count(), 1);
+    let mut adv = ScriptedInjections {
+        slots: vec![1, 1, 0, 0, 1, 1, 1],
+        cursor: 0,
+        events: vec![(3, Event::Arrive(1))],
+    };
+    let outcome = exec.run_in_place(&mut adv);
+    assert!(outcome.all_finished());
+    assert_eq!(exec.steps().of(ProcessId(0)), 2);
+    assert_eq!(
+        exec.steps().of(ProcessId(1)),
+        2,
+        "first step counted exactly once despite wasted pre-arrival slots"
+    );
+    assert_eq!(exec.steps().total(), 4);
+    assert_eq!(exec.not_arrived_count(), 0);
+}
+
+#[test]
+fn held_process_is_invisible_until_arrival() {
+    // Before its arrival a held process is not active, exposes no
+    // pending op, and reads as not-arrived; afterwards it behaves
+    // normally. Checked from inside the adversary.
+    use std::cell::Cell;
+    let saw_hidden = Cell::new(false);
+    let saw_visible = Cell::new(false);
+    let mut exec = writer_execution(2, &[1, 1]);
+    exec.hold_arrival(ProcessId(1));
+    {
+        let mut adv = ScriptedObserver {
+            inner: ScriptedInjections {
+                slots: vec![0, 1, 1],
+                cursor: 0,
+                events: vec![(1, Event::Arrive(1))],
+            },
+            observe: |view: &View<'_>| {
+                let pid = ProcessId(1);
+                if view.has_arrived(pid) {
+                    if view.is_active(pid) {
+                        assert!(view.pending(pid).is_some(), "arrived implies poised");
+                        saw_visible.set(true);
+                    }
+                } else {
+                    assert!(!view.is_active(pid));
+                    assert!(view.pending(pid).is_none(), "held process leaked its op");
+                    saw_hidden.set(true);
+                }
+            },
+        };
+        let outcome = exec.run_in_place(&mut adv);
+        assert!(outcome.all_finished());
+    }
+    assert!(saw_hidden.get() && saw_visible.get());
+}
+
+/// Wraps [`ScriptedInjections`] with an observation hook run on every
+/// scheduling decision.
+struct ScriptedObserver<F> {
+    inner: ScriptedInjections,
+    observe: F,
+}
+
+impl<F: Fn(&View<'_>)> Adversary for ScriptedObserver<F> {
+    fn class(&self) -> AdversaryClass {
+        AdversaryClass::Adaptive
+    }
+
+    fn inject(&mut self, view: &View<'_>) -> rtas::sim::adversary::Injection {
+        self.inner.inject(view)
+    }
+
+    fn next(&mut self, view: &View<'_>) -> Option<ProcessId> {
+        (self.observe)(view);
+        self.inner.next(view)
+    }
+}
+
+#[test]
+fn respawn_replaces_crashed_slot_with_fresh_process() {
+    use rtas::sim::adversary::Injection;
+
+    /// Crash P0 at slot 1, respawn it at slot 3 with a 1-write protocol,
+    /// then round-robin everything to completion.
+    struct ChurnScript {
+        cursor: usize,
+        crashed: bool,
+        respawned: bool,
+        reg: RegId,
+    }
+
+    impl Adversary for ChurnScript {
+        fn class(&self) -> AdversaryClass {
+            AdversaryClass::Oblivious
+        }
+
+        fn inject(&mut self, _view: &View<'_>) -> Injection {
+            if self.cursor >= 1 && !self.crashed {
+                self.crashed = true;
+                return Injection::Crash(ProcessId(0));
+            }
+            if self.cursor >= 3 && !self.respawned {
+                self.respawned = true;
+                return Injection::Respawn(
+                    ProcessId(0),
+                    Box::new(Writer {
+                        reg: self.reg,
+                        left: 1,
+                    }),
+                );
+            }
+            Injection::None
+        }
+
+        fn next(&mut self, view: &View<'_>) -> Option<ProcessId> {
+            self.cursor += 1;
+            (0..view.n()).map(ProcessId).find(|&p| view.is_active(p))
+        }
+    }
+
+    // P1 stays live across the crash→respawn window: the executor ends
+    // the run once nothing is live and no arrival is pending, so a
+    // respawn of a dead execution never fires (the scenario engine makes
+    // churn atomic — one Respawn event — for exactly this reason).
+    let mut exec = writer_execution(2, &[5, 4]);
+    let mut adv = ChurnScript {
+        cursor: 0,
+        crashed: false,
+        respawned: false,
+        reg: RegId(0),
+    };
+    let outcome = exec.run_in_place(&mut adv);
+    assert!(outcome.all_finished(), "{outcome:?}");
+    assert_eq!(exec.crashed_count(), 0, "respawn cleared the crash");
+    // Slot 0: 1 pre-crash write + 1 respawned write; Writer returns pid.
+    assert_eq!(exec.steps().of(ProcessId(0)), 2);
+    assert_eq!(exec.steps().of(ProcessId(1)), 4);
+    assert_eq!(exec.outcome(ProcessId(0)), Some(0));
+    assert_eq!(exec.outcome(ProcessId(1)), Some(1));
+}
+
 #[test]
 fn zero_process_execution_finishes_immediately() {
     let exec = Execution::new(Memory::new(), Vec::new(), 0);

@@ -162,6 +162,104 @@ fn schedule_generators_are_well_formed() {
 }
 
 #[test]
+fn pending_view_never_leaks_beyond_class() {
+    // Capability enforcement is by construction: every pending operation
+    // an adversary sees goes through `PendingView::filtered`. Draw random
+    // operations and check, for all four classes, that exactly the
+    // class's fields are populated and nothing else leaks.
+    use rtas::sim::adversary::{AdversaryClass, PendingView};
+    use rtas::sim::op::{MemOp, OpKind};
+    use rtas::sim::word::RegId;
+
+    for mut draw in cases(11, 200) {
+        let reg = RegId(draw.next_below(1 << 20));
+        let value = draw.next_u64();
+        let op = if draw.next_below(2) == 0 {
+            MemOp::Read(reg)
+        } else {
+            MemOp::Write(reg, value)
+        };
+        let is_write = op.kind() == OpKind::Write;
+
+        let obl = PendingView::filtered(op, AdversaryClass::Oblivious);
+        assert_eq!(obl, PendingView::default(), "oblivious must see nothing");
+
+        let rw = PendingView::filtered(op, AdversaryClass::RwOblivious);
+        assert_eq!(rw.reg, Some(reg), "rw-oblivious sees the register");
+        assert_eq!(rw.kind, None, "rw-oblivious must not see the kind");
+        assert_eq!(rw.write_value, None, "rw-oblivious must not see values");
+
+        let loc = PendingView::filtered(op, AdversaryClass::LocationOblivious);
+        assert_eq!(loc.kind, Some(op.kind()), "location-oblivious sees kind");
+        assert_eq!(loc.reg, None, "location-oblivious must not see registers");
+        assert_eq!(
+            loc.write_value,
+            is_write.then_some(value),
+            "location-oblivious sees write values only for writes"
+        );
+
+        let ad = PendingView::filtered(op, AdversaryClass::Adaptive);
+        assert_eq!(ad.kind, Some(op.kind()));
+        assert_eq!(ad.reg, Some(reg));
+        assert_eq!(ad.write_value, is_write.then_some(value));
+    }
+}
+
+#[test]
+fn executor_view_filters_like_pending_view() {
+    // End to end: a strategy of each class observing live pending ops
+    // through the executor's view sees exactly the filtered projection.
+    use rtas::sim::adversary::{AdversaryClass, FnAdversary, PendingView};
+    use rtas::sim::op::OpKind;
+
+    for (class, tag) in [
+        (AdversaryClass::Oblivious, 12u64),
+        (AdversaryClass::RwOblivious, 13),
+        (AdversaryClass::LocationOblivious, 14),
+        (AdversaryClass::Adaptive, 15),
+    ] {
+        for mut draw in cases(tag, 8) {
+            let k = 2 + draw.next_below(5) as usize;
+            let seed = draw.next_u64();
+            let mut mem = Memory::new();
+            let le = SpaceEfficientRatRace::new(&mut mem, k);
+            let protos: Vec<Box<dyn Protocol>> = (0..k).map(|_| le.elect()).collect();
+            let mut rng = SplitMix64::new(seed);
+            let mut adv = FnAdversary::new(class, move |view: &rtas::sim::adversary::View<'_>| {
+                for pid in view.active() {
+                    let pv: PendingView = view.pending(pid).expect("active implies poised");
+                    match class {
+                        AdversaryClass::Oblivious => assert_eq!(pv, PendingView::default()),
+                        AdversaryClass::RwOblivious => {
+                            assert!(pv.kind.is_none() && pv.write_value.is_none());
+                            assert!(pv.reg.is_some());
+                        }
+                        AdversaryClass::LocationOblivious => {
+                            assert!(pv.reg.is_none());
+                            assert!(pv.kind.is_some());
+                            if pv.kind == Some(OpKind::Read) {
+                                assert!(pv.write_value.is_none());
+                            }
+                        }
+                        AdversaryClass::Adaptive => {
+                            assert!(pv.kind.is_some() && pv.reg.is_some());
+                        }
+                    }
+                }
+                let active = view.active();
+                if active.is_empty() {
+                    None
+                } else {
+                    Some(active[rng.next_below(active.len() as u64) as usize])
+                }
+            });
+            let res = Execution::new(mem, protos, seed).run(&mut adv);
+            assert!(res.all_finished(), "class {class:?} seed={seed}");
+        }
+    }
+}
+
+#[test]
 fn combined_unique_winner() {
     // Heavier cases, fewer iterations.
     use rtas::algorithms::Combined;

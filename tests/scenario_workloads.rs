@@ -1,0 +1,154 @@
+//! Scenario workloads against the real algorithms: safety must hold in
+//! every cell of the arrivals × faults × strategies grid, and scenario
+//! executions must be reproducible from their seed.
+
+use std::sync::Arc;
+
+use rtas::algorithms::{Combined, LogLogLe, LogStarLe, SpaceEfficientRatRace};
+use rtas::primitives::LeaderElect;
+use rtas::sim::executor::Execution;
+use rtas::sim::memory::Memory;
+use rtas::sim::protocol::{ret, Protocol};
+use rtas::sim::scenario::{ArrivalSpec, FaultSpec, Scenario, StrategySpec};
+use rtas::sim::word::ProcessId;
+
+type Builder = fn(&mut Memory, usize) -> Arc<dyn LeaderElect>;
+
+fn builders() -> Vec<(&'static str, Builder)> {
+    vec![
+        ("logstar", |m, n| Arc::new(LogStarLe::new(m, n))),
+        ("loglog", |m, n| Arc::new(LogLogLe::new(m, n))),
+        ("ratrace", |m, n| Arc::new(SpaceEfficientRatRace::new(m, n))),
+        ("combined", |m, n| {
+            let weak = Arc::new(LogStarLe::new(m, n));
+            Arc::new(Combined::new(m, weak, n))
+        }),
+    ]
+}
+
+fn small_grid() -> Vec<Scenario> {
+    let mut cells = Vec::new();
+    for arrivals in [
+        ArrivalSpec::Simultaneous,
+        ArrivalSpec::Staggered { gap: 2 },
+        ArrivalSpec::Batched { size: 3, gap: 9 },
+        ArrivalSpec::RandomLate { max_delay: 20 },
+    ] {
+        for faults in [
+            FaultSpec::None,
+            FaultSpec::CrashAtSlot {
+                victims: 2,
+                slot: 5,
+            },
+            FaultSpec::CrashAfterOps { victims: 2, ops: 2 },
+            FaultSpec::Churn { victims: 2, ops: 2 },
+        ] {
+            for strategy in [
+                StrategySpec::random(),
+                StrategySpec::round_robin(),
+                StrategySpec::contention_max(),
+                StrategySpec::laggard_first(),
+                StrategySpec::write_chaser(),
+                StrategySpec::oblivious_uniform(40),
+                StrategySpec::oblivious_sequential(40),
+            ] {
+                cells.push(
+                    Scenario::builder()
+                        .arrivals(arrivals)
+                        .faults(faults)
+                        .strategy(strategy)
+                        .build(),
+                );
+            }
+        }
+    }
+    cells
+}
+
+#[test]
+fn every_cell_is_safe_for_every_algorithm() {
+    let k = 7;
+    for (name, builder) in builders() {
+        for (ci, cell) in small_grid().iter().enumerate() {
+            let seed = 1000 + ci as u64;
+            let mut mem = Memory::new();
+            let le = builder(&mut mem, k);
+            let protos: Vec<Box<dyn Protocol>> = (0..k).map(|_| le.elect()).collect();
+            let mut exec = Execution::new(mem, protos, seed).with_step_cap(2_000_000);
+            let respawn_le = Arc::clone(&le);
+            let mut adv = cell
+                .begin(&mut exec, seed)
+                .with_respawn(move |_| respawn_le.elect());
+            let out = exec.run_in_place(&mut adv);
+            assert!(!out.hit_cap, "{name} / {}: hit step cap", cell.name());
+            let winners = exec.count_outcome(ret::WIN);
+            assert!(winners <= 1, "{name} / {}: {winners} winners", cell.name());
+            // Finished + crashed + never-arrived partition the processes.
+            assert_eq!(
+                exec.finished_count() + exec.crashed_count() + exec.not_arrived_count(),
+                k,
+                "{name} / {}",
+                cell.name()
+            );
+            // Without faults, every process must finish and elect one
+            // winner despite arbitrary arrival patterns.
+            if cell.faults() == FaultSpec::None {
+                assert!(out.all_finished(), "{name} / {}: {out:?}", cell.name());
+                assert_eq!(winners, 1, "{name} / {}", cell.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn scenario_runs_are_seed_reproducible() {
+    let k = 6;
+    let cell = Scenario::builder()
+        .arrivals(ArrivalSpec::RandomLate { max_delay: 12 })
+        .faults(FaultSpec::Churn { victims: 2, ops: 2 })
+        .strategy(StrategySpec::random())
+        .build();
+    let run = |seed: u64| {
+        let mut mem = Memory::new();
+        let le = Arc::new(SpaceEfficientRatRace::new(&mut mem, k));
+        let protos: Vec<Box<dyn Protocol>> = (0..k).map(|_| le.elect()).collect();
+        let mut exec = Execution::new(mem, protos, seed);
+        let respawn_le = Arc::clone(&le);
+        let mut adv = cell
+            .begin(&mut exec, seed)
+            .with_respawn(move |_| respawn_le.elect());
+        exec.run_in_place(&mut adv);
+        let outcomes: Vec<_> = (0..k).map(|i| exec.outcome(ProcessId(i))).collect();
+        (exec.steps().clone(), outcomes)
+    };
+    for seed in 0..10 {
+        assert_eq!(run(seed), run(seed), "seed={seed}");
+    }
+}
+
+#[test]
+fn crashed_quarter_never_blocks_survivors() {
+    // Crash-after-ops with a fair strategy: every non-victim must finish.
+    let k = 8;
+    let victims = 2;
+    let cell = Scenario::builder()
+        .faults(FaultSpec::CrashAfterOps { victims, ops: 3 })
+        .strategy(StrategySpec::laggard_first())
+        .build();
+    for (name, builder) in builders() {
+        for seed in 0..5 {
+            let mut mem = Memory::new();
+            let le = builder(&mut mem, k);
+            let protos: Vec<Box<dyn Protocol>> = (0..k).map(|_| le.elect()).collect();
+            let mut exec = Execution::new(mem, protos, seed);
+            let mut adv = cell.begin(&mut exec, seed);
+            exec.run_in_place(&mut adv);
+            for i in victims..k {
+                assert!(
+                    exec.outcome(ProcessId(i)).is_some(),
+                    "{name} seed={seed}: P{i} stuck behind crashed victims"
+                );
+            }
+        }
+    }
+}
