@@ -1,0 +1,83 @@
+//! `bench-diff` — the perf-regression gate over `BENCH_*.json` reports.
+//!
+//! ```text
+//! bench-diff <baseline-dir> <current-dir> [options]
+//!
+//! options:
+//!   --mean-tol <f>   relative tolerance on mean/p50/p90   (default 0.10)
+//!   --tail-tol <f>   relative tolerance on worst/p99      (default 0.25)
+//!   --wall-tol <f>   relative tolerance on wall_ms        (default 9.0)
+//!   --no-wall        do not gate wall_ms at all (cross-machine runs)
+//!   --verbose        list in-tolerance metrics too
+//! ```
+//!
+//! Compares every `BENCH_*.json` in `<current-dir>` against the
+//! same-named file in `<baseline-dir>` (typically the committed
+//! `baselines/` directory) with noise-aware per-metric thresholds, and
+//! prints a markdown delta table. Exit codes: `0` — within tolerance,
+//! `1` — regression or structural drift, `2` — usage / IO / parse
+//! error. See the "Perf baselines & regression gating" section of the
+//! README for the baseline-refresh workflow (`[bench-reset]`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rtas_bench::diff::{diff_dirs, markdown_summary, Tolerances};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench-diff <baseline-dir> <current-dir> \
+         [--mean-tol f] [--tail-tol f] [--wall-tol f] [--no-wall] [--verbose]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    let mut tol = Tolerances::default();
+    let mut verbose = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut tol_value = |name: &str| -> f64 {
+            let Some(value) = iter.next() else {
+                eprintln!("error: {name} requires a value");
+                usage();
+            };
+            value.parse::<f64>().unwrap_or_else(|_| {
+                eprintln!("error: {name} value {value:?} is not a number");
+                usage();
+            })
+        };
+        match arg.as_str() {
+            "--mean-tol" => tol.mean = tol_value("--mean-tol"),
+            "--tail-tol" => tol.tail = tol_value("--tail-tol"),
+            "--wall-tol" => tol.wall = tol_value("--wall-tol"),
+            "--no-wall" => tol.check_wall = false,
+            "--verbose" => verbose = true,
+            "--help" | "-h" => usage(),
+            flag if flag.starts_with("--") => {
+                eprintln!("error: unknown flag {flag}");
+                usage();
+            }
+            dir => dirs.push(PathBuf::from(dir)),
+        }
+    }
+    if dirs.len() != 2 {
+        usage();
+    }
+    match diff_dirs(&dirs[0], &dirs[1], &tol) {
+        Ok(outcome) => {
+            print!("{}", markdown_summary(&outcome, verbose));
+            if outcome.regressed() {
+                ExitCode::from(1)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(err) => {
+            eprintln!("bench-diff: {err}");
+            ExitCode::from(2)
+        }
+    }
+}

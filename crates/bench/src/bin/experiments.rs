@@ -17,14 +17,16 @@
 //!
 //! Trials fan out over OS threads (`--threads N`, or the `RTAS_THREADS`
 //! environment variable, defaulting to the host's available parallelism);
-//! results are bit-identical at every thread count. Experiments with
-//! step-complexity sweeps additionally write `BENCH_<name>.json` rows
-//! (per-k mean/worst steps plus wall-clock) to `RTAS_BENCH_DIR` (default:
-//! current directory) so the simulator's perf trajectory is tracked
-//! across PRs. Pass `--no-json` to skip the files.
+//! results are bit-identical at every thread count. Every experiment
+//! additionally writes `BENCH_<name>.json` rows — distributional
+//! statistics per sweep point (mean, worst/min, stddev, 95% CI,
+//! p50/p90/p99) plus wall-clock — to `RTAS_BENCH_DIR` (default: current
+//! directory) so the simulator's perf trajectory is tracked across PRs
+//! and gated by the `bench-diff` binary against the committed
+//! `baselines/`. Pass `--no-json` to skip the files.
 
 use rtas_bench::experiments;
-use rtas_bench::report::BenchReport;
+use rtas_bench::report::{BenchReport, BenchRow};
 use rtas_bench::runner::TrialRunner;
 use rtas_bench::scenarios;
 use rtas_bench::Scale;
@@ -34,6 +36,18 @@ fn write_report(report: BenchReport) {
         Ok(path) => println!("wrote {}", path.display()),
         Err(err) => eprintln!("failed to write {}: {err}", report.path().display()),
     }
+}
+
+fn report_from_rows(
+    name: &'static str,
+    threads: usize,
+    rows: impl IntoIterator<Item = BenchRow>,
+) -> BenchReport {
+    let mut report = BenchReport::new(name, threads);
+    for row in rows {
+        report.push(row);
+    }
+    report
 }
 
 fn scenario_grid_report(
@@ -117,80 +131,146 @@ fn main() {
         "randomized test-and-set reproduction — experiments (scale: {scale:?}, threads: {})",
         runner.threads()
     );
+    let threads = runner.threads();
     if run("e1") {
-        experiments::e1_group_election_performance(scale, &runner);
+        let rows = experiments::e1_group_election_performance(scale, &runner);
+        if !no_json {
+            write_report(report_from_rows(
+                "group_election",
+                threads,
+                rows.iter().map(|r| r.bench_row()),
+            ));
+        }
     }
     if run("e2") {
         let rows = experiments::e2_logstar_steps(scale, &runner);
         if !no_json {
-            let mut report = BenchReport::new("step_complexity", runner.threads());
-            for r in &rows {
-                report.push(
+            write_report(report_from_rows(
+                "step_complexity",
+                threads,
+                rows.iter().map(|r| {
                     r.steps
-                        .bench_row(scale.trials)
+                        .bench_row()
                         .with("log_star", r.log_star as f64)
-                        .with("registers", r.registers as f64),
-                );
-            }
-            write_report(report);
+                        .with("registers", r.registers as f64)
+                }),
+            ));
         }
     }
     if run("e3") {
         let rows = experiments::e3_loglog_steps(scale, &runner);
         if !no_json {
-            let mut report = BenchReport::new("loglog_steps", runner.threads());
-            for r in &rows {
-                report.push(
+            write_report(report_from_rows(
+                "loglog_steps",
+                threads,
+                rows.iter().map(|r| {
                     r.steps
-                        .bench_row(scale.trials)
-                        .with("baseline_mean", r.baseline.mean_max_steps),
-                );
-            }
-            write_report(report);
+                        .bench_row()
+                        .with("baseline_mean", r.baseline.mean_max_steps)
+                }),
+            ));
         }
     }
     if run("e4") {
         let rows = experiments::e4_ratrace(scale, &runner);
         if !no_json {
-            let mut report = BenchReport::new("ratrace", runner.threads());
-            for r in &rows {
-                report.push(
+            write_report(report_from_rows(
+                "ratrace",
+                threads,
+                rows.iter().map(|r| {
                     r.steps
-                        .bench_row(scale.trials)
+                        .bench_row()
                         .with("regs_space_efficient", r.regs_space_efficient as f64)
                         .with("regs_original_declared", r.regs_original_declared as f64)
-                        .with("regs_original_touched", r.regs_original_touched as f64),
-                );
-            }
-            write_report(report);
+                        .with("regs_original_touched", r.regs_original_touched as f64)
+                }),
+            ));
         }
     }
     if run("e5") {
-        experiments::e5_combiner(scale, &runner);
+        let rows = experiments::e5_combiner(scale, &runner);
+        if !no_json {
+            write_report(report_from_rows(
+                "combiner",
+                threads,
+                rows.iter().map(|r| r.bench_row()),
+            ));
+        }
     }
     if run("e6") {
-        experiments::e6_space_lower_bound(scale, &runner);
+        let rows = experiments::e6_space_lower_bound(scale, &runner);
+        if !no_json {
+            // The recurrence is exact, not sampled: one deterministic
+            // observation per n, so the distribution fields are the
+            // honest single-value summary (quantiles = the value,
+            // stddev/ci = 0). Wall-clock is not measured per row: null.
+            write_report(report_from_rows(
+                "space_recurrence",
+                threads,
+                rows.iter().map(|&(n, rec, closed)| {
+                    let single = rtas_bench::stats::StatsAccumulator::from_value(rec as f64);
+                    BenchRow::from_summary(n, &single.summary(), f64::NAN)
+                        .with("closed_form", closed as f64)
+                }),
+            ));
+        }
     }
     if run("e7") {
-        experiments::e7_two_process_tail(scale, &runner);
+        let rows = experiments::e7_two_process_tail(scale, &runner);
+        if !no_json {
+            // Only the mean and max tail probabilities exist here (the
+            // schedule search reports per-schedule tails, not a trial
+            // distribution); the unavailable fields serialize as null
+            // rather than fabricated zeros.
+            write_report(report_from_rows(
+                "two_process_tail",
+                threads,
+                rows.iter().map(|r| {
+                    BenchRow::from_mean_worst(
+                        r.t as u64,
+                        r.schedules as u64,
+                        r.mean_tail,
+                        r.max_tail,
+                    )
+                    .with("bound", r.bound)
+                }),
+            ));
+        }
     }
     if run("e8") {
-        experiments::e8_sifting_rounds(scale, &runner);
+        let rows = experiments::e8_sifting_rounds(scale, &runner);
+        if !no_json {
+            write_report(report_from_rows(
+                "sifting_rounds",
+                threads,
+                rows.iter().map(|r| r.bench_row()),
+            ));
+        }
     }
     if run("e9") {
-        experiments::e9_adaptive_attack(scale, &runner);
+        let rows = experiments::e9_adaptive_attack(scale, &runner);
+        if !no_json {
+            write_report(report_from_rows(
+                "adaptive_attack",
+                threads,
+                rows.iter().flat_map(|r| r.bench_rows()),
+            ));
+        }
     }
     if run("e10") {
-        experiments::e10_ladder_depth(scale, &runner);
+        let rows = experiments::e10_ladder_depth(scale, &runner);
+        if !no_json {
+            write_report(report_from_rows(
+                "ladder_depth",
+                threads,
+                rows.iter().map(|r| r.bench_row()),
+            ));
+        }
     }
     if run("e11") {
         let rows = experiments::e11_scenario_grid(scale, &runner);
         if !no_json {
-            write_report(scenario_grid_report(
-                "scenario_grid",
-                &rows,
-                runner.threads(),
-            ));
+            write_report(scenario_grid_report("scenario_grid", &rows, threads));
         }
     }
 }

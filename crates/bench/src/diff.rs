@@ -1,0 +1,613 @@
+//! The perf-regression gate: compare two sets of `BENCH_*.json` reports.
+//!
+//! The experiments binary emits distributional rows (see
+//! [`crate::report`]); committed baselines live under `baselines/` in
+//! the repository. This module compares a freshly emitted report
+//! directory against those baselines with *noise-aware, per-metric*
+//! relative thresholds:
+//!
+//! * `mean`, `p50`, `p90` — the stable center of the distribution —
+//!   gate at the tight [`Tolerances::mean`] (default 10%);
+//! * `worst`, `p99` — tail statistics with genuine sampling noise —
+//!   gate at the wider [`Tolerances::tail`] (default 25%);
+//! * `wall_ms` — wall-clock, machine-dependent — gates at the very wide
+//!   [`Tolerances::wall`] (default 9.0, i.e. a 10× slowdown fails) and
+//!   can be disabled entirely with [`Tolerances::check_wall`] for
+//!   cross-machine comparisons (CI runners vs. the laptop that recorded
+//!   the baselines);
+//! * `min`, `stddev`, `ci95`, and the experiment-specific extras are
+//!   informational only — their regression direction is
+//!   metric-dependent (a higher `mean_finished` is *better*), so they
+//!   never gate.
+//!
+//! Step-count metrics are bit-deterministic per seed, so any drift in
+//! them is a real behavioral change, not noise; the tolerances exist to
+//! let intentional small algorithm changes through while catching
+//! order-of-magnitude regressions. Structural drift — rows added or
+//! removed, trial counts changed — always fails, because the comparison
+//! is meaningless; refresh the baselines instead (commit with
+//! `[bench-reset]`, see the README).
+//!
+//! The `bench-diff` binary (`crates/bench/src/bin/bench_diff.rs`) wraps
+//! [`diff_dirs`] with a CLI, prints the markdown delta table, and exits
+//! non-zero on regression.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::report::{BenchReport, BenchRow};
+
+/// Deterministic metrics never drift without a real change; the wall
+/// clock jitters by whole milliseconds even on one machine.
+const STEP_ABS_SLACK: f64 = 1e-9;
+const WALL_ABS_SLACK_MS: f64 = 1.0;
+
+/// Relative tolerances for the regression gate, per metric class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tolerances {
+    /// Center statistics: `mean`, `p50`, `p90`.
+    pub mean: f64,
+    /// Tail statistics: `worst`, `p99`.
+    pub tail: f64,
+    /// Wall clock: `wall_ms`. `9.0` means "allow up to 10× slower".
+    pub wall: f64,
+    /// Whether `wall_ms` gates at all. Disable when baseline and
+    /// current ran on different machines.
+    pub check_wall: bool,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Tolerances {
+            mean: 0.10,
+            tail: 0.25,
+            wall: 9.0,
+            check_wall: true,
+        }
+    }
+}
+
+impl Tolerances {
+    /// The (relative tolerance, absolute slack) this metric gates at,
+    /// or `None` if it is informational only.
+    fn for_metric(&self, metric: &str) -> Option<(f64, f64)> {
+        match metric {
+            "mean" | "p50" | "p90" => Some((self.mean, STEP_ABS_SLACK)),
+            "worst" | "p99" => Some((self.tail, STEP_ABS_SLACK)),
+            "wall_ms" if self.check_wall => Some((self.wall, WALL_ABS_SLACK_MS)),
+            _ => None,
+        }
+    }
+}
+
+/// Verdict for one gated metric of one row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Within tolerance of the baseline.
+    Ok,
+    /// Current is better than the baseline by more than the tolerance.
+    Improved,
+    /// Current is worse than the baseline by more than the tolerance.
+    Regressed,
+}
+
+/// One gated metric comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDelta {
+    /// The row's identity: `k` plus labels (see [`BenchRow::key`]).
+    pub row: String,
+    /// Metric name (`mean`, `p99`, `wall_ms`, ...).
+    pub metric: &'static str,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Freshly measured value.
+    pub current: f64,
+    /// Relative tolerance the metric gated at.
+    pub tolerance: f64,
+    /// Verdict.
+    pub status: Status,
+}
+
+impl MetricDelta {
+    /// Relative change in percent (`+` is worse for gated metrics).
+    pub fn delta_percent(&self) -> f64 {
+        if self.baseline == 0.0 {
+            if self.current == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (self.current - self.baseline) / self.baseline * 100.0
+        }
+    }
+}
+
+/// The comparison of one experiment's report against its baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportDiff {
+    /// Experiment name.
+    pub experiment: String,
+    /// Per-metric verdicts, in row order.
+    pub deltas: Vec<MetricDelta>,
+    /// Structural mismatches (rows appeared/disappeared, trial counts
+    /// changed, non-finite vs finite metric). Any entry fails the gate.
+    pub structural: Vec<String>,
+}
+
+impl ReportDiff {
+    /// Whether this report fails the gate.
+    pub fn regressed(&self) -> bool {
+        !self.structural.is_empty() || self.deltas.iter().any(|d| d.status == Status::Regressed)
+    }
+
+    /// Deltas that changed beyond tolerance, either way.
+    pub fn changed(&self) -> impl Iterator<Item = &MetricDelta> {
+        self.deltas.iter().filter(|d| d.status != Status::Ok)
+    }
+}
+
+fn compare_rows(base: &BenchRow, cur: &BenchRow, tol: &Tolerances, out: &mut ReportDiff) {
+    let key = cur.key();
+    if base.trials != cur.trials {
+        out.structural.push(format!(
+            "{key}: trials changed {} -> {} (baseline is stale; refresh with [bench-reset])",
+            base.trials, cur.trials
+        ));
+        return;
+    }
+    let base_metrics = base.metrics();
+    for (metric, cur_value) in cur.metrics() {
+        let Some((rel, abs)) = tol.for_metric(metric) else {
+            continue;
+        };
+        let base_value = base_metrics
+            .iter()
+            .find(|(name, _)| *name == metric)
+            .expect("metrics() is a fixed set")
+            .1;
+        if !base_value.is_finite() || !cur_value.is_finite() {
+            if base_value.is_finite() != cur_value.is_finite() {
+                out.structural.push(format!(
+                    "{key}: {metric} flipped finiteness ({base_value} -> {cur_value})"
+                ));
+            }
+            continue;
+        }
+        // The improvement band is ratio-symmetric with the regression
+        // band (base/(1+rel), not base*(1-rel)): with a wide tolerance
+        // like wall's 9.0 the linear form would go negative and real
+        // speedups would never be reported.
+        let status = if cur_value > base_value * (1.0 + rel) + abs {
+            Status::Regressed
+        } else if cur_value < base_value / (1.0 + rel) - abs {
+            Status::Improved
+        } else {
+            Status::Ok
+        };
+        out.deltas.push(MetricDelta {
+            row: key.clone(),
+            metric,
+            baseline: base_value,
+            current: cur_value,
+            tolerance: rel,
+            status,
+        });
+    }
+}
+
+/// Compare one freshly measured report against its baseline.
+pub fn diff_reports(baseline: &BenchReport, current: &BenchReport, tol: &Tolerances) -> ReportDiff {
+    let mut out = ReportDiff {
+        experiment: current.name().to_string(),
+        deltas: Vec::new(),
+        structural: Vec::new(),
+    };
+    if baseline.name() != current.name() {
+        out.structural.push(format!(
+            "experiment name changed {:?} -> {:?}",
+            baseline.name(),
+            current.name()
+        ));
+    }
+    let base_rows: BTreeMap<String, &BenchRow> =
+        baseline.rows().iter().map(|r| (r.key(), r)).collect();
+    if base_rows.len() != baseline.rows().len() {
+        out.structural
+            .push("baseline has duplicate row keys".to_string());
+    }
+    let cur_keys: std::collections::BTreeSet<String> =
+        current.rows().iter().map(|r| r.key()).collect();
+    if cur_keys.len() != current.rows().len() {
+        out.structural
+            .push("current report has duplicate row keys".to_string());
+    }
+    for row in current.rows() {
+        match base_rows.get(&row.key()) {
+            Some(base) => compare_rows(base, row, tol, &mut out),
+            None => out
+                .structural
+                .push(format!("{}: row has no baseline", row.key())),
+        }
+    }
+    for key in base_rows.keys() {
+        if !cur_keys.contains(key) {
+            out.structural
+                .push(format!("{key}: baseline row disappeared"));
+        }
+    }
+    out
+}
+
+/// The outcome of comparing two report directories.
+#[derive(Debug, Clone, Default)]
+pub struct DirDiff {
+    /// Per-experiment comparisons, in file-name order.
+    pub diffs: Vec<ReportDiff>,
+    /// Current reports with no committed baseline (informational: new
+    /// experiments pass until a baseline is committed).
+    pub missing_baseline: Vec<String>,
+    /// Baselines the current run did not emit (informational: smoke
+    /// runs cover a subset of experiments).
+    pub missing_current: Vec<String>,
+}
+
+impl DirDiff {
+    /// Whether any compared report fails the gate.
+    pub fn regressed(&self) -> bool {
+        self.diffs.iter().any(|d| d.regressed())
+    }
+}
+
+fn bench_files(dir: &Path) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with("BENCH_") && name.ends_with(".json") {
+            names.push(name);
+        }
+    }
+    names.sort();
+    Ok(names)
+}
+
+fn load_report(path: &Path) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    BenchReport::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Compare every `BENCH_*.json` in `current_dir` against the same-named
+/// file in `baseline_dir`. IO or parse failures are hard errors (the
+/// gate cannot run), not regressions.
+pub fn diff_dirs(
+    baseline_dir: &Path,
+    current_dir: &Path,
+    tol: &Tolerances,
+) -> Result<DirDiff, String> {
+    let baseline_files = bench_files(baseline_dir)?;
+    let current_files = bench_files(current_dir)?;
+    let mut out = DirDiff::default();
+    for name in &current_files {
+        if baseline_files.contains(name) {
+            let base = load_report(&baseline_dir.join(name))?;
+            let cur = load_report(&current_dir.join(name))?;
+            out.diffs.push(diff_reports(&base, &cur, tol));
+        } else {
+            out.missing_baseline.push(name.clone());
+        }
+    }
+    for name in &baseline_files {
+        if !current_files.contains(name) {
+            out.missing_current.push(name.clone());
+        }
+    }
+    Ok(out)
+}
+
+fn fmt_value(v: f64) -> String {
+    if !v.is_finite() {
+        "null".to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Render the comparison as a markdown delta table plus a verdict line.
+///
+/// `verbose` includes in-tolerance metrics; otherwise only changed
+/// metrics and structural failures are listed (an all-quiet run prints
+/// just the verdict).
+pub fn markdown_summary(diff: &DirDiff, verbose: bool) -> String {
+    let mut out = String::new();
+    out.push_str("## bench-diff\n\n");
+    let mut any_rows = false;
+    for report in &diff.diffs {
+        let listed: Vec<&MetricDelta> = report
+            .deltas
+            .iter()
+            .filter(|d| verbose || d.status != Status::Ok)
+            .collect();
+        if listed.is_empty() && report.structural.is_empty() {
+            continue;
+        }
+        if !any_rows {
+            out.push_str("| experiment | row | metric | baseline | current | Δ% | status |\n");
+            out.push_str("|---|---|---|---:|---:|---:|---|\n");
+            any_rows = true;
+        }
+        for d in &listed {
+            let status = match d.status {
+                Status::Ok => "ok",
+                Status::Improved => "improved",
+                Status::Regressed => "**REGRESSED**",
+            };
+            let delta = d.delta_percent();
+            let delta = if delta.is_finite() {
+                format!("{delta:+.1}%")
+            } else {
+                "n/a".to_string()
+            };
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {} | {} | {} |\n",
+                report.experiment,
+                d.row,
+                d.metric,
+                fmt_value(d.baseline),
+                fmt_value(d.current),
+                delta,
+                status
+            ));
+        }
+        for s in &report.structural {
+            out.push_str(&format!(
+                "| {} | {s} | — | — | — | — | **STRUCTURAL** |\n",
+                report.experiment
+            ));
+        }
+    }
+    if any_rows {
+        out.push('\n');
+    }
+    for name in &diff.missing_baseline {
+        out.push_str(&format!("- `{name}`: no baseline committed (skipped)\n"));
+    }
+    for name in &diff.missing_current {
+        out.push_str(&format!(
+            "- `{name}`: baseline present, not emitted by this run (skipped)\n"
+        ));
+    }
+    let compared: usize = diff.diffs.iter().map(|d| d.deltas.len()).sum();
+    let regressions: usize = diff
+        .diffs
+        .iter()
+        .map(|d| {
+            d.structural.len()
+                + d.deltas
+                    .iter()
+                    .filter(|x| x.status == Status::Regressed)
+                    .count()
+        })
+        .sum();
+    let improvements: usize = diff
+        .diffs
+        .iter()
+        .flat_map(|d| d.deltas.iter())
+        .filter(|x| x.status == Status::Improved)
+        .count();
+    out.push_str(&format!(
+        "\n**{}**: {} report(s), {compared} metric(s) compared, \
+         {improvements} improved, {regressions} regression(s).\n",
+        if diff.regressed() { "FAIL" } else { "PASS" },
+        diff.diffs.len()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with(name: &str, rows: Vec<BenchRow>) -> BenchReport {
+        let mut r = BenchReport::new(name.to_string(), 1);
+        for row in rows {
+            r.push(row);
+        }
+        r
+    }
+
+    fn row(k: u64, mean: f64) -> BenchRow {
+        let mut r = BenchRow::empty(k, 8);
+        r.mean = mean;
+        r.worst = mean * 2.0;
+        r.min = mean / 2.0;
+        r.p50 = mean;
+        r.p90 = mean * 1.5;
+        r.p99 = mean * 1.9;
+        r.wall_ms = 10.0;
+        r
+    }
+
+    #[test]
+    fn self_comparison_is_clean() {
+        let r = report_with("e", vec![row(2, 4.0), row(8, 6.0)]);
+        let d = diff_reports(&r, &r, &Tolerances::default());
+        assert!(!d.regressed());
+        assert!(d.structural.is_empty());
+        assert!(d.deltas.iter().all(|x| x.status == Status::Ok));
+        // Every gated metric of every row was compared.
+        assert_eq!(d.deltas.len(), 2 * 6);
+    }
+
+    #[test]
+    fn mean_regression_beyond_tolerance_fails() {
+        let base = report_with("e", vec![row(2, 10.0)]);
+        let mut worse = row(2, 10.0);
+        worse.mean = 11.5; // +15% > 10%
+        let cur = report_with("e", vec![worse]);
+        let d = diff_reports(&base, &cur, &Tolerances::default());
+        assert!(d.regressed());
+        let bad: Vec<_> = d
+            .deltas
+            .iter()
+            .filter(|x| x.status == Status::Regressed)
+            .collect();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].metric, "mean");
+        assert!((bad[0].delta_percent() - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tail_gets_wider_tolerance_than_mean() {
+        let base = report_with("e", vec![row(2, 10.0)]);
+        let mut jittery = row(2, 10.0);
+        jittery.p99 *= 1.2; // +20% < 25% tail tolerance
+        jittery.p90 *= 1.2; // +20% > 10% mean-class tolerance
+        let cur = report_with("e", vec![jittery]);
+        let d = diff_reports(&base, &cur, &Tolerances::default());
+        let by_metric = |m: &str| {
+            d.deltas
+                .iter()
+                .find(|x| x.metric == m)
+                .expect("metric gated")
+                .status
+        };
+        assert_eq!(by_metric("p99"), Status::Ok);
+        assert_eq!(by_metric("p90"), Status::Regressed);
+    }
+
+    #[test]
+    fn wall_clock_gate_is_wide_and_optional() {
+        let base = report_with("e", vec![row(2, 10.0)]);
+        let mut slow = row(2, 10.0);
+        slow.wall_ms = 150.0; // 15x the baseline's 10ms
+        let cur = report_with("e", vec![slow.clone()]);
+        let d = diff_reports(&base, &cur, &Tolerances::default());
+        assert!(
+            d.regressed(),
+            "15x wall slowdown must fail the default gate"
+        );
+        let no_wall = Tolerances {
+            check_wall: false,
+            ..Tolerances::default()
+        };
+        let d = diff_reports(&base, &report_with("e", vec![slow]), &no_wall);
+        assert!(!d.regressed());
+    }
+
+    #[test]
+    fn wall_clock_speedups_are_reported_as_improved() {
+        // The ratio-symmetric improvement band: a 15x wall speedup must
+        // show as Improved even at the wide 10x-slower tolerance (the
+        // linear base*(1-rel) form would make this unreachable).
+        let mut was_slow = row(2, 10.0);
+        was_slow.wall_ms = 150.0;
+        let base = report_with("e", vec![was_slow]);
+        let cur = report_with("e", vec![row(2, 10.0)]); // wall back to 10ms
+        let d = diff_reports(&base, &cur, &Tolerances::default());
+        assert!(!d.regressed());
+        let wall = d
+            .deltas
+            .iter()
+            .find(|x| x.metric == "wall_ms")
+            .expect("wall gated");
+        assert_eq!(wall.status, Status::Improved);
+    }
+
+    #[test]
+    fn improvements_pass_and_are_reported() {
+        let base = report_with("e", vec![row(2, 10.0)]);
+        let cur = report_with("e", vec![row(2, 5.0)]);
+        let d = diff_reports(&base, &cur, &Tolerances::default());
+        assert!(!d.regressed());
+        assert!(d.deltas.iter().any(|x| x.status == Status::Improved));
+    }
+
+    #[test]
+    fn structural_drift_fails() {
+        let base = report_with("e", vec![row(2, 4.0), row(8, 6.0)]);
+        let cur = report_with("e", vec![row(2, 4.0)]);
+        let d = diff_reports(&base, &cur, &Tolerances::default());
+        assert!(d.regressed());
+        assert!(d.structural.iter().any(|s| s.contains("disappeared")));
+
+        let mut retried = row(2, 4.0);
+        retried.trials = 16;
+        let d = diff_reports(
+            &base,
+            &report_with("e", vec![retried, row(8, 6.0)]),
+            &Tolerances::default(),
+        );
+        assert!(d.regressed());
+        assert!(d.structural.iter().any(|s| s.contains("trials changed")));
+    }
+
+    #[test]
+    fn rows_are_matched_by_labels_not_position() {
+        let a = row(2, 4.0).with_label("algorithm", "ratrace");
+        let b = row(2, 9.0).with_label("algorithm", "combined");
+        let base = report_with("e", vec![a.clone(), b.clone()]);
+        // Same rows, swapped order: identical comparison.
+        let cur = report_with("e", vec![b, a]);
+        let d = diff_reports(&base, &cur, &Tolerances::default());
+        assert!(!d.regressed(), "{:?}", d.structural);
+    }
+
+    #[test]
+    fn dir_diff_and_markdown_end_to_end() {
+        let tmp = std::env::temp_dir().join(format!("bench_diff_test_{}", std::process::id()));
+        let base_dir = tmp.join("baselines");
+        let cur_dir = tmp.join("current");
+        std::fs::create_dir_all(&base_dir).unwrap();
+        std::fs::create_dir_all(&cur_dir).unwrap();
+        let base = report_with("steps", vec![row(2, 10.0)]);
+        std::fs::write(base_dir.join("BENCH_steps.json"), base.to_json()).unwrap();
+        std::fs::write(base_dir.join("BENCH_only_base.json"), base.to_json()).unwrap();
+
+        // Self-comparison: clean.
+        std::fs::write(cur_dir.join("BENCH_steps.json"), base.to_json()).unwrap();
+        let d = diff_dirs(&base_dir, &cur_dir, &Tolerances::default()).unwrap();
+        assert!(!d.regressed());
+        assert_eq!(d.missing_current, vec!["BENCH_only_base.json"]);
+        let md = markdown_summary(&d, false);
+        assert!(md.contains("PASS"), "{md}");
+
+        // Synthetic regression: fails, and the table names it.
+        let mut worse = row(2, 10.0);
+        worse.mean = 20.0;
+        let cur = report_with("steps", vec![worse]);
+        std::fs::write(cur_dir.join("BENCH_steps.json"), cur.to_json()).unwrap();
+        std::fs::write(cur_dir.join("BENCH_new_exp.json"), cur.to_json()).unwrap();
+        let d = diff_dirs(&base_dir, &cur_dir, &Tolerances::default()).unwrap();
+        assert!(d.regressed());
+        assert_eq!(d.missing_baseline, vec!["BENCH_new_exp.json"]);
+        let md = markdown_summary(&d, false);
+        assert!(md.contains("REGRESSED"), "{md}");
+        assert!(md.contains("FAIL"), "{md}");
+        assert!(md.contains("+100.0%"), "{md}");
+
+        std::fs::remove_dir_all(&tmp).ok();
+    }
+
+    #[test]
+    fn parse_failure_is_an_error_not_a_regression() {
+        let tmp = std::env::temp_dir().join(format!("bench_diff_bad_{}", std::process::id()));
+        let base_dir = tmp.join("baselines");
+        let cur_dir = tmp.join("current");
+        std::fs::create_dir_all(&base_dir).unwrap();
+        std::fs::create_dir_all(&cur_dir).unwrap();
+        std::fs::write(base_dir.join("BENCH_x.json"), "{not json").unwrap();
+        std::fs::write(
+            cur_dir.join("BENCH_x.json"),
+            BenchReport::new("x", 1).to_json(),
+        )
+        .unwrap();
+        assert!(diff_dirs(&base_dir, &cur_dir, &Tolerances::default()).is_err());
+        std::fs::remove_dir_all(&tmp).ok();
+    }
+}

@@ -32,6 +32,7 @@ use rtas::sim::scenario::Scenario;
 use crate::report::BenchRow;
 use crate::runner::{Sweep, SweepPoint, Trial, TrialRunner};
 use crate::scenarios;
+use crate::stats::{StatsAccumulator, Summary};
 use crate::Scale;
 
 /// The workload every pre-scenario experiment ran implicitly: all
@@ -65,6 +66,10 @@ pub struct StepRow {
     pub mean_max_steps: f64,
     /// Max over trials.
     pub worst_max_steps: f64,
+    /// Full distribution snapshot over the trials (quantiles, stddev,
+    /// CI) — the paper's claims are distributional, so the JSON rows
+    /// carry more than the point mean.
+    pub dist: Summary,
     /// Wall-clock cost of the point's whole trial batch, in milliseconds.
     pub wall_ms: f64,
 }
@@ -75,6 +80,7 @@ impl From<&SweepPoint> for StepRow {
             k: p.k,
             mean_max_steps: p.mean(),
             worst_max_steps: p.worst(),
+            dist: p.summary(),
             wall_ms: p.wall_ms(),
         }
     }
@@ -83,16 +89,8 @@ impl From<&SweepPoint> for StepRow {
 impl StepRow {
     /// This row as a [`BenchRow`] for a `BENCH_*.json` report; extras are
     /// appended with [`BenchRow::with`].
-    pub fn bench_row(&self, trials: u64) -> BenchRow {
-        BenchRow {
-            k: self.k as u64,
-            trials,
-            mean: self.mean_max_steps,
-            worst: self.worst_max_steps,
-            wall_ms: self.wall_ms,
-            extra: Vec::new(),
-            labels: Vec::new(),
-        }
+    pub fn bench_row(&self) -> BenchRow {
+        BenchRow::from_summary(self.k as u64, &self.dist, self.wall_ms)
     }
 }
 
@@ -166,11 +164,32 @@ fn print_header(id: &str, claim: &str) {
     println!("== {id}: {claim}");
 }
 
+/// One row of the E1 sweep: elected-count distribution vs the lemma's
+/// bound.
+#[derive(Debug, Clone, Copy)]
+pub struct E1Row {
+    /// Contention.
+    pub k: usize,
+    /// Distribution of the elected count over trials.
+    pub elected: Summary,
+    /// The lemma's bound `2·log₂ k + 6`.
+    pub bound: f64,
+    /// Wall-clock cost of the point's trial batch, in milliseconds.
+    pub wall_ms: f64,
+}
+
+impl E1Row {
+    /// This row as a [`BenchRow`] for `BENCH_group_election.json`.
+    pub fn bench_row(&self) -> BenchRow {
+        BenchRow::from_summary(self.k as u64, &self.elected, self.wall_ms).with("bound", self.bound)
+    }
+}
+
 /// E1 — Lemma 2.2: the geometric group election's performance parameter
 /// stays below `2·log₂ k + 6`.
-pub fn e1_group_election_performance(scale: Scale, runner: &TrialRunner) -> Vec<(usize, f64, f64)> {
+pub fn e1_group_election_performance(scale: Scale, runner: &TrialRunner) -> Vec<E1Row> {
     print_header("E1", "Fig.1 group election: E[elected] <= 2 log2 k + 6");
-    println!("k | mean elected | bound");
+    println!("k | mean elected | p99 | bound");
     let sweep = Sweep::new(runner, scale.trials, scale.seed);
     let mut rows = Vec::new();
     for k in k_sweep(scale.max_k) {
@@ -187,8 +206,17 @@ pub fn e1_group_election_performance(scale: Scale, runner: &TrialRunner) -> Vec<
             elected as f64
         });
         let bound = 2.0 * (k as f64).log2() + 6.0;
-        println!("{k} | {:.2} | {bound:.2}", point.mean());
-        rows.push((k, point.mean(), bound));
+        println!(
+            "{k} | {:.2} | {:.1} | {bound:.2}",
+            point.mean(),
+            point.p99()
+        );
+        rows.push(E1Row {
+            k,
+            elected: point.summary(),
+            bound,
+            wall_ms: point.wall_ms(),
+        });
     }
     rows
 }
@@ -338,13 +366,32 @@ pub fn e4_ratrace(scale: Scale, runner: &TrialRunner) -> Vec<E4Row> {
     rows
 }
 
+/// One `(k, algorithm, adversary)` cell of the E5 matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct E5Row {
+    /// Contention.
+    pub k: usize,
+    /// `"logstar"` or `"combined"`.
+    pub algorithm: &'static str,
+    /// `"random"` or `"attack"`.
+    pub adversary: &'static str,
+    /// Distribution of the max-steps observation over trials.
+    pub steps: Summary,
+    /// Wall-clock cost of the cell's trial batch, in milliseconds.
+    pub wall_ms: f64,
+}
+
+impl E5Row {
+    /// This row as a [`BenchRow`] for `BENCH_combiner.json`.
+    pub fn bench_row(&self) -> BenchRow {
+        BenchRow::from_summary(self.k as u64, &self.steps, self.wall_ms)
+            .with_label("algorithm", self.algorithm)
+            .with_label("adversary", self.adversary)
+    }
+}
+
 /// E5 — Theorem 4.1: the combiner inherits the best of both worlds.
-///
-/// Rows: `(k, algorithm, adversary, mean_max_steps)`.
-pub fn e5_combiner(
-    scale: Scale,
-    runner: &TrialRunner,
-) -> Vec<(usize, &'static str, &'static str, f64)> {
+pub fn e5_combiner(scale: Scale, runner: &TrialRunner) -> Vec<E5Row> {
     print_header(
         "E5",
         "Theorem 4.1: combined = log* under oblivious AND O(log k) under attack",
@@ -390,7 +437,13 @@ pub fn e5_combiner(
                 res.steps().max() as f64
             });
             println!("{k} | {alg_name} | {adv_name} | {:.1}", point.mean());
-            rows.push((k, alg_name, adv_name, point.mean()));
+            rows.push(E5Row {
+                k,
+                algorithm: alg_name,
+                adversary: adv_name,
+                steps: point.summary(),
+                wall_ms: point.wall_ms(),
+            });
         }
     }
     rows
@@ -469,8 +522,34 @@ pub fn e7_two_process_tail(
     rows
 }
 
+/// One round of the E8 sifting cascade.
+#[derive(Debug, Clone, Copy)]
+pub struct E8Row {
+    /// Round number, starting at 1.
+    pub round: usize,
+    /// Participants entering this round.
+    pub k: usize,
+    /// Distribution of the elected (surviving) count over trials.
+    pub elected: Summary,
+    /// The section's prediction `π·k + 1/π`.
+    pub predicted: f64,
+    /// Wall-clock cost of the round's trial batch, in milliseconds.
+    pub wall_ms: f64,
+}
+
+impl E8Row {
+    /// This row as a [`BenchRow`] for `BENCH_sifting_rounds.json` (`k`
+    /// is the participant count; the round number is a label so rows
+    /// stay uniquely keyed even if the cascade stagnates at one `k`).
+    pub fn bench_row(&self) -> BenchRow {
+        BenchRow::from_summary(self.k as u64, &self.elected, self.wall_ms)
+            .with("predicted", self.predicted)
+            .with_label("round", self.round.to_string())
+    }
+}
+
 /// E8 — Section 2.3: sifting survivor counts per round (`π·k + 1/π`).
-pub fn e8_sifting_rounds(scale: Scale, runner: &TrialRunner) -> Vec<(usize, usize, f64, f64)> {
+pub fn e8_sifting_rounds(scale: Scale, runner: &TrialRunner) -> Vec<E8Row> {
     print_header("E8", "Sifting rounds: survivors ~ pi*k + 1/pi per round");
     println!("round | participants k | mean elected | predicted");
     let mut rows = Vec::new();
@@ -495,16 +574,50 @@ pub fn e8_sifting_rounds(scale: Scale, runner: &TrialRunner) -> Vec<(usize, usiz
         });
         let predicted = pi * k as f64 + 1.0 / pi;
         println!("{round} | {k} | {:.1} | {predicted:.1}", point.mean());
-        rows.push((round, k, point.mean(), predicted));
+        rows.push(E8Row {
+            round,
+            k,
+            elected: point.summary(),
+            predicted,
+            wall_ms: point.wall_ms(),
+        });
         k = point.mean().round() as usize;
         round += 1;
     }
     rows
 }
 
+/// One contention point of the E9 attacked-vs-random comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct E9Row {
+    /// Contention.
+    pub k: usize,
+    /// Max-steps distribution under the adaptive attack.
+    pub attacked: Summary,
+    /// Max-steps distribution under the random oblivious schedule.
+    pub random: Summary,
+    /// Wall-clock of the attacked batch, in milliseconds.
+    pub attacked_wall_ms: f64,
+    /// Wall-clock of the random batch, in milliseconds.
+    pub random_wall_ms: f64,
+}
+
+impl E9Row {
+    /// This point as two [`BenchRow`]s (one per adversary mode) for
+    /// `BENCH_adaptive_attack.json`.
+    pub fn bench_rows(&self) -> [BenchRow; 2] {
+        [
+            BenchRow::from_summary(self.k as u64, &self.attacked, self.attacked_wall_ms)
+                .with_label("adversary", "attack"),
+            BenchRow::from_summary(self.k as u64, &self.random, self.random_wall_ms)
+                .with_label("adversary", "random"),
+        ]
+    }
+}
+
 /// E9 — Section 4 motivation: the adaptive attack forces ~linear steps on
 /// the log* algorithm.
-pub fn e9_adaptive_attack(scale: Scale, runner: &TrialRunner) -> Vec<(usize, f64, f64)> {
+pub fn e9_adaptive_attack(scale: Scale, runner: &TrialRunner) -> Vec<E9Row> {
     print_header(
         "E9",
         "Adaptive adversary forces Ω(k) on the log* algorithm (vs random schedule)",
@@ -533,13 +646,40 @@ pub fn e9_adaptive_attack(scale: Scale, runner: &TrialRunner) -> Vec<(usize, f64
         let attacked = run_mode(true);
         let random = run_mode(false);
         println!("{k} | {:.1} | {:.1}", attacked.mean(), random.mean());
-        rows.push((k, attacked.mean(), random.mean()));
+        rows.push(E9Row {
+            k,
+            attacked: attacked.summary(),
+            random: random.summary(),
+            attacked_wall_ms: attacked.wall_ms(),
+            random_wall_ms: random.wall_ms(),
+        });
     }
     rows
 }
 
+/// One contention point of the E10 ladder-depth comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct E10Row {
+    /// Contention.
+    pub k: usize,
+    /// The lemma's iterated-rate depth bound.
+    pub bound: u32,
+    /// Distribution of the measured levels-used estimate over trials.
+    pub levels: Summary,
+    /// Wall-clock cost of the point's trial batch, in milliseconds.
+    pub wall_ms: f64,
+}
+
+impl E10Row {
+    /// This row as a [`BenchRow`] for `BENCH_ladder_depth.json`.
+    pub fn bench_row(&self) -> BenchRow {
+        BenchRow::from_summary(self.k as u64, &self.levels, self.wall_ms)
+            .with("depth_bound", self.bound as f64)
+    }
+}
+
 /// E10 — Lemma 2.1: the iterated-rate ladder depth vs measured depth.
-pub fn e10_ladder_depth(scale: Scale, runner: &TrialRunner) -> Vec<(usize, u32, f64)> {
+pub fn e10_ladder_depth(scale: Scale, runner: &TrialRunner) -> Vec<E10Row> {
     print_header(
         "E10",
         "Lemma 2.1: ladder depth bound Δ_{f-1}(k) (log*-like) vs measured levels",
@@ -569,7 +709,12 @@ pub fn e10_ladder_depth(scale: Scale, runner: &TrialRunner) -> Vec<(usize, u32, 
             (ladder_touched as f64 / 4.0).max(ge_touched as f64 / 12.0)
         });
         println!("{k} | {bound} | {:.1}", point.mean());
-        rows.push((k, bound, point.mean()));
+        rows.push(E10Row {
+            k,
+            bound,
+            levels: point.summary(),
+            wall_ms: point.wall_ms(),
+        });
     }
     rows
 }
@@ -589,12 +734,11 @@ pub struct E11Row {
     pub strategy: &'static str,
     /// Contention (processes at the start; churn may add more over time).
     pub k: usize,
-    /// Trials aggregated into the means.
+    /// Trials aggregated into the statistics.
     pub trials: u64,
-    /// Mean over trials of the max steps taken by any process slot.
-    pub mean_max_steps: f64,
-    /// Worst over trials.
-    pub worst_max_steps: f64,
+    /// Distribution over trials of the max steps taken by any process
+    /// slot.
+    pub steps: Summary,
     /// Mean number of processes that finished (crashed slots never do).
     pub mean_finished: f64,
     /// Mean number of winners — at most 1 in every trial; 0 happens when
@@ -607,22 +751,15 @@ pub struct E11Row {
 impl E11Row {
     /// This row as a [`BenchRow`] for `BENCH_scenario_grid.json`.
     pub fn bench_row(&self) -> BenchRow {
-        BenchRow {
-            k: self.k as u64,
-            trials: self.trials,
-            mean: self.mean_max_steps,
-            worst: self.worst_max_steps,
-            wall_ms: self.wall_ms,
-            extra: Vec::new(),
-            labels: Vec::new(),
-        }
-        .with("mean_finished", self.mean_finished)
-        .with("mean_winners", self.mean_winners)
-        .with_label("algorithm", self.algorithm)
-        .with_label("scenario", self.scenario.clone())
-        .with_label("arrival", self.arrival)
-        .with_label("fault", self.fault)
-        .with_label("strategy", self.strategy)
+        let mut row = BenchRow::from_summary(self.k as u64, &self.steps, self.wall_ms);
+        row.trials = self.trials;
+        row.with("mean_finished", self.mean_finished)
+            .with("mean_winners", self.mean_winners)
+            .with_label("algorithm", self.algorithm)
+            .with_label("scenario", self.scenario.clone())
+            .with_label("arrival", self.arrival)
+            .with_label("fault", self.fault)
+            .with_label("strategy", self.strategy)
     }
 }
 
@@ -719,14 +856,22 @@ pub fn e11_cells(scale: Scale, runner: &TrialRunner, cells: &[Scenario], k: usiz
                 },
             );
             let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-            let count = results.len() as f64;
-            let mean_max_steps = results.iter().map(|r| r.0).sum::<f64>() / count;
-            let worst_max_steps = results.iter().map(|r| r.0).fold(0.0, f64::max);
-            let mean_finished = results.iter().map(|r| r.1).sum::<f64>() / count;
-            let mean_winners = results.iter().map(|r| r.2).sum::<f64>() / count;
+            // Folded in trial order (the runner returns results in trial
+            // order), so the statistics are thread-count invariant.
+            let mut steps = StatsAccumulator::new();
+            let mut finished = StatsAccumulator::new();
+            let mut winners = StatsAccumulator::new();
+            for r in &results {
+                steps.push(r.0);
+                finished.push(r.1);
+                winners.push(r.2);
+            }
+            let mean_finished = finished.mean();
+            let mean_winners = winners.mean();
             println!(
-                "{} | {alg_name} | {mean_max_steps:.1} | {mean_finished:.1} | {mean_winners:.2}",
-                cell.name()
+                "{} | {alg_name} | {:.1} | {mean_finished:.1} | {mean_winners:.2}",
+                cell.name(),
+                steps.mean()
             );
             rows.push(E11Row {
                 algorithm: alg_name,
@@ -736,8 +881,7 @@ pub fn e11_cells(scale: Scale, runner: &TrialRunner, cells: &[Scenario], k: usiz
                 strategy: cell.strategy().name(),
                 k,
                 trials,
-                mean_max_steps,
-                worst_max_steps,
+                steps: steps.summary(),
                 mean_finished,
                 mean_winners,
                 wall_ms,
@@ -793,8 +937,17 @@ mod tests {
 
     #[test]
     fn e1_respects_bound() {
-        for (k, mean, bound) in e1_group_election_performance(tiny(), &runner()) {
-            assert!(mean <= bound, "k={k}: {mean} > {bound}");
+        for r in e1_group_election_performance(tiny(), &runner()) {
+            assert!(
+                r.elected.mean <= r.bound,
+                "k={}: {} > {}",
+                r.k,
+                r.elected.mean,
+                r.bound
+            );
+            // The distribution snapshot must be internally consistent.
+            assert!(r.elected.min <= r.elected.p50);
+            assert!(r.elected.p50 <= r.elected.max);
         }
     }
 
@@ -838,8 +991,8 @@ mod tests {
             },
             &runner(),
         );
-        let (_, attacked, random) = rows.last().unwrap();
-        assert!(attacked > random);
+        let last = rows.last().unwrap();
+        assert!(last.attacked.mean > last.random.mean);
     }
 
     #[test]
@@ -852,8 +1005,9 @@ mod tests {
             },
             &runner(),
         );
-        let attacked: Vec<(f64, f64)> = rows.iter().map(|&(k, a, _)| (k as f64, a)).collect();
-        let random: Vec<(f64, f64)> = rows.iter().map(|&(k, _, r)| (k as f64, r)).collect();
+        let attacked: Vec<(f64, f64)> =
+            rows.iter().map(|r| (r.k as f64, r.attacked.mean)).collect();
+        let random: Vec<(f64, f64)> = rows.iter().map(|r| (r.k as f64, r.random.mean)).collect();
         let s_att = crate::stats::log_log_slope(&attacked);
         let s_rnd = crate::stats::log_log_slope(&random);
         assert!(s_att > 0.6, "attacked slope {s_att} not ~linear");
@@ -924,8 +1078,9 @@ mod tests {
         assert_eq!(serial.len(), parallel.len());
         for (s, p) in serial.iter().zip(&parallel) {
             assert_eq!(s.scenario, p.scenario);
-            assert_eq!(s.mean_max_steps, p.mean_max_steps, "{}", s.scenario);
-            assert_eq!(s.worst_max_steps, p.worst_max_steps, "{}", s.scenario);
+            // The whole distribution snapshot — quantiles included —
+            // must be bit-identical, not just the means.
+            assert_eq!(s.steps, p.steps, "{}", s.scenario);
             assert_eq!(s.mean_finished, p.mean_finished, "{}", s.scenario);
             assert_eq!(s.mean_winners, p.mean_winners, "{}", s.scenario);
         }
@@ -942,6 +1097,8 @@ mod tests {
             assert_eq!(s.steps.k, p.steps.k);
             assert_eq!(s.steps.mean_max_steps, p.steps.mean_max_steps);
             assert_eq!(s.steps.worst_max_steps, p.steps.worst_max_steps);
+            // Quantiles, stddev, and CI must be bit-identical too.
+            assert_eq!(s.steps.dist, p.steps.dist);
             assert_eq!(s.registers, p.registers);
         }
     }

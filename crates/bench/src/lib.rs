@@ -5,6 +5,7 @@
 //! `cargo run -p rtas-bench --release --bin experiments` runs them all;
 //! EXPERIMENTS.md records paper-vs-measured for each.
 
+pub mod diff;
 pub mod experiments;
 pub mod microbench;
 pub mod report;

@@ -11,47 +11,67 @@
 //!   "threads": 8,
 //!   "total_wall_ms": 1234.5,
 //!   "rows": [
-//!     {"k": 2, "trials": 24, "mean": 3.1, "worst": 5.0, "wall_ms": 10.2},
-//!     {"k": 8, "trials": 24, "mean": 4.9, "worst": 8.0, "wall_ms": 15.7,
-//!      "registers": 141.0}
+//!     {"k": 2, "trials": 24, "mean": 3.1, "worst": 5.0, "min": 2.0,
+//!      "stddev": 0.9, "ci95": 0.36, "p50": 3.0, "p90": 4.8, "p99": 5.0,
+//!      "wall_ms": 10.2, "registers": 141.0, "algorithm": "logstar"}
 //!   ]
 //! }
 //! ```
 //!
-//! Every row carries the sweep parameter `k`, the per-trial statistics,
-//! and the wall-clock cost of the batch; experiments may append extra
-//! named numeric fields (`registers` above). No external JSON crate is
-//! available in this environment, so serialization is done by hand — all
-//! emitted values are numbers or fixed-shape strings, and non-finite
-//! floats serialize as `null`.
+//! Every row carries the sweep parameter `k`, the per-trial
+//! *distribution* statistics (mean, worst/min, sample stddev, the
+//! normal-approx 95% CI half-width, and p50/p90/p99 from the log-bin
+//! histogram — see [`crate::stats`]), and the wall-clock cost of the
+//! batch; experiments may append extra named numeric fields
+//! (`registers` above) and string labels (`algorithm`). No external
+//! JSON crate is available in this environment, so both serialization
+//! **and parsing** are done by hand: [`BenchReport::to_json`] emits the
+//! canonical shape above, [`BenchReport::from_json`] reads any
+//! whitespace/field order back, and the pair round-trips exactly —
+//! `BenchReport::from_json(&r.to_json()) == r`. Non-finite floats
+//! serialize as `null` and parse back as NaN; report equality treats
+//! all non-finite values as equal, so the round-trip law holds for them
+//! too.
 //!
-//! Files are written to the directory named by `RTAS_BENCH_DIR` (default:
-//! the current working directory).
+//! Files are written to the directory named by `RTAS_BENCH_DIR`
+//! (default: the current working directory). The `bench-diff` binary
+//! compares two directories of these files (see [`crate::diff`]).
 
 use std::io::Write as _;
 use std::path::PathBuf;
-use std::time::Duration;
 
 use crate::runner::SweepPoint;
 
-/// One row of a report: a sweep point plus optional extra numeric fields.
+/// One row of a report: a sweep point plus optional extra fields.
 #[derive(Debug, Clone)]
 pub struct BenchRow {
     /// Sweep parameter.
     pub k: u64,
-    /// Trials aggregated into `mean`/`worst`.
+    /// Trials aggregated into the statistics.
     pub trials: u64,
     /// Mean observation.
     pub mean: f64,
-    /// Worst observation.
+    /// Worst (maximum) observation.
     pub worst: f64,
+    /// Best (minimum) observation.
+    pub min: f64,
+    /// Sample standard deviation over the trials.
+    pub stddev: f64,
+    /// Half-width of the normal-approx 95% confidence interval.
+    pub ci95: f64,
+    /// Median estimate.
+    pub p50: f64,
+    /// 90th-percentile estimate.
+    pub p90: f64,
+    /// 99th-percentile estimate.
+    pub p99: f64,
     /// Wall-clock cost of the batch, in milliseconds.
     pub wall_ms: f64,
     /// Extra named numeric fields, appended verbatim to the row object.
-    pub extra: Vec<(&'static str, f64)>,
+    pub extra: Vec<(String, f64)>,
     /// Extra named string fields (scenario axis names, algorithm names),
     /// appended after the numeric extras.
-    pub labels: Vec<(&'static str, String)>,
+    pub labels: Vec<(String, String)>,
 }
 
 impl From<&SweepPoint> for BenchRow {
@@ -61,6 +81,12 @@ impl From<&SweepPoint> for BenchRow {
             trials: p.trials,
             mean: p.mean(),
             worst: p.worst(),
+            min: p.best(),
+            stddev: p.stddev(),
+            ci95: p.ci95(),
+            p50: p.p50(),
+            p90: p.p90(),
+            p99: p.p99(),
             wall_ms: p.wall_ms(),
             extra: Vec::new(),
             labels: Vec::new(),
@@ -68,27 +94,154 @@ impl From<&SweepPoint> for BenchRow {
     }
 }
 
+/// Float equality with all non-finite values identified: `null` in the
+/// JSON collapses NaN and ±∞, so equality must too for the round-trip
+/// law to hold.
+fn f64_eq(a: f64, b: f64) -> bool {
+    a == b || (!a.is_finite() && !b.is_finite())
+}
+
+impl PartialEq for BenchRow {
+    fn eq(&self, other: &Self) -> bool {
+        self.k == other.k
+            && self.trials == other.trials
+            && f64_eq(self.mean, other.mean)
+            && f64_eq(self.worst, other.worst)
+            && f64_eq(self.min, other.min)
+            && f64_eq(self.stddev, other.stddev)
+            && f64_eq(self.ci95, other.ci95)
+            && f64_eq(self.p50, other.p50)
+            && f64_eq(self.p90, other.p90)
+            && f64_eq(self.p99, other.p99)
+            && f64_eq(self.wall_ms, other.wall_ms)
+            && self.extra.len() == other.extra.len()
+            && self
+                .extra
+                .iter()
+                .zip(&other.extra)
+                .all(|((ka, va), (kb, vb))| ka == kb && f64_eq(*va, *vb))
+            && self.labels == other.labels
+    }
+}
+
 impl BenchRow {
+    /// A zeroed row for sweep parameter `k` over `trials` trials —
+    /// callers fill the statistics they have.
+    pub fn empty(k: u64, trials: u64) -> Self {
+        BenchRow {
+            k,
+            trials,
+            mean: 0.0,
+            worst: 0.0,
+            min: 0.0,
+            stddev: 0.0,
+            ci95: 0.0,
+            p50: 0.0,
+            p90: 0.0,
+            p99: 0.0,
+            wall_ms: 0.0,
+            extra: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// A row for an experiment that only measures a mean and a worst
+    /// value (no per-trial distribution): every other statistic is NaN,
+    /// which serializes as `null` — unavailable, never a fabricated
+    /// zero. New statistic fields added to `BenchRow` inherit the
+    /// policy automatically.
+    pub fn from_mean_worst(k: u64, trials: u64, mean: f64, worst: f64) -> Self {
+        BenchRow {
+            mean,
+            worst,
+            min: f64::NAN,
+            stddev: f64::NAN,
+            ci95: f64::NAN,
+            p50: f64::NAN,
+            p90: f64::NAN,
+            p99: f64::NAN,
+            wall_ms: f64::NAN,
+            ..BenchRow::empty(k, trials)
+        }
+    }
+
+    /// A row carrying a full distribution [`Summary`].
+    ///
+    /// [`Summary`]: crate::stats::Summary
+    pub fn from_summary(k: u64, s: &crate::stats::Summary, wall_ms: f64) -> Self {
+        BenchRow {
+            k,
+            trials: s.count,
+            mean: s.mean,
+            worst: s.max,
+            min: s.min,
+            stddev: s.stddev,
+            ci95: s.ci95,
+            p50: s.p50,
+            p90: s.p90,
+            p99: s.p99,
+            wall_ms,
+            extra: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+
     /// Append an extra named numeric field to this row.
-    pub fn with(mut self, key: &'static str, value: f64) -> Self {
-        self.extra.push((key, value));
+    pub fn with(mut self, key: impl Into<String>, value: f64) -> Self {
+        self.extra.push((key.into(), value));
         self
     }
 
     /// Append an extra named string field to this row.
-    pub fn with_label(mut self, key: &'static str, value: impl Into<String>) -> Self {
-        self.labels.push((key, value.into()));
+    pub fn with_label(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.labels.push((key.into(), value.into()));
         self
+    }
+
+    /// The row's identity within a report: `k` plus every label value,
+    /// in order. Two reports are compared row-by-row on this key.
+    pub fn key(&self) -> String {
+        let mut key = format!("k={}", self.k);
+        for (name, value) in &self.labels {
+            key.push_str(&format!(" {name}={value}"));
+        }
+        key
+    }
+
+    /// Core gated metrics by name, in emission order (extras excluded).
+    pub fn metrics(&self) -> [(&'static str, f64); 9] {
+        [
+            ("mean", self.mean),
+            ("worst", self.worst),
+            ("min", self.min),
+            ("stddev", self.stddev),
+            ("ci95", self.ci95),
+            ("p50", self.p50),
+            ("p90", self.p90),
+            ("p99", self.p99),
+            ("wall_ms", self.wall_ms),
+        ]
     }
 }
 
-/// A named collection of [`BenchRow`]s, serializable to `BENCH_<name>.json`.
+/// A named collection of [`BenchRow`]s, serializable to
+/// `BENCH_<name>.json` and parseable back via
+/// [`BenchReport::from_json`].
 #[derive(Debug, Clone)]
 pub struct BenchReport {
-    name: &'static str,
+    name: String,
     threads: usize,
     rows: Vec<BenchRow>,
-    total_wall: Duration,
+    total_wall_ms: f64,
+}
+
+impl PartialEq for BenchReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.threads == other.threads
+            && f64_eq(self.total_wall_ms, other.total_wall_ms)
+            && self.rows == other.rows
+    }
 }
 
 fn json_f64(v: f64) -> String {
@@ -120,18 +273,42 @@ impl BenchReport {
     /// An empty report for experiment `name` measured with `threads`
     /// worker threads. `name` becomes part of the file name — keep it
     /// `[a-z0-9_]`.
-    pub fn new(name: &'static str, threads: usize) -> Self {
+    pub fn new(name: impl Into<String>, threads: usize) -> Self {
         BenchReport {
-            name,
+            name: name.into(),
             threads,
             rows: Vec::new(),
-            total_wall: Duration::ZERO,
+            total_wall_ms: 0.0,
         }
+    }
+
+    /// Experiment name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Worker threads the report was measured with. Informational only:
+    /// results are bit-identical at every thread count, so `bench-diff`
+    /// ignores this field.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The rows pushed so far.
+    pub fn rows(&self) -> &[BenchRow] {
+        &self.rows
+    }
+
+    /// Total wall-clock milliseconds accrued across pushed rows.
+    pub fn total_wall_ms(&self) -> f64 {
+        self.total_wall_ms
     }
 
     /// Append a row; the row's wall-clock accrues to the report total.
     pub fn push(&mut self, row: BenchRow) {
-        self.total_wall += Duration::from_secs_f64(row.wall_ms.max(0.0) / 1e3);
+        if row.wall_ms.is_finite() {
+            self.total_wall_ms += row.wall_ms.max(0.0);
+        }
         self.rows.push(row);
     }
 
@@ -154,27 +331,26 @@ impl BenchReport {
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
-        out.push_str(&format!("  \"experiment\": \"{}\",\n", self.name));
+        out.push_str(&format!("  \"experiment\": {},\n", json_str(&self.name)));
         out.push_str(&format!("  \"threads\": {},\n", self.threads));
         out.push_str(&format!(
             "  \"total_wall_ms\": {},\n",
-            json_f64(self.total_wall.as_secs_f64() * 1e3)
+            json_f64(self.total_wall_ms)
         ));
         out.push_str("  \"rows\": [\n");
         for (i, row) in self.rows.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"k\": {}, \"trials\": {}, \"mean\": {}, \"worst\": {}, \"wall_ms\": {}",
-                row.k,
-                row.trials,
-                json_f64(row.mean),
-                json_f64(row.worst),
-                json_f64(row.wall_ms)
+                "    {{\"k\": {}, \"trials\": {}",
+                row.k, row.trials
             ));
+            for (name, value) in row.metrics() {
+                out.push_str(&format!(", \"{}\": {}", name, json_f64(value)));
+            }
             for (key, value) in &row.extra {
-                out.push_str(&format!(", \"{}\": {}", key, json_f64(*value)));
+                out.push_str(&format!(", {}: {}", json_str(key), json_f64(*value)));
             }
             for (key, value) in &row.labels {
-                out.push_str(&format!(", \"{}\": {}", key, json_str(value)));
+                out.push_str(&format!(", {}: {}", json_str(key), json_str(value)));
             }
             out.push('}');
             if i + 1 < self.rows.len() {
@@ -184,6 +360,16 @@ impl BenchReport {
         }
         out.push_str("  ]\n}\n");
         out
+    }
+
+    /// Parse a report back from its JSON form.
+    ///
+    /// Accepts any whitespace and field order; unknown numeric row
+    /// fields become [`BenchRow::extra`] entries and unknown string
+    /// fields become [`BenchRow::labels`], both in document order —
+    /// exactly inverting [`BenchReport::to_json`]. `null` parses as NaN.
+    pub fn from_json(input: &str) -> Result<BenchReport, String> {
+        Parser::new(input).parse_report()
     }
 
     /// The file this report writes to: `RTAS_BENCH_DIR` (or `.`) joined
@@ -202,19 +388,244 @@ impl BenchReport {
     }
 }
 
+/// One parsed JSON scalar: everything a report row can contain.
+enum Scalar {
+    Num(f64),
+    Str(String),
+}
+
+/// Hand-rolled recursive-descent parser for the report shape: objects,
+/// arrays, strings (with escapes), numbers, and `null`. Errors carry
+/// the byte offset.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("non-utf8 \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid \\u code point"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Multi-byte UTF-8: copy the full sequence through.
+                    let start = self.pos - 1;
+                    let len = if b < 0x80 {
+                        1
+                    } else if b >> 5 == 0b110 {
+                        2
+                    } else if b >> 4 == 0b1110 {
+                        3
+                    } else {
+                        4
+                    };
+                    let end = start + len;
+                    let chunk = self
+                        .bytes
+                        .get(start..end)
+                        .ok_or_else(|| self.err("truncated utf8"))?;
+                    out.push_str(std::str::from_utf8(chunk).map_err(|_| self.err("invalid utf8"))?);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    /// A number or `null` (→ NaN).
+    fn parse_number(&mut self) -> Result<f64, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(b"null") {
+            self.pos += 4;
+            return Ok(f64::NAN);
+        }
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        text.parse::<f64>()
+            .map_err(|_| format!("bad number {text:?} at byte {start}"))
+    }
+
+    fn parse_scalar(&mut self) -> Result<Scalar, String> {
+        match self.peek() {
+            Some(b'"') => Ok(Scalar::Str(self.parse_string()?)),
+            Some(_) => Ok(Scalar::Num(self.parse_number()?)),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_row(&mut self) -> Result<BenchRow, String> {
+        self.expect(b'{')?;
+        let mut row = BenchRow::empty(0, 0);
+        loop {
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(row);
+            }
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            match self.parse_scalar()? {
+                Scalar::Num(v) => match key.as_str() {
+                    "k" => row.k = v as u64,
+                    "trials" => row.trials = v as u64,
+                    "mean" => row.mean = v,
+                    "worst" => row.worst = v,
+                    "min" => row.min = v,
+                    "stddev" => row.stddev = v,
+                    "ci95" => row.ci95 = v,
+                    "p50" => row.p50 = v,
+                    "p90" => row.p90 = v,
+                    "p99" => row.p99 = v,
+                    "wall_ms" => row.wall_ms = v,
+                    _ => row.extra.push((key, v)),
+                },
+                Scalar::Str(s) => row.labels.push((key, s)),
+            }
+            if self.peek() == Some(b',') {
+                self.pos += 1;
+            }
+        }
+    }
+
+    fn parse_report(&mut self) -> Result<BenchReport, String> {
+        self.expect(b'{')?;
+        let mut report = BenchReport::new(String::new(), 0);
+        let mut total_wall_ms = 0.0;
+        loop {
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                break;
+            }
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            match key.as_str() {
+                "experiment" => report.name = self.parse_string()?,
+                "threads" => report.threads = self.parse_number()? as usize,
+                "total_wall_ms" => total_wall_ms = self.parse_number()?,
+                "rows" => {
+                    self.expect(b'[')?;
+                    loop {
+                        if self.peek() == Some(b']') {
+                            self.pos += 1;
+                            break;
+                        }
+                        let row = self.parse_row()?;
+                        report.rows.push(row);
+                        if self.peek() == Some(b',') {
+                            self.pos += 1;
+                        }
+                    }
+                }
+                other => return Err(self.err(&format!("unknown report field {other:?}"))),
+            }
+            if self.peek() == Some(b',') {
+                self.pos += 1;
+            }
+        }
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.err("trailing data after report"));
+        }
+        // The recorded total is authoritative — push() accrual would
+        // re-derive it, but parsing must preserve the document exactly.
+        report.total_wall_ms = total_wall_ms;
+        Ok(report)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn row(k: u64) -> BenchRow {
         BenchRow {
-            k,
-            trials: 4,
             mean: 1.5,
             worst: 3.0,
+            min: 1.0,
+            stddev: 0.5,
+            ci95: 0.49,
+            p50: 1.5,
+            p90: 2.75,
+            p99: 3.0,
             wall_ms: 2.25,
-            extra: Vec::new(),
-            labels: Vec::new(),
+            ..BenchRow::empty(k, 4)
         }
     }
 
@@ -226,8 +637,11 @@ mod tests {
         let json = r.to_json();
         assert!(json.contains("\"experiment\": \"demo\""));
         assert!(json.contains("\"threads\": 2"));
-        assert!(json
-            .contains("{\"k\": 2, \"trials\": 4, \"mean\": 1.5, \"worst\": 3, \"wall_ms\": 2.25}"));
+        assert!(json.contains(
+            "{\"k\": 2, \"trials\": 4, \"mean\": 1.5, \"worst\": 3, \"min\": 1, \
+             \"stddev\": 0.5, \"ci95\": 0.49, \"p50\": 1.5, \"p90\": 2.75, \
+             \"p99\": 3, \"wall_ms\": 2.25}"
+        ));
         assert!(json.contains("\"registers\": 17"));
         assert_eq!(r.len(), 2);
         assert!(!r.is_empty());
@@ -247,11 +661,94 @@ mod tests {
         r.push(row(2));
         let json = r.to_json();
         assert!(json.contains("\"total_wall_ms\": 4.5"), "{json}");
+        assert_eq!(r.total_wall_ms(), 4.5);
     }
 
     #[test]
     fn path_uses_env_dir() {
         let r = BenchReport::new("pathy", 1);
         assert!(r.path().to_string_lossy().ends_with("BENCH_pathy.json"));
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let mut r = BenchReport::new("round_trip", 8);
+        r.push(row(2));
+        r.push(
+            row(8)
+                .with("registers", 141.25)
+                .with("log_star", 3.0)
+                .with_label("algorithm", "logstar")
+                .with_label("scenario", "staggered+churn+laggard-first"),
+        );
+        let parsed = BenchReport::from_json(&r.to_json()).expect("parses");
+        assert_eq!(parsed, r);
+        // And a second cycle is a fixed point.
+        assert_eq!(parsed.to_json(), r.to_json());
+    }
+
+    #[test]
+    fn round_trip_preserves_null_as_nan() {
+        let mut r = BenchReport::new("nulls", 1);
+        let mut bad = row(3);
+        bad.ci95 = f64::NAN;
+        bad.p99 = f64::INFINITY;
+        r.push(bad.with("broken", f64::NAN));
+        let json = r.to_json();
+        assert!(json.contains("\"ci95\": null"));
+        assert!(json.contains("\"p99\": null"));
+        assert!(json.contains("\"broken\": null"));
+        let parsed = BenchReport::from_json(&json).expect("parses");
+        assert!(parsed.rows()[0].ci95.is_nan());
+        assert!(parsed.rows()[0].p99.is_nan());
+        assert!(parsed.rows()[0].extra[0].1.is_nan());
+        // Equality identifies all non-finite values, so the round-trip
+        // law holds even though ∞ collapsed to NaN.
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn parser_accepts_any_whitespace_and_order() {
+        let json = "{\"rows\":[{\"mean\":2,\"k\":4,\"trials\":6,\"tag\":\"x\"}],\
+                    \"threads\":3,\"total_wall_ms\":1.5,\"experiment\":\"dense\"}";
+        let r = BenchReport::from_json(json).expect("parses");
+        assert_eq!(r.name(), "dense");
+        assert_eq!(r.threads(), 3);
+        assert_eq!(r.total_wall_ms(), 1.5);
+        assert_eq!(r.rows().len(), 1);
+        assert_eq!(r.rows()[0].k, 4);
+        assert_eq!(r.rows()[0].trials, 6);
+        assert_eq!(r.rows()[0].mean, 2.0);
+        assert_eq!(
+            r.rows()[0].labels,
+            vec![("tag".to_string(), "x".to_string())]
+        );
+    }
+
+    #[test]
+    fn parser_unescapes_strings() {
+        let json = "{\"experiment\":\"a\\\"b\\\\c\\u0041\",\"threads\":1,\
+                    \"total_wall_ms\":0,\"rows\":[]}";
+        let r = BenchReport::from_json(json).expect("parses");
+        assert_eq!(r.name(), "a\"b\\cA");
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(BenchReport::from_json("").is_err());
+        assert!(BenchReport::from_json("{").is_err());
+        assert!(BenchReport::from_json("{\"experiment\": 3}").is_err());
+        assert!(BenchReport::from_json("{\"bogus\": 1}").is_err());
+        let valid = BenchReport::new("x", 1).to_json();
+        assert!(BenchReport::from_json(&format!("{valid}trailing")).is_err());
+    }
+
+    #[test]
+    fn row_key_includes_labels_in_order() {
+        let r = row(4)
+            .with_label("algorithm", "ratrace")
+            .with_label("scenario", "baseline");
+        assert_eq!(r.key(), "k=4 algorithm=ratrace scenario=baseline");
+        assert_eq!(row(2).key(), "k=2");
     }
 }

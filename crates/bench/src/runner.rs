@@ -12,9 +12,9 @@
 //!   identity or scheduling;
 //! * workers pull trial indices from an atomic counter and deposit each
 //!   result into its trial's dedicated slot;
-//! * results are folded into [`Aggregate`] statistics *in trial-index
-//!   order* after all workers join, so even floating-point summation order
-//!   is independent of the thread count.
+//! * results are folded into [`StatsAccumulator`] statistics *in
+//!   trial-index order* after all workers join, so even floating-point
+//!   summation order is independent of the thread count.
 //!
 //! Consequently `TrialRunner::new(1)` and `TrialRunner::new(32)` produce
 //! identical statistics for the same seed — the thread count only changes
@@ -45,8 +45,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use rtas::sim::metrics::Aggregate;
 use rtas::sim::rng::SplitMix64;
+
+use crate::stats::{StatsAccumulator, Summary};
 
 /// One trial's identity: its index within the batch and its derived seed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -183,9 +184,9 @@ impl TrialRunner {
         self.run_trials_with(trials, base_seed, || (), |(), t| trial(t))
     }
 
-    /// Run trials that each produce one observation, folded into an
-    /// [`Aggregate`] in trial order (thread-count independent).
-    pub fn aggregate<F>(&self, trials: u64, base_seed: u64, trial: F) -> Aggregate
+    /// Run trials that each produce one observation, folded into a
+    /// [`StatsAccumulator`] in trial order (thread-count independent).
+    pub fn aggregate<F>(&self, trials: u64, base_seed: u64, trial: F) -> StatsAccumulator
     where
         F: Fn(Trial) -> f64 + Sync,
     {
@@ -199,13 +200,13 @@ impl TrialRunner {
         base_seed: u64,
         init: I,
         trial: F,
-    ) -> Aggregate
+    ) -> StatsAccumulator
     where
         I: Fn() -> S + Sync,
         F: Fn(&mut S, Trial) -> f64 + Sync,
     {
         let values = self.run_trials_with(trials, base_seed, init, trial);
-        let mut agg = Aggregate::new();
+        let mut agg = StatsAccumulator::new();
         for v in values {
             agg.push(v);
         }
@@ -219,16 +220,16 @@ impl Default for TrialRunner {
     }
 }
 
-/// One measured point of a [`Sweep`]: aggregate statistics plus the
+/// One measured point of a [`Sweep`]: distribution statistics plus the
 /// wall-clock cost of producing them.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SweepPoint {
     /// The sweep parameter (contention, structure size, round, ...).
     pub k: usize,
     /// Trials aggregated into `stats`.
     pub trials: u64,
-    /// Mean/max/count over the per-trial observations.
-    pub stats: Aggregate,
+    /// Full distribution statistics over the per-trial observations.
+    pub stats: StatsAccumulator,
     /// Wall-clock time for the whole batch of trials.
     pub wall: Duration,
 }
@@ -242,6 +243,41 @@ impl SweepPoint {
     /// Worst (maximum) observation.
     pub fn worst(&self) -> f64 {
         self.stats.max()
+    }
+
+    /// Best (minimum) observation.
+    pub fn best(&self) -> f64 {
+        self.stats.min()
+    }
+
+    /// Median observation estimate.
+    pub fn p50(&self) -> f64 {
+        self.stats.p50()
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> f64 {
+        self.stats.p90()
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> f64 {
+        self.stats.p99()
+    }
+
+    /// Sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.stats.stddev()
+    }
+
+    /// Half-width of the normal-approx 95% CI for the mean.
+    pub fn ci95(&self) -> f64 {
+        self.stats.ci95_half_width()
+    }
+
+    /// Snapshot of every derived statistic.
+    pub fn summary(&self) -> Summary {
+        self.stats.summary()
     }
 
     /// Wall-clock in fractional milliseconds.

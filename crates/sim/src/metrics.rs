@@ -63,7 +63,14 @@ impl StepCounts {
     }
 }
 
-/// Online mean/max aggregator across executions (for experiment sweeps).
+/// Online mean/max aggregator for quick in-crate measurements (unit
+/// tests, single executions).
+///
+/// Experiment sweeps use the distribution-aware `StatsAccumulator` in
+/// the bench crate (`rtas-bench`) instead, which adds variance,
+/// quantiles, and confidence intervals; `Aggregate` stays the
+/// dependency-free summary for code inside the simulator workspace that
+/// only needs a mean and a maximum.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Aggregate {
     count: u64,

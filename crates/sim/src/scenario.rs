@@ -17,7 +17,7 @@
 //! [`Scenario::begin`] instantiates the composition for one execution: it
 //! holds back late arrivals on the [`Execution`] and returns a
 //! [`ScenarioAdversary`] that emits the lifecycle
-//! [`Injection`](crate::adversary::Injection)s and delegates scheduling
+//! [`Injection`]s and delegates scheduling
 //! decisions to the strategy. Class enforcement is preserved by
 //! construction: the composed adversary reports the strategy's
 //! [`AdversaryClass`], so the executor's [`View`] filters pending
