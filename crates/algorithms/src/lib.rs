@@ -38,6 +38,24 @@
 //! assert!(res.all_finished());
 //! assert_eq!(res.processes_with_outcome(ret::WIN).len(), 1);
 //! ```
+//!
+//! ## The arena-reset contract
+//!
+//! Every constructor here is **arena-resettable**: it allocates the
+//! object's register regions and descriptor tree exactly once, and the
+//! per-call protocols returned by `elect()` assume *only* that every
+//! register holds its initial value 0 when the resolution starts. No
+//! descriptor mutates after construction, and no protocol depends on
+//! which resolution (first or thousandth) it belongs to. Consequently
+//! zeroing the registers — [`Memory::reset_values`] in the simulator,
+//! `rtas::native::NativeMemory::reset` on real atomics — returns the
+//! object to its pristine one-shot state, and a fixed pool of objects
+//! can be recycled by epoch (the `rtas-load` sharded arena, the E12
+//! experiment) instead of rebuilt per resolution. The
+//! `reuse_contract` tests pin this down for every algorithm in the
+//! crate: one structure, 100 reset epochs, exactly one winner each.
+//!
+//! [`Memory::reset_values`]: rtas_sim::memory::Memory::reset_values
 
 pub mod attacks;
 pub mod combined;
@@ -57,3 +75,71 @@ pub use le_chain::{ChainOutcome, LeChain, OverflowPolicy};
 pub use loglog::{AaLe, LogLogLe};
 pub use logstar::LogStarLe;
 pub use ratrace::{OriginalRatRace, SpaceEfficientRatRace};
+
+#[cfg(test)]
+mod reuse_contract {
+    //! The arena-reset contract (see the crate docs): every algorithm,
+    //! built once, must resolve correctly across 100 register-reset
+    //! epochs — the simulator twin of the native arena's recycle path.
+
+    use std::sync::Arc;
+
+    use rtas_sim::executor::Execution;
+    use rtas_sim::memory::Memory;
+    use rtas_sim::prelude::RandomSchedule;
+    use rtas_sim::protocol::{ret, Protocol};
+    use rtas_sim::rng::SplitMix64;
+
+    use super::*;
+
+    fn reuse_100_epochs(name: &str, build: impl Fn(&mut Memory, usize) -> Arc<dyn LeaderElect>) {
+        let k = 6;
+        let mut mem = Memory::new();
+        let le = build(&mut mem, k);
+        let mut exec = Execution::new(mem, Vec::new(), 0);
+        let mut seeds = SplitMix64::new(0xa9e2a);
+        for epoch in 0..100 {
+            let protos: Vec<Box<dyn Protocol>> = (0..k).map(|_| le.elect()).collect();
+            // reset() zeroes the same warm registers — no reallocation.
+            exec.reset(protos, seeds.next_u64());
+            let mut adv = RandomSchedule::new(seeds.next_u64());
+            let out = exec.run_in_place(&mut adv);
+            assert!(out.all_finished(), "{name} epoch {epoch}: did not finish");
+            assert_eq!(
+                exec.count_outcome(ret::WIN),
+                1,
+                "{name} epoch {epoch}: winner count wrong"
+            );
+        }
+    }
+
+    #[test]
+    fn logstar_is_arena_resettable() {
+        reuse_100_epochs("logstar", |m, n| Arc::new(LogStarLe::new(m, n)));
+    }
+
+    #[test]
+    fn loglog_is_arena_resettable() {
+        reuse_100_epochs("loglog", |m, n| Arc::new(LogLogLe::new(m, n)));
+    }
+
+    #[test]
+    fn ratrace_space_efficient_is_arena_resettable() {
+        reuse_100_epochs("ratrace-se", |m, n| {
+            Arc::new(SpaceEfficientRatRace::new(m, n))
+        });
+    }
+
+    #[test]
+    fn ratrace_original_is_arena_resettable() {
+        reuse_100_epochs("ratrace", |m, n| Arc::new(OriginalRatRace::new(m, n)));
+    }
+
+    #[test]
+    fn combined_is_arena_resettable() {
+        reuse_100_epochs("combined", |m, n| {
+            let weak = Arc::new(LogStarLe::new(m, n));
+            Arc::new(Combined::new(m, weak, n))
+        });
+    }
+}

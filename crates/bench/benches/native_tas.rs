@@ -1,36 +1,60 @@
 //! Wall-clock benches for the native (real-atomics) objects.
 //!
-//! Measures the latency of a full `test_and_set` resolution with `k`
+//! Measures the cost of a full test-and-set *resolution* with `k`
 //! concurrent threads per backend — the "would you actually use this"
-//! numbers.
+//! numbers. Operations go through the `rtas-load` sharded arena: one
+//! pool of objects is built per configuration and recycled by epoch
+//! across every sample, so the timed section contains resolution cost
+//! only — not the construction of a fresh `TestAndSet` per iteration
+//! (which used to dominate and made the old numbers constructor
+//! benchmarks in disguise).
 
-use rtas::{Backend, TestAndSet};
+use std::sync::Arc;
+
+use rtas::Backend;
 use rtas_bench::microbench::Micro;
+use rtas_load::driver::{run_load_on, LoadSpec, Mode};
+use rtas_load::TasArena;
 
-fn resolve_once(backend: Backend, threads: usize) -> usize {
-    let tas = TestAndSet::with_backend(backend, threads);
-    let winners: usize = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| s.spawn(|| tas.test_and_set()))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().unwrap())
-            .filter(|&already_set| !already_set)
-            .count()
-    });
-    assert_eq!(winners, 1);
-    winners
+/// Epochs per timed sample: enough to amortize thread spawn/join out of
+/// the per-resolution figure.
+const EPOCHS_PER_SAMPLE: u64 = 200;
+
+fn bench_backend(micro: &Micro, backend: Backend, threads: usize) {
+    // One shard, all threads in its group: the maximal-contention
+    // resolution the old bench was after. The arena (and its registers)
+    // lives across all samples; only epochs advance.
+    let arena = Arc::new(TasArena::new(backend, 1, threads));
+    let spec = LoadSpec {
+        backend,
+        threads,
+        shards: 1,
+        mode: Mode::Closed {
+            total_ops: EPOCHS_PER_SAMPLE * threads as u64,
+        },
+        seed: 0,
+        churn: None,
+    };
+    micro.bench(
+        &format!("{backend:?}/{threads}thr x{EPOCHS_PER_SAMPLE}res"),
+        |_| {
+            let out = run_load_on(&arena, spec);
+            assert_eq!(
+                out.total_wins(),
+                EPOCHS_PER_SAMPLE,
+                "exactly one winner per resolution"
+            );
+            out.total_ops()
+        },
+    );
 }
 
 fn main() {
     let micro = Micro::from_env();
-    micro.group("native-tas");
+    micro.group("native-tas (per-sample: 200 arena resolutions, objects recycled not rebuilt)");
     for threads in [2usize, 4, 8] {
         for backend in [Backend::LogStar, Backend::RatRace, Backend::Combined] {
-            micro.bench(&format!("{backend:?}/{threads}"), |_| {
-                resolve_once(backend, threads)
-            });
+            bench_backend(&micro, backend, threads);
         }
     }
 }

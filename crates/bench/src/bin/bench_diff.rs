@@ -8,6 +8,14 @@
 //!   --tail-tol <f>   relative tolerance on worst/p99      (default 0.25)
 //!   --wall-tol <f>   relative tolerance on wall_ms        (default 9.0)
 //!   --no-wall        do not gate wall_ms at all (cross-machine runs)
+//!   --gate-wall      also tolerance-gate the core (latency + wall)
+//!                    metrics of rows labeled `gate=wall`
+//!                    (wall-clock-derived reports like
+//!                    BENCH_native_load.json) at the wall tolerance;
+//!                    by default such rows are validated structurally
+//!                    (row set, op counts, finiteness) but not gated.
+//!                    Extras (throughput_ops_s, ...) stay
+//!                    informational either way
 //!   --verbose        list in-tolerance metrics too
 //! ```
 //!
@@ -27,7 +35,8 @@ use rtas_bench::diff::{diff_dirs, markdown_summary, Tolerances};
 fn usage() -> ! {
     eprintln!(
         "usage: bench-diff <baseline-dir> <current-dir> \
-         [--mean-tol f] [--tail-tol f] [--wall-tol f] [--no-wall] [--verbose]"
+         [--mean-tol f] [--tail-tol f] [--wall-tol f] [--no-wall] \
+         [--gate-wall] [--verbose]"
     );
     std::process::exit(2);
 }
@@ -54,6 +63,7 @@ fn main() -> ExitCode {
             "--tail-tol" => tol.tail = tol_value("--tail-tol"),
             "--wall-tol" => tol.wall = tol_value("--wall-tol"),
             "--no-wall" => tol.check_wall = false,
+            "--gate-wall" => tol.gate_wall_rows = true,
             "--verbose" => verbose = true,
             "--help" | "-h" => usage(),
             flag if flag.starts_with("--") => {

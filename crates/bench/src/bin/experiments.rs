@@ -273,4 +273,14 @@ fn main() {
             write_report(scenario_grid_report("scenario_grid", &rows, threads));
         }
     }
+    if run("e12") {
+        let rows = experiments::e12_epoch_reuse(scale, &runner);
+        if !no_json {
+            write_report(report_from_rows(
+                "epoch_reuse",
+                threads,
+                rows.iter().map(|r| r.bench_row()),
+            ));
+        }
+    }
 }

@@ -20,6 +20,22 @@
 //!   metric-dependent (a higher `mean_finished` is *better*), so they
 //!   never gate.
 //!
+//! **Wall-derived rows.** A row labeled `gate=wall` (the
+//! `BENCH_native_load.json` rows: throughput and latency quantiles
+//! measured on real threads) is wall-clock-derived in *every* metric,
+//! not just `wall_ms`. Such rows are validated structurally — the row
+//! must exist, its `trials` (operation count) must match, and no metric
+//! may flip between finite and null — but they are **skipped by
+//! tolerance gating** unless [`Tolerances::gate_wall_rows`] is enabled
+//! (the `bench-diff` binary's `--gate-wall` flag), in which case the
+//! nine core metrics (the latency distribution plus `wall_ms`) gate at
+//! the wide wall tolerance. Extras (`throughput_ops_s`, `ops`, ...)
+//! remain informational even then, per the global rule above — their
+//! regression direction is metric-dependent (higher throughput is
+//! *better*). The default keeps cross-machine CI runs honest: a slower
+//! runner must not fail the gate, but a vanished shard or a changed op
+//! count must.
+//!
 //! Step-count metrics are bit-deterministic per seed, so any drift in
 //! them is a real behavioral change, not noise; the tolerances exist to
 //! let intentional small algorithm changes through while catching
@@ -54,6 +70,13 @@ pub struct Tolerances {
     /// Whether `wall_ms` gates at all. Disable when baseline and
     /// current ran on different machines.
     pub check_wall: bool,
+    /// Whether rows labeled `gate=wall` (entirely wall-clock-derived,
+    /// e.g. the native load harness's latency rows) gate at all. Off by
+    /// default — they are structurally validated only; enable via the
+    /// binary's `--gate-wall` for same-machine comparisons, which gates
+    /// the nine core metrics of such rows at the wide
+    /// [`Tolerances::wall`] (extras stay informational, as everywhere).
+    pub gate_wall_rows: bool,
 }
 
 impl Default for Tolerances {
@@ -63,6 +86,7 @@ impl Default for Tolerances {
             tail: 0.25,
             wall: 9.0,
             check_wall: true,
+            gate_wall_rows: false,
         }
     }
 }
@@ -156,11 +180,23 @@ fn compare_rows(base: &BenchRow, cur: &BenchRow, tol: &Tolerances, out: &mut Rep
         ));
         return;
     }
+    // A `gate=wall` label marks every metric of the row as
+    // wall-clock-derived: structural checks always apply, tolerance
+    // gating only under `gate_wall_rows` (see the module docs).
+    let wall_row = cur
+        .labels
+        .iter()
+        .any(|(name, value)| name == "gate" && value == "wall");
     let base_metrics = base.metrics();
     for (metric, cur_value) in cur.metrics() {
-        let Some((rel, abs)) = tol.for_metric(metric) else {
-            continue;
+        let gating = if wall_row {
+            tol.gate_wall_rows.then_some((tol.wall, WALL_ABS_SLACK_MS))
+        } else {
+            tol.for_metric(metric)
         };
+        if gating.is_none() && !wall_row {
+            continue;
+        }
         let base_value = base_metrics
             .iter()
             .find(|(name, _)| *name == metric)
@@ -174,6 +210,9 @@ fn compare_rows(base: &BenchRow, cur: &BenchRow, tol: &Tolerances, out: &mut Rep
             }
             continue;
         }
+        let Some((rel, abs)) = gating else {
+            continue;
+        };
         // The improvement band is ratio-symmetric with the regression
         // band (base/(1+rel), not base*(1-rel)): with a wide tolerance
         // like wall's 9.0 the linear form would go negative and real
@@ -545,6 +584,82 @@ mod tests {
         );
         assert!(d.regressed());
         assert!(d.structural.iter().any(|s| s.contains("trials changed")));
+    }
+
+    fn wall_row(k: u64, mean: f64) -> BenchRow {
+        row(k, mean)
+            .with("throughput_ops_s", 1000.0 * mean)
+            .with_label("backend", "combined")
+            .with_label("gate", "wall")
+    }
+
+    #[test]
+    fn wall_rows_skip_tolerance_gating_by_default() {
+        let base = report_with("native_load", vec![wall_row(0, 10.0)]);
+        // 10x slower latencies: machine-dependent, must pass the default
+        // gate untouched.
+        let cur = report_with("native_load", vec![wall_row(0, 100.0)]);
+        let d = diff_reports(&base, &cur, &Tolerances::default());
+        assert!(!d.regressed(), "{:?}", d.structural);
+        assert!(d.deltas.is_empty(), "no metric gated: {:?}", d.deltas);
+    }
+
+    #[test]
+    fn wall_rows_gate_at_wall_tolerance_when_enabled() {
+        let base = report_with("native_load", vec![wall_row(0, 10.0)]);
+        let tol = Tolerances {
+            gate_wall_rows: true,
+            ..Tolerances::default()
+        };
+        // Within 10x: passes, but the metrics are compared now.
+        let d = diff_reports(
+            &base,
+            &report_with("native_load", vec![wall_row(0, 30.0)]),
+            &tol,
+        );
+        assert!(!d.regressed());
+        assert!(!d.deltas.is_empty());
+        // Beyond 10x: fails.
+        let d = diff_reports(
+            &base,
+            &report_with("native_load", vec![wall_row(0, 150.0)]),
+            &tol,
+        );
+        assert!(d.regressed());
+    }
+
+    #[test]
+    fn wall_rows_still_fail_structurally() {
+        let base = report_with("native_load", vec![wall_row(0, 10.0), wall_row(1, 10.0)]);
+        // A shard row vanished: structural, fails even with gating off.
+        let cur = report_with("native_load", vec![wall_row(0, 10.0)]);
+        let d = diff_reports(&base, &cur, &Tolerances::default());
+        assert!(d.regressed());
+
+        // Op count (trials) changed: structural.
+        let mut fewer = wall_row(0, 10.0);
+        fewer.trials = 4;
+        let d = diff_reports(
+            &base,
+            &report_with("native_load", vec![fewer, wall_row(1, 10.0)]),
+            &Tolerances::default(),
+        );
+        assert!(d.regressed());
+        assert!(d.structural.iter().any(|s| s.contains("trials changed")));
+
+        // A metric flipping finite -> null: structural.
+        let mut broken = wall_row(0, 10.0);
+        broken.p99 = f64::NAN;
+        let d = diff_reports(
+            &base,
+            &report_with("native_load", vec![broken, wall_row(1, 10.0)]),
+            &Tolerances::default(),
+        );
+        assert!(d.regressed());
+        assert!(d
+            .structural
+            .iter()
+            .any(|s| s.contains("flipped finiteness")));
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Experiments E1–E10: one per quantitative claim of the paper.
+//! Experiments E1–E12: one per quantitative claim of the paper, plus
+//! the E11 scenario grid and the E12 arena-epoch-reuse check.
 //!
 //! Every function prints a table (pipe-separated, one row per parameter
 //! point) and returns the raw rows so integration tests can assert the
@@ -891,6 +892,146 @@ pub fn e11_cells(scale: Scale, runner: &TrialRunner, cells: &[Scenario], k: usiz
     rows
 }
 
+/// Epochs of structure reuse per E12 trial.
+pub const E12_EPOCHS: u64 = 8;
+
+/// One `(algorithm)` row of E12: the step distribution across reuse
+/// epochs of one recycled structure.
+#[derive(Debug, Clone)]
+pub struct E12Row {
+    /// Algorithm under test.
+    pub algorithm: &'static str,
+    /// Contention per epoch.
+    pub k: usize,
+    /// Reuse epochs per trial ([`E12_EPOCHS`]).
+    pub epochs: u64,
+    /// Distribution of max steps over all `trials × epochs` resolutions.
+    pub steps: Summary,
+    /// Mean max steps over first-epoch (pristine-structure) resolutions.
+    pub first_epoch_mean: f64,
+    /// Mean max steps over all later (recycled-structure) resolutions.
+    pub later_epoch_mean: f64,
+    /// Wall-clock cost of the algorithm's whole trial batch, ms.
+    pub wall_ms: f64,
+}
+
+impl E12Row {
+    /// This row as a [`BenchRow`] for `BENCH_epoch_reuse.json`.
+    pub fn bench_row(&self) -> BenchRow {
+        BenchRow::from_summary(self.k as u64, &self.steps, self.wall_ms)
+            .with("epochs", self.epochs as f64)
+            .with("first_epoch_mean", self.first_epoch_mean)
+            .with("later_epoch_mean", self.later_epoch_mean)
+            .with_label("algorithm", self.algorithm)
+    }
+}
+
+/// E12 — arena epoch reuse: a structure recycled by register reset must
+/// resolve with the *same* step distribution as a pristine one.
+///
+/// This is the simulator twin of the native load harness's sharded
+/// arena (`rtas-load`): each trial builds one structure, then resolves
+/// [`E12_EPOCHS`] epochs on it back to back, resetting registers (never
+/// reallocating) between epochs — exactly what
+/// [`rtas::TestAndSet::reset`] does natively, but with deterministic
+/// seeds and step counting, so the claim "reuse epochs are
+/// distributionally indistinguishable from fresh constructions" is
+/// baseline-gated bit for bit. Exactly one winner is asserted per
+/// epoch.
+pub fn e12_epoch_reuse(scale: Scale, runner: &TrialRunner) -> Vec<E12Row> {
+    use rtas::sim::rng::SplitMix64;
+    use std::time::Instant;
+
+    print_header(
+        "E12",
+        "arena epoch reuse: recycled structures match pristine step distributions",
+    );
+    let k = e11_contention(scale);
+    type AlgBuilder = fn(&mut Memory, usize) -> Arc<dyn LeaderElect>;
+    let algorithms: [(&'static str, AlgBuilder); 3] = [
+        ("logstar", |m, n| Arc::new(LogStarLe::new(m, n))),
+        ("ratrace-space-efficient", |m, n| {
+            Arc::new(SpaceEfficientRatRace::new(m, n))
+        }),
+        ("combined", |m, n| {
+            let weak = Arc::new(LogStarLe::new(m, n));
+            Arc::new(Combined::new(m, weak, n))
+        }),
+    ];
+    println!("k={k} epochs={E12_EPOCHS} trials={}", scale.trials);
+    println!("algorithm | mean max steps | first-epoch mean | later-epoch mean");
+    let mut rows = Vec::new();
+    for (ai, (alg_name, build)) in algorithms.iter().enumerate() {
+        let base_seed = SplitMix64::split(scale.seed ^ 0xe12, ai as u64).next_u64();
+        let start = Instant::now();
+        let results: Vec<Vec<f64>> = runner.run_trials_with(
+            scale.trials,
+            base_seed,
+            || {
+                let mut mem = Memory::new();
+                let le = build(&mut mem, k);
+                (le, Execution::new(mem, Vec::new(), 0))
+            },
+            |(le, exec), trial| {
+                let mut per_epoch = Vec::with_capacity(E12_EPOCHS as usize);
+                for epoch in 0..E12_EPOCHS {
+                    let protos: Vec<Box<dyn Protocol>> = (0..k).map(|_| le.elect()).collect();
+                    // reset() zeroes the registers of the *same* warm
+                    // memory — the recycle under test.
+                    exec.reset(protos, trial.subseed(2 * epoch));
+                    let mut adv = baseline().begin(exec, trial.subseed(2 * epoch + 1));
+                    let out = exec.run_in_place(&mut adv);
+                    assert!(
+                        out.all_finished(),
+                        "{alg_name} k={k} trial={} epoch={epoch}: did not finish",
+                        trial.index
+                    );
+                    assert_eq!(
+                        exec.count_outcome(ret::WIN),
+                        1,
+                        "{alg_name} k={k} trial={} epoch={epoch}: winner count wrong",
+                        trial.index
+                    );
+                    per_epoch.push(exec.steps().max() as f64);
+                }
+                per_epoch
+            },
+        );
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        // Folded in trial order (results come back in trial order), so
+        // the statistics are thread-count invariant.
+        let mut steps = StatsAccumulator::new();
+        let mut first = StatsAccumulator::new();
+        let mut later = StatsAccumulator::new();
+        for per_epoch in &results {
+            for (epoch, &v) in per_epoch.iter().enumerate() {
+                steps.push(v);
+                if epoch == 0 {
+                    first.push(v);
+                } else {
+                    later.push(v);
+                }
+            }
+        }
+        println!(
+            "{alg_name} | {:.1} | {:.1} | {:.1}",
+            steps.mean(),
+            first.mean(),
+            later.mean()
+        );
+        rows.push(E12Row {
+            algorithm: alg_name,
+            k,
+            epochs: E12_EPOCHS,
+            steps: steps.summary(),
+            first_epoch_mean: first.mean(),
+            later_epoch_mean: later.mean(),
+            wall_ms,
+        });
+    }
+    rows
+}
+
 /// Run every experiment at the given scale through one runner.
 pub fn run_all(scale: Scale, runner: &TrialRunner) {
     e1_group_election_performance(scale, runner);
@@ -904,6 +1045,7 @@ pub fn run_all(scale: Scale, runner: &TrialRunner) {
     e9_adaptive_attack(scale, runner);
     e10_ladder_depth(scale, runner);
     e11_scenario_grid(scale, runner);
+    e12_epoch_reuse(scale, runner);
 }
 
 #[cfg(test)]
@@ -956,6 +1098,49 @@ mod tests {
         let rows = e2_logstar_steps(tiny(), &runner());
         let last = rows.last().unwrap();
         assert!(last.steps.mean_max_steps < last.steps.k as f64);
+    }
+
+    #[test]
+    fn e12_reuse_epochs_match_pristine_distribution() {
+        let scale = Scale {
+            max_k: 16,
+            trials: 12,
+            seed: 42,
+        };
+        let rows = e12_epoch_reuse(scale, &runner());
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert_eq!(r.epochs, E12_EPOCHS);
+            assert_eq!(r.steps.count, scale.trials * E12_EPOCHS);
+            // Recycled epochs must look like pristine ones: the means
+            // are independent samples of the same distribution, so
+            // allow generous sampling noise but catch systematic drift
+            // (e.g. stale register state inflating later epochs).
+            let drift = (r.later_epoch_mean - r.first_epoch_mean).abs();
+            assert!(
+                drift <= 0.75 * r.first_epoch_mean.max(4.0),
+                "{}: first-epoch mean {} vs later-epoch mean {}",
+                r.algorithm,
+                r.first_epoch_mean,
+                r.later_epoch_mean
+            );
+        }
+    }
+
+    #[test]
+    fn e12_is_thread_count_invariant() {
+        let scale = Scale {
+            max_k: 8,
+            trials: 6,
+            seed: 7,
+        };
+        let serial = e12_epoch_reuse(scale, &TrialRunner::serial());
+        let parallel = e12_epoch_reuse(scale, &TrialRunner::new(4));
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.steps, p.steps, "{}", s.algorithm);
+            assert_eq!(s.first_epoch_mean, p.first_epoch_mean);
+            assert_eq!(s.later_epoch_mean, p.later_epoch_mean);
+        }
     }
 
     #[test]

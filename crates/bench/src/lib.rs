@@ -1,7 +1,8 @@
 //! # rtas-bench — the experiment harness
 //!
-//! One function per experiment in DESIGN.md §2 (E1–E10), each regenerating
-//! the corresponding quantitative claim of the paper as a printed table.
+//! One function per experiment (E1–E10 from DESIGN.md §2, plus the E11
+//! scenario grid and the E12 epoch-reuse check), each regenerating the
+//! corresponding quantitative claim of the paper as a printed table.
 //! `cargo run -p rtas-bench --release --bin experiments` runs them all;
 //! EXPERIMENTS.md records paper-vs-measured for each.
 

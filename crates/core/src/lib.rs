@@ -55,7 +55,7 @@ pub use rtas_lowerbound as lowerbound;
 pub use rtas_primitives as primitives;
 pub use rtas_sim as sim;
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use rtas_algorithms::{Combined, LogLogLe, LogStarLe, SpaceEfficientRatRace};
@@ -63,7 +63,7 @@ use rtas_primitives::LeaderElect;
 use rtas_sim::memory::Memory;
 use rtas_sim::protocol::ret;
 
-use native::{run_protocol, NativeMemory};
+use native::{NativeMemory, NativeRunner};
 
 /// Which algorithm backs a [`TestAndSet`] / [`LeaderElection`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -89,6 +89,9 @@ struct Inner {
     registers: u64,
     capacity: usize,
     issued: AtomicUsize,
+    /// Reuse epoch, bumped by [`Inner::reset`]; mixed into the per-slot
+    /// seeds so recycled objects draw fresh coin streams each epoch.
+    epoch: AtomicU64,
     backend: Backend,
 }
 
@@ -112,24 +115,37 @@ fn build(backend: Backend, capacity: usize) -> Inner {
         registers,
         capacity,
         issued: AtomicUsize::new(0),
+        epoch: AtomicU64::new(0),
         backend,
     }
 }
 
 impl Inner {
-    fn elect(&self) -> bool {
+    fn elect_with(&self, runner: &mut NativeRunner) -> bool {
         let slot = self.issued.fetch_add(1, Ordering::Relaxed);
         assert!(
             slot < self.capacity,
             "more than {} participants entered a one-shot object",
             self.capacity
         );
-        // Per-slot deterministic seeding keeps runs reproducible while
-        // giving each participant an independent coin stream.
+        // Per-(slot, epoch) deterministic seeding keeps runs reproducible
+        // while giving each participant an independent coin stream and
+        // each reuse epoch fresh randomness.
         let seed = 0x7a5_u64
             .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-            .wrapping_add(slot as u64);
-        run_protocol(self.le.elect(), &self.memory, slot, seed) == ret::WIN
+            .wrapping_add(slot as u64)
+            .wrapping_add(self.epoch.load(Ordering::Relaxed).wrapping_mul(0x9e37_79b9));
+        runner.run(self.le.elect(), &self.memory, slot, seed) == ret::WIN
+    }
+
+    fn elect(&self) -> bool {
+        self.elect_with(&mut NativeRunner::new())
+    }
+
+    fn reset(&self) {
+        self.memory.reset();
+        self.issued.store(0, Ordering::SeqCst);
+        self.epoch.fetch_add(1, Ordering::SeqCst);
     }
 }
 
@@ -178,9 +194,29 @@ impl LeaderElection {
     ///
     /// # Panics
     ///
-    /// Panics if called more than `capacity` times on this object.
+    /// Panics if called more than `capacity` times on this object
+    /// (between resets).
     pub fn elect(&self) -> bool {
         self.inner.elect()
+    }
+
+    /// [`LeaderElection::elect`] reusing a caller-owned
+    /// [`NativeRunner`], so a worker thread performing many operations
+    /// does not rebuild the protocol-stack buffer each time.
+    pub fn elect_with(&self, runner: &mut NativeRunner) -> bool {
+        self.inner.elect_with(runner)
+    }
+
+    /// Recycle the object: zero every register (no allocation) and
+    /// re-open all `capacity` participation slots.
+    ///
+    /// The caller must guarantee quiescence — every `elect` call of the
+    /// current epoch has returned, and the reset happens-before the next
+    /// epoch's first call (see [`NativeMemory::reset`]). After a reset
+    /// the object behaves exactly like a freshly constructed one, with
+    /// fresh per-epoch coin streams.
+    pub fn reset(&self) {
+        self.inner.reset()
     }
 
     /// The configured backend.
@@ -250,16 +286,31 @@ impl TestAndSet {
     ///
     /// # Panics
     ///
-    /// Panics if called more than `capacity` times on this object.
+    /// Panics if called more than `capacity` times on this object
+    /// (between resets).
     pub fn test_and_set(&self) -> bool {
+        self.test_and_set_with(&mut NativeRunner::new())
+    }
+
+    /// [`TestAndSet::test_and_set`] reusing a caller-owned
+    /// [`NativeRunner`] (see [`LeaderElection::elect_with`]).
+    pub fn test_and_set_with(&self, runner: &mut NativeRunner) -> bool {
         if self.done.load(Ordering::SeqCst) == 1 {
             return true;
         }
-        if self.le.elect() {
+        if self.le.elect_with(runner) {
             return false;
         }
         self.done.store(1, Ordering::SeqCst);
         true
+    }
+
+    /// Recycle the object: clear the TAS bit, zero every register (no
+    /// allocation), and re-open all `capacity` participation slots.
+    /// Same quiescence contract as [`LeaderElection::reset`].
+    pub fn reset(&self) {
+        self.done.store(0, Ordering::SeqCst);
+        self.le.reset();
     }
 
     /// The configured backend.
@@ -366,5 +417,50 @@ mod tests {
         let le = LeaderElection::with_backend(Backend::LogStar, 16);
         let tas = TestAndSet::with_backend(Backend::LogStar, 16);
         assert_eq!(tas.registers(), le.registers() + 1);
+    }
+
+    #[test]
+    fn reset_reopens_one_shot_objects_across_100_epochs() {
+        for backend in BACKENDS {
+            let le = LeaderElection::with_backend(backend, 2);
+            let tas = TestAndSet::with_backend(backend, 2);
+            let mut runner = NativeRunner::new();
+            for epoch in 0..100 {
+                assert!(le.elect_with(&mut runner), "{backend:?} epoch {epoch}");
+                assert!(!le.elect_with(&mut runner), "{backend:?} epoch {epoch}");
+                assert!(!tas.test_and_set_with(&mut runner));
+                assert!(tas.test_and_set_with(&mut runner));
+                le.reset();
+                tas.reset();
+            }
+        }
+    }
+
+    #[test]
+    fn reset_epochs_with_concurrency() {
+        let n = 4;
+        let tas = TestAndSet::with_backend(Backend::RatRace, n);
+        for epoch in 0..20 {
+            let outs: Vec<bool> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..n).map(|_| s.spawn(|| tas.test_and_set())).collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            assert_eq!(
+                outs.iter().filter(|&&set| !set).count(),
+                1,
+                "epoch {epoch}: {outs:?}"
+            );
+            tas.reset();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one-shot")]
+    fn over_capacity_still_panics_after_reset() {
+        let le = LeaderElection::new(1);
+        let _ = le.elect();
+        le.reset();
+        let _ = le.elect();
+        let _ = le.elect();
     }
 }

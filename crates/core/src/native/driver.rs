@@ -70,45 +70,109 @@ impl NativeMemory {
     pub fn write(&self, id: RegId, value: Word) {
         self.reg(id).store(value, Ordering::SeqCst)
     }
+
+    /// Reset every register to 0 — the object's initial state — without
+    /// allocating.
+    ///
+    /// The paper's objects are one-shot, but their *memory* is not:
+    /// every protocol assumes only that all registers start at 0, so
+    /// zeroing the block returns the object to its pristine pre-first-op
+    /// state and a fixed pool of objects can be recycled epoch after
+    /// epoch instead of reallocated per resolution (see
+    /// `rtas_load::arena`).
+    ///
+    /// Takes `&self` (the registers are atomics), but the caller must
+    /// guarantee *quiescence*: no `elect`/`test_and_set` call may be in
+    /// flight on this memory, and the reset must happen-before the next
+    /// epoch's first operation (the load arena publishes it through a
+    /// release/acquire epoch counter). A reset that races a live
+    /// operation is not memory-unsafe, only semantically meaningless.
+    pub fn reset(&self) {
+        for reg in &self.regs {
+            reg.store(0, Ordering::SeqCst);
+        }
+    }
+}
+
+/// A reusable per-thread protocol executor.
+///
+/// [`run_protocol`] builds a fresh [`SubRuntime`] (one heap-allocated
+/// protocol stack) per call; a worker thread hammering an arena of
+/// recycled objects instead keeps one `NativeRunner` alive and reuses
+/// the runtime's stack buffer across operations via
+/// [`SubRuntime::reset`], so the steady-state op path allocates only
+/// the protocol state machines themselves.
+#[derive(Debug, Default)]
+pub struct NativeRunner {
+    runtime: Option<SubRuntime>,
+}
+
+impl NativeRunner {
+    /// A runner with no warm runtime yet (the first [`NativeRunner::run`]
+    /// builds it).
+    pub fn new() -> Self {
+        NativeRunner { runtime: None }
+    }
+
+    /// Run `protocol` to completion on the calling thread, reusing this
+    /// runner's runtime buffer.
+    ///
+    /// `participant` is the logical process id (used for splitter
+    /// identity stamps); `seed` seeds the thread's private coin flips.
+    /// Returns the protocol's result word.
+    pub fn run(
+        &mut self,
+        protocol: Box<dyn Protocol>,
+        memory: &NativeMemory,
+        participant: usize,
+        seed: u64,
+    ) -> Word {
+        let runtime = match &mut self.runtime {
+            Some(rt) => {
+                rt.reset(protocol);
+                rt
+            }
+            slot => slot.insert(SubRuntime::new(protocol)),
+        };
+        let mut rng = SplitMix64::split(seed, participant as u64 ^ 0x5eed_f00d);
+        let mut notes = Notes::default();
+        loop {
+            let poll = {
+                let mut ctx = Ctx {
+                    pid: ProcessId(participant),
+                    rng: &mut rng,
+                    notes: &mut notes,
+                };
+                runtime.advance(&mut ctx)
+            };
+            match poll {
+                SubPoll::Finished(v) => return v,
+                SubPoll::NeedsOp(op) => {
+                    let input = match op {
+                        MemOp::Read(r) => rtas_sim::protocol::Resume::Read(memory.read(r)),
+                        MemOp::Write(r, v) => {
+                            memory.write(r, v);
+                            rtas_sim::protocol::Resume::Wrote
+                        }
+                    };
+                    runtime.feed(input);
+                }
+            }
+        }
+    }
 }
 
 /// Run a protocol to completion on the calling thread.
 ///
-/// `participant` is the logical process id (used for splitter identity
-/// stamps); `seed` seeds the thread's private coin flips. Returns the
-/// protocol's result word.
+/// One-shot convenience over [`NativeRunner::run`] — identical
+/// semantics, fresh runtime per call.
 pub fn run_protocol(
     protocol: Box<dyn Protocol>,
     memory: &NativeMemory,
     participant: usize,
     seed: u64,
 ) -> Word {
-    let mut runtime = SubRuntime::new(protocol);
-    let mut rng = SplitMix64::split(seed, participant as u64 ^ 0x5eed_f00d);
-    let mut notes = Notes::default();
-    loop {
-        let poll = {
-            let mut ctx = Ctx {
-                pid: ProcessId(participant),
-                rng: &mut rng,
-                notes: &mut notes,
-            };
-            runtime.advance(&mut ctx)
-        };
-        match poll {
-            SubPoll::Finished(v) => return v,
-            SubPoll::NeedsOp(op) => {
-                let input = match op {
-                    MemOp::Read(r) => rtas_sim::protocol::Resume::Read(memory.read(r)),
-                    MemOp::Write(r, v) => {
-                        memory.write(r, v);
-                        rtas_sim::protocol::Resume::Wrote
-                    }
-                };
-                runtime.feed(input);
-            }
-        }
-    }
+    NativeRunner::new().run(protocol, memory, participant, seed)
 }
 
 #[cfg(test)]
@@ -156,5 +220,34 @@ mod tests {
         let mut layout = Memory::new();
         let _ = layout.alloc_lazy(100, "big");
         let _ = NativeMemory::from_layout(&layout);
+    }
+
+    #[test]
+    fn reset_zeroes_every_register() {
+        let mut layout = Memory::new();
+        let regs = layout.alloc(5, "t");
+        let shared = NativeMemory::from_layout(&layout);
+        for (i, reg) in regs.iter().enumerate() {
+            shared.write(reg, i as Word + 10);
+        }
+        shared.reset();
+        for reg in regs.iter() {
+            assert_eq!(shared.read(reg), 0);
+        }
+    }
+
+    #[test]
+    fn runner_reuse_matches_fresh_runs() {
+        let mut layout = Memory::new();
+        let reg = layout.alloc(1, "t").get(0);
+        let shared = NativeMemory::from_layout(&layout);
+        let mut runner = NativeRunner::new();
+        for epoch in 0..100 {
+            let out = runner.run(Box::new(WriteThenRead { reg, state: 0 }), &shared, 0, epoch);
+            assert_eq!(out, 42, "epoch {epoch}");
+            assert_eq!(shared.read(reg), 41);
+            shared.reset();
+            assert_eq!(shared.read(reg), 0);
+        }
     }
 }

@@ -13,9 +13,17 @@
 //! suite carries over to the native objects — the only difference is who
 //! schedules the interleaving (the OS instead of an adversary).
 
+//!
+//! Native objects are also *recyclable*: [`NativeMemory::reset`] stores
+//! 0 to every register without allocating, returning the object to its
+//! initial state, and [`NativeRunner`] reuses one protocol-stack buffer
+//! across operations — together the foundation of the `rtas-load`
+//! sharded arena, which resolves sustained traffic on a fixed pool of
+//! objects instead of constructing one per operation.
+
 mod driver;
 
-pub use driver::{run_protocol, NativeMemory};
+pub use driver::{run_protocol, NativeMemory, NativeRunner};
 
 #[cfg(test)]
 mod tests {
@@ -43,6 +51,32 @@ mod tests {
             });
             let winners = wins.iter().filter(|&&w| w == ret::WIN).count();
             assert_eq!(winners, 1, "round {round}: {wins:?}");
+        }
+    }
+
+    #[test]
+    fn reset_arena_resolves_correctly_across_100_epochs() {
+        // One register block, built once, recycled by reset() — the
+        // arena's reuse contract: every epoch must still elect exactly
+        // one of the two concurrent participants.
+        let mut mem = Memory::new();
+        let le = TwoProcessLe::new(&mut mem, "2le");
+        let shared = NativeMemory::from_layout(&mem);
+        for epoch in 0..100u64 {
+            let wins: Vec<u64> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..2)
+                    .map(|role| {
+                        let shared = &shared;
+                        s.spawn(move || {
+                            run_protocol(le.elect_as(role), shared, role, epoch * 2 + role as u64)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            let winners = wins.iter().filter(|&&w| w == ret::WIN).count();
+            assert_eq!(winners, 1, "epoch {epoch}: {wins:?}");
+            shared.reset();
         }
     }
 }

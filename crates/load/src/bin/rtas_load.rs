@@ -1,0 +1,191 @@
+//! `rtas-load` — drive sustained traffic at the native objects.
+//!
+//! ```text
+//! rtas-load [options]
+//!
+//! options:
+//!   --backend <b>     logstar | loglog | ratrace | combined  (default combined)
+//!   --threads <n>     worker threads                 (default: host parallelism)
+//!   --shards <n>      arena shards; threads % shards == 0
+//!                     (default: largest divisor of threads <= threads/2)
+//!   --mode <m>        closed | open                          (default closed)
+//!   --ops <n>         closed loop: total operations          (default 200000)
+//!   --rate <r>        open loop: offered ops/second          (default 100000)
+//!   --duration <s>    open loop: schedule horizon, seconds   (default 1.0)
+//!   --seed <x>        arrival-schedule seed                  (default 42)
+//!   --churn <k>       closed loop: retire+respawn each worker thread
+//!                     after k operations
+//!   --slo-p50 <us>    fail (exit 1) if overall p50 exceeds this
+//!   --slo-p99 <us>    fail (exit 1) if overall p99 exceeds this
+//!   --no-json         skip writing BENCH_native_load.json
+//! ```
+//!
+//! Prints a per-shard table (ops, throughput, latency quantiles in
+//! microseconds) and writes `BENCH_native_load.json` to `RTAS_BENCH_DIR`
+//! (default: current directory) through the `rtas_bench` report
+//! machinery. The same `--seed` in open-loop mode offers a bit-identical
+//! arrival schedule on every run; see the README's "Native load harness"
+//! section.
+
+use std::process::ExitCode;
+
+use rtas_load::driver::{
+    backend_label, default_shards, parse_backend, run_load, LoadSpec, Mode, Slo,
+};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: rtas-load [--backend b] [--threads n] [--shards n] \
+         [--mode closed|open] [--ops n] [--rate r] [--duration s] [--seed x] \
+         [--churn k] [--slo-p50 us] [--slo-p99 us] [--no-json]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut backend = rtas::Backend::Combined;
+    let mut threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
+    let mut shards: Option<usize> = None;
+    let mut mode_name = "closed".to_string();
+    let mut ops = 200_000u64;
+    let mut rate = 100_000.0f64;
+    let mut duration = 1.0f64;
+    let mut seed = 42u64;
+    let mut churn: Option<u64> = None;
+    let mut slo = Slo::default();
+    let mut no_json = false;
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| -> &String {
+            iter.next().unwrap_or_else(|| {
+                eprintln!("error: {name} requires a value");
+                usage();
+            })
+        };
+        fn parsed<T: std::str::FromStr>(name: &str, value: &str) -> T {
+            value.parse::<T>().unwrap_or_else(|_| {
+                eprintln!("error: {name} value {value:?} is invalid");
+                usage();
+            })
+        }
+        match arg.as_str() {
+            "--backend" => {
+                let v = value("--backend");
+                backend = parse_backend(v).unwrap_or_else(|| {
+                    eprintln!("error: unknown backend {v:?} (logstar|loglog|ratrace|combined)");
+                    usage();
+                });
+            }
+            "--threads" => threads = parsed("--threads", value("--threads")),
+            "--shards" => shards = Some(parsed("--shards", value("--shards"))),
+            "--mode" => mode_name = value("--mode").clone(),
+            "--ops" => ops = parsed("--ops", value("--ops")),
+            "--rate" => rate = parsed("--rate", value("--rate")),
+            "--duration" => duration = parsed("--duration", value("--duration")),
+            "--seed" => seed = parsed("--seed", value("--seed")),
+            "--churn" => churn = Some(parsed("--churn", value("--churn"))),
+            "--slo-p50" => slo.p50_us = Some(parsed("--slo-p50", value("--slo-p50"))),
+            "--slo-p99" => slo.p99_us = Some(parsed("--slo-p99", value("--slo-p99"))),
+            "--no-json" => no_json = true,
+            "--help" | "-h" => usage(),
+            flag => {
+                eprintln!("error: unknown argument {flag}");
+                usage();
+            }
+        }
+    }
+    let shards = shards.unwrap_or_else(|| default_shards(threads));
+    let mode = match mode_name.as_str() {
+        "closed" => Mode::Closed { total_ops: ops },
+        "open" => Mode::Open {
+            rate,
+            duration_secs: duration,
+        },
+        other => {
+            eprintln!("error: unknown mode {other:?} (closed|open)");
+            usage();
+        }
+    };
+    if threads == 0 || shards == 0 || threads % shards != 0 {
+        eprintln!(
+            "error: threads ({threads}) must be a positive multiple of \
+             shards ({shards})"
+        );
+        usage();
+    }
+
+    let spec = LoadSpec {
+        backend,
+        threads,
+        shards,
+        mode,
+        seed,
+        churn,
+    };
+    println!(
+        "rtas-load: backend={} mode={} threads={threads} shards={shards} group={} seed={seed}{}",
+        backend_label(backend),
+        mode.label(),
+        spec.group(),
+        churn.map(|c| format!(" churn={c}")).unwrap_or_default()
+    );
+    let out = run_load(spec);
+
+    println!("shard | ops | wins | epochs | ops/s | p50 us | p90 us | p99 us | max us");
+    for (s, cell) in out.recorder.shard_stats().iter().enumerate() {
+        let summary = cell.latency.summary();
+        println!(
+            "{s} | {} | {} | {} | {:.0} | {:.1} | {:.1} | {:.1} | {:.1}",
+            cell.ops,
+            cell.wins,
+            cell.ops / out.spec.group() as u64,
+            cell.ops as f64 / out.wall.as_secs_f64(),
+            summary.p50,
+            summary.p90,
+            summary.p99,
+            summary.max,
+        );
+    }
+    let overall = out.recorder.overall_latency();
+    println!(
+        "total | {} ops | {} resolutions | {:.0} ops/s | wall {:.1} ms | \
+         p50 {:.1} us | p99 {:.1} us",
+        out.total_ops(),
+        out.resolutions(),
+        out.throughput_ops_per_sec(),
+        out.wall.as_secs_f64() * 1e3,
+        overall.p50,
+        overall.p99,
+    );
+    assert_eq!(
+        out.total_wins(),
+        out.resolutions(),
+        "safety violation: winner count does not match resolution count"
+    );
+
+    if !no_json {
+        let report = out.bench_report();
+        match report.write() {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(err) => {
+                eprintln!(
+                    "rtas-load: failed to write {}: {err}",
+                    report.path().display()
+                );
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let violations = slo.violations(&out);
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("SLO violation: {v}");
+        }
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,601 @@
+//! The workload driver: closed- and open-loop traffic on real threads.
+//!
+//! Two classical load-generation disciplines, both over the same
+//! [`TasArena`]:
+//!
+//! * **Closed loop** — a fixed fleet of `threads` workers issues
+//!   operations back to back: each worker hammers its home shard
+//!   (`shard = worker % shards`), so every shard is resolved by a fixed
+//!   group of `threads / shards` workers, epoch after epoch. Throughput
+//!   is whatever the hardware sustains. There is no *offered-load*
+//!   backlog to queue in, but each recorded latency spans the whole
+//!   resolution **including the wait for the epoch's peer
+//!   participants** — one-shot objects resolve as a group, so peer
+//!   skew (worst under `--churn`, where a respawning slot stalls its
+//!   shard) is genuine operation latency here, not measurement noise.
+//!   Worker **churn** maps the scenario engine's
+//!   retirement/respawn axis onto real threads: with `churn = c`, a
+//!   worker's OS thread retires after `c` operations and a fresh thread
+//!   (cold protocol-stack buffer and all) is spawned to continue its
+//!   slot.
+//! * **Open loop** — operations are *offered* at wall-clock instants
+//!   from a deterministic [`ArrivalSchedule`] (same seed ⇒ identical
+//!   offered load, run to run and machine to machine). Arrival `i` is
+//!   striped to shard `i % shards` and handled by worker `i % threads`;
+//!   each worker busy-waits until an operation's scheduled instant and
+//!   records latency from that instant — not from when the worker got
+//!   around to it — so queueing delay under overload is measured, not
+//!   hidden (no coordinated omission).
+//!
+//! Both disciplines assign every epoch of every shard exactly `group =
+//! threads / shards` operations, which is what makes the arena's
+//! static-membership epoch protocol deadlock-free: within any window of
+//! `threads` consecutive arrival indices, each worker appears exactly
+//! once and each shard exactly `group` times, so the workers march
+//! through epoch rounds together and every epoch's participants
+//! eventually show up.
+//!
+//! [`TasArena`]: crate::arena::TasArena
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rtas::native::NativeRunner;
+use rtas::Backend;
+use rtas_bench::report::{BenchReport, BenchRow};
+
+use crate::arena::TasArena;
+use crate::recorder::LoadRecorder;
+use crate::schedule::ArrivalSchedule;
+
+/// Workload discipline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Mode {
+    /// Fixed worker fleet, back-to-back operations, `total_ops` in all
+    /// (truncated down to a multiple of the thread count).
+    Closed {
+        /// Total operations across all workers.
+        total_ops: u64,
+    },
+    /// Deterministic Poisson arrivals at `rate` ops/second for
+    /// `duration_secs` seconds.
+    Open {
+        /// Offered load, operations per second.
+        rate: f64,
+        /// Schedule horizon, seconds.
+        duration_secs: f64,
+    },
+}
+
+impl Mode {
+    /// The mode's report label: `"closed"` or `"open"`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Mode::Closed { .. } => "closed",
+            Mode::Open { .. } => "open",
+        }
+    }
+}
+
+/// A complete load-run specification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadSpec {
+    /// Algorithm backing every pooled object.
+    pub backend: Backend,
+    /// Worker threads. Must be a positive multiple of `shards`.
+    pub threads: usize,
+    /// Arena shards. Each is resolved by `threads / shards` workers per
+    /// epoch.
+    pub shards: usize,
+    /// Workload discipline.
+    pub mode: Mode,
+    /// Seed for the open-loop arrival schedule (unused in closed loop).
+    pub seed: u64,
+    /// Closed loop only: retire each worker's OS thread after this many
+    /// operations and respawn a fresh one for the slot.
+    pub churn: Option<u64>,
+}
+
+impl LoadSpec {
+    /// Participants per epoch implied by the spec.
+    pub fn group(&self) -> usize {
+        self.threads / self.shards
+    }
+
+    fn validate(&self) {
+        assert!(self.threads >= 1, "need at least one worker thread");
+        assert!(self.shards >= 1, "need at least one shard");
+        assert!(
+            self.threads % self.shards == 0,
+            "threads ({}) must be a multiple of shards ({}) so every epoch \
+             has a full participant group",
+            self.threads,
+            self.shards
+        );
+        if let Mode::Open { .. } = self.mode {
+            assert!(
+                self.churn.is_none(),
+                "churn is a closed-loop axis; open-loop offered load already \
+                 decouples arrivals from worker lifetime"
+            );
+        }
+    }
+}
+
+/// The measured result of a load run.
+#[derive(Debug, Clone)]
+pub struct LoadOutcome {
+    /// The spec the run executed.
+    pub spec: LoadSpec,
+    /// Per-shard latency/throughput observations.
+    pub recorder: LoadRecorder,
+    /// Wall clock of the measured section (worker spawn to last join).
+    pub wall: Duration,
+    /// Registers held by the arena, all shards.
+    pub registers: u64,
+}
+
+impl LoadOutcome {
+    /// Operations completed.
+    pub fn total_ops(&self) -> u64 {
+        self.recorder.total_ops()
+    }
+
+    /// Resolutions completed (epochs closed): one winner each.
+    pub fn resolutions(&self) -> u64 {
+        self.total_ops() / self.spec.group() as u64
+    }
+
+    /// Winning operations — equals [`LoadOutcome::resolutions`] when
+    /// every epoch ran to completion.
+    pub fn total_wins(&self) -> u64 {
+        self.recorder.total_wins()
+    }
+
+    /// Completed operations per second of wall clock.
+    pub fn throughput_ops_per_sec(&self) -> f64 {
+        self.total_ops() as f64 / self.wall.as_secs_f64()
+    }
+
+    /// The run as a `BENCH_native_load.json` report: one row per shard
+    /// plus a `scope=total` aggregate row.
+    ///
+    /// Latency statistics are in microseconds. Every row carries the
+    /// label `gate=wall`: the values are wall-clock-derived, so
+    /// `bench-diff` checks them structurally (row set, op counts,
+    /// finiteness) but skips tolerance gating unless `--gate-wall` is
+    /// passed.
+    pub fn bench_report(&self) -> BenchReport {
+        let backend = backend_label(self.spec.backend);
+        let mode = self.spec.mode.label();
+        let wall_secs = self.wall.as_secs_f64();
+        let mut report = BenchReport::new("native_load", self.spec.threads);
+        for (s, cell) in self.recorder.shard_stats().iter().enumerate() {
+            // Per-shard wall clock is meaningless (shards run
+            // concurrently): NaN serializes as null, never a fabricated
+            // number. The run's wall lives on the total row.
+            report.push(
+                BenchRow::from_summary(s as u64, &cell.latency.summary(), f64::NAN)
+                    .with("ops", cell.ops as f64)
+                    .with("wins", cell.wins as f64)
+                    .with("epochs", (cell.ops / self.spec.group() as u64) as f64)
+                    .with("throughput_ops_s", cell.ops as f64 / wall_secs)
+                    .with_label("backend", backend)
+                    .with_label("mode", mode)
+                    .with_label("scope", "shard")
+                    .with_label("gate", "wall"),
+            );
+        }
+        report.push(
+            BenchRow::from_summary(
+                0,
+                &self.recorder.overall_latency(),
+                self.wall.as_secs_f64() * 1e3,
+            )
+            .with("ops", self.total_ops() as f64)
+            .with("wins", self.total_wins() as f64)
+            .with("epochs", self.resolutions() as f64)
+            .with("throughput_ops_s", self.throughput_ops_per_sec())
+            .with("registers", self.registers as f64)
+            .with("shards", self.spec.shards as f64)
+            .with("group", self.spec.group() as f64)
+            .with_label("backend", backend)
+            .with_label("mode", mode)
+            .with_label("scope", "total")
+            .with_label("gate", "wall"),
+        );
+        report
+    }
+}
+
+/// Latency service-level objectives, checked against a finished run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Slo {
+    /// Median latency ceiling, microseconds.
+    pub p50_us: Option<f64>,
+    /// 99th-percentile latency ceiling, microseconds.
+    pub p99_us: Option<f64>,
+}
+
+impl Slo {
+    /// Violations of this SLO by `outcome`'s overall latency
+    /// distribution, as human-readable lines (empty = SLO met).
+    ///
+    /// A run that completed **zero operations** violates every
+    /// configured SLO: an empty distribution reports 0.0 quantiles,
+    /// which would trivially pass any limit — but "we did nothing" must
+    /// not read as "we met the objective" (e.g. an open-loop schedule
+    /// truncated to empty by a rate·duration product below the thread
+    /// count).
+    pub fn violations(&self, outcome: &LoadOutcome) -> Vec<String> {
+        let overall = outcome.recorder.overall_latency();
+        if overall.count == 0 && (self.p50_us.is_some() || self.p99_us.is_some()) {
+            return vec!["run completed zero operations; SLOs cannot be met".to_string()];
+        }
+        let mut out = Vec::new();
+        if let Some(limit) = self.p50_us {
+            if overall.p50 > limit {
+                out.push(format!("p50 {:.1}us exceeds SLO {limit:.1}us", overall.p50));
+            }
+        }
+        if let Some(limit) = self.p99_us {
+            if overall.p99 > limit {
+                out.push(format!("p99 {:.1}us exceeds SLO {limit:.1}us", overall.p99));
+            }
+        }
+        out
+    }
+}
+
+/// The report label for a backend, stable across PRs (used as a
+/// `BENCH_*.json` row label and a CLI flag value).
+pub fn backend_label(backend: Backend) -> &'static str {
+    match backend {
+        Backend::LogStar => "logstar",
+        Backend::LogLog => "loglog",
+        Backend::RatRace => "ratrace",
+        Backend::Combined => "combined",
+    }
+}
+
+/// The default shard count for a worker fleet: the largest divisor of
+/// `threads` no bigger than half of it (groups of ≥ 2 where possible),
+/// falling back to 1 — so the result always satisfies
+/// `threads % shards == 0`, also for odd or prime thread counts.
+pub fn default_shards(threads: usize) -> usize {
+    (1..=threads.max(1) / 2)
+        .rev()
+        .find(|s| threads % s == 0)
+        .unwrap_or(1)
+}
+
+/// Parse a [`backend_label`] back into a [`Backend`].
+pub fn parse_backend(label: &str) -> Option<Backend> {
+    match label {
+        "logstar" => Some(Backend::LogStar),
+        "loglog" => Some(Backend::LogLog),
+        "ratrace" => Some(Backend::RatRace),
+        "combined" => Some(Backend::Combined),
+        _ => None,
+    }
+}
+
+/// Run the specified workload on a fresh arena.
+///
+/// Builds the arena (the only heavyweight allocation), runs the
+/// workload, and returns the measured outcome.
+///
+/// # Panics
+///
+/// Panics on an inconsistent spec (see [`LoadSpec`] field docs).
+pub fn run_load(spec: LoadSpec) -> LoadOutcome {
+    spec.validate();
+    let arena = Arc::new(TasArena::new(spec.backend, spec.shards, spec.group()));
+    run_load_on(&arena, spec)
+}
+
+/// Run the specified workload on an existing arena (benches reuse one
+/// arena across samples so constructor cost stays out of the measured
+/// section). The arena's shard count and group must match the spec.
+pub fn run_load_on(arena: &Arc<TasArena>, spec: LoadSpec) -> LoadOutcome {
+    spec.validate();
+    assert_eq!(arena.shards(), spec.shards, "arena/spec shard mismatch");
+    assert_eq!(arena.group(), spec.group(), "arena/spec group mismatch");
+    let registers = arena.registers();
+    let (recorder, wall) = match spec.mode {
+        Mode::Closed { total_ops } => {
+            let ops_per_worker = total_ops / spec.threads as u64;
+            run_closed(arena, spec.threads, ops_per_worker, spec.churn)
+        }
+        Mode::Open {
+            rate,
+            duration_secs,
+        } => {
+            let mut schedule = ArrivalSchedule::poisson(rate, duration_secs, spec.seed);
+            schedule.truncate_to_multiple_of(spec.threads);
+            run_open(arena, spec.threads, &schedule)
+        }
+    };
+    LoadOutcome {
+        spec,
+        recorder,
+        wall,
+        registers,
+    }
+}
+
+/// Base epoch per shard, captured before spawning so a reused arena
+/// continues from wherever its shards currently stand.
+fn base_epochs(arena: &TasArena) -> Vec<u64> {
+    (0..arena.shards()).map(|s| arena.epoch(s)).collect()
+}
+
+fn run_closed(
+    arena: &Arc<TasArena>,
+    threads: usize,
+    ops_per_worker: u64,
+    churn: Option<u64>,
+) -> (LoadRecorder, Duration) {
+    let shards = arena.shards();
+    let bases = Arc::new(base_epochs(arena));
+    let start = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|slot| {
+            let arena = Arc::clone(arena);
+            let bases = Arc::clone(&bases);
+            std::thread::spawn(move || {
+                let shard = slot % shards;
+                let base = bases[shard];
+                let mut recorder = LoadRecorder::new(shards);
+                let mut next_op = 0u64;
+                while next_op < ops_per_worker {
+                    // One worker *life*: without churn, all remaining ops
+                    // on this thread; with churn, a bounded slice on a
+                    // fresh OS thread (cold runner included).
+                    let len = churn
+                        .map(|c| c.max(1).min(ops_per_worker - next_op))
+                        .unwrap_or(ops_per_worker - next_op);
+                    let run_life = |mut recorder: LoadRecorder| {
+                        let mut runner = NativeRunner::new();
+                        for j in next_op..next_op + len {
+                            let t0 = Instant::now();
+                            let won = arena.resolve(shard, base + j, &mut runner);
+                            recorder.record(shard, t0.elapsed().as_secs_f64() * 1e6, won);
+                        }
+                        recorder
+                    };
+                    recorder = if churn.is_some() && len < ops_per_worker {
+                        // Retirement/respawn: the slice runs on its own
+                        // thread; the slot thread is just the supervisor.
+                        std::thread::scope(|s| s.spawn(|| run_life(recorder)).join().unwrap())
+                    } else {
+                        run_life(recorder)
+                    };
+                    next_op += len;
+                }
+                recorder
+            })
+        })
+        .collect();
+    let mut merged = LoadRecorder::new(shards);
+    for handle in handles {
+        merged.merge(&handle.join().expect("load worker panicked"));
+    }
+    (merged, start.elapsed())
+}
+
+fn run_open(
+    arena: &Arc<TasArena>,
+    threads: usize,
+    schedule: &ArrivalSchedule,
+) -> (LoadRecorder, Duration) {
+    let shards = arena.shards();
+    let group = arena.group() as u64;
+    let bases = Arc::new(base_epochs(arena));
+    let schedule = Arc::new(schedule.clone());
+    let begin = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|worker| {
+            let arena = Arc::clone(arena);
+            let bases = Arc::clone(&bases);
+            let schedule = Arc::clone(&schedule);
+            std::thread::spawn(move || {
+                let mut recorder = LoadRecorder::new(shards);
+                let mut runner = NativeRunner::new();
+                let mut i = worker;
+                while i < schedule.len() {
+                    let shard = i % shards;
+                    let epoch = bases[shard] + (i / shards) as u64 / group;
+                    let target = begin + Duration::from_nanos(schedule.start_ns(i));
+                    // Offered load: wait for the scheduled instant
+                    // (sleep coarsely, spin the last stretch), but never
+                    // skip an op we are late for — lateness shows up as
+                    // queueing latency instead.
+                    loop {
+                        let now = Instant::now();
+                        if now >= target {
+                            break;
+                        }
+                        let remaining = target - now;
+                        if remaining > Duration::from_micros(200) {
+                            std::thread::sleep(remaining - Duration::from_micros(100));
+                        } else {
+                            std::hint::spin_loop();
+                        }
+                    }
+                    let won = arena.resolve(shard, epoch, &mut runner);
+                    // Latency from the *scheduled* instant: queueing
+                    // delay included, coordinated omission excluded.
+                    recorder.record(shard, target.elapsed().as_secs_f64() * 1e6, won);
+                    i += threads;
+                }
+                recorder
+            })
+        })
+        .collect();
+    let mut merged = LoadRecorder::new(shards);
+    for handle in handles {
+        merged.merge(&handle.join().expect("load worker panicked"));
+    }
+    (merged, begin.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn closed_spec(threads: usize, shards: usize, total_ops: u64) -> LoadSpec {
+        LoadSpec {
+            backend: Backend::Combined,
+            threads,
+            shards,
+            mode: Mode::Closed { total_ops },
+            seed: 1,
+            churn: None,
+        }
+    }
+
+    #[test]
+    fn closed_loop_one_winner_per_resolution() {
+        let spec = closed_spec(4, 2, 400);
+        let out = run_load(spec);
+        assert_eq!(out.total_ops(), 400);
+        assert_eq!(out.spec.group(), 2);
+        assert_eq!(out.resolutions(), 200);
+        assert_eq!(out.total_wins(), 200, "exactly one winner per epoch");
+        assert!(out.throughput_ops_per_sec() > 0.0);
+        assert!(out.registers > 0);
+    }
+
+    #[test]
+    fn closed_loop_with_churn_matches_op_counts() {
+        let mut spec = closed_spec(4, 2, 240);
+        spec.churn = Some(13);
+        let out = run_load(spec);
+        assert_eq!(out.total_ops(), 240);
+        assert_eq!(out.total_wins(), out.resolutions());
+    }
+
+    #[test]
+    fn open_loop_completes_schedule_exactly() {
+        let spec = LoadSpec {
+            backend: Backend::LogStar,
+            threads: 4,
+            shards: 2,
+            mode: Mode::Open {
+                rate: 40_000.0,
+                duration_secs: 0.05,
+            },
+            seed: 9,
+            churn: None,
+        };
+        let mut expected = ArrivalSchedule::poisson(40_000.0, 0.05, 9);
+        expected.truncate_to_multiple_of(4);
+        let out = run_load(spec);
+        assert_eq!(out.total_ops(), expected.len() as u64);
+        assert_eq!(out.total_wins(), out.resolutions());
+    }
+
+    #[test]
+    fn report_shape_per_shard_plus_total() {
+        let out = run_load(closed_spec(2, 2, 100));
+        let report = out.bench_report();
+        assert_eq!(report.name(), "native_load");
+        assert_eq!(report.rows().len(), 3, "2 shard rows + 1 total row");
+        let total = report.rows().last().unwrap();
+        assert!(total.labels.contains(&("scope".into(), "total".into())));
+        assert!(total.labels.contains(&("gate".into(), "wall".into())));
+        assert_eq!(total.trials, 100);
+        // Round-trips through the JSON machinery like every report.
+        let parsed = BenchReport::from_json(&report.to_json()).expect("parses");
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn slo_violations_fire_only_beyond_limits() {
+        let out = run_load(closed_spec(2, 1, 50));
+        let lenient = Slo {
+            p50_us: Some(1e9),
+            p99_us: Some(1e9),
+        };
+        assert!(lenient.violations(&out).is_empty());
+        let strict = Slo {
+            p50_us: Some(0.0),
+            p99_us: None,
+        };
+        assert_eq!(strict.violations(&out).len(), 1);
+    }
+
+    #[test]
+    fn slo_fails_a_run_that_did_nothing() {
+        // 10 ops/s for 0.1s rounds to ~1 arrival, truncated to 0 by the
+        // 4-thread striping: the run completes zero operations and any
+        // configured SLO must fail rather than vacuously pass.
+        let out = run_load(LoadSpec {
+            backend: Backend::LogStar,
+            threads: 4,
+            shards: 2,
+            mode: Mode::Open {
+                rate: 10.0,
+                duration_secs: 0.1,
+            },
+            seed: 1,
+            churn: None,
+        });
+        assert_eq!(out.total_ops(), 0);
+        let slo = Slo {
+            p50_us: None,
+            p99_us: Some(5_000.0),
+        };
+        let violations = slo.violations(&out);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("zero operations"));
+        // With no SLO configured, an empty run is not a violation.
+        assert!(Slo::default().violations(&out).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of shards")]
+    fn mismatched_threads_shards_rejected() {
+        run_load(closed_spec(3, 2, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "churn is a closed-loop axis")]
+    fn open_loop_churn_rejected() {
+        let mut spec = closed_spec(2, 1, 10);
+        spec.mode = Mode::Open {
+            rate: 1000.0,
+            duration_secs: 0.01,
+        };
+        spec.churn = Some(5);
+        run_load(spec);
+    }
+
+    #[test]
+    fn default_shards_always_divides_threads() {
+        for threads in 1..=64 {
+            let shards = default_shards(threads);
+            assert!(shards >= 1);
+            assert_eq!(threads % shards, 0, "threads={threads} shards={shards}");
+        }
+        assert_eq!(default_shards(8), 4);
+        assert_eq!(default_shards(6), 3);
+        assert_eq!(default_shards(5), 1, "prime: solo shard");
+        assert_eq!(default_shards(12), 6);
+        assert_eq!(default_shards(0), 1);
+    }
+
+    #[test]
+    fn backend_labels_round_trip() {
+        for backend in [
+            Backend::LogStar,
+            Backend::LogLog,
+            Backend::RatRace,
+            Backend::Combined,
+        ] {
+            assert_eq!(parse_backend(backend_label(backend)), Some(backend));
+        }
+        assert_eq!(parse_backend("nope"), None);
+    }
+}

@@ -1,0 +1,56 @@
+//! # rtas-load — the native load-generation harness
+//!
+//! The simulator proves the paper's step-count claims under adversarial
+//! scheduling; this crate turns them into measured throughput and tail
+//! latency on real hardware. It sits between the verified protocols
+//! (`rtas`) and the "serve heavy traffic" goal, and is the platform
+//! future scaling work (batching, NUMA pinning, multi-backend routing)
+//! plugs into. Four pieces:
+//!
+//! * [`arena`] — a sharded pool of recyclable native TAS objects:
+//!   allocation-free [`reset`](rtas::TestAndSet::reset) by epoch instead
+//!   of a fresh object per resolution, shard-striped so independent
+//!   resolutions don't false-share.
+//! * [`schedule`] — deterministic SplitMix64-driven arrival schedules:
+//!   the same seed offers bit-identical load on every machine.
+//! * [`driver`] — closed-loop (fixed fleet, back-to-back) and open-loop
+//!   (offered-load, coordinated-omission-free latency) workload
+//!   execution on real threads, with worker churn mapping the scenario
+//!   engine's retirement/respawn axis onto OS threads, plus latency
+//!   [`Slo`] checks.
+//! * [`recorder`] — per-shard latency/throughput accumulation through
+//!   `rtas_bench`'s mergeable [`StatsAccumulator`], folded across
+//!   workers order-independently.
+//!
+//! The `rtas-load` binary drives all of it from the command line and
+//! emits `BENCH_native_load.json` through the `rtas_bench` report
+//! machinery; `bench-diff` checks that report structurally and leaves
+//! its wall-clock-derived metrics out of tolerance gating unless
+//! `--gate-wall` is passed.
+//!
+//! ```
+//! use rtas::Backend;
+//! use rtas_load::driver::{run_load, LoadSpec, Mode};
+//!
+//! let out = run_load(LoadSpec {
+//!     backend: Backend::Combined,
+//!     threads: 4,
+//!     shards: 2,
+//!     mode: Mode::Closed { total_ops: 2_000 },
+//!     seed: 7,
+//!     churn: None,
+//! });
+//! assert_eq!(out.total_wins(), out.resolutions()); // one winner per epoch
+//! ```
+//!
+//! [`StatsAccumulator`]: rtas_bench::stats::StatsAccumulator
+
+pub mod arena;
+pub mod driver;
+pub mod recorder;
+pub mod schedule;
+
+pub use arena::TasArena;
+pub use driver::{run_load, run_load_on, LoadOutcome, LoadSpec, Mode, Slo};
+pub use recorder::LoadRecorder;
+pub use schedule::ArrivalSchedule;

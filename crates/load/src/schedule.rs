@@ -1,0 +1,195 @@
+//! Deterministic open-loop arrival schedules.
+//!
+//! An open-loop workload offers operations at scheduled wall-clock
+//! instants regardless of how fast the system absorbs them — the
+//! configuration under which queueing delay (and therefore tail latency)
+//! is actually visible. To make the *offered load* reproducible, the
+//! whole schedule is a pure function of `(rate, duration, seed)`, and
+//! **bit-identical across platforms**: the Poisson process is sampled
+//! as its conditional form — a fixed count `⌊rate·duration⌉` of arrival
+//! instants i.i.d. uniform over the horizon (the distribution of a
+//! Poisson process given its arrival count) — using only
+//! [`SplitMix64`] bit arithmetic, exact power-of-two scaling, one IEEE
+//! multiply, and an integer sort. No `ln`/libm call is involved, so the
+//! schedule (including its *length*, which the bench-diff structural
+//! gate checks) cannot drift by ulps between platforms the way
+//! accumulated exponential gaps would. Only the *service* timing varies
+//! run to run; what is asked of the system never does.
+
+use rtas::sim::rng::SplitMix64;
+
+/// A precomputed arrival schedule: operation start offsets, in
+/// nanoseconds from the run start, non-decreasing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrivalSchedule {
+    starts_ns: Vec<u64>,
+}
+
+impl ArrivalSchedule {
+    /// A Poisson arrival process at `rate` ops/second over
+    /// `duration_secs` seconds, drawn deterministically from `seed`.
+    ///
+    /// Sampled in conditional form: exactly `⌊rate·duration⌉` arrivals,
+    /// each instant uniform over the horizon — which is what a Poisson
+    /// process looks like given its count, and involves no
+    /// transcendental function, so the schedule is bit-identical on
+    /// every platform (see the [module docs](self)).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate` and `duration_secs` are positive and finite.
+    pub fn poisson(rate: f64, duration_secs: f64, seed: u64) -> Self {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "arrival rate must be positive, got {rate}"
+        );
+        assert!(
+            duration_secs.is_finite() && duration_secs > 0.0,
+            "duration must be positive, got {duration_secs}"
+        );
+        let ops = (rate * duration_secs).round() as usize;
+        let mut rng = SplitMix64::split(seed, 0x0a11_0ad5);
+        let horizon_ns = duration_secs * 1e9;
+        // next_f64 is (u64 >> 11) · 2⁻⁵³ — exact bit arithmetic — and
+        // `u · horizon_ns` is a single correctly-rounded IEEE multiply:
+        // every platform computes the same u64 instants.
+        let mut starts_ns: Vec<u64> = (0..ops)
+            .map(|_| (rng.next_f64() * horizon_ns) as u64)
+            .collect();
+        starts_ns.sort_unstable();
+        ArrivalSchedule { starts_ns }
+    }
+
+    /// Evenly spaced arrivals at `rate` ops/second over `duration_secs`
+    /// seconds — the zero-variance companion to [`ArrivalSchedule::poisson`]
+    /// (no randomness, so no seed).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate` and `duration_secs` are positive and finite.
+    pub fn uniform(rate: f64, duration_secs: f64) -> Self {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "arrival rate must be positive, got {rate}"
+        );
+        assert!(
+            duration_secs.is_finite() && duration_secs > 0.0,
+            "duration must be positive, got {duration_secs}"
+        );
+        let ops = (rate * duration_secs) as u64;
+        let gap_ns = 1e9 / rate;
+        ArrivalSchedule {
+            starts_ns: (0..ops).map(|i| (i as f64 * gap_ns) as u64).collect(),
+        }
+    }
+
+    /// Truncate to the largest multiple of `chunk` arrivals, so a driver
+    /// with `chunk = threads` ends on a complete epoch round and no
+    /// final epoch is left short of participants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk == 0`.
+    pub fn truncate_to_multiple_of(&mut self, chunk: usize) {
+        assert!(chunk > 0, "chunk must be positive");
+        let keep = self.starts_ns.len() / chunk * chunk;
+        self.starts_ns.truncate(keep);
+    }
+
+    /// Number of scheduled arrivals.
+    pub fn len(&self) -> usize {
+        self.starts_ns.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.starts_ns.is_empty()
+    }
+
+    /// Start offset of arrival `i`, in nanoseconds from the run start.
+    pub fn start_ns(&self, i: usize) -> u64 {
+        self.starts_ns[i]
+    }
+
+    /// All start offsets, in order.
+    pub fn starts_ns(&self) -> &[u64] {
+        &self.starts_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = ArrivalSchedule::poisson(50_000.0, 0.05, 42);
+        let b = ArrivalSchedule::poisson(50_000.0, 0.05, 42);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = ArrivalSchedule::poisson(50_000.0, 0.05, 1);
+        let b = ArrivalSchedule::poisson(50_000.0, 0.05, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn arrivals_sorted_and_within_horizon() {
+        let s = ArrivalSchedule::poisson(100_000.0, 0.02, 7);
+        let horizon_ns = 0.02e9 as u64;
+        let mut prev = 0;
+        for i in 0..s.len() {
+            let t = s.start_ns(i);
+            assert!(t >= prev, "arrival {i} out of order");
+            assert!(t < horizon_ns, "arrival {i} beyond horizon");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn poisson_count_is_exactly_rate_times_duration() {
+        // The conditional-form sampler fixes the count deterministically
+        // — the property the bench-diff structural gate relies on.
+        let s = ArrivalSchedule::poisson(200_000.0, 0.1, 3);
+        assert_eq!(s.len(), 20_000);
+        assert_eq!(ArrivalSchedule::poisson(200_000.0, 0.1, 999).len(), 20_000);
+    }
+
+    #[test]
+    fn poisson_gaps_look_exponential() {
+        // Order statistics of uniforms = Poisson sample path: the mean
+        // gap must be ~1/rate and the gap distribution skewed (median
+        // well below the mean), unlike a uniform grid.
+        let rate = 100_000.0;
+        let s = ArrivalSchedule::poisson(rate, 0.1, 11);
+        let mut gaps: Vec<u64> = s.starts_ns().windows(2).map(|w| w[1] - w[0]).collect();
+        gaps.sort_unstable();
+        let mean = gaps.iter().sum::<u64>() as f64 / gaps.len() as f64;
+        let median = gaps[gaps.len() / 2] as f64;
+        let expected_gap_ns = 1e9 / rate;
+        assert!((mean - expected_gap_ns).abs() < 0.05 * expected_gap_ns);
+        // Exponential median is ln 2 ≈ 0.69 of the mean.
+        assert!(median < 0.8 * mean, "median {median} vs mean {mean}");
+    }
+
+    #[test]
+    fn uniform_is_evenly_spaced() {
+        let s = ArrivalSchedule::uniform(1000.0, 0.01);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.start_ns(0), 0);
+        assert_eq!(s.start_ns(1), 1_000_000);
+        assert_eq!(s.starts_ns().len(), 10);
+    }
+
+    #[test]
+    fn truncation_rounds_down_to_chunk() {
+        let mut s = ArrivalSchedule::uniform(1000.0, 0.01);
+        s.truncate_to_multiple_of(4);
+        assert_eq!(s.len(), 8);
+        s.truncate_to_multiple_of(3);
+        assert_eq!(s.len(), 6);
+    }
+}

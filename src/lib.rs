@@ -1,5 +1,9 @@
 //! Umbrella crate for the workspace: hosts the runnable examples in
 //! `examples/` and the cross-crate integration tests in `tests/`.
 //!
-//! The actual library lives in the `rtas` crate (see `crates/core`).
+//! The actual library lives in the `rtas` crate (see `crates/core`);
+//! the native load-generation harness (sharded arena, open/closed-loop
+//! workload driver, `rtas-load` CLI) lives in `rtas-load` (see
+//! `crates/load`), re-exported here as [`load`].
 pub use rtas;
+pub use rtas_load as load;

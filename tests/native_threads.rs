@@ -1,6 +1,11 @@
 //! Integration: the native (real-atomics) objects under genuine OS-thread
-//! concurrency, across all backends.
+//! concurrency, across all backends — fresh objects, recycled (reset)
+//! objects, and the raw group-election primitive.
 
+use rtas::algorithms::{GeometricGroupElect, GroupElect, SiftingGroupElect};
+use rtas::native::{run_protocol, NativeMemory, NativeRunner};
+use rtas::sim::memory::Memory;
+use rtas::sim::protocol::ret;
 use rtas::{Backend, LeaderElection, TestAndSet};
 
 const BACKENDS: [Backend; 4] = [
@@ -98,4 +103,113 @@ fn tas_chain_assigns_distinct_names() {
 fn capacity_one_object_is_trivially_won() {
     let le = LeaderElection::new(1);
     assert!(le.elect());
+}
+
+/// Run one native group-election round with `n` threads on `shared`,
+/// returning the number of elected (WIN) participants.
+fn native_group_election_round(
+    ge: &dyn GroupElect,
+    shared: &NativeMemory,
+    n: usize,
+    round: u64,
+) -> usize {
+    let wins: Vec<u64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..n)
+            .map(|p| s.spawn(move || run_protocol(ge.elect(), shared, p, round * 64 + p as u64)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    wins.iter().filter(|&&w| w == ret::WIN).count()
+}
+
+#[test]
+fn geometric_group_election_on_8_real_threads() {
+    // Group election's safety property: when every participant runs to
+    // completion, at least one is elected (Lemma 2.2's performance side
+    // says *few* are — checked statistically over the rounds). The
+    // structure is built once and recycled by register reset.
+    let n = 8;
+    let mut mem = Memory::new();
+    let ge = GeometricGroupElect::new(&mut mem, n, "native-ge");
+    let shared = NativeMemory::from_layout(&mem);
+    let mut total_elected = 0;
+    let rounds = 30;
+    for round in 0..rounds {
+        let elected = native_group_election_round(&ge, &shared, n, round);
+        assert!(
+            (1..=n).contains(&elected),
+            "round {round}: {elected} elected out of {n}"
+        );
+        total_elected += elected;
+        shared.reset();
+    }
+    // E[elected] <= 2 log2 k + 6 = 12 at k = 8; the mean over 30 rounds
+    // staying below the bound is a very weak (hence robust) check.
+    assert!(
+        (total_elected as f64 / rounds as f64) <= 2.0 * (n as f64).log2() + 6.0,
+        "mean elected {} suspiciously high",
+        total_elected as f64 / rounds as f64
+    );
+}
+
+#[test]
+fn sifting_group_election_on_8_real_threads() {
+    let n = 8;
+    let mut mem = Memory::new();
+    let ge = SiftingGroupElect::new(
+        &mut mem,
+        SiftingGroupElect::probability_for_expected(2.0),
+        "native-sift",
+    );
+    let shared = NativeMemory::from_layout(&mem);
+    for round in 0..30 {
+        let elected = native_group_election_round(&ge, &shared, n, round);
+        assert!(
+            (1..=n).contains(&elected),
+            "round {round}: {elected} elected out of {n}"
+        );
+        shared.reset();
+    }
+}
+
+#[test]
+fn recycled_backends_on_8_threads_exactly_one_winner_per_round() {
+    // Satellite coverage beyond 2-process LE: LogStar, RatRace, and
+    // Combined at 8 real threads, one object per backend recycled by
+    // reset() across repeated rounds — exactly one winner every round.
+    for backend in [Backend::LogStar, Backend::RatRace, Backend::Combined] {
+        let n = 8;
+        let le = LeaderElection::with_backend(backend, n);
+        let tas = TestAndSet::with_backend(backend, n);
+        for round in 0..20 {
+            let wins: Vec<bool> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..n)
+                    .map(|_| {
+                        let le = &le;
+                        s.spawn(move || {
+                            let mut runner = NativeRunner::new();
+                            le.elect_with(&mut runner)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            assert_eq!(
+                wins.iter().filter(|&&w| w).count(),
+                1,
+                "{backend:?} LE round {round}: {wins:?}"
+            );
+            let outs: Vec<bool> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..n).map(|_| s.spawn(|| tas.test_and_set())).collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            assert_eq!(
+                outs.iter().filter(|&&set| !set).count(),
+                1,
+                "{backend:?} TAS round {round}: {outs:?}"
+            );
+            le.reset();
+            tas.reset();
+        }
+    }
 }
