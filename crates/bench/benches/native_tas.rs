@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use rtas::Backend;
 use rtas_bench::microbench::Micro;
-use rtas_load::driver::{run_load_on, LoadSpec, Mode};
+use rtas_load::driver::{run_load_on, LoadSpec, Mode, Warmup};
 use rtas_load::TasArena;
 
 /// Epochs per timed sample: enough to amortize thread spawn/join out of
@@ -34,6 +34,7 @@ fn bench_backend(micro: &Micro, backend: Backend, threads: usize) {
         },
         seed: 0,
         churn: None,
+        warmup: Warmup::None,
     };
     micro.bench(
         &format!("{backend:?}/{threads}thr x{EPOCHS_PER_SAMPLE}res"),

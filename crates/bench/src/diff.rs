@@ -154,15 +154,32 @@ pub struct ReportDiff {
     pub experiment: String,
     /// Per-metric verdicts, in row order.
     pub deltas: Vec<MetricDelta>,
-    /// Structural mismatches (rows appeared/disappeared, trial counts
-    /// changed, non-finite vs finite metric). Any entry fails the gate.
+    /// In-row structural mismatches (trial counts changed, non-finite
+    /// vs finite metric). Any entry fails the gate.
     pub structural: Vec<String>,
+    /// Row keys present in the baseline but absent from this run — the
+    /// "which rows vanished" half of structural drift. Any entry fails
+    /// the gate.
+    pub missing_rows: Vec<String>,
+    /// Row keys present in this run but absent from the baseline — the
+    /// "which rows appeared" half of structural drift. Any entry fails
+    /// the gate.
+    pub extra_rows: Vec<String>,
 }
 
 impl ReportDiff {
     /// Whether this report fails the gate.
     pub fn regressed(&self) -> bool {
-        !self.structural.is_empty() || self.deltas.iter().any(|d| d.status == Status::Regressed)
+        !self.structural.is_empty()
+            || !self.missing_rows.is_empty()
+            || !self.extra_rows.is_empty()
+            || self.deltas.iter().any(|d| d.status == Status::Regressed)
+    }
+
+    /// Count of structural failures (in-row mismatches plus missing and
+    /// extra rows).
+    pub fn structural_failures(&self) -> usize {
+        self.structural.len() + self.missing_rows.len() + self.extra_rows.len()
     }
 
     /// Deltas that changed beyond tolerance, either way.
@@ -241,6 +258,8 @@ pub fn diff_reports(baseline: &BenchReport, current: &BenchReport, tol: &Toleran
         experiment: current.name().to_string(),
         deltas: Vec::new(),
         structural: Vec::new(),
+        missing_rows: Vec::new(),
+        extra_rows: Vec::new(),
     };
     if baseline.name() != current.name() {
         out.structural.push(format!(
@@ -264,15 +283,12 @@ pub fn diff_reports(baseline: &BenchReport, current: &BenchReport, tol: &Toleran
     for row in current.rows() {
         match base_rows.get(&row.key()) {
             Some(base) => compare_rows(base, row, tol, &mut out),
-            None => out
-                .structural
-                .push(format!("{}: row has no baseline", row.key())),
+            None => out.extra_rows.push(row.key()),
         }
     }
     for key in base_rows.keys() {
         if !cur_keys.contains(key) {
-            out.structural
-                .push(format!("{key}: baseline row disappeared"));
+            out.missing_rows.push(key.clone());
         }
     }
     out
@@ -413,12 +429,30 @@ pub fn markdown_summary(diff: &DirDiff, verbose: bool) -> String {
     if any_rows {
         out.push('\n');
     }
+    // Structural drift, spelled out: WHICH rows went missing and which
+    // appeared, per experiment — not just that the comparison failed.
+    for report in &diff.diffs {
+        for key in &report.missing_rows {
+            out.push_str(&format!(
+                "- `{}`: missing row `{key}` (in baseline, absent from this run)\n",
+                report.experiment
+            ));
+        }
+        for key in &report.extra_rows {
+            out.push_str(&format!(
+                "- `{}`: extra row `{key}` (in this run, not in baseline)\n",
+                report.experiment
+            ));
+        }
+    }
     for name in &diff.missing_baseline {
-        out.push_str(&format!("- `{name}`: no baseline committed (skipped)\n"));
+        out.push_str(&format!(
+            "- `{name}`: extra file — no baseline committed (skipped)\n"
+        ));
     }
     for name in &diff.missing_current {
         out.push_str(&format!(
-            "- `{name}`: baseline present, not emitted by this run (skipped)\n"
+            "- `{name}`: missing file — baseline present, not emitted by this run (skipped)\n"
         ));
     }
     let compared: usize = diff.diffs.iter().map(|d| d.deltas.len()).sum();
@@ -426,7 +460,7 @@ pub fn markdown_summary(diff: &DirDiff, verbose: bool) -> String {
         .diffs
         .iter()
         .map(|d| {
-            d.structural.len()
+            d.structural_failures()
                 + d.deltas
                     .iter()
                     .filter(|x| x.status == Status::Regressed)
@@ -568,12 +602,20 @@ mod tests {
     }
 
     #[test]
-    fn structural_drift_fails() {
+    fn structural_drift_fails_and_names_missing_vs_extra_rows() {
         let base = report_with("e", vec![row(2, 4.0), row(8, 6.0)]);
-        let cur = report_with("e", vec![row(2, 4.0)]);
+        let cur = report_with("e", vec![row(2, 4.0), row(32, 5.0)]);
         let d = diff_reports(&base, &cur, &Tolerances::default());
-        assert!(d.regressed());
-        assert!(d.structural.iter().any(|s| s.contains("disappeared")));
+        assert!(d.regressed(), "missing/extra rows fail the gate");
+        assert_eq!(d.missing_rows, vec!["k=8".to_string()]);
+        assert_eq!(d.extra_rows, vec!["k=32".to_string()]);
+        assert_eq!(d.structural_failures(), 2);
+        assert!(
+            d.structural.is_empty(),
+            "missing/extra rows are reported once, through their own \
+             fields: {:?}",
+            d.structural
+        );
 
         let mut retried = row(2, 4.0);
         retried.trials = 16;
@@ -584,6 +626,7 @@ mod tests {
         );
         assert!(d.regressed());
         assert!(d.structural.iter().any(|s| s.contains("trials changed")));
+        assert!(d.missing_rows.is_empty() && d.extra_rows.is_empty());
     }
 
     fn wall_row(k: u64, mean: f64) -> BenchRow {
@@ -705,6 +748,28 @@ mod tests {
         assert!(md.contains("REGRESSED"), "{md}");
         assert!(md.contains("FAIL"), "{md}");
         assert!(md.contains("+100.0%"), "{md}");
+        assert!(
+            md.contains("`BENCH_new_exp.json`: extra file"),
+            "extra files are named: {md}"
+        );
+
+        // Structural drift: the markdown names WHICH row vanished and
+        // which appeared, and which baseline file went unemitted.
+        let drifted = report_with("steps", vec![row(4, 10.0)]);
+        std::fs::write(cur_dir.join("BENCH_steps.json"), drifted.to_json()).unwrap();
+        std::fs::remove_file(cur_dir.join("BENCH_new_exp.json")).unwrap();
+        let d = diff_dirs(&base_dir, &cur_dir, &Tolerances::default()).unwrap();
+        assert!(d.regressed());
+        let md = markdown_summary(&d, false);
+        assert!(
+            md.contains("missing row `k=2`"),
+            "missing rows are named: {md}"
+        );
+        assert!(md.contains("extra row `k=4`"), "extra rows are named: {md}");
+        assert!(
+            md.contains("`BENCH_only_base.json`: missing file"),
+            "missing files are named: {md}"
+        );
 
         std::fs::remove_dir_all(&tmp).ok();
     }

@@ -46,6 +46,7 @@
 pub mod native;
 pub mod once;
 pub mod renaming;
+pub mod sync;
 
 pub use once::RegisterOnce;
 pub use renaming::Renaming;
@@ -81,6 +82,30 @@ pub enum Backend {
     /// O(log* k) under weak adversaries *and* O(log k) under the adaptive
     /// one.
     Combined,
+}
+
+impl Backend {
+    /// The backend's stable lowercase label — the vocabulary shared by
+    /// every CLI flag and `BENCH_*.json` row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::LogStar => "logstar",
+            Backend::LogLog => "loglog",
+            Backend::RatRace => "ratrace",
+            Backend::Combined => "combined",
+        }
+    }
+
+    /// Parse a [`Backend::label`] back into a backend.
+    pub fn parse(label: &str) -> Option<Backend> {
+        match label {
+            "logstar" => Some(Backend::LogStar),
+            "loglog" => Some(Backend::LogLog),
+            "ratrace" => Some(Backend::RatRace),
+            "combined" => Some(Backend::Combined),
+            _ => None,
+        }
+    }
 }
 
 struct Inner {
@@ -330,6 +355,91 @@ impl TestAndSet {
     }
 }
 
+/// A uniform view of the recyclable one-shot arbitration objects —
+/// the trait plumbing that lets a *keyed* service (one object per key,
+/// recycled by epoch) hold [`TestAndSet`]s and [`LeaderElection`]s
+/// behind one vtable.
+///
+/// The contract mirrors the objects themselves:
+///
+/// * [`Arbiter::try_acquire`] is one participation slot of the current
+///   epoch — at most [`Arbiter::capacity`] calls per epoch, exactly one
+///   of which returns `true` when all of them complete;
+/// * [`Arbiter::reset`] recycles the object for the next epoch. The
+///   caller owns the quiescence proof: every `try_acquire` of the
+///   epoch has returned (the epoch is *resolved*) and the consumer has
+///   acknowledged the resolution (*acked*), and the reset must
+///   happen-before the next epoch's first acquisition — typically
+///   discharged with a release/acquire epoch counter, as in the
+///   `rtas-load` arena and the `rtas-svc` keyed namespaces.
+pub trait Arbiter: Send + Sync {
+    /// Take one participation slot of the current epoch; `true` iff
+    /// this caller is the epoch's unique winner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called more than [`Arbiter::capacity`] times within
+    /// one epoch — admission control is the caller's job.
+    fn try_acquire(&self, runner: &mut NativeRunner) -> bool;
+
+    /// Recycle for the next epoch (allocation-free; see the trait docs
+    /// for the quiescence obligation).
+    fn reset(&self);
+
+    /// Participation slots per epoch.
+    fn capacity(&self) -> usize;
+
+    /// Atomic registers the object occupies.
+    fn registers(&self) -> u64;
+
+    /// The algorithm backing the object.
+    fn backend(&self) -> Backend;
+}
+
+impl Arbiter for LeaderElection {
+    fn try_acquire(&self, runner: &mut NativeRunner) -> bool {
+        self.elect_with(runner)
+    }
+
+    fn reset(&self) {
+        LeaderElection::reset(self)
+    }
+
+    fn capacity(&self) -> usize {
+        LeaderElection::capacity(self)
+    }
+
+    fn registers(&self) -> u64 {
+        LeaderElection::registers(self)
+    }
+
+    fn backend(&self) -> Backend {
+        LeaderElection::backend(self)
+    }
+}
+
+impl Arbiter for TestAndSet {
+    fn try_acquire(&self, runner: &mut NativeRunner) -> bool {
+        !self.test_and_set_with(runner)
+    }
+
+    fn reset(&self) {
+        TestAndSet::reset(self)
+    }
+
+    fn capacity(&self) -> usize {
+        TestAndSet::capacity(self)
+    }
+
+    fn registers(&self) -> u64 {
+        TestAndSet::registers(self)
+    }
+
+    fn backend(&self) -> Backend {
+        TestAndSet::backend(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -451,6 +561,25 @@ mod tests {
                 "epoch {epoch}: {outs:?}"
             );
             tas.reset();
+        }
+    }
+
+    #[test]
+    fn arbiter_trait_unifies_both_objects_across_epochs() {
+        let objects: [Box<dyn Arbiter>; 2] = [
+            Box::new(LeaderElection::with_backend(Backend::LogStar, 2)),
+            Box::new(TestAndSet::with_backend(Backend::LogStar, 2)),
+        ];
+        let mut runner = NativeRunner::new();
+        for arbiter in &objects {
+            assert_eq!(arbiter.capacity(), 2);
+            assert_eq!(arbiter.backend(), Backend::LogStar);
+            assert!(arbiter.registers() > 0);
+            for epoch in 0..20 {
+                assert!(arbiter.try_acquire(&mut runner), "epoch {epoch}");
+                assert!(!arbiter.try_acquire(&mut runner), "epoch {epoch}");
+                arbiter.reset();
+            }
         }
     }
 

@@ -30,13 +30,8 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use rtas::native::NativeRunner;
+use rtas::sync::{Backoff, CachePadded};
 use rtas::{Backend, TestAndSet};
-
-/// Pad to two cache lines: 128 bytes covers the adjacent-line prefetcher
-/// on common x86 parts as well as 64-byte lines elsewhere.
-#[repr(align(128))]
-#[derive(Debug)]
-struct CachePadded<T>(T);
 
 /// One shard: a recyclable TAS plus its epoch-recycling header.
 #[derive(Debug)]
@@ -150,7 +145,7 @@ impl TasArena {
         // Wait for our epoch. Spin briefly, then yield: workloads with
         // more workers than cores must not livelock the finisher out of
         // its reset.
-        let mut spins = 0u32;
+        let mut backoff = Backoff::new();
         loop {
             let current = shard.epoch.load(Ordering::Acquire);
             if current == epoch {
@@ -161,12 +156,7 @@ impl TasArena {
                 "epoch {epoch} already closed (shard is at {current}): \
                  a reused arena must offset by TasArena::epoch"
             );
-            spins += 1;
-            if spins < 64 {
-                std::hint::spin_loop();
-            } else {
-                std::thread::yield_now();
-            }
+            backoff.snooze();
         }
         let won = !shard.tas.test_and_set_with(runner);
         if won {

@@ -1,12 +1,15 @@
-//! `rtas-load` — drive sustained traffic at the native objects.
+//! `rtas-load` — drive sustained traffic at the native objects, or at
+//! a remote `rtas-svc` arbitration server.
 //!
 //! ```text
 //! rtas-load [options]
 //!
 //! options:
-//!   --backend <b>     logstar | loglog | ratrace | combined  (default combined)
+//!   --backend <b>     logstar | loglog | ratrace | combined | remote
+//!                                                    (default combined)
+//!   --addr <a>        remote backend only: the rtas-svc server address
 //!   --threads <n>     worker threads                 (default: host parallelism)
-//!   --shards <n>      arena shards; threads % shards == 0
+//!   --shards <n>      target shards; threads % shards == 0
 //!                     (default: largest divisor of threads <= threads/2)
 //!   --mode <m>        closed | open                          (default closed)
 //!   --ops <n>         closed loop: total operations          (default 200000)
@@ -15,29 +18,38 @@
 //!   --seed <x>        arrival-schedule seed                  (default 42)
 //!   --churn <k>       closed loop: retire+respawn each worker thread
 //!                     after k operations
+//!   --warmup <n>      closed loop: run n unrecorded warmup operations
+//!                     before the measured section
+//!   --warmup-secs <s> open loop: execute but do not record arrivals
+//!                     scheduled in the first s seconds
 //!   --slo-p50 <us>    fail (exit 1) if overall p50 exceeds this
 //!   --slo-p99 <us>    fail (exit 1) if overall p99 exceeds this
-//!   --no-json         skip writing BENCH_native_load.json
+//!   --no-json         skip writing the BENCH_*.json report
 //! ```
 //!
 //! Prints a per-shard table (ops, throughput, latency quantiles in
-//! microseconds) and writes `BENCH_native_load.json` to `RTAS_BENCH_DIR`
+//! microseconds) and writes `BENCH_native_load.json` — or, with
+//! `--backend remote`, `BENCH_svc_load.json` — to `RTAS_BENCH_DIR`
 //! (default: current directory) through the `rtas_bench` report
 //! machinery. The same `--seed` in open-loop mode offers a bit-identical
-//! arrival schedule on every run; see the README's "Native load harness"
-//! section.
+//! arrival schedule on every run, local or remote; warmup windows are
+//! excluded from the recorded statistics and SLO checks but still
+//! counted by the one-winner-per-epoch safety assertion. See the
+//! README's "Native load harness" section.
 
 use std::process::ExitCode;
 
 use rtas_load::driver::{
-    backend_label, default_shards, parse_backend, run_load, LoadSpec, Mode, Slo,
+    backend_label, default_shards, parse_backend, run_load, LoadSpec, Mode, Slo, Warmup,
 };
+use rtas_load::remote::run_load_remote;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: rtas-load [--backend b] [--threads n] [--shards n] \
-         [--mode closed|open] [--ops n] [--rate r] [--duration s] [--seed x] \
-         [--churn k] [--slo-p50 us] [--slo-p99 us] [--no-json]"
+        "usage: rtas-load [--backend b] [--addr host:port] [--threads n] \
+         [--shards n] [--mode closed|open] [--ops n] [--rate r] [--duration s] \
+         [--seed x] [--churn k] [--warmup n] [--warmup-secs s] [--slo-p50 us] \
+         [--slo-p99 us] [--no-json]"
     );
     std::process::exit(2);
 }
@@ -45,6 +57,8 @@ fn usage() -> ! {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut backend = rtas::Backend::Combined;
+    let mut remote = false;
+    let mut addr: Option<String> = None;
     let mut threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(2);
@@ -55,6 +69,8 @@ fn main() -> ExitCode {
     let mut duration = 1.0f64;
     let mut seed = 42u64;
     let mut churn: Option<u64> = None;
+    let mut warmup_ops: Option<u64> = None;
+    let mut warmup_secs: Option<f64> = None;
     let mut slo = Slo::default();
     let mut no_json = false;
 
@@ -75,11 +91,19 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--backend" => {
                 let v = value("--backend");
-                backend = parse_backend(v).unwrap_or_else(|| {
-                    eprintln!("error: unknown backend {v:?} (logstar|loglog|ratrace|combined)");
-                    usage();
-                });
+                if v == "remote" {
+                    remote = true;
+                } else {
+                    backend = parse_backend(v).unwrap_or_else(|| {
+                        eprintln!(
+                            "error: unknown backend {v:?} \
+                             (logstar|loglog|ratrace|combined|remote)"
+                        );
+                        usage();
+                    });
+                }
             }
+            "--addr" => addr = Some(value("--addr").clone()),
             "--threads" => threads = parsed("--threads", value("--threads")),
             "--shards" => shards = Some(parsed("--shards", value("--shards"))),
             "--mode" => mode_name = value("--mode").clone(),
@@ -88,6 +112,8 @@ fn main() -> ExitCode {
             "--duration" => duration = parsed("--duration", value("--duration")),
             "--seed" => seed = parsed("--seed", value("--seed")),
             "--churn" => churn = Some(parsed("--churn", value("--churn"))),
+            "--warmup" => warmup_ops = Some(parsed("--warmup", value("--warmup"))),
+            "--warmup-secs" => warmup_secs = Some(parsed("--warmup-secs", value("--warmup-secs"))),
             "--slo-p50" => slo.p50_us = Some(parsed("--slo-p50", value("--slo-p50"))),
             "--slo-p99" => slo.p99_us = Some(parsed("--slo-p99", value("--slo-p99"))),
             "--no-json" => no_json = true,
@@ -117,6 +143,34 @@ fn main() -> ExitCode {
         );
         usage();
     }
+    let warmup = match (warmup_ops, warmup_secs) {
+        (None, None) => Warmup::None,
+        (Some(n), None) => Warmup::Ops(n),
+        (None, Some(s)) => Warmup::Secs(s),
+        (Some(_), Some(_)) => {
+            eprintln!("error: --warmup and --warmup-secs are mutually exclusive");
+            usage();
+        }
+    };
+    match (&warmup, &mode) {
+        (Warmup::Ops(_), Mode::Open { .. }) => {
+            eprintln!("error: --warmup is closed-loop; use --warmup-secs with --mode open");
+            usage();
+        }
+        (Warmup::Secs(_), Mode::Closed { .. }) => {
+            eprintln!("error: --warmup-secs is open-loop; use --warmup with --mode closed");
+            usage();
+        }
+        _ => {}
+    }
+    if remote && addr.is_none() {
+        eprintln!("error: --backend remote requires --addr host:port");
+        usage();
+    }
+    if !remote && addr.is_some() {
+        eprintln!("error: --addr only applies to --backend remote");
+        usage();
+    }
 
     let spec = LoadSpec {
         backend,
@@ -125,15 +179,42 @@ fn main() -> ExitCode {
         mode,
         seed,
         churn,
+        warmup,
+    };
+    let backend_name = if remote {
+        "remote"
+    } else {
+        backend_label(backend)
     };
     println!(
-        "rtas-load: backend={} mode={} threads={threads} shards={shards} group={} seed={seed}{}",
-        backend_label(backend),
+        "rtas-load: backend={backend_name}{} mode={} threads={threads} shards={shards} \
+         group={} seed={seed}{}{}",
+        addr.as_deref()
+            .map(|a| format!(" addr={a}"))
+            .unwrap_or_default(),
         mode.label(),
         spec.group(),
-        churn.map(|c| format!(" churn={c}")).unwrap_or_default()
+        churn.map(|c| format!(" churn={c}")).unwrap_or_default(),
+        match warmup {
+            Warmup::None => String::new(),
+            Warmup::Ops(n) => format!(" warmup={n}ops"),
+            Warmup::Secs(s) => format!(" warmup={s}s"),
+        },
     );
-    let out = run_load(spec);
+    let out = if remote {
+        match run_load_remote(addr.as_deref().unwrap(), spec) {
+            Ok(out) => out,
+            Err(err) => {
+                eprintln!(
+                    "rtas-load: cannot drive {}: {err}",
+                    addr.as_deref().unwrap()
+                );
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        run_load(spec)
+    };
 
     println!("shard | ops | wins | epochs | ops/s | p50 us | p90 us | p99 us | max us");
     for (s, cell) in out.recorder.shard_stats().iter().enumerate() {
@@ -152,9 +233,14 @@ fn main() -> ExitCode {
     }
     let overall = out.recorder.overall_latency();
     println!(
-        "total | {} ops | {} resolutions | {:.0} ops/s | wall {:.1} ms | \
+        "total | {} ops{} | {} resolutions | {:.0} ops/s | wall {:.1} ms | \
          p50 {:.1} us | p99 {:.1} us",
         out.total_ops(),
+        if out.warmup_ops > 0 {
+            format!(" (+{} warmup)", out.warmup_ops)
+        } else {
+            String::new()
+        },
         out.resolutions(),
         out.throughput_ops_per_sec(),
         out.wall.as_secs_f64() * 1e3,
@@ -162,7 +248,7 @@ fn main() -> ExitCode {
         overall.p99,
     );
     assert_eq!(
-        out.total_wins(),
+        out.total_wins() + out.warmup_wins,
         out.resolutions(),
         "safety violation: winner count does not match resolution count"
     );

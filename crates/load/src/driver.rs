@@ -1,7 +1,8 @@
 //! The workload driver: closed- and open-loop traffic on real threads.
 //!
-//! Two classical load-generation disciplines, both over the same
-//! [`TasArena`]:
+//! Two classical load-generation disciplines, both generic over a
+//! [`LoadTarget`] — the in-process [`TasArena`] or a remote `rtas-svc`
+//! server (see [`crate::remote`]):
 //!
 //! * **Closed loop** — a fixed fleet of `threads` workers issues
 //!   operations back to back: each worker hammers its home shard
@@ -16,8 +17,8 @@
 //!   Worker **churn** maps the scenario engine's
 //!   retirement/respawn axis onto real threads: with `churn = c`, a
 //!   worker's OS thread retires after `c` operations and a fresh thread
-//!   (cold protocol-stack buffer and all) is spawned to continue its
-//!   slot.
+//!   (cold protocol-stack buffer — and, against a remote target, a
+//!   cold connection) is spawned to continue its slot.
 //! * **Open loop** — operations are *offered* at wall-clock instants
 //!   from a deterministic [`ArrivalSchedule`] (same seed ⇒ identical
 //!   offered load, run to run and machine to machine). Arrival `i` is
@@ -28,16 +29,26 @@
 //!   hidden (no coordinated omission).
 //!
 //! Both disciplines assign every epoch of every shard exactly `group =
-//! threads / shards` operations, which is what makes the arena's
-//! static-membership epoch protocol deadlock-free: within any window of
-//! `threads` consecutive arrival indices, each worker appears exactly
-//! once and each shard exactly `group` times, so the workers march
-//! through epoch rounds together and every epoch's participants
-//! eventually show up.
+//! threads / shards` operations, which is what makes the epoch-recycling
+//! protocols deadlock-free: within any window of `threads` consecutive
+//! arrival indices, each worker appears exactly once and each shard
+//! exactly `group` times, so the workers march through epoch rounds
+//! together and every epoch's participants eventually show up.
+//!
+//! **Warmup.** [`Warmup::Ops`] (closed loop) runs a fixed count of
+//! unrecorded operations per worker, then releases the measured
+//! section through a barrier — cold caches, first-touch page faults,
+//! and lazily grown pools are paid before the clock starts.
+//! [`Warmup::Secs`] (open loop) executes the first stretch of the
+//! arrival schedule without recording it. Either way the warmup window
+//! is excluded from [`LoadRecorder`] statistics, SLO checks, and the
+//! measured wall clock; its operation/win counts are tallied
+//! separately ([`LoadOutcome::warmup_ops`]) so the one-winner-per-epoch
+//! safety check still covers every epoch driven.
 //!
 //! [`TasArena`]: crate::arena::TasArena
 
-use std::sync::Arc;
+use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
 use rtas::native::NativeRunner;
@@ -47,6 +58,74 @@ use rtas_bench::report::{BenchReport, BenchRow};
 use crate::arena::TasArena;
 use crate::recorder::LoadRecorder;
 use crate::schedule::ArrivalSchedule;
+
+/// Anything the driver can aim traffic at: a sharded pool of
+/// epoch-recycled arbitration objects, resolved by `(shard, epoch)`
+/// coordinates.
+///
+/// Implementations: [`TasArena`] (in-process atomics) and
+/// [`crate::remote::RemoteTarget`] (an `rtas-svc` server over TCP).
+/// Workers are handed one [`LoadTarget::Ctx`] per *life* — a reused
+/// protocol-stack buffer for the arena, a connection for the remote
+/// target — so the per-operation path stays allocation- and
+/// connect-free.
+pub trait LoadTarget: Sync {
+    /// Per-worker-life state threaded through every resolve call.
+    type Ctx: Send;
+
+    /// Number of shards traffic is striped over.
+    fn shards(&self) -> usize;
+
+    /// Participants per epoch on every shard.
+    fn group(&self) -> usize;
+
+    /// Each shard's currently open epoch — the offsets a driver must
+    /// add so a reused target continues instead of colliding with
+    /// completed epochs.
+    fn base_epochs(&self) -> Vec<u64>;
+
+    /// Fresh per-life context (for remote targets this opens the
+    /// connection). Called from the **main** thread for the initial
+    /// fleet — so a connect failure panics there and aborts the run
+    /// before any traffic or barrier is in flight — and from worker
+    /// threads for churn respawns.
+    fn context(&self) -> Self::Ctx;
+
+    /// Perform one operation of `epoch` on `shard`; `true` iff this
+    /// call won its resolution.
+    fn resolve(&self, ctx: &mut Self::Ctx, shard: usize, epoch: u64) -> bool;
+
+    /// Registers backing the target's object pool (0 if unknown).
+    fn registers(&self) -> u64;
+}
+
+impl LoadTarget for TasArena {
+    type Ctx = NativeRunner;
+
+    fn shards(&self) -> usize {
+        TasArena::shards(self)
+    }
+
+    fn group(&self) -> usize {
+        TasArena::group(self)
+    }
+
+    fn base_epochs(&self) -> Vec<u64> {
+        (0..TasArena::shards(self)).map(|s| self.epoch(s)).collect()
+    }
+
+    fn context(&self) -> NativeRunner {
+        NativeRunner::new()
+    }
+
+    fn resolve(&self, ctx: &mut NativeRunner, shard: usize, epoch: u64) -> bool {
+        TasArena::resolve(self, shard, epoch, ctx)
+    }
+
+    fn registers(&self) -> u64 {
+        TasArena::registers(self)
+    }
+}
 
 /// Workload discipline.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -77,23 +156,65 @@ impl Mode {
     }
 }
 
+/// An unrecorded warmup window preceding the measured section (see the
+/// [module docs](self)).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Warmup {
+    /// No warmup: measurement starts with the first operation.
+    #[default]
+    None,
+    /// Closed loop: this many warmup operations in total (truncated
+    /// down to a multiple of the thread count, like `total_ops`), run
+    /// before the measured section's barrier release.
+    Ops(u64),
+    /// Open loop: epochs whose *first arrival* is scheduled inside the
+    /// first `secs` of the horizon execute but go unrecorded. The cut
+    /// is epoch-aligned — an epoch straddling the cutoff counts
+    /// entirely as warmup — so per-shard measured ops stay a multiple
+    /// of the group and the win accounting is a pure function of the
+    /// seed. Must be shorter than the schedule duration.
+    Secs(f64),
+}
+
+/// What kind of target a run was aimed at — picks the report identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetKind {
+    /// In-process [`TasArena`]: `BENCH_native_load.json`.
+    Native,
+    /// Remote `rtas-svc` server: `BENCH_svc_load.json`.
+    Remote,
+}
+
+impl TargetKind {
+    /// The report (and therefore `BENCH_*.json` file) name.
+    pub fn report_name(self) -> &'static str {
+        match self {
+            TargetKind::Native => "native_load",
+            TargetKind::Remote => "svc_load",
+        }
+    }
+}
+
 /// A complete load-run specification.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LoadSpec {
-    /// Algorithm backing every pooled object.
+    /// Algorithm backing every pooled object (native targets; a remote
+    /// server picks its own backend at `rtas-svc serve` time).
     pub backend: Backend,
     /// Worker threads. Must be a positive multiple of `shards`.
     pub threads: usize,
-    /// Arena shards. Each is resolved by `threads / shards` workers per
-    /// epoch.
+    /// Target shards. Each is resolved by `threads / shards` workers
+    /// per epoch.
     pub shards: usize,
     /// Workload discipline.
     pub mode: Mode,
     /// Seed for the open-loop arrival schedule (unused in closed loop).
     pub seed: u64,
     /// Closed loop only: retire each worker's OS thread after this many
-    /// operations and respawn a fresh one for the slot.
+    /// measured operations and respawn a fresh one for the slot.
     pub churn: Option<u64>,
+    /// Unrecorded warmup preceding the measured section.
+    pub warmup: Warmup,
 }
 
 impl LoadSpec {
@@ -102,7 +223,7 @@ impl LoadSpec {
         self.threads / self.shards
     }
 
-    fn validate(&self) {
+    pub(crate) fn validate(&self) {
         assert!(self.threads >= 1, "need at least one worker thread");
         assert!(self.shards >= 1, "need at least one shard");
         assert!(
@@ -112,12 +233,31 @@ impl LoadSpec {
             self.threads,
             self.shards
         );
-        if let Mode::Open { .. } = self.mode {
-            assert!(
-                self.churn.is_none(),
-                "churn is a closed-loop axis; open-loop offered load already \
-                 decouples arrivals from worker lifetime"
-            );
+        match self.mode {
+            Mode::Open { duration_secs, .. } => {
+                assert!(
+                    self.churn.is_none(),
+                    "churn is a closed-loop axis; open-loop offered load already \
+                     decouples arrivals from worker lifetime"
+                );
+                match self.warmup {
+                    Warmup::None => {}
+                    Warmup::Ops(_) => {
+                        panic!("Warmup::Ops is a closed-loop axis; use Warmup::Secs in open loop")
+                    }
+                    Warmup::Secs(secs) => assert!(
+                        secs.is_finite() && secs >= 0.0 && secs < duration_secs,
+                        "open-loop warmup ({secs}s) must be non-negative and shorter \
+                         than the schedule duration ({duration_secs}s)"
+                    ),
+                }
+            }
+            Mode::Closed { .. } => {
+                assert!(
+                    !matches!(self.warmup, Warmup::Secs(_)),
+                    "Warmup::Secs is an open-loop axis; use Warmup::Ops in closed loop"
+                );
+            }
         }
     }
 }
@@ -127,38 +267,63 @@ impl LoadSpec {
 pub struct LoadOutcome {
     /// The spec the run executed.
     pub spec: LoadSpec,
-    /// Per-shard latency/throughput observations.
+    /// What the run was aimed at (picks the report identity).
+    pub target: TargetKind,
+    /// Per-shard latency/throughput observations (measured section
+    /// only — warmup excluded).
     pub recorder: LoadRecorder,
-    /// Wall clock of the measured section (worker spawn to last join).
+    /// Wall clock of the measured section (warmup excluded).
     pub wall: Duration,
-    /// Registers held by the arena, all shards.
+    /// Registers backing the target's object pool.
     pub registers: u64,
+    /// Operations executed inside the warmup window (unrecorded).
+    pub warmup_ops: u64,
+    /// Warmup operations that won their resolution.
+    pub warmup_wins: u64,
 }
 
 impl LoadOutcome {
-    /// Operations completed.
+    /// Measured operations completed (warmup excluded).
     pub fn total_ops(&self) -> u64 {
         self.recorder.total_ops()
     }
 
-    /// Resolutions completed (epochs closed): one winner each.
-    pub fn resolutions(&self) -> u64 {
-        self.total_ops() / self.spec.group() as u64
+    /// Every operation the run drove, warmup included.
+    pub fn all_ops(&self) -> u64 {
+        self.total_ops() + self.warmup_ops
     }
 
-    /// Winning operations — equals [`LoadOutcome::resolutions`] when
-    /// every epoch ran to completion.
+    /// Resolutions completed (epochs closed), warmup included: one
+    /// winner each.
+    pub fn resolutions(&self) -> u64 {
+        self.all_ops() / self.spec.group() as u64
+    }
+
+    /// Measured winning operations. The full safety invariant spans
+    /// the warmup window too:
+    /// `total_wins() + warmup_wins == resolutions()`.
     pub fn total_wins(&self) -> u64 {
         self.recorder.total_wins()
     }
 
-    /// Completed operations per second of wall clock.
+    /// Measured operations per second of measured wall clock.
     pub fn throughput_ops_per_sec(&self) -> f64 {
         self.total_ops() as f64 / self.wall.as_secs_f64()
     }
 
-    /// The run as a `BENCH_native_load.json` report: one row per shard
-    /// plus a `scope=total` aggregate row.
+    /// The backend label carried by every report row: the algorithm for
+    /// native runs, `"remote"` for service runs (the server picks its
+    /// own algorithm).
+    pub fn backend_name(&self) -> &'static str {
+        match self.target {
+            TargetKind::Native => backend_label(self.spec.backend),
+            TargetKind::Remote => "remote",
+        }
+    }
+
+    /// The run as a `BENCH_native_load.json` / `BENCH_svc_load.json`
+    /// report (by [`TargetKind`]): one row per shard plus a
+    /// `scope=total` aggregate row.
     ///
     /// Latency statistics are in microseconds. Every row carries the
     /// label `gate=wall`: the values are wall-clock-derived, so
@@ -166,10 +331,10 @@ impl LoadOutcome {
     /// finiteness) but skips tolerance gating unless `--gate-wall` is
     /// passed.
     pub fn bench_report(&self) -> BenchReport {
-        let backend = backend_label(self.spec.backend);
+        let backend = self.backend_name();
         let mode = self.spec.mode.label();
         let wall_secs = self.wall.as_secs_f64();
-        let mut report = BenchReport::new("native_load", self.spec.threads);
+        let mut report = BenchReport::new(self.target.report_name(), self.spec.threads);
         for (s, cell) in self.recorder.shard_stats().iter().enumerate() {
             // Per-shard wall clock is meaningless (shards run
             // concurrently): NaN serializes as null, never a fabricated
@@ -194,7 +359,15 @@ impl LoadOutcome {
             )
             .with("ops", self.total_ops() as f64)
             .with("wins", self.total_wins() as f64)
-            .with("epochs", self.resolutions() as f64)
+            // Measured-section epochs, consistent with the shard rows
+            // and `wins`; warmup-window epochs are visible through
+            // `warmup_ops` (and `LoadOutcome::resolutions`, which spans
+            // both windows for the safety accounting).
+            .with(
+                "epochs",
+                (self.total_ops() / self.spec.group() as u64) as f64,
+            )
+            .with("warmup_ops", self.warmup_ops as f64)
             .with("throughput_ops_s", self.throughput_ops_per_sec())
             .with("registers", self.registers as f64)
             .with("shards", self.spec.shards as f64)
@@ -219,9 +392,10 @@ pub struct Slo {
 
 impl Slo {
     /// Violations of this SLO by `outcome`'s overall latency
-    /// distribution, as human-readable lines (empty = SLO met).
+    /// distribution (the measured section — warmup never counts), as
+    /// human-readable lines (empty = SLO met).
     ///
-    /// A run that completed **zero operations** violates every
+    /// A run that completed **zero measured operations** violates every
     /// configured SLO: an empty distribution reports 0.0 quantiles,
     /// which would trivially pass any limit — but "we did nothing" must
     /// not read as "we met the objective" (e.g. an open-loop schedule
@@ -248,14 +422,10 @@ impl Slo {
 }
 
 /// The report label for a backend, stable across PRs (used as a
-/// `BENCH_*.json` row label and a CLI flag value).
+/// `BENCH_*.json` row label and a CLI flag value) — [`Backend::label`],
+/// re-exported under the harness's historical name.
 pub fn backend_label(backend: Backend) -> &'static str {
-    match backend {
-        Backend::LogStar => "logstar",
-        Backend::LogLog => "loglog",
-        Backend::RatRace => "ratrace",
-        Backend::Combined => "combined",
-    }
+    backend.label()
 }
 
 /// The default shard count for a worker fleet: the largest divisor of
@@ -269,15 +439,10 @@ pub fn default_shards(threads: usize) -> usize {
         .unwrap_or(1)
 }
 
-/// Parse a [`backend_label`] back into a [`Backend`].
+/// Parse a [`backend_label`] back into a [`Backend`]
+/// ([`Backend::parse`] under the harness's historical name).
 pub fn parse_backend(label: &str) -> Option<Backend> {
-    match label {
-        "logstar" => Some(Backend::LogStar),
-        "loglog" => Some(Backend::LogLog),
-        "ratrace" => Some(Backend::RatRace),
-        "combined" => Some(Backend::Combined),
-        _ => None,
-    }
+    Backend::parse(label)
 }
 
 /// Run the specified workload on a fresh arena.
@@ -290,22 +455,43 @@ pub fn parse_backend(label: &str) -> Option<Backend> {
 /// Panics on an inconsistent spec (see [`LoadSpec`] field docs).
 pub fn run_load(spec: LoadSpec) -> LoadOutcome {
     spec.validate();
-    let arena = Arc::new(TasArena::new(spec.backend, spec.shards, spec.group()));
-    run_load_on(&arena, spec)
+    let arena = TasArena::new(spec.backend, spec.shards, spec.group());
+    run_on_target(&arena, spec, TargetKind::Native)
 }
 
 /// Run the specified workload on an existing arena (benches reuse one
 /// arena across samples so constructor cost stays out of the measured
 /// section). The arena's shard count and group must match the spec.
-pub fn run_load_on(arena: &Arc<TasArena>, spec: LoadSpec) -> LoadOutcome {
+pub fn run_load_on(arena: &TasArena, spec: LoadSpec) -> LoadOutcome {
     spec.validate();
     assert_eq!(arena.shards(), spec.shards, "arena/spec shard mismatch");
     assert_eq!(arena.group(), spec.group(), "arena/spec group mismatch");
-    let registers = arena.registers();
-    let (recorder, wall) = match spec.mode {
+    run_on_target(arena, spec, TargetKind::Native)
+}
+
+/// Run the specified workload on any [`LoadTarget`]. The caller must
+/// have validated the spec against the target (see [`run_load_on`] and
+/// [`crate::remote::run_load_remote`], the public faces).
+pub(crate) fn run_on_target<T: LoadTarget>(
+    target: &T,
+    spec: LoadSpec,
+    kind: TargetKind,
+) -> LoadOutcome {
+    let registers = target.registers();
+    let (recorder, warmup, wall) = match spec.mode {
         Mode::Closed { total_ops } => {
             let ops_per_worker = total_ops / spec.threads as u64;
-            run_closed(arena, spec.threads, ops_per_worker, spec.churn)
+            let warmup_per_worker = match spec.warmup {
+                Warmup::Ops(total) => total / spec.threads as u64,
+                _ => 0,
+            };
+            run_closed(
+                target,
+                spec.threads,
+                ops_per_worker,
+                warmup_per_worker,
+                spec.churn,
+            )
         }
         Mode::Open {
             rate,
@@ -313,131 +499,249 @@ pub fn run_load_on(arena: &Arc<TasArena>, spec: LoadSpec) -> LoadOutcome {
         } => {
             let mut schedule = ArrivalSchedule::poisson(rate, duration_secs, spec.seed);
             schedule.truncate_to_multiple_of(spec.threads);
-            run_open(arena, spec.threads, &schedule)
+            let warmup_cutoff_ns = match spec.warmup {
+                Warmup::Secs(secs) => (secs * 1e9) as u64,
+                _ => 0,
+            };
+            run_open(target, spec.threads, &schedule, warmup_cutoff_ns)
         }
     };
     LoadOutcome {
         spec,
+        target: kind,
         recorder,
         wall,
         registers,
+        warmup_ops: warmup.ops,
+        warmup_wins: warmup.wins,
     }
 }
 
-/// Base epoch per shard, captured before spawning so a reused arena
-/// continues from wherever its shards currently stand.
-fn base_epochs(arena: &TasArena) -> Vec<u64> {
-    (0..arena.shards()).map(|s| arena.epoch(s)).collect()
+/// Unrecorded-window tally: enough to keep the safety accounting
+/// (one winner per epoch) airtight across the warmup boundary.
+#[derive(Debug, Clone, Copy, Default)]
+struct WarmupTally {
+    ops: u64,
+    wins: u64,
 }
 
-fn run_closed(
-    arena: &Arc<TasArena>,
+impl WarmupTally {
+    fn record(&mut self, won: bool) {
+        self.ops += 1;
+        self.wins += won as u64;
+    }
+
+    fn merge(&mut self, other: WarmupTally) {
+        self.ops += other.ops;
+        self.wins += other.wins;
+    }
+}
+
+/// Arrive at a barrier exactly once, **even when unwinding**: a worker
+/// that panics before its rendezvous (a warmup-epoch assertion, say)
+/// must release the barrier on the way out rather than strand the main
+/// thread in `wait()` forever — the panic then surfaces through the
+/// ordinary `join` path.
+struct Rendezvous<'a> {
+    barrier: &'a Barrier,
+    arrived: bool,
+}
+
+impl<'a> Rendezvous<'a> {
+    fn new(barrier: &'a Barrier) -> Self {
+        Rendezvous {
+            barrier,
+            arrived: false,
+        }
+    }
+
+    fn arrive(&mut self) {
+        if !self.arrived {
+            self.arrived = true;
+            self.barrier.wait();
+        }
+    }
+}
+
+impl Drop for Rendezvous<'_> {
+    fn drop(&mut self) {
+        self.arrive();
+    }
+}
+
+fn run_closed<T: LoadTarget>(
+    target: &T,
     threads: usize,
     ops_per_worker: u64,
+    warmup_per_worker: u64,
     churn: Option<u64>,
-) -> (LoadRecorder, Duration) {
-    let shards = arena.shards();
-    let bases = Arc::new(base_epochs(arena));
-    let start = Instant::now();
-    let handles: Vec<_> = (0..threads)
-        .map(|slot| {
-            let arena = Arc::clone(arena);
-            let bases = Arc::clone(&bases);
-            std::thread::spawn(move || {
-                let shard = slot % shards;
-                let base = bases[shard];
-                let mut recorder = LoadRecorder::new(shards);
-                let mut next_op = 0u64;
-                while next_op < ops_per_worker {
-                    // One worker *life*: without churn, all remaining ops
-                    // on this thread; with churn, a bounded slice on a
-                    // fresh OS thread (cold runner included).
-                    let len = churn
-                        .map(|c| c.max(1).min(ops_per_worker - next_op))
-                        .unwrap_or(ops_per_worker - next_op);
-                    let run_life = |mut recorder: LoadRecorder| {
-                        let mut runner = NativeRunner::new();
-                        for j in next_op..next_op + len {
-                            let t0 = Instant::now();
-                            let won = arena.resolve(shard, base + j, &mut runner);
-                            recorder.record(shard, t0.elapsed().as_secs_f64() * 1e6, won);
+) -> (LoadRecorder, WarmupTally, Duration) {
+    let shards = target.shards();
+    let bases = target.base_epochs();
+    // Initial-fleet contexts are created HERE, before any thread or
+    // barrier exists: a remote target's connect failure aborts the run
+    // with a clean panic instead of stranding a half-spawned fleet.
+    let contexts: Vec<T::Ctx> = (0..threads).map(|_| target.context()).collect();
+    // Workers warm up, then rendezvous with the main thread so the
+    // measured wall clock starts when every worker is hot.
+    let barrier = Barrier::new(threads + 1);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = contexts
+            .into_iter()
+            .enumerate()
+            .map(|(slot, ctx)| {
+                let bases = &bases;
+                let barrier = &barrier;
+                s.spawn(move || {
+                    let mut ctx = ctx;
+                    let mut rendezvous = Rendezvous::new(barrier);
+                    let shard = slot % shards;
+                    let warm_base = bases[shard];
+                    let mut recorder = LoadRecorder::new(shards);
+                    let mut warmup = WarmupTally::default();
+                    for j in 0..warmup_per_worker {
+                        warmup.record(target.resolve(&mut ctx, shard, warm_base + j));
+                    }
+                    rendezvous.arrive();
+                    let base = warm_base + warmup_per_worker;
+                    let mut next_op = 0u64;
+                    while next_op < ops_per_worker {
+                        // One worker *life*: without churn, all remaining
+                        // ops on this thread; with churn, a bounded slice
+                        // on a fresh OS thread (cold context included).
+                        let len = churn
+                            .map(|c| c.max(1).min(ops_per_worker - next_op))
+                            .unwrap_or(ops_per_worker - next_op);
+                        let run_life = |recorder: &mut LoadRecorder, ctx: &mut T::Ctx| {
+                            for j in next_op..next_op + len {
+                                let t0 = Instant::now();
+                                let won = target.resolve(ctx, shard, base + j);
+                                recorder.record(shard, t0.elapsed().as_secs_f64() * 1e6, won);
+                            }
+                        };
+                        if churn.is_some() && len < ops_per_worker {
+                            // Retirement/respawn: the slice runs on its own
+                            // thread; the slot thread is just the supervisor.
+                            std::thread::scope(|s2| {
+                                s2.spawn(|| {
+                                    let mut fresh = target.context();
+                                    run_life(&mut recorder, &mut fresh);
+                                })
+                                .join()
+                                .unwrap()
+                            });
+                        } else {
+                            run_life(&mut recorder, &mut ctx);
                         }
-                        recorder
-                    };
-                    recorder = if churn.is_some() && len < ops_per_worker {
-                        // Retirement/respawn: the slice runs on its own
-                        // thread; the slot thread is just the supervisor.
-                        std::thread::scope(|s| s.spawn(|| run_life(recorder)).join().unwrap())
-                    } else {
-                        run_life(recorder)
-                    };
-                    next_op += len;
-                }
-                recorder
+                        next_op += len;
+                    }
+                    (recorder, warmup)
+                })
             })
-        })
-        .collect();
-    let mut merged = LoadRecorder::new(shards);
-    for handle in handles {
-        merged.merge(&handle.join().expect("load worker panicked"));
-    }
-    (merged, start.elapsed())
+            .collect();
+        barrier.wait();
+        let start = Instant::now();
+        let mut merged = LoadRecorder::new(shards);
+        let mut warmup = WarmupTally::default();
+        for handle in handles {
+            let (recorder, tally) = handle.join().expect("load worker panicked");
+            merged.merge(&recorder);
+            warmup.merge(tally);
+        }
+        (merged, warmup, start.elapsed())
+    })
 }
 
-fn run_open(
-    arena: &Arc<TasArena>,
+fn run_open<T: LoadTarget>(
+    target: &T,
     threads: usize,
     schedule: &ArrivalSchedule,
-) -> (LoadRecorder, Duration) {
-    let shards = arena.shards();
-    let group = arena.group() as u64;
-    let bases = Arc::new(base_epochs(arena));
-    let schedule = Arc::new(schedule.clone());
-    let begin = Instant::now();
-    let handles: Vec<_> = (0..threads)
-        .map(|worker| {
-            let arena = Arc::clone(arena);
-            let bases = Arc::clone(&bases);
-            let schedule = Arc::clone(&schedule);
-            std::thread::spawn(move || {
-                let mut recorder = LoadRecorder::new(shards);
-                let mut runner = NativeRunner::new();
-                let mut i = worker;
-                while i < schedule.len() {
-                    let shard = i % shards;
-                    let epoch = bases[shard] + (i / shards) as u64 / group;
-                    let target = begin + Duration::from_nanos(schedule.start_ns(i));
-                    // Offered load: wait for the scheduled instant
-                    // (sleep coarsely, spin the last stretch), but never
-                    // skip an op we are late for — lateness shows up as
-                    // queueing latency instead.
-                    loop {
-                        let now = Instant::now();
-                        if now >= target {
-                            break;
-                        }
-                        let remaining = target - now;
-                        if remaining > Duration::from_micros(200) {
-                            std::thread::sleep(remaining - Duration::from_micros(100));
-                        } else {
-                            std::hint::spin_loop();
-                        }
-                    }
-                    let won = arena.resolve(shard, epoch, &mut runner);
-                    // Latency from the *scheduled* instant: queueing
-                    // delay included, coordinated omission excluded.
-                    recorder.record(shard, target.elapsed().as_secs_f64() * 1e6, won);
-                    i += threads;
-                }
-                recorder
-            })
+    warmup_cutoff_ns: u64,
+) -> (LoadRecorder, WarmupTally, Duration) {
+    let shards = target.shards();
+    let group = target.group() as u64;
+    let bases = target.base_epochs();
+    // Epoch-aligned warmup cut: shard `s`'s epoch `e` spans arrival
+    // indices `s + shards·(e·group ..= e·group + group − 1)`; the epoch
+    // is warmup iff its FIRST arrival is scheduled before the cutoff.
+    // Classifying whole epochs (not individual arrivals) keeps each
+    // window's win count a deterministic function of the seed — a
+    // straddling epoch's winner would otherwise land in whichever
+    // window its winning participant happened to occupy.
+    let epochs_per_shard = schedule.len() / shards / group as usize;
+    let warm_epochs: Vec<u64> = (0..shards)
+        .map(|s| {
+            (0..epochs_per_shard)
+                .take_while(|&e| {
+                    schedule.start_ns(s + shards * group as usize * e) < warmup_cutoff_ns
+                })
+                .count() as u64
         })
         .collect();
-    let mut merged = LoadRecorder::new(shards);
-    for handle in handles {
-        merged.merge(&handle.join().expect("load worker panicked"));
-    }
-    (merged, begin.elapsed())
+    // As in the closed loop: connect failures abort here, before the
+    // schedule clock starts or any worker exists.
+    let contexts: Vec<T::Ctx> = (0..threads).map(|_| target.context()).collect();
+    let begin = Instant::now();
+    let (recorder, warmup) = std::thread::scope(|s| {
+        let handles: Vec<_> = contexts
+            .into_iter()
+            .enumerate()
+            .map(|(worker, ctx)| {
+                let bases = &bases;
+                let warm_epochs = &warm_epochs;
+                s.spawn(move || {
+                    let mut ctx = ctx;
+                    let mut recorder = LoadRecorder::new(shards);
+                    let mut warmup = WarmupTally::default();
+                    let mut i = worker;
+                    while i < schedule.len() {
+                        let shard = i % shards;
+                        let epoch_seq = (i / shards) as u64 / group;
+                        let epoch = bases[shard] + epoch_seq;
+                        let due = begin + Duration::from_nanos(schedule.start_ns(i));
+                        // Offered load: wait for the scheduled instant
+                        // (sleep coarsely, spin the last stretch), but never
+                        // skip an op we are late for — lateness shows up as
+                        // queueing latency instead.
+                        loop {
+                            let now = Instant::now();
+                            if now >= due {
+                                break;
+                            }
+                            let remaining = due - now;
+                            if remaining > Duration::from_micros(200) {
+                                std::thread::sleep(remaining - Duration::from_micros(100));
+                            } else {
+                                std::hint::spin_loop();
+                            }
+                        }
+                        let won = target.resolve(&mut ctx, shard, epoch);
+                        if epoch_seq < warm_epochs[shard] {
+                            warmup.record(won);
+                        } else {
+                            // Latency from the *scheduled* instant: queueing
+                            // delay included, coordinated omission excluded.
+                            recorder.record(shard, due.elapsed().as_secs_f64() * 1e6, won);
+                        }
+                        i += threads;
+                    }
+                    (recorder, warmup)
+                })
+            })
+            .collect();
+        let mut merged = LoadRecorder::new(shards);
+        let mut warmup = WarmupTally::default();
+        for handle in handles {
+            let (recorder, tally) = handle.join().expect("load worker panicked");
+            merged.merge(&recorder);
+            warmup.merge(tally);
+        }
+        (merged, warmup)
+    });
+    let wall = begin
+        .elapsed()
+        .saturating_sub(Duration::from_nanos(warmup_cutoff_ns));
+    (recorder, warmup, wall)
 }
 
 #[cfg(test)]
@@ -452,6 +756,7 @@ mod tests {
             mode: Mode::Closed { total_ops },
             seed: 1,
             churn: None,
+            warmup: Warmup::None,
         }
     }
 
@@ -465,6 +770,7 @@ mod tests {
         assert_eq!(out.total_wins(), 200, "exactly one winner per epoch");
         assert!(out.throughput_ops_per_sec() > 0.0);
         assert!(out.registers > 0);
+        assert_eq!(out.target, TargetKind::Native);
     }
 
     #[test]
@@ -474,6 +780,67 @@ mod tests {
         let out = run_load(spec);
         assert_eq!(out.total_ops(), 240);
         assert_eq!(out.total_wins(), out.resolutions());
+    }
+
+    #[test]
+    fn closed_loop_warmup_is_driven_but_unrecorded() {
+        let mut spec = closed_spec(4, 2, 200);
+        spec.warmup = Warmup::Ops(80);
+        let out = run_load(spec);
+        assert_eq!(out.total_ops(), 200, "recorder sees only measured ops");
+        assert_eq!(out.warmup_ops, 80, "warmup ops are tallied separately");
+        assert_eq!(out.all_ops(), 280);
+        assert_eq!(out.resolutions(), 140, "warmup epochs complete too");
+        assert_eq!(
+            out.total_wins() + out.warmup_wins,
+            out.resolutions(),
+            "one winner per epoch across the warmup boundary"
+        );
+        // Warmup ops must not inflate the latency distribution.
+        assert_eq!(out.recorder.overall_latency().count, 200);
+    }
+
+    #[test]
+    fn open_loop_warmup_window_is_excluded_from_stats() {
+        let spec = LoadSpec {
+            backend: Backend::LogStar,
+            threads: 4,
+            shards: 2,
+            mode: Mode::Open {
+                rate: 40_000.0,
+                duration_secs: 0.05,
+            },
+            seed: 9,
+            churn: None,
+            warmup: Warmup::Secs(0.02),
+        };
+        let mut expected = ArrivalSchedule::poisson(40_000.0, 0.05, 9);
+        expected.truncate_to_multiple_of(4);
+        let cutoff = 0.02e9 as u64;
+        // The epoch-aligned cut: shard s's epoch e is warmup iff its
+        // first arrival (index s + shards·group·e) is before the cutoff.
+        let (shards, group) = (2usize, 2usize);
+        let epochs_per_shard = expected.len() / shards / group;
+        let expected_warm: u64 = (0..shards)
+            .map(|s| {
+                (0..epochs_per_shard)
+                    .take_while(|&e| expected.start_ns(s + shards * group * e) < cutoff)
+                    .count() as u64
+                    * group as u64
+            })
+            .sum();
+        let out = run_load(spec);
+        assert!(expected_warm > 0, "cutoff must cover some epochs");
+        assert_eq!(out.warmup_ops, expected_warm);
+        assert_eq!(out.all_ops(), expected.len() as u64);
+        assert_eq!(out.total_ops(), expected.len() as u64 - expected_warm);
+        assert_eq!(out.total_wins() + out.warmup_wins, out.resolutions());
+        // Epoch alignment makes the per-shard win accounting exact and
+        // deterministic: measured wins == measured epochs on every shard.
+        for cell in out.recorder.shard_stats() {
+            assert_eq!(cell.ops % group as u64, 0);
+            assert_eq!(cell.wins, cell.ops / group as u64);
+        }
     }
 
     #[test]
@@ -488,6 +855,7 @@ mod tests {
             },
             seed: 9,
             churn: None,
+            warmup: Warmup::None,
         };
         let mut expected = ArrivalSchedule::poisson(40_000.0, 0.05, 9);
         expected.truncate_to_multiple_of(4);
@@ -541,6 +909,7 @@ mod tests {
             },
             seed: 1,
             churn: None,
+            warmup: Warmup::None,
         });
         assert_eq!(out.total_ops(), 0);
         let slo = Slo {
@@ -569,6 +938,38 @@ mod tests {
             duration_secs: 0.01,
         };
         spec.churn = Some(5);
+        run_load(spec);
+    }
+
+    #[test]
+    #[should_panic(expected = "Warmup::Ops is a closed-loop axis")]
+    fn open_loop_op_warmup_rejected() {
+        let mut spec = closed_spec(2, 1, 10);
+        spec.mode = Mode::Open {
+            rate: 1000.0,
+            duration_secs: 0.01,
+        };
+        spec.warmup = Warmup::Ops(10);
+        run_load(spec);
+    }
+
+    #[test]
+    #[should_panic(expected = "Warmup::Secs is an open-loop axis")]
+    fn closed_loop_secs_warmup_rejected() {
+        let mut spec = closed_spec(2, 1, 10);
+        spec.warmup = Warmup::Secs(0.5);
+        run_load(spec);
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter")]
+    fn warmup_longer_than_schedule_rejected() {
+        let mut spec = closed_spec(2, 1, 10);
+        spec.mode = Mode::Open {
+            rate: 1000.0,
+            duration_secs: 0.01,
+        };
+        spec.warmup = Warmup::Secs(0.5);
         run_load(spec);
     }
 

@@ -21,16 +21,21 @@
 //! * [`recorder`] — per-shard latency/throughput accumulation through
 //!   `rtas_bench`'s mergeable [`StatsAccumulator`], folded across
 //!   workers order-independently.
+//! * [`remote`] — the same drivers aimed at an `rtas-svc` arbitration
+//!   server over TCP (`--backend remote --addr host:port`): shard `s`
+//!   becomes the key `load/s`, epochs recycle through the wire
+//!   protocol's `RESET` ack, and the run reports as
+//!   `BENCH_svc_load.json`.
 //!
 //! The `rtas-load` binary drives all of it from the command line and
-//! emits `BENCH_native_load.json` through the `rtas_bench` report
-//! machinery; `bench-diff` checks that report structurally and leaves
-//! its wall-clock-derived metrics out of tolerance gating unless
-//! `--gate-wall` is passed.
+//! emits `BENCH_native_load.json` (or `BENCH_svc_load.json`) through
+//! the `rtas_bench` report machinery; `bench-diff` checks those reports
+//! structurally and leaves their wall-clock-derived metrics out of
+//! tolerance gating unless `--gate-wall` is passed.
 //!
 //! ```
 //! use rtas::Backend;
-//! use rtas_load::driver::{run_load, LoadSpec, Mode};
+//! use rtas_load::driver::{run_load, LoadSpec, Mode, Warmup};
 //!
 //! let out = run_load(LoadSpec {
 //!     backend: Backend::Combined,
@@ -39,6 +44,7 @@
 //!     mode: Mode::Closed { total_ops: 2_000 },
 //!     seed: 7,
 //!     churn: None,
+//!     warmup: Warmup::None,
 //! });
 //! assert_eq!(out.total_wins(), out.resolutions()); // one winner per epoch
 //! ```
@@ -48,9 +54,13 @@
 pub mod arena;
 pub mod driver;
 pub mod recorder;
+pub mod remote;
 pub mod schedule;
 
 pub use arena::TasArena;
-pub use driver::{run_load, run_load_on, LoadOutcome, LoadSpec, Mode, Slo};
+pub use driver::{
+    run_load, run_load_on, LoadOutcome, LoadSpec, LoadTarget, Mode, Slo, TargetKind, Warmup,
+};
 pub use recorder::LoadRecorder;
+pub use remote::{run_load_remote, RemoteTarget};
 pub use schedule::ArrivalSchedule;

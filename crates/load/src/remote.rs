@@ -1,0 +1,187 @@
+//! The remote backend: fire the same deterministic workloads at an
+//! `rtas-svc` arbitration server over TCP.
+//!
+//! [`RemoteTarget`] maps the driver's `(shard, epoch)` coordinates onto
+//! the service's keyed namespaces: shard `s` is the key `load/s`, and
+//! the arena's release/acquire epoch protocol is re-created
+//! client-side — workers spin on a local per-key epoch counter, issue
+//! `TAS` over their own connection, and the epoch's **last finisher**
+//! sends the `RESET` ack and opens the next epoch with a release store.
+//! The server independently enforces the same invariant (its own
+//! epoch gate admits and recycles), so exactly one winner per
+//! key-epoch holds end to end, asserted by the driver's win accounting.
+//!
+//! Because the open-loop [`ArrivalSchedule`] is a pure function of the
+//! seed, the *offered* load is bit-identical run to run here too — the
+//! service sees the same request instants whatever the network does —
+//! and end-to-end latency is still measured from the scheduled instant
+//! (queueing included, no coordinated omission). Reports are emitted as
+//! `BENCH_svc_load.json` (rows labeled `backend=remote`, `gate=wall`).
+//!
+//! [`ArrivalSchedule`]: crate::schedule::ArrivalSchedule
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use rtas::sync::{Backoff, CachePadded};
+use rtas_svc::{Client, ClientError};
+
+use crate::driver::{run_on_target, LoadOutcome, LoadSpec, LoadTarget, TargetKind};
+
+/// Client-side recycling state for one key, mirroring the arena's
+/// shard header.
+#[derive(Debug)]
+struct KeyState {
+    /// Open epoch: bumped with `Release` by the last finisher after the
+    /// `RESET` ack; read with `Acquire` by entrants.
+    epoch: AtomicU64,
+    /// Completed calls within the open epoch (`0..=group`).
+    done: AtomicUsize,
+}
+
+/// An `rtas-svc` server as a [`LoadTarget`]: `shards` keys named
+/// `load/0..load/shards-1`, each epoch-recycled through the wire
+/// protocol's `RESET` ack.
+#[derive(Debug)]
+pub struct RemoteTarget {
+    addr: String,
+    keys: Vec<Vec<u8>>,
+    states: Vec<CachePadded<KeyState>>,
+    group: usize,
+    registers: u64,
+}
+
+impl RemoteTarget {
+    /// Bind `shards` keys on the server at `addr`, each resolved by
+    /// `group` participants per epoch.
+    ///
+    /// Connects once to probe reachability and to put every key into a
+    /// known-fresh epoch (`TAS` to materialize it, `RESET` to recycle —
+    /// a crashed previous run cannot leave a half-resolved epoch
+    /// behind). The probe's win/loss is deliberately *not* part of the
+    /// run's accounting: local epochs start at 0 regardless of the
+    /// server's epoch numbering, which only ever appears in responses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0` or `group == 0`.
+    pub fn new(addr: &str, shards: usize, group: usize) -> Result<RemoteTarget, ClientError> {
+        assert!(shards >= 1, "remote target needs at least one shard key");
+        assert!(group >= 1, "remote target needs at least one participant");
+        let mut probe = Client::connect(addr)?;
+        let keys: Vec<Vec<u8>> = (0..shards)
+            .map(|s| format!("load/{s}").into_bytes())
+            .collect();
+        for key in &keys {
+            probe.tas(key)?;
+            probe.reset(key)?;
+        }
+        let registers = probe.stats()?.registers;
+        Ok(RemoteTarget {
+            addr: addr.to_string(),
+            states: (0..shards)
+                .map(|_| {
+                    CachePadded(KeyState {
+                        epoch: AtomicU64::new(0),
+                        done: AtomicUsize::new(0),
+                    })
+                })
+                .collect(),
+            keys,
+            group,
+            registers,
+        })
+    }
+
+    /// The server address the target drives.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+}
+
+impl LoadTarget for RemoteTarget {
+    type Ctx = Client;
+
+    fn shards(&self) -> usize {
+        self.keys.len()
+    }
+
+    fn group(&self) -> usize {
+        self.group
+    }
+
+    fn base_epochs(&self) -> Vec<u64> {
+        self.states
+            .iter()
+            .map(|s| s.0.epoch.load(Ordering::Acquire))
+            .collect()
+    }
+
+    fn context(&self) -> Client {
+        Client::connect(&self.addr)
+            .unwrap_or_else(|e| panic!("cannot connect load worker to {}: {e}", self.addr))
+    }
+
+    fn resolve(&self, client: &mut Client, shard: usize, epoch: u64) -> bool {
+        let state = &self.states[shard].0;
+        // Wait for our epoch — same spin-then-yield discipline as the
+        // in-process arena.
+        let mut backoff = Backoff::new();
+        loop {
+            let current = state.epoch.load(Ordering::Acquire);
+            if current == epoch {
+                break;
+            }
+            assert!(
+                current < epoch,
+                "epoch {epoch} already closed (key is at {current}): \
+                 a reused remote target must offset by base_epochs"
+            );
+            backoff.snooze();
+        }
+        let key = &self.keys[shard];
+        let won = client
+            .tas(key)
+            .unwrap_or_else(|e| panic!("TAS on {} failed: {e}", self.addr))
+            .won;
+        if state.done.fetch_add(1, Ordering::AcqRel) + 1 == self.group {
+            // Last finisher: every call of this epoch has its response,
+            // so the server-side gate is quiescent the moment our RESET
+            // is admitted. Ack it, then open the next local epoch.
+            client
+                .reset(key)
+                .unwrap_or_else(|e| panic!("RESET on {} failed: {e}", self.addr));
+            state.done.store(0, Ordering::Relaxed);
+            state.epoch.fetch_add(1, Ordering::Release);
+        }
+        won
+    }
+
+    fn registers(&self) -> u64 {
+        self.registers
+    }
+}
+
+/// Run the specified workload against the `rtas-svc` server at `addr`
+/// (see [`RemoteTarget`]); the outcome reports as `svc_load`.
+///
+/// `spec.backend` is ignored — the server chose its algorithm at
+/// `serve` time; rows are labeled `backend=remote`.
+///
+/// # Errors
+///
+/// Fails if the server is unreachable or refuses the probe. The
+/// initial fleet's connections are opened before any worker spawns, so
+/// a connect failure panics cleanly before traffic starts. Transport
+/// failures *during* the run (or on a churn respawn's fresh
+/// connection) panic the affected worker — peers of its unfinished
+/// epoch then wait, so the run fails loudly rather than silently
+/// dropping offered operations.
+///
+/// # Panics
+///
+/// Panics on an inconsistent spec (see [`LoadSpec`] field docs).
+pub fn run_load_remote(addr: &str, spec: LoadSpec) -> Result<LoadOutcome, ClientError> {
+    spec.validate();
+    let target = RemoteTarget::new(addr, spec.shards, spec.group())?;
+    Ok(run_on_target(&target, spec, TargetKind::Remote))
+}

@@ -1,0 +1,139 @@
+//! `rtas-svc` — serve and inspect the network arbitration service.
+//!
+//! ```text
+//! rtas-svc serve [options]        run a server (blocks)
+//!   --addr <a>       bind address                      (default 127.0.0.1:7045)
+//!   --shards <n>     namespace shards                  (default 8)
+//!   --capacity <n>   participants per key-epoch        (default 64)
+//!   --backend <b>    logstar | loglog | ratrace | combined  (default combined)
+//!   --listeners <n>  accept threads                    (default 2)
+//!   --max-keys <n>   ceiling on live keys              (default 1048576)
+//!
+//! rtas-svc stats --addr <a>       print a server's counters and exit
+//! ```
+//!
+//! `serve` prints `listening on <addr>` once the socket is bound —
+//! smoke scripts can wait for the port. See the README's
+//! "Network arbitration service" section for the wire protocol.
+
+use std::process::ExitCode;
+
+use rtas_svc::{Client, Server, SvcConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: rtas-svc serve [--addr a] [--shards n] [--capacity n] \
+         [--backend b] [--listeners n] [--max-keys n]\n       \
+         rtas-svc stats --addr a"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        usage();
+    };
+    let mut config = SvcConfig {
+        addr: "127.0.0.1:7045".to_string(),
+        ..SvcConfig::default()
+    };
+
+    let mut iter = args[1..].iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| -> &String {
+            iter.next().unwrap_or_else(|| {
+                eprintln!("error: {name} requires a value");
+                usage();
+            })
+        };
+        fn parsed<T: std::str::FromStr>(name: &str, value: &str) -> T {
+            value.parse::<T>().unwrap_or_else(|_| {
+                eprintln!("error: {name} value {value:?} is invalid");
+                usage();
+            })
+        }
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr").clone(),
+            "--shards" => config.shards = parsed("--shards", value("--shards")),
+            "--capacity" => config.capacity = parsed("--capacity", value("--capacity")),
+            "--listeners" => config.listeners = parsed("--listeners", value("--listeners")),
+            "--max-keys" => config.max_keys = parsed("--max-keys", value("--max-keys")),
+            "--backend" => {
+                let v = value("--backend");
+                config.backend = rtas::Backend::parse(v).unwrap_or_else(|| {
+                    eprintln!("error: unknown backend {v:?} (logstar|loglog|ratrace|combined)");
+                    usage();
+                });
+            }
+            "--help" | "-h" => usage(),
+            flag => {
+                eprintln!("error: unknown argument {flag}");
+                usage();
+            }
+        }
+    }
+
+    match command.as_str() {
+        "serve" => {
+            if config.shards == 0
+                || config.capacity == 0
+                || config.listeners == 0
+                || config.max_keys == 0
+            {
+                eprintln!(
+                    "error: --shards, --capacity, --listeners, and --max-keys \
+                     must be positive"
+                );
+                usage();
+            }
+            if config.capacity > rtas_svc::namespace::MAX_CAPACITY {
+                eprintln!(
+                    "error: --capacity must be at most {} (the per-epoch \
+                     admission counter width)",
+                    rtas_svc::namespace::MAX_CAPACITY
+                );
+                usage();
+            }
+            let server = match Server::spawn(config.clone()) {
+                Ok(server) => server,
+                Err(e) => {
+                    eprintln!("rtas-svc: cannot bind {}: {e}", config.addr);
+                    return ExitCode::from(2);
+                }
+            };
+            println!(
+                "rtas-svc: listening on {} (backend={:?} shards={} capacity={} listeners={})",
+                server.addr(),
+                config.backend,
+                config.shards,
+                config.capacity,
+                config.listeners
+            );
+            server.join();
+            ExitCode::SUCCESS
+        }
+        "stats" => {
+            let stats = Client::connect(&config.addr)
+                .map_err(rtas_svc::ClientError::Io)
+                .and_then(|mut client| client.stats());
+            match stats {
+                Ok(s) => {
+                    println!(
+                        "keys {} | ops {} | wins {} | resets {} | registers {}",
+                        s.keys, s.ops, s.wins, s.resets, s.registers
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("rtas-svc: stats from {} failed: {e}", config.addr);
+                    ExitCode::from(2)
+                }
+            }
+        }
+        other => {
+            eprintln!("error: unknown command {other:?}");
+            usage();
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! The blocking, pipelining-capable client.
+//!
+//! [`Client`] wraps one TCP connection. The convenience methods
+//! ([`Client::tas`], [`Client::elect`], [`Client::reset`],
+//! [`Client::stats`]) are one synchronous round trip each. For
+//! pipelining, split the halves yourself: any number of
+//! [`Client::send`] calls followed by the same number of
+//! [`Client::recv`] calls — the server answers every connection's
+//! frames strictly in request order.
+//!
+//! The client is deliberately *not* `Sync`: one connection belongs to
+//! one thread (the load harness opens a connection per worker), which
+//! keeps the hot path free of locks and allocation — both frame
+//! buffers are owned and reused.
+
+use std::fmt;
+use std::io::{self, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{
+    decode_response, frame_request, read_frame, Acquired, Op, Response, SvcStats,
+};
+
+/// What went wrong with a request.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write, or framing).
+    Io(io::Error),
+    /// The server refused the request with an `ERR` response.
+    Remote(String),
+    /// The server answered with a response of the wrong shape — a
+    /// protocol bug or a desynchronized pipeline.
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Remote(msg) => write!(f, "server refused request: {msg}"),
+            ClientError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// One blocking connection to an arbitration server.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    out: Vec<u8>,
+    payload: Vec<u8>,
+}
+
+impl Client {
+    /// Connect (with `TCP_NODELAY`, so pipelined small frames are not
+    /// batched behind Nagle).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            out: Vec::new(),
+            payload: Vec::new(),
+        })
+    }
+
+    /// Pipeline half 1: write one request frame without waiting.
+    pub fn send(&mut self, op: Op, key: &[u8]) -> io::Result<()> {
+        self.out.clear();
+        frame_request(op, key, &mut self.out);
+        self.stream.write_all(&self.out)
+    }
+
+    /// Pipeline half 2: read the next response frame, in request order.
+    pub fn recv(&mut self) -> Result<Response, ClientError> {
+        match read_frame(&mut self.stream, &mut self.payload)? {
+            Some(()) => Ok(decode_response(&self.payload)?),
+            None => Err(ClientError::Protocol(
+                "connection closed while awaiting a response".to_string(),
+            )),
+        }
+    }
+
+    fn expect_acquired(&mut self) -> Result<Acquired, ClientError> {
+        match self.recv()? {
+            Response::Acquired(a) => Ok(a),
+            Response::Err(msg) => Err(ClientError::Remote(msg)),
+            other => Err(ClientError::Protocol(format!(
+                "expected an arbitration verdict, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Test-and-set on `key`: one round trip.
+    pub fn tas(&mut self, key: &[u8]) -> Result<Acquired, ClientError> {
+        self.send(Op::Tas, key)?;
+        self.expect_acquired()
+    }
+
+    /// Leader election on `key`: one round trip.
+    pub fn elect(&mut self, key: &[u8]) -> Result<Acquired, ClientError> {
+        self.send(Op::Elect, key)?;
+        self.expect_acquired()
+    }
+
+    /// Recycle `key` for its next epoch; returns the newly opened epoch
+    /// (0 when the key did not exist).
+    pub fn reset(&mut self, key: &[u8]) -> Result<u64, ClientError> {
+        self.send(Op::Reset, key)?;
+        match self.recv()? {
+            Response::Reset { epoch } => Ok(epoch),
+            Response::Err(msg) => Err(ClientError::Remote(msg)),
+            other => Err(ClientError::Protocol(format!(
+                "expected a reset ack, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Server-wide counters.
+    pub fn stats(&mut self) -> Result<SvcStats, ClientError> {
+        self.send(Op::Stats, b"")?;
+        match self.recv()? {
+            Response::Stats(stats) => Ok(stats),
+            Response::Err(msg) => Err(ClientError::Remote(msg)),
+            other => Err(ClientError::Protocol(format!(
+                "expected stats, got {other:?}"
+            ))),
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! # rtas-svc — the network arbitration service
+//!
+//! Real systems consume test-and-set as a *service*: "who gets this
+//! lease", "which replica leads shard 17", "did anyone already claim
+//! this job". This crate puts the paper's verified randomized
+//! algorithms behind exactly that interface — a std-only TCP server
+//! arbitrating contended decisions over **keyed namespaces**, each key
+//! an epoch-recycled [`rtas::TestAndSet`] / [`rtas::LeaderElection`]
+//! held behind the [`rtas::Arbiter`] vtable. Three layers:
+//!
+//! * [`protocol`] — the length-prefixed binary wire format (`TAS key`,
+//!   `ELECT key`, `RESET key`, `STATS`), with in-order responses so
+//!   clients can pipeline;
+//! * [`namespace`] — sharded keyed state: keys hash to independently
+//!   locked shards, every key recycles through epochs with a
+//!   CAS-admission / release-publish gate that generalizes the
+//!   `rtas-load` arena's protocol to dynamic membership with an
+//!   explicit ack (`RESET`), allocation-free in steady state;
+//! * [`server`] / [`client`] — thread-per-connection TCP serving with
+//!   sharded accept loops, and a blocking pipelining-capable client.
+//!
+//! The `rtas-svc` binary serves (`rtas-svc serve`) and inspects
+//! (`rtas-svc stats`) from the command line; `rtas-load --backend
+//! remote --addr host:port` fires its deterministic open-loop arrival
+//! schedules at a server and emits `BENCH_svc_load.json`.
+//!
+//! ```
+//! use rtas_svc::{server, Client};
+//!
+//! let srv = server::spawn_local(rtas::Backend::Combined, 4, 8).unwrap();
+//! let mut client = Client::connect(srv.addr()).unwrap();
+//! assert!(client.tas(b"jobs/2026-07-30/backfill").unwrap().won);
+//! assert!(!client.tas(b"jobs/2026-07-30/backfill").unwrap().won);
+//! let epoch = client.reset(b"jobs/2026-07-30/backfill").unwrap();
+//! assert_eq!(epoch, 1); // recycled: the key arbitrates afresh
+//! srv.shutdown();
+//! ```
+
+pub mod client;
+pub mod namespace;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use namespace::{Kind, Namespace, NsError};
+pub use protocol::{Acquired, Op, Response, SvcStats};
+pub use server::{Server, SvcConfig};

@@ -1,0 +1,385 @@
+//! The length-prefixed binary wire protocol.
+//!
+//! Every message — request or response — is one **frame**:
+//!
+//! ```text
+//! [u32 LE payload length][payload bytes]
+//! ```
+//!
+//! Request payload: `[u8 opcode][key bytes]` (the key is everything
+//! after the opcode; [`Op::Stats`] ignores it). Response payload starts
+//! with a status byte:
+//!
+//! | status | meaning | rest of payload |
+//! |--------|---------|-----------------|
+//! | 0 `LOST` / 1 `WIN` | arbitration verdict | `u64 LE` epoch |
+//! | 2 `RESET` | recycle acknowledged | `u64 LE` newly opened epoch (0 = no such key) |
+//! | 3 `ERR` | request refused | UTF-8 message |
+//! | 4 `STATS` | server counters | 5 × `u64 LE`: keys, ops, wins, resets, registers |
+//!
+//! Responses are returned **in request order** on each connection, so a
+//! client may pipeline: write any number of request frames, then read
+//! the same number of responses.
+//!
+//! Framing violations (a declared payload over [`MAX_PAYLOAD`], a
+//! truncated frame) poison the stream — the server answers with an
+//! `ERR` frame where it still can and closes the connection. *Clean*
+//! frames that merely carry a bad request (unknown opcode, empty or
+//! oversized key, kind mismatch) get an `ERR` response and the
+//! connection stays usable.
+
+use std::io::{self, Read};
+
+/// Hard ceiling on a frame's payload, requests and responses alike. A
+/// declared length beyond this is a framing violation, not a large
+/// message.
+pub const MAX_PAYLOAD: usize = 64 * 1024;
+
+/// Longest permitted key, in bytes.
+pub const MAX_KEY: usize = 4096;
+
+/// Request opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Test-and-set on the key: `WIN` iff the caller set the bit.
+    Tas,
+    /// Leader election on the key: `WIN` iff the caller is the leader.
+    Elect,
+    /// Recycle the key's object for the next epoch (the *ack* of the
+    /// current resolution).
+    Reset,
+    /// Server-wide counters; the key is ignored.
+    Stats,
+}
+
+impl Op {
+    /// The opcode's wire byte.
+    pub fn code(self) -> u8 {
+        match self {
+            Op::Tas => 1,
+            Op::Elect => 2,
+            Op::Reset => 3,
+            Op::Stats => 4,
+        }
+    }
+
+    /// Parse a wire byte back into an opcode.
+    pub fn from_code(code: u8) -> Option<Op> {
+        match code {
+            1 => Some(Op::Tas),
+            2 => Some(Op::Elect),
+            3 => Some(Op::Reset),
+            4 => Some(Op::Stats),
+            _ => None,
+        }
+    }
+}
+
+const STATUS_LOST: u8 = 0;
+const STATUS_WIN: u8 = 1;
+const STATUS_RESET: u8 = 2;
+const STATUS_ERR: u8 = 3;
+const STATUS_STATS: u8 = 4;
+
+/// The verdict of one arbitration request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Acquired {
+    /// Whether this call won its key-epoch (at most one per epoch).
+    pub won: bool,
+    /// The key's epoch the call participated in.
+    pub epoch: u64,
+}
+
+/// Server-wide counters, as returned by [`Op::Stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SvcStats {
+    /// Live keys across all namespace shards.
+    pub keys: u64,
+    /// Arbitration operations served (TAS + ELECT), cumulative.
+    pub ops: u64,
+    /// Winning operations, cumulative — one per completed key-epoch.
+    pub wins: u64,
+    /// Epoch recycles performed (RESETs that found a key), cumulative.
+    pub resets: u64,
+    /// Atomic registers held by all live keyed objects.
+    pub registers: u64,
+}
+
+/// A decoded request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request<'a> {
+    /// The operation.
+    pub op: Op,
+    /// The key operated on (empty for [`Op::Stats`]).
+    pub key: &'a [u8],
+}
+
+/// A decoded response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Verdict of a `TAS`/`ELECT`.
+    Acquired(Acquired),
+    /// `RESET` acknowledged; `epoch` is the newly opened epoch, or 0 if
+    /// the key did not exist (nothing to recycle).
+    Reset {
+        /// Newly opened epoch (0 = no such key).
+        epoch: u64,
+    },
+    /// `STATS` counters.
+    Stats(SvcStats),
+    /// The request was refused; the connection remains usable.
+    Err(String),
+}
+
+fn invalid(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Append a complete request frame (length prefix included) to `buf`.
+///
+/// # Panics
+///
+/// Panics if `key` exceeds [`MAX_KEY`] — the limit is part of the
+/// protocol, callers must not construct oversized keys.
+pub fn frame_request(op: Op, key: &[u8], buf: &mut Vec<u8>) {
+    assert!(
+        key.len() <= MAX_KEY,
+        "key of {} bytes exceeds MAX_KEY",
+        key.len()
+    );
+    let len = 1 + key.len();
+    buf.extend_from_slice(&(len as u32).to_le_bytes());
+    buf.push(op.code());
+    buf.extend_from_slice(key);
+}
+
+/// Decode a request payload (the bytes *inside* a frame).
+pub fn decode_request(payload: &[u8]) -> io::Result<Request<'_>> {
+    let (&code, key) = payload
+        .split_first()
+        .ok_or_else(|| invalid("empty request frame".to_string()))?;
+    let op = Op::from_code(code).ok_or_else(|| invalid(format!("unknown opcode {code}")))?;
+    if key.len() > MAX_KEY {
+        return Err(invalid(format!(
+            "key of {} bytes exceeds MAX_KEY",
+            key.len()
+        )));
+    }
+    if key.is_empty() && op != Op::Stats {
+        return Err(invalid(format!("{op:?} requires a non-empty key")));
+    }
+    Ok(Request { op, key })
+}
+
+/// Append a complete response frame (length prefix included) to `buf`.
+pub fn frame_response(resp: &Response, buf: &mut Vec<u8>) {
+    let at = buf.len();
+    buf.extend_from_slice(&[0; 4]); // length backpatched below
+    match resp {
+        Response::Acquired(a) => {
+            buf.push(if a.won { STATUS_WIN } else { STATUS_LOST });
+            buf.extend_from_slice(&a.epoch.to_le_bytes());
+        }
+        Response::Reset { epoch } => {
+            buf.push(STATUS_RESET);
+            buf.extend_from_slice(&epoch.to_le_bytes());
+        }
+        Response::Stats(s) => {
+            buf.push(STATUS_STATS);
+            for v in [s.keys, s.ops, s.wins, s.resets, s.registers] {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        Response::Err(msg) => {
+            buf.push(STATUS_ERR);
+            buf.extend_from_slice(msg.as_bytes());
+        }
+    }
+    let len = (buf.len() - at - 4) as u32;
+    buf[at..at + 4].copy_from_slice(&len.to_le_bytes());
+}
+
+fn u64_at(payload: &[u8], at: usize) -> io::Result<u64> {
+    let bytes: [u8; 8] = payload
+        .get(at..at + 8)
+        .and_then(|s| s.try_into().ok())
+        .ok_or_else(|| invalid("response truncated".to_string()))?;
+    Ok(u64::from_le_bytes(bytes))
+}
+
+/// Decode a response payload (the bytes *inside* a frame).
+pub fn decode_response(payload: &[u8]) -> io::Result<Response> {
+    let (&status, rest) = payload
+        .split_first()
+        .ok_or_else(|| invalid("empty response frame".to_string()))?;
+    match status {
+        STATUS_LOST | STATUS_WIN => Ok(Response::Acquired(Acquired {
+            won: status == STATUS_WIN,
+            epoch: u64_at(payload, 1)?,
+        })),
+        STATUS_RESET => Ok(Response::Reset {
+            epoch: u64_at(payload, 1)?,
+        }),
+        STATUS_STATS => Ok(Response::Stats(SvcStats {
+            keys: u64_at(payload, 1)?,
+            ops: u64_at(payload, 9)?,
+            wins: u64_at(payload, 17)?,
+            resets: u64_at(payload, 25)?,
+            registers: u64_at(payload, 33)?,
+        })),
+        STATUS_ERR => Ok(Response::Err(String::from_utf8_lossy(rest).into_owned())),
+        other => Err(invalid(format!("unknown response status {other}"))),
+    }
+}
+
+/// Read one frame's payload into `buf` (reused across calls — steady
+/// state does not reallocate once `buf` has grown to the working frame
+/// size).
+///
+/// Returns `Ok(None)` on a clean EOF at a frame boundary. A truncated
+/// header or payload is `ErrorKind::UnexpectedEof`; a declared length
+/// beyond [`MAX_PAYLOAD`] is `ErrorKind::InvalidData` (the stream is
+/// poisoned — the caller must close the connection).
+pub fn read_frame(r: &mut impl Read, buf: &mut Vec<u8>) -> io::Result<Option<()>> {
+    let mut header = [0u8; 4];
+    let mut have = 0;
+    while have < 4 {
+        match r.read(&mut header[have..]) {
+            Ok(0) if have == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "truncated frame header",
+                ))
+            }
+            Ok(n) => have += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_PAYLOAD {
+        return Err(invalid(format!(
+            "declared payload of {len} bytes exceeds the {MAX_PAYLOAD}-byte frame limit"
+        )));
+    }
+    buf.clear();
+    buf.resize(len, 0);
+    r.read_exact(buf)?;
+    Ok(Some(()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(op: Op, key: &[u8]) {
+        let mut frame = Vec::new();
+        frame_request(op, key, &mut frame);
+        let mut cursor = io::Cursor::new(frame);
+        let mut payload = Vec::new();
+        assert!(read_frame(&mut cursor, &mut payload).unwrap().is_some());
+        let req = decode_request(&payload).unwrap();
+        assert_eq!(req, Request { op, key });
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(Op::Tas, b"jobs/backfill");
+        round_trip_request(Op::Elect, b"leader/shard-7");
+        round_trip_request(Op::Reset, b"jobs/backfill");
+        round_trip_request(Op::Stats, b"");
+        round_trip_request(Op::Tas, &[0xff; MAX_KEY]);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let cases = [
+            Response::Acquired(Acquired {
+                won: true,
+                epoch: 7,
+            }),
+            Response::Acquired(Acquired {
+                won: false,
+                epoch: u64::MAX,
+            }),
+            Response::Reset { epoch: 0 },
+            Response::Stats(SvcStats {
+                keys: 1,
+                ops: 2,
+                wins: 3,
+                resets: 4,
+                registers: 5,
+            }),
+            Response::Err("kind mismatch".to_string()),
+        ];
+        for resp in cases {
+            let mut frame = Vec::new();
+            frame_response(&resp, &mut frame);
+            let mut cursor = io::Cursor::new(frame);
+            let mut payload = Vec::new();
+            assert!(read_frame(&mut cursor, &mut payload).unwrap().is_some());
+            assert_eq!(decode_response(&payload).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn clean_eof_is_none_truncation_is_an_error() {
+        let mut empty = io::Cursor::new(Vec::<u8>::new());
+        let mut buf = Vec::new();
+        assert!(read_frame(&mut empty, &mut buf).unwrap().is_none());
+
+        // Header cut short.
+        let mut cursor = io::Cursor::new(vec![5u8, 0]);
+        let err = read_frame(&mut cursor, &mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+
+        // Payload cut short.
+        let mut frame = Vec::new();
+        frame_request(Op::Tas, b"key", &mut frame);
+        frame.truncate(frame.len() - 2);
+        let mut cursor = io::Cursor::new(frame);
+        let err = read_frame(&mut cursor, &mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn oversized_declared_length_is_invalid_data() {
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&((MAX_PAYLOAD as u32) + 1).to_le_bytes());
+        let mut cursor = io::Cursor::new(frame);
+        let mut buf = Vec::new();
+        let err = read_frame(&mut cursor, &mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn malformed_request_payloads_are_rejected() {
+        assert!(decode_request(&[]).is_err(), "empty frame");
+        assert!(decode_request(&[99, b'k']).is_err(), "unknown opcode");
+        assert!(decode_request(&[Op::Tas.code()]).is_err(), "empty key");
+        assert!(decode_request(&[Op::Reset.code()]).is_err(), "empty key");
+        let mut oversized = vec![Op::Tas.code()];
+        oversized.resize(MAX_KEY + 2, b'x');
+        assert!(decode_request(&oversized).is_err(), "oversized key");
+        // STATS needs no key.
+        assert!(decode_request(&[Op::Stats.code()]).is_ok());
+    }
+
+    #[test]
+    fn malformed_response_payloads_are_rejected() {
+        assert!(decode_response(&[]).is_err(), "empty frame");
+        assert!(decode_response(&[77]).is_err(), "unknown status");
+        assert!(decode_response(&[STATUS_WIN, 1, 2]).is_err(), "short epoch");
+        assert!(decode_response(&[STATUS_STATS, 0]).is_err(), "short stats");
+    }
+
+    #[test]
+    fn opcodes_round_trip_and_unknown_codes_do_not() {
+        for op in [Op::Tas, Op::Elect, Op::Reset, Op::Stats] {
+            assert_eq!(Op::from_code(op.code()), Some(op));
+        }
+        assert_eq!(Op::from_code(0), None);
+        assert_eq!(Op::from_code(5), None);
+    }
+}

@@ -1,0 +1,230 @@
+//! The std-only TCP server: sharded accept loops, one handler thread
+//! per connection, frames served strictly in order.
+//!
+//! `listeners` accept threads share one bound socket (via
+//! [`TcpListener::try_clone`]); each accepted connection gets its own
+//! handler thread owning a reusable [`NativeRunner`] and reusable
+//! frame buffers, so the steady-state request path performs no
+//! allocation beyond the protocol state machines (see
+//! `tests/alloc_steady.rs` for the namespace half of that claim).
+//! Requests on one connection are executed and answered **in order**,
+//! which is what makes client-side pipelining sound.
+//!
+//! Error policy, matching the [protocol docs](crate::protocol):
+//! framing violations (oversized declared length, truncation) get a
+//! best-effort `ERR` frame and the connection is closed; clean frames
+//! carrying a bad request (unknown opcode, empty key, kind mismatch)
+//! get an `ERR` response and the connection stays usable.
+
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use rtas::native::NativeRunner;
+use rtas::Backend;
+
+use crate::namespace::{Kind, Namespace};
+use crate::protocol::{decode_request, frame_response, read_frame, Op, Request, Response};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct SvcConfig {
+    /// Bind address; port 0 picks a free port (see [`Server::addr`]).
+    pub addr: String,
+    /// Namespace shards (independent key maps + locks).
+    pub shards: usize,
+    /// Participants admitted per key-epoch.
+    pub capacity: usize,
+    /// Algorithm backing every keyed object.
+    pub backend: Backend,
+    /// Accept threads sharing the listening socket.
+    pub listeners: usize,
+    /// Ceiling on live keys across all shards — first contact beyond it
+    /// is refused, bounding server memory against key-churning clients
+    /// (see [`Namespace::with_max_keys`]).
+    pub max_keys: usize,
+}
+
+impl Default for SvcConfig {
+    fn default() -> Self {
+        SvcConfig {
+            addr: "127.0.0.1:0".to_string(),
+            shards: 8,
+            capacity: 64,
+            backend: Backend::Combined,
+            listeners: 2,
+            max_keys: crate::namespace::DEFAULT_MAX_KEYS,
+        }
+    }
+}
+
+/// A running arbitration server. Dropping the handle does **not** stop
+/// the server; call [`Server::shutdown`] (tests, examples) or
+/// [`Server::join`] (the `rtas-svc serve` CLI).
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    namespace: Arc<Namespace>,
+    stop: Arc<AtomicBool>,
+    accepters: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `config.addr` and start the accept threads.
+    pub fn spawn(config: SvcConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let namespace = Arc::new(Namespace::with_max_keys(
+            config.backend,
+            config.shards,
+            config.capacity,
+            config.max_keys,
+        ));
+        let stop = Arc::new(AtomicBool::new(false));
+        // Clone every listener handle BEFORE spawning any thread: a
+        // try_clone failure must abort cleanly, not leave already
+        // spawned accepters running with no Server handle to stop them.
+        let listeners = (0..config.listeners.max(1))
+            .map(|_| listener.try_clone())
+            .collect::<io::Result<Vec<_>>>()?;
+        let accepters = listeners
+            .into_iter()
+            .map(|listener| {
+                let namespace = Arc::clone(&namespace);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || accept_loop(&listener, &namespace, &stop))
+            })
+            .collect();
+        Ok(Server {
+            addr,
+            namespace,
+            stop,
+            accepters,
+        })
+    }
+
+    /// The bound address (the actual port when the config asked for 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The namespace the server arbitrates — in-process callers (tests,
+    /// examples) can inspect stats or drive keys directly.
+    pub fn namespace(&self) -> &Arc<Namespace> {
+        &self.namespace
+    }
+
+    /// Stop accepting and join the accept threads. Connections already
+    /// established keep being served until their clients disconnect.
+    pub fn shutdown(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // One wake-up connection per accept thread: each accepter checks
+        // the flag right after `accept` returns.
+        for _ in &self.accepters {
+            let _ = TcpStream::connect(self.addr);
+        }
+        for handle in self.accepters {
+            let _ = handle.join();
+        }
+    }
+
+    /// Block on the accept threads forever (the `serve` CLI path).
+    pub fn join(self) {
+        for handle in self.accepters {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, namespace: &Arc<Namespace>, stop: &Arc<AtomicBool>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Persistent accept failures (EMFILE under fd
+                // exhaustion, transient ECONNABORTED) must not hot-loop
+                // a core: back off briefly so handler threads get the
+                // cycles to drain and close connections.
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                continue;
+            }
+        };
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let namespace = Arc::clone(namespace);
+        std::thread::spawn(move || handle_connection(stream, &namespace));
+    }
+}
+
+/// Serve one connection until EOF or a framing violation.
+fn handle_connection(mut stream: TcpStream, namespace: &Namespace) {
+    // Request/response frames are single small writes; batching them
+    // behind Nagle would serialize pipelined round trips.
+    let _ = stream.set_nodelay(true);
+    let mut runner = NativeRunner::new();
+    let mut payload = Vec::new();
+    let mut out = Vec::new();
+    loop {
+        match read_frame(&mut stream, &mut payload) {
+            Ok(Some(())) => {}
+            Ok(None) => return, // clean EOF
+            Err(e) => {
+                if e.kind() == io::ErrorKind::InvalidData {
+                    // Framing violation on a live stream: name it, then
+                    // hang up — the stream position is untrustworthy.
+                    out.clear();
+                    frame_response(&Response::Err(e.to_string()), &mut out);
+                    let _ = stream.write_all(&out);
+                }
+                return;
+            }
+        }
+        let response = match decode_request(&payload) {
+            Ok(request) => execute(namespace, request, &mut runner),
+            // A clean frame with a bad request: answer and carry on.
+            Err(e) => Response::Err(e.to_string()),
+        };
+        out.clear();
+        frame_response(&response, &mut out);
+        if stream.write_all(&out).is_err() {
+            return;
+        }
+    }
+}
+
+fn execute(namespace: &Namespace, request: Request<'_>, runner: &mut NativeRunner) -> Response {
+    match request.op {
+        Op::Tas | Op::Elect => {
+            let kind = if request.op == Op::Tas {
+                Kind::Tas
+            } else {
+                Kind::Elect
+            };
+            match namespace.acquire(kind, request.key, runner) {
+                Ok(acquired) => Response::Acquired(acquired),
+                Err(e) => Response::Err(e.to_string()),
+            }
+        }
+        Op::Reset => Response::Reset {
+            epoch: namespace.reset(request.key).unwrap_or(0),
+        },
+        Op::Stats => Response::Stats(namespace.stats()),
+    }
+}
+
+/// Spawn a server on a loopback port chosen by the OS — the one-liner
+/// for tests and in-process use.
+pub fn spawn_local(backend: Backend, shards: usize, capacity: usize) -> io::Result<Server> {
+    Server::spawn(SvcConfig {
+        shards,
+        capacity,
+        backend,
+        ..SvcConfig::default()
+    })
+}

@@ -1,0 +1,242 @@
+//! Wire-protocol integration tests against a live loopback server:
+//! malformed/truncated frames, pipelining, concurrent clients racing
+//! `TAS` on one key, and `RESET`-then-reuse round trips under 8 real
+//! client threads.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Barrier;
+
+use rtas::Backend;
+use rtas_svc::protocol::MAX_PAYLOAD;
+use rtas_svc::{server, Client, ClientError, Op, Response};
+
+fn spawn_server(shards: usize, capacity: usize) -> rtas_svc::Server {
+    server::spawn_local(Backend::Combined, shards, capacity).expect("bind loopback")
+}
+
+#[test]
+fn truncated_frame_closes_the_connection_but_not_the_server() {
+    let srv = spawn_server(2, 4);
+
+    // Half a header, then hang up.
+    let mut raw = TcpStream::connect(srv.addr()).unwrap();
+    raw.write_all(&[7u8, 0]).unwrap();
+    drop(raw);
+
+    // Full header promising more payload than ever arrives.
+    let mut raw = TcpStream::connect(srv.addr()).unwrap();
+    raw.write_all(&20u32.to_le_bytes()).unwrap();
+    raw.write_all(&[1, 2, 3]).unwrap();
+    drop(raw);
+
+    // The server is unfazed: a fresh client works.
+    let mut client = Client::connect(srv.addr()).unwrap();
+    assert!(client.tas(b"alive").unwrap().won);
+    srv.shutdown();
+}
+
+#[test]
+fn oversized_declared_length_gets_an_err_and_a_hangup() {
+    let srv = spawn_server(1, 1);
+    let mut raw = TcpStream::connect(srv.addr()).unwrap();
+    raw.write_all(&((MAX_PAYLOAD as u32) + 1).to_le_bytes())
+        .unwrap();
+    // The server must answer with an ERR frame naming the violation and
+    // then close — it must NOT try to read the bogus payload.
+    let mut header = [0u8; 4];
+    raw.read_exact(&mut header).unwrap();
+    let len = u32::from_le_bytes(header) as usize;
+    let mut payload = vec![0u8; len];
+    raw.read_exact(&mut payload).unwrap();
+    match rtas_svc::protocol::decode_response(&payload).unwrap() {
+        Response::Err(msg) => assert!(msg.contains("frame limit"), "{msg}"),
+        other => panic!("expected ERR, got {other:?}"),
+    }
+    // ... and the stream is closed afterwards.
+    assert_eq!(raw.read(&mut header).unwrap(), 0, "connection must close");
+    srv.shutdown();
+}
+
+#[test]
+fn bad_requests_get_err_responses_and_the_connection_survives() {
+    let srv = spawn_server(1, 2);
+    let mut raw = TcpStream::connect(srv.addr()).unwrap();
+
+    // Unknown opcode: clean frame, recoverable.
+    raw.write_all(&2u32.to_le_bytes()).unwrap();
+    raw.write_all(&[99, b'k']).unwrap();
+    // Empty key on TAS: clean frame, recoverable.
+    raw.write_all(&1u32.to_le_bytes()).unwrap();
+    raw.write_all(&[Op::Tas.code()]).unwrap();
+
+    let read_response = |raw: &mut TcpStream| {
+        let mut header = [0u8; 4];
+        raw.read_exact(&mut header).unwrap();
+        let mut payload = vec![0u8; u32::from_le_bytes(header) as usize];
+        raw.read_exact(&mut payload).unwrap();
+        rtas_svc::protocol::decode_response(&payload).unwrap()
+    };
+    assert!(matches!(read_response(&mut raw), Response::Err(_)));
+    assert!(matches!(read_response(&mut raw), Response::Err(_)));
+
+    // Same connection, now a valid request: still served.
+    raw.write_all(&4u32.to_le_bytes()).unwrap();
+    raw.write_all(&[Op::Tas.code(), b'o', b'k', b'!']).unwrap();
+    match read_response(&mut raw) {
+        Response::Acquired(a) => assert!(a.won),
+        other => panic!("expected a verdict, got {other:?}"),
+    }
+    srv.shutdown();
+}
+
+#[test]
+fn kind_mismatch_is_a_remote_error_not_a_disconnect() {
+    let srv = spawn_server(1, 2);
+    let mut client = Client::connect(srv.addr()).unwrap();
+    assert!(client.elect(b"leader").unwrap().won);
+    match client.tas(b"leader") {
+        Err(ClientError::Remote(msg)) => assert!(msg.contains("kind mismatch"), "{msg}"),
+        other => panic!("expected a remote refusal, got {other:?}"),
+    }
+    // The connection is still good.
+    assert!(!client.elect(b"leader").unwrap().won);
+    srv.shutdown();
+}
+
+#[test]
+fn pipelined_requests_are_answered_in_order() {
+    let srv = spawn_server(2, 16);
+    let mut client = Client::connect(srv.addr()).unwrap();
+    let depth = 10;
+    for _ in 0..depth {
+        client.send(Op::Tas, b"pipelined").unwrap();
+    }
+    let mut wins = 0;
+    for i in 0..depth {
+        match client.recv().unwrap() {
+            Response::Acquired(a) => {
+                assert_eq!(a.epoch, 0);
+                if a.won {
+                    assert_eq!(i, 0, "first pipelined TAS must be the winner");
+                    wins += 1;
+                }
+            }
+            other => panic!("expected a verdict, got {other:?}"),
+        }
+    }
+    assert_eq!(wins, 1);
+    // A pipelined RESET then TAS: the reuse round trip in one batch.
+    client.send(Op::Reset, b"pipelined").unwrap();
+    client.send(Op::Tas, b"pipelined").unwrap();
+    assert!(matches!(
+        client.recv().unwrap(),
+        Response::Reset { epoch: 1 }
+    ));
+    match client.recv().unwrap() {
+        Response::Acquired(a) => {
+            assert!(a.won, "fresh epoch after pipelined reset");
+            assert_eq!(a.epoch, 1);
+        }
+        other => panic!("expected a verdict, got {other:?}"),
+    }
+    srv.shutdown();
+}
+
+#[test]
+fn eight_clients_racing_one_key_have_exactly_one_winner_per_epoch() {
+    let threads = 8;
+    let epochs = 25u64;
+    let srv = spawn_server(4, threads);
+    let barrier = Barrier::new(threads);
+    let addr = srv.addr();
+    let wins: u64 = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let barrier = &barrier;
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    let mut wins = 0u64;
+                    for epoch in 0..epochs {
+                        // All 8 threads enter each epoch together; the
+                        // winner acks the resolution with RESET, which
+                        // the others' next barrier round waits out.
+                        barrier.wait();
+                        let verdict = client.tas(b"contended/key").unwrap();
+                        wins += verdict.won as u64;
+                        barrier.wait();
+                        if verdict.won {
+                            let next = client.reset(b"contended/key").unwrap();
+                            assert_eq!(next, epoch + 1, "epochs advance one at a time");
+                        }
+                        barrier.wait();
+                    }
+                    wins
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    assert_eq!(wins, epochs, "exactly one winner per epoch");
+    let stats = srv.namespace().stats();
+    assert_eq!(stats.keys, 1);
+    assert_eq!(stats.ops, threads as u64 * epochs);
+    assert_eq!(stats.wins, epochs);
+    assert_eq!(stats.resets, epochs);
+    srv.shutdown();
+}
+
+#[test]
+fn reset_then_reuse_round_trips_under_eight_real_client_threads() {
+    // RESET-driven reuse with *unsynchronized* clients: every thread
+    // hammers its own key plus one shared key, recycling its own key
+    // after every verdict. One winner per completed epoch everywhere.
+    let threads = 8;
+    let rounds = 50u64;
+    let srv = spawn_server(4, threads);
+    let addr = srv.addr();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            s.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let key = format!("private/{t}").into_bytes();
+                for round in 0..rounds {
+                    let verdict = client.tas(&key).unwrap();
+                    assert!(verdict.won, "sole participant always wins");
+                    assert_eq!(verdict.epoch, round);
+                    assert_eq!(client.reset(&key).unwrap(), round + 1);
+                    // Interleave traffic on a shared, never-reset key.
+                    let shared = client.tas(b"shared").unwrap();
+                    assert_eq!(shared.epoch, 0);
+                }
+            });
+        }
+    });
+    let stats = srv.namespace().stats();
+    assert_eq!(stats.keys, threads as u64 + 1);
+    // Private keys: one win per round per thread. Shared key: epoch 0
+    // resolved once, so exactly one more win overall.
+    assert_eq!(stats.wins, threads as u64 * rounds + 1);
+    assert_eq!(stats.resets, threads as u64 * rounds);
+    assert_eq!(stats.ops, 2 * threads as u64 * rounds);
+    srv.shutdown();
+}
+
+#[test]
+fn stats_round_trip_over_the_wire_matches_in_process_counters() {
+    let srv = spawn_server(2, 2);
+    let mut client = Client::connect(srv.addr()).unwrap();
+    assert!(client.tas(b"a").unwrap().won);
+    assert!(!client.tas(b"a").unwrap().won);
+    assert!(client.elect(b"b").unwrap().won);
+    client.reset(b"a").unwrap();
+    assert_eq!(client.reset(b"missing").unwrap(), 0, "no such key");
+    let wire = client.stats().unwrap();
+    assert_eq!(wire, srv.namespace().stats());
+    assert_eq!(wire.keys, 2);
+    assert_eq!(wire.ops, 3);
+    assert_eq!(wire.wins, 2);
+    assert_eq!(wire.resets, 1);
+    assert!(wire.registers > 0);
+    srv.shutdown();
+}

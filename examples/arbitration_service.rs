@@ -1,0 +1,85 @@
+//! The arbitration service end to end, in one process: spawn a server
+//! on a loopback port, point N real client threads at one contended
+//! key, and watch the paper's randomized test-and-set arbitrate — one
+//! winner per epoch, recycled with `RESET`, latency measured from the
+//! client side.
+//!
+//! ```text
+//! cargo run --release --example arbitration_service
+//! ```
+
+use std::sync::Barrier;
+use std::time::Instant;
+
+use rtas_svc::{server, Client};
+
+fn main() {
+    let clients = 8;
+    let epochs = 200u64;
+    let key = b"jobs/2026-07-30/backfill";
+
+    // A server with 4 namespace shards, 8 participants per key-epoch,
+    // on a port picked by the OS.
+    let srv = server::spawn_local(rtas::Backend::Combined, 4, clients).expect("bind loopback");
+    println!("arbitration service on {}", srv.addr());
+
+    let addr = srv.addr();
+    let barrier = Barrier::new(clients);
+    let per_thread: Vec<(u64, Vec<f64>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let barrier = &barrier;
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut wins = 0u64;
+                    let mut latencies_us = Vec::with_capacity(epochs as usize);
+                    for _ in 0..epochs {
+                        // Everyone contends for the same key...
+                        barrier.wait();
+                        let t0 = Instant::now();
+                        let verdict = client.tas(key).expect("TAS");
+                        latencies_us.push(t0.elapsed().as_secs_f64() * 1e6);
+                        wins += verdict.won as u64;
+                        barrier.wait();
+                        // ... and the winner acks + recycles the epoch.
+                        if verdict.won {
+                            client.reset(key).expect("RESET");
+                        }
+                        barrier.wait();
+                    }
+                    (wins, latencies_us)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let total_wins: u64 = per_thread.iter().map(|(w, _)| w).sum();
+    let mut all: Vec<f64> = per_thread
+        .iter()
+        .flat_map(|(_, l)| l.iter().copied())
+        .collect();
+    all.sort_by(|a, b| a.total_cmp(b));
+    let q = |p: f64| all[((all.len() - 1) as f64 * p) as usize];
+    println!(
+        "{clients} clients x {epochs} epochs on one key: {total_wins} wins \
+         (exactly one per epoch: {})",
+        total_wins == epochs
+    );
+    for (t, (wins, _)) in per_thread.iter().enumerate() {
+        println!("  client {t}: {wins} epochs won");
+    }
+    println!(
+        "TAS round-trip latency us: p50 {:.1} | p90 {:.1} | p99 {:.1}",
+        q(0.50),
+        q(0.90),
+        q(0.99)
+    );
+    let stats = srv.namespace().stats();
+    println!(
+        "server: {} key(s), {} ops, {} wins, {} resets, {} registers",
+        stats.keys, stats.ops, stats.wins, stats.resets, stats.registers
+    );
+    assert_eq!(total_wins, epochs, "exactly one winner per epoch");
+    srv.shutdown();
+}

@@ -12,7 +12,7 @@
 //! test-and-set objects by epoch: nothing is rebuilt per resolution.
 
 use rtas::Backend;
-use rtas_load::driver::{run_load, LoadSpec, Mode, Slo};
+use rtas_load::driver::{run_load, LoadSpec, Mode, Slo, Warmup};
 
 fn print_outcome(tag: &str, out: &rtas_load::LoadOutcome) {
     let overall = out.recorder.overall_latency();
@@ -46,6 +46,7 @@ fn main() {
         mode: Mode::Closed { total_ops: 80_000 },
         seed: 42,
         churn: None,
+        warmup: Warmup::None,
     });
     print_outcome("closed", &closed);
 
@@ -58,6 +59,7 @@ fn main() {
         mode: Mode::Closed { total_ops: 80_000 },
         seed: 42,
         churn: Some(1_000),
+        warmup: Warmup::None,
     });
     print_outcome("closed+churn", &churned);
 
@@ -74,6 +76,7 @@ fn main() {
         },
         seed: 42,
         churn: None,
+        warmup: Warmup::None,
     });
     print_outcome("open", &open);
 

@@ -3,7 +3,11 @@
 //!
 //! The actual library lives in the `rtas` crate (see `crates/core`);
 //! the native load-generation harness (sharded arena, open/closed-loop
-//! workload driver, `rtas-load` CLI) lives in `rtas-load` (see
-//! `crates/load`), re-exported here as [`load`].
+//! workload driver, remote backend, `rtas-load` CLI) lives in
+//! `rtas-load` (see `crates/load`), re-exported here as [`load`]; the
+//! network arbitration service (keyed TAS/LE namespaces behind a
+//! sharded TCP server, `rtas-svc` CLI) lives in `rtas-svc` (see
+//! `crates/svc`), re-exported here as [`svc`].
 pub use rtas;
 pub use rtas_load as load;
+pub use rtas_svc as svc;

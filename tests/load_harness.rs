@@ -18,6 +18,7 @@ fn arena_reuse_over_100_epochs_under_contention() {
         mode: Mode::Closed { total_ops: 8 * 120 },
         seed: 3,
         churn: None,
+        warmup: rtas_load::Warmup::None,
     });
     assert_eq!(out.total_ops(), 960);
     assert_eq!(out.resolutions(), 480, "120 epochs per shard");
@@ -44,6 +45,7 @@ fn every_backend_survives_the_closed_loop() {
             mode: Mode::Closed { total_ops: 200 },
             seed: 5,
             churn: None,
+            warmup: rtas_load::Warmup::None,
         });
         assert_eq!(out.total_wins(), out.resolutions(), "{backend:?}");
     }
@@ -58,6 +60,7 @@ fn churn_respawns_workers_without_losing_ops_or_safety() {
         mode: Mode::Closed { total_ops: 400 },
         seed: 11,
         churn: Some(7),
+        warmup: rtas_load::Warmup::None,
     });
     assert_eq!(out.total_ops(), 400);
     assert_eq!(out.total_wins(), out.resolutions());
@@ -85,6 +88,7 @@ fn open_loop_same_seed_same_offered_load() {
         },
         seed: 77,
         churn: None,
+        warmup: rtas_load::Warmup::None,
     };
     let x = run_load(spec);
     let y = run_load(spec);
@@ -109,6 +113,7 @@ fn report_carries_wall_gate_labels_and_matches_counts() {
         mode: Mode::Closed { total_ops: 100 },
         seed: 1,
         churn: None,
+        warmup: rtas_load::Warmup::None,
     });
     let report = out.bench_report();
     assert_eq!(report.name(), "native_load");
@@ -137,6 +142,7 @@ fn slo_checks_read_the_overall_distribution() {
         mode: Mode::Closed { total_ops: 100 },
         seed: 2,
         churn: None,
+        warmup: rtas_load::Warmup::None,
     });
     assert!(Slo {
         p50_us: Some(1e12),
@@ -167,6 +173,7 @@ fn arena_epochs_continue_across_driver_runs() {
         mode: Mode::Closed { total_ops: 80 },
         seed: 0,
         churn: None,
+        warmup: rtas_load::Warmup::None,
     };
     let first = rtas_load::run_load_on(&arena, spec);
     assert_eq!(arena.epochs_completed(0), 20);
