@@ -18,7 +18,11 @@
 //! * `min`, `stddev`, `ci95`, and the experiment-specific extras are
 //!   informational only — their regression direction is
 //!   metric-dependent (a higher `mean_finished` is *better*), so they
-//!   never gate.
+//!   never gate on tolerance. Extras *do* gate structurally: a key
+//!   appearing or vanishing, or a value flipping between finite and
+//!   null, fails the comparison (the error-class counters on the load
+//!   reports rely on this — `err_timeouts` silently disappearing would
+//!   otherwise look like a clean run).
 //!
 //! **Wall-derived rows.** A row labeled `gate=wall` (the
 //! `BENCH_native_load.json` rows: throughput and latency quantiles
@@ -250,6 +254,32 @@ fn compare_rows(base: &BenchRow, cur: &BenchRow, tol: &Tolerances, out: &mut Rep
             status,
         });
     }
+    // Extras never gate on tolerance (their regression direction is
+    // metric-dependent), but their *shape* is part of the report
+    // schema: a key appearing or vanishing, or a value flipping
+    // between finite and null, means producer and baseline no longer
+    // describe the same experiment.
+    for (name, cur_value) in &cur.extra {
+        match base.extra.iter().find(|(n, _)| n == name) {
+            None => out.structural.push(format!(
+                "{key}: extra metric {name} has no baseline value \
+                 (schema changed; refresh with [bench-reset])"
+            )),
+            Some((_, base_value)) => {
+                if base_value.is_finite() != cur_value.is_finite() {
+                    out.structural.push(format!(
+                        "{key}: {name} flipped finiteness ({base_value} -> {cur_value})"
+                    ));
+                }
+            }
+        }
+    }
+    for (name, _) in &base.extra {
+        if !cur.extra.iter().any(|(n, _)| n == name) {
+            out.structural
+                .push(format!("{key}: extra metric {name} vanished from this run"));
+        }
+    }
 }
 
 /// Compare one freshly measured report against its baseline.
@@ -297,6 +327,10 @@ pub fn diff_reports(baseline: &BenchReport, current: &BenchReport, tol: &Toleran
 /// The outcome of comparing two report directories.
 #[derive(Debug, Clone, Default)]
 pub struct DirDiff {
+    /// The baseline directory compared, as given to [`diff_dirs`].
+    pub baseline_dir: String,
+    /// The freshly measured directory compared.
+    pub current_dir: String,
     /// Per-experiment comparisons, in file-name order.
     pub diffs: Vec<ReportDiff>,
     /// Current reports with no committed baseline (informational: new
@@ -345,7 +379,11 @@ pub fn diff_dirs(
 ) -> Result<DirDiff, String> {
     let baseline_files = bench_files(baseline_dir)?;
     let current_files = bench_files(current_dir)?;
-    let mut out = DirDiff::default();
+    let mut out = DirDiff {
+        baseline_dir: baseline_dir.display().to_string(),
+        current_dir: current_dir.display().to_string(),
+        ..DirDiff::default()
+    };
     for name in &current_files {
         if baseline_files.contains(name) {
             let base = load_report(&baseline_dir.join(name))?;
@@ -381,6 +419,15 @@ fn fmt_value(v: f64) -> String {
 pub fn markdown_summary(diff: &DirDiff, verbose: bool) -> String {
     let mut out = String::new();
     out.push_str("## bench-diff\n\n");
+    // Name both directories unconditionally: a failure whose only
+    // symptom is a missing/extra row used to print nothing that
+    // identified WHERE the comparison ran, leaving CI logs unactionable.
+    if !diff.baseline_dir.is_empty() || !diff.current_dir.is_empty() {
+        out.push_str(&format!(
+            "baseline `{}` vs current `{}`\n\n",
+            diff.baseline_dir, diff.current_dir
+        ));
+    }
     let mut any_rows = false;
     for report in &diff.diffs {
         let listed: Vec<&MetricDelta> = report
@@ -706,6 +753,57 @@ mod tests {
     }
 
     #[test]
+    fn extras_gate_structurally_but_not_on_tolerance() {
+        let base = report_with("e", vec![row(2, 10.0).with("err_timeouts", 0.0)]);
+        // Any magnitude drift in an extra is informational: never gates.
+        let cur = report_with("e", vec![row(2, 10.0).with("err_timeouts", 500.0)]);
+        let d = diff_reports(&base, &cur, &Tolerances::default());
+        assert!(!d.regressed(), "{:?}", d.structural);
+
+        // A vanished extra key is structural drift.
+        let d = diff_reports(
+            &base,
+            &report_with("e", vec![row(2, 10.0)]),
+            &Tolerances::default(),
+        );
+        assert!(d.regressed());
+        assert!(
+            d.structural
+                .iter()
+                .any(|s| s.contains("err_timeouts vanished")),
+            "{:?}",
+            d.structural
+        );
+
+        // So is a new extra key with no baseline value...
+        let d = diff_reports(
+            &report_with("e", vec![row(2, 10.0)]),
+            &base,
+            &Tolerances::default(),
+        );
+        assert!(d.regressed());
+        assert!(
+            d.structural
+                .iter()
+                .any(|s| s.contains("err_timeouts has no baseline value")),
+            "{:?}",
+            d.structural
+        );
+
+        // ...and an extra flipping finite -> null.
+        let cur = report_with("e", vec![row(2, 10.0).with("err_timeouts", f64::NAN)]);
+        let d = diff_reports(&base, &cur, &Tolerances::default());
+        assert!(d.regressed());
+        assert!(
+            d.structural
+                .iter()
+                .any(|s| s.contains("err_timeouts flipped finiteness")),
+            "{:?}",
+            d.structural
+        );
+    }
+
+    #[test]
     fn rows_are_matched_by_labels_not_position() {
         let a = row(2, 4.0).with_label("algorithm", "ratrace");
         let b = row(2, 9.0).with_label("algorithm", "combined");
@@ -769,6 +867,14 @@ mod tests {
         assert!(
             md.contains("`BENCH_only_base.json`: missing file"),
             "missing files are named: {md}"
+        );
+        // Here only row-level drift failed (no metric table rendered):
+        // the header must still name both directories, or the CI log
+        // would never say where the comparison ran.
+        assert!(
+            md.contains(&format!("baseline `{}`", base_dir.display()))
+                && md.contains(&format!("current `{}`", cur_dir.display())),
+            "directories are named even when only rows drift: {md}"
         );
 
         std::fs::remove_dir_all(&tmp).ok();

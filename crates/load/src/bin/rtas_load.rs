@@ -24,6 +24,11 @@
 //!                     scheduled in the first s seconds
 //!   --slo-p50 <us>    fail (exit 1) if overall p50 exceeds this
 //!   --slo-p99 <us>    fail (exit 1) if overall p99 exceeds this
+//!   --chaos <spec>    remote backend only: inject deterministic faults —
+//!                     a preset (clean|delay-only|drop-heavy|byzantine-reset)
+//!                     or k=v pairs (delay, drop, truncate, reorder, stall,
+//!                     skip-reset, dup-reset, ...); reports as svc_chaos
+//!   --chaos-seed <x>  fault-schedule seed                     (default 42)
 //!   --no-json         skip writing the BENCH_*.json report
 //! ```
 //!
@@ -39,17 +44,19 @@
 
 use std::process::ExitCode;
 
+use rtas_load::chaos::run_load_chaos;
 use rtas_load::driver::{
     backend_label, default_shards, parse_backend, run_load, LoadSpec, Mode, Slo, Warmup,
 };
 use rtas_load::remote::run_load_remote;
+use rtas_svc::chaos::{ChaosSpec, FaultPlan};
 
 fn usage() -> ! {
     eprintln!(
         "usage: rtas-load [--backend b] [--addr host:port] [--threads n] \
          [--shards n] [--mode closed|open] [--ops n] [--rate r] [--duration s] \
          [--seed x] [--churn k] [--warmup n] [--warmup-secs s] [--slo-p50 us] \
-         [--slo-p99 us] [--no-json]"
+         [--slo-p99 us] [--chaos spec] [--chaos-seed x] [--no-json]"
     );
     std::process::exit(2);
 }
@@ -73,6 +80,8 @@ fn main() -> ExitCode {
     let mut warmup_secs: Option<f64> = None;
     let mut slo = Slo::default();
     let mut no_json = false;
+    let mut chaos: Option<String> = None;
+    let mut chaos_seed = 42u64;
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -116,6 +125,8 @@ fn main() -> ExitCode {
             "--warmup-secs" => warmup_secs = Some(parsed("--warmup-secs", value("--warmup-secs"))),
             "--slo-p50" => slo.p50_us = Some(parsed("--slo-p50", value("--slo-p50"))),
             "--slo-p99" => slo.p99_us = Some(parsed("--slo-p99", value("--slo-p99"))),
+            "--chaos" => chaos = Some(value("--chaos").clone()),
+            "--chaos-seed" => chaos_seed = parsed("--chaos-seed", value("--chaos-seed")),
             "--no-json" => no_json = true,
             "--help" | "-h" => usage(),
             flag => {
@@ -171,6 +182,22 @@ fn main() -> ExitCode {
         eprintln!("error: --addr only applies to --backend remote");
         usage();
     }
+    let chaos_spec = match &chaos {
+        None => None,
+        Some(s) => {
+            if !remote {
+                eprintln!("error: --chaos requires --backend remote (and --addr)");
+                usage();
+            }
+            match ChaosSpec::parse(s) {
+                Ok(spec) => Some(spec),
+                Err(e) => {
+                    eprintln!("error: bad --chaos spec: {e}");
+                    usage();
+                }
+            }
+        }
+    };
 
     let spec = LoadSpec {
         backend,
@@ -201,7 +228,43 @@ fn main() -> ExitCode {
             Warmup::Secs(s) => format!(" warmup={s}s"),
         },
     );
-    let out = if remote {
+    let mut chaos_summary: Option<String> = None;
+    let out = if let Some(chaos_spec) = chaos_spec {
+        println!("rtas-load: chaos spec={chaos_spec} seed={chaos_seed}");
+        let plan = FaultPlan::new(chaos_spec, chaos_seed);
+        match run_load_chaos(addr.as_deref().unwrap(), spec, plan) {
+            Ok(chaos_out) => {
+                let c = chaos_out.counts;
+                let winners: usize = chaos_out.winners.iter().map(Vec::len).sum();
+                chaos_summary = Some(format!(
+                    "chaos | {} faults injected | delays {} | drops {} | \
+                     truncations {} | reorders {} | stalls {} | skipped resets {} | \
+                     dup resets {} | timeouts {} | retries {} | reconnects {} | \
+                     reclaimed {} | winner epochs {winners} (one winner each)",
+                    c.injected(),
+                    c.delays,
+                    c.drops,
+                    c.truncations,
+                    c.reorders,
+                    c.stalls,
+                    c.skipped_resets,
+                    c.dup_resets,
+                    c.timeouts,
+                    c.retries,
+                    c.reconnects,
+                    chaos_out.reclaimed,
+                ));
+                chaos_out.outcome
+            }
+            Err(err) => {
+                eprintln!(
+                    "rtas-load: cannot drive {}: {err}",
+                    addr.as_deref().unwrap()
+                );
+                return ExitCode::from(2);
+            }
+        }
+    } else if remote {
         match run_load_remote(addr.as_deref().unwrap(), spec) {
             Ok(out) => out,
             Err(err) => {
@@ -247,11 +310,19 @@ fn main() -> ExitCode {
         overall.p50,
         overall.p99,
     );
-    assert_eq!(
-        out.total_wins() + out.warmup_wins,
-        out.resolutions(),
-        "safety violation: winner count does not match resolution count"
-    );
+    if let Some(summary) = &chaos_summary {
+        // Under chaos, local wins legitimately diverge from resolution
+        // counts (skipped acks strand losing epochs; reclaims split
+        // one local epoch across two server epochs). The one-winner
+        // bar is enforced fail-fast inside the chaos target instead.
+        println!("{summary}");
+    } else {
+        assert_eq!(
+            out.total_wins() + out.warmup_wins,
+            out.resolutions(),
+            "safety violation: winner count does not match resolution count"
+        );
+    }
 
     if !no_json {
         let report = out.bench_report();

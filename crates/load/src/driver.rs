@@ -183,6 +183,9 @@ pub enum TargetKind {
     Native,
     /// Remote `rtas-svc` server: `BENCH_svc_load.json`.
     Remote,
+    /// Remote server behind the deterministic fault-injection layer
+    /// (see [`crate::chaos`]): `BENCH_svc_chaos.json`.
+    Chaos,
 }
 
 impl TargetKind {
@@ -191,6 +194,7 @@ impl TargetKind {
         match self {
             TargetKind::Native => "native_load",
             TargetKind::Remote => "svc_load",
+            TargetKind::Chaos => "svc_chaos",
         }
     }
 }
@@ -318,6 +322,7 @@ impl LoadOutcome {
         match self.target {
             TargetKind::Native => backend_label(self.spec.backend),
             TargetKind::Remote => "remote",
+            TargetKind::Chaos => "chaos",
         }
     }
 
@@ -369,6 +374,15 @@ impl LoadOutcome {
             )
             .with("warmup_ops", self.warmup_ops as f64)
             .with("throughput_ops_s", self.throughput_ops_per_sec())
+            // Error classes: all zeros on a clean network, nonzero when
+            // the run degraded — visible in the report instead of
+            // silently folded into latency. bench-diff gates these
+            // structurally (presence + finiteness) like every
+            // `gate=wall` value.
+            .with("err_timeouts", self.recorder.errors().timeouts as f64)
+            .with("err_retries", self.recorder.errors().retries as f64)
+            .with("err_reconnects", self.recorder.errors().reconnects as f64)
+            .with("err_reclaimed", self.recorder.errors().reclaimed as f64)
             .with("registers", self.registers as f64)
             .with("shards", self.spec.shards as f64)
             .with("group", self.spec.group() as f64)
@@ -874,6 +888,19 @@ mod tests {
         assert!(total.labels.contains(&("scope".into(), "total".into())));
         assert!(total.labels.contains(&("gate".into(), "wall".into())));
         assert_eq!(total.trials, 100);
+        // Error classes ride the total row — zero on a clean network,
+        // but always present so degraded runs diff structurally.
+        for key in [
+            "err_timeouts",
+            "err_retries",
+            "err_reconnects",
+            "err_reclaimed",
+        ] {
+            assert!(
+                total.extra.iter().any(|(k, v)| k == key && *v == 0.0),
+                "{key} present and zero on a clean run"
+            );
+        }
         // Round-trips through the JSON machinery like every report.
         let parsed = BenchReport::from_json(&report.to_json()).expect("parses");
         assert_eq!(parsed, report);

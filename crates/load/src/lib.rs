@@ -26,6 +26,12 @@
 //!   becomes the key `load/s`, epochs recycle through the wire
 //!   protocol's `RESET` ack, and the run reports as
 //!   `BENCH_svc_load.json`.
+//! * [`chaos`] — the remote driver behind `rtas-svc`'s deterministic
+//!   fault-injection layer (`--chaos <spec> --chaos-seed <n>`):
+//!   delays, drops, truncation, reordering, stalled holders, and
+//!   byzantine `RESET` acks, replayed bit-identically from one seed,
+//!   with the one-winner-per-key-epoch bar enforced fail-fast and the
+//!   run reporting as `BENCH_svc_chaos.json`.
 //!
 //! The `rtas-load` binary drives all of it from the command line and
 //! emits `BENCH_native_load.json` (or `BENCH_svc_load.json`) through
@@ -52,15 +58,17 @@
 //! [`StatsAccumulator`]: rtas_bench::stats::StatsAccumulator
 
 pub mod arena;
+pub mod chaos;
 pub mod driver;
 pub mod recorder;
 pub mod remote;
 pub mod schedule;
 
 pub use arena::TasArena;
+pub use chaos::{run_load_chaos, ChaosOutcome, ChaosTarget};
 pub use driver::{
     run_load, run_load_on, LoadOutcome, LoadSpec, LoadTarget, Mode, Slo, TargetKind, Warmup,
 };
-pub use recorder::LoadRecorder;
+pub use recorder::{ErrorClasses, LoadRecorder};
 pub use remote::{run_load_remote, RemoteTarget};
 pub use schedule::ArrivalSchedule;

@@ -14,6 +14,32 @@
 
 use rtas_bench::stats::{StatsAccumulator, Summary};
 
+/// Error-class counts for a run: how much of the offered load hit
+/// transport faults or server-side recovery, instead of being silently
+/// folded into the latency distribution. All zeros on a clean network.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ErrorClasses {
+    /// Transport deadlines that expired (connect, read, or write).
+    pub timeouts: u64,
+    /// Operations re-sent after a transport failure.
+    pub retries: u64,
+    /// Connections successfully re-dialed.
+    pub reconnects: u64,
+    /// Epoch slots the *server* reclaimed because their holder's lease
+    /// expired (from the server's `STATS` delta over the run).
+    pub reclaimed: u64,
+}
+
+impl ErrorClasses {
+    /// Fold another run segment's counts into this one.
+    pub fn merge(&mut self, other: &ErrorClasses) {
+        self.timeouts += other.timeouts;
+        self.retries += other.retries;
+        self.reconnects += other.reconnects;
+        self.reclaimed += other.reclaimed;
+    }
+}
+
 /// One shard's worth of observations.
 #[derive(Debug, Clone, Default)]
 pub struct ShardStats {
@@ -29,6 +55,7 @@ pub struct ShardStats {
 #[derive(Debug, Clone)]
 pub struct LoadRecorder {
     shards: Vec<ShardStats>,
+    errors: ErrorClasses,
 }
 
 impl LoadRecorder {
@@ -36,6 +63,7 @@ impl LoadRecorder {
     pub fn new(shards: usize) -> Self {
         LoadRecorder {
             shards: vec![ShardStats::default(); shards],
+            errors: ErrorClasses::default(),
         }
     }
 
@@ -63,6 +91,18 @@ impl LoadRecorder {
             mine.ops += theirs.ops;
             mine.wins += theirs.wins;
         }
+        self.errors.merge(&other.errors);
+    }
+
+    /// Error-class counts for the run so far.
+    pub fn errors(&self) -> &ErrorClasses {
+        &self.errors
+    }
+
+    /// Fold additional error-class counts into this recorder (worker
+    /// transport fallout, or the server's reclaimed-slot delta).
+    pub fn add_errors(&mut self, errors: &ErrorClasses) {
+        self.errors.merge(errors);
     }
 
     /// Number of shards covered.
@@ -107,10 +147,26 @@ mod tests {
         a.record(1, 5.0, true);
         let mut b = LoadRecorder::new(2);
         b.record(0, 20.0, false);
+        b.add_errors(&ErrorClasses {
+            timeouts: 1,
+            retries: 2,
+            reconnects: 3,
+            reclaimed: 4,
+        });
         a.merge(&b);
         assert_eq!(a.shards(), 2);
         assert_eq!(a.total_ops(), 4);
         assert_eq!(a.total_wins(), 2);
+        assert_eq!(
+            *a.errors(),
+            ErrorClasses {
+                timeouts: 1,
+                retries: 2,
+                reconnects: 3,
+                reclaimed: 4
+            },
+            "error classes merge with the recorder"
+        );
         let s0 = &a.shard_stats()[0];
         assert_eq!(s0.ops, 3);
         assert_eq!(s0.wins, 1);

@@ -8,6 +8,8 @@
 //!   --backend <b>    logstar | loglog | ratrace | combined  (default combined)
 //!   --listeners <n>  accept threads                    (default 2)
 //!   --max-keys <n>   ceiling on live keys              (default 1048576)
+//!   --lease-ms <n>   reclaim unacked epochs after n ms (default off)
+//!   --read-timeout-ms <n>  close connections idle past n ms (default off)
 //!
 //! rtas-svc stats --addr <a>       print a server's counters and exit
 //! ```
@@ -23,7 +25,8 @@ use rtas_svc::{Client, Server, SvcConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: rtas-svc serve [--addr a] [--shards n] [--capacity n] \
-         [--backend b] [--listeners n] [--max-keys n]\n       \
+         [--backend b] [--listeners n] [--max-keys n] [--lease-ms n] \
+         [--read-timeout-ms n]\n       \
          rtas-svc stats --addr a"
     );
     std::process::exit(2);
@@ -59,6 +62,22 @@ fn main() -> ExitCode {
             "--capacity" => config.capacity = parsed("--capacity", value("--capacity")),
             "--listeners" => config.listeners = parsed("--listeners", value("--listeners")),
             "--max-keys" => config.max_keys = parsed("--max-keys", value("--max-keys")),
+            "--lease-ms" => {
+                let ms: u64 = parsed("--lease-ms", value("--lease-ms"));
+                if ms == 0 {
+                    eprintln!("error: --lease-ms must be positive (omit to disable)");
+                    usage();
+                }
+                config.lease = Some(std::time::Duration::from_millis(ms));
+            }
+            "--read-timeout-ms" => {
+                let ms: u64 = parsed("--read-timeout-ms", value("--read-timeout-ms"));
+                if ms == 0 {
+                    eprintln!("error: --read-timeout-ms must be positive (omit to disable)");
+                    usage();
+                }
+                config.read_timeout = Some(std::time::Duration::from_millis(ms));
+            }
             "--backend" => {
                 let v = value("--backend");
                 config.backend = rtas::Backend::parse(v).unwrap_or_else(|| {
@@ -120,8 +139,8 @@ fn main() -> ExitCode {
             match stats {
                 Ok(s) => {
                     println!(
-                        "keys {} | ops {} | wins {} | resets {} | registers {}",
-                        s.keys, s.ops, s.wins, s.resets, s.registers
+                        "keys {} | ops {} | wins {} | resets {} | registers {} | reclaimed {}",
+                        s.keys, s.ops, s.wins, s.resets, s.registers, s.reclaimed
                     );
                     ExitCode::SUCCESS
                 }

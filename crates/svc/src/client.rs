@@ -12,10 +12,26 @@
 //! one thread (the load harness opens a connection per worker), which
 //! keeps the hot path free of locks and allocation — both frame
 //! buffers are owned and reused.
+//!
+//! ## Hostile networks
+//!
+//! [`ClientConfig`] bounds every transport wait: a connect timeout
+//! (on by default — a dead address must fail the dial, not hang a
+//! fleet spawn), and optional read/write deadlines on the established
+//! stream. [`Client::reconnect`] re-dials the peer the client first
+//! connected to with the same config, and [`RetryPolicy`] provides
+//! bounded, full-jitter exponential backoff for the redial loop. The
+//! protocol makes retried work idempotent at the *epoch* level: a
+//! reconnected worker re-reads the key's current epoch (its verdicts
+//! carry epoch numbers), so a retry rejoins the open epoch rather than
+//! colliding with a completed one.
 
 use std::fmt;
 use std::io::{self, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use rtas::sim::rng::SplitMix64;
 
 use crate::protocol::{
     decode_response, frame_request, read_frame, Acquired, Op, Response, SvcStats,
@@ -58,25 +74,146 @@ impl From<io::Error> for ClientError {
     }
 }
 
+/// Transport deadlines for a [`Client`] connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// Deadline for establishing the TCP connection. The default is
+    /// 10 s — `None` restores the OS's (much longer) SYN patience,
+    /// which is almost never what a fleet spawn wants.
+    pub connect_timeout: Option<Duration>,
+    /// Deadline for each blocking read on the established stream
+    /// (`None`, the default, waits indefinitely).
+    pub read_timeout: Option<Duration>,
+    /// Deadline for each blocking write (`None` by default).
+    pub write_timeout: Option<Duration>,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Some(Duration::from_secs(10)),
+            read_timeout: None,
+            write_timeout: None,
+        }
+    }
+}
+
+/// Bounded, full-jitter exponential backoff for reconnect loops.
+///
+/// Attempt `n` (0-based) sleeps `exp/2 + uniform(0..exp/2)` where
+/// `exp = min(cap, base << n)` — the classic "full jitter" scheme that
+/// decorrelates a thundering herd of retrying clients while keeping
+/// the expected wait growing exponentially.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Redial attempts before giving up.
+    pub attempts: u32,
+    /// First attempt's nominal backoff.
+    pub base: Duration,
+    /// Ceiling on any single backoff.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 8,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(200),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before (0-based) `attempt`, jittered by `rng`. Keep
+    /// the jitter stream separate from any stream whose draw sequence
+    /// must stay deterministic — retries are timing-dependent.
+    pub fn backoff(&self, attempt: u32, rng: &mut SplitMix64) -> Duration {
+        let base_ns = self.base.as_nanos().min(u64::MAX as u128) as u64;
+        let cap_ns = self.cap.as_nanos().min(u64::MAX as u128) as u64;
+        let exp = base_ns
+            .saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX))
+            .min(cap_ns);
+        let half = exp / 2;
+        let jitter = if half == 0 { 0 } else { rng.next_below(half) };
+        Duration::from_nanos(half + jitter)
+    }
+}
+
 /// One blocking connection to an arbitration server.
 #[derive(Debug)]
 pub struct Client {
     stream: TcpStream,
+    /// The resolved address actually dialed — [`Client::reconnect`]
+    /// re-dials exactly this peer.
+    peer: SocketAddr,
+    config: ClientConfig,
     out: Vec<u8>,
     payload: Vec<u8>,
 }
 
 impl Client {
-    /// Connect (with `TCP_NODELAY`, so pipelined small frames are not
+    /// Connect with the default [`ClientConfig`]: a 10 s connect
+    /// timeout and `TCP_NODELAY` (so pipelined small frames are not
     /// batched behind Nagle).
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connect with explicit transport deadlines. Each resolved
+    /// address is tried in order under `config.connect_timeout`; the
+    /// error of the last candidate is returned if all fail.
+    pub fn connect_with(addr: impl ToSocketAddrs, config: ClientConfig) -> io::Result<Client> {
+        let mut last_err = None;
+        for peer in addr.to_socket_addrs()? {
+            match Self::dial(peer, &config) {
+                Ok(stream) => {
+                    return Ok(Client {
+                        stream,
+                        peer,
+                        config,
+                        out: Vec::new(),
+                        payload: Vec::new(),
+                    })
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+        }))
+    }
+
+    fn dial(peer: SocketAddr, config: &ClientConfig) -> io::Result<TcpStream> {
+        let stream = match config.connect_timeout {
+            Some(timeout) => TcpStream::connect_timeout(&peer, timeout)?,
+            None => TcpStream::connect(peer)?,
+        };
         stream.set_nodelay(true)?;
-        Ok(Client {
-            stream,
-            out: Vec::new(),
-            payload: Vec::new(),
-        })
+        stream.set_read_timeout(config.read_timeout)?;
+        stream.set_write_timeout(config.write_timeout)?;
+        Ok(stream)
+    }
+
+    /// Drop the current stream and re-dial the original peer with the
+    /// original config. On success the client is fresh: any responses
+    /// in flight on the old connection are gone, so a pipelining
+    /// caller must re-send everything unanswered.
+    pub fn reconnect(&mut self) -> io::Result<()> {
+        self.stream = Self::dial(self.peer, &self.config)?;
+        Ok(())
+    }
+
+    /// The resolved peer address this client dialed.
+    pub fn peer(&self) -> SocketAddr {
+        self.peer
+    }
+
+    /// Write raw bytes where a request frame would go — the chaos
+    /// harness's hook for truncated/mutated/duplicated frames. Not a
+    /// frame: no length header is added and nothing is validated.
+    pub fn inject_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)
     }
 
     /// Pipeline half 1: write one request frame without waiting.

@@ -17,7 +17,12 @@
 //!   `rtas-load` arena's protocol to dynamic membership with an
 //!   explicit ack (`RESET`), allocation-free in steady state;
 //! * [`server`] / [`client`] — thread-per-connection TCP serving with
-//!   sharded accept loops, and a blocking pipelining-capable client.
+//!   sharded accept loops, and a blocking pipelining-capable client
+//!   with bounded timeouts and jittered reconnect backoff;
+//! * [`chaos`] — the deterministic hostile-network layer: a seeded
+//!   fault plan (delays, connection drops, frame truncation and
+//!   reordering, stalled holders, byzantine `RESET` acks) that the
+//!   load harness replays bit-identically from one seed.
 //!
 //! The `rtas-svc` binary serves (`rtas-svc serve`) and inspects
 //! (`rtas-svc stats`) from the command line; `rtas-load --backend
@@ -36,12 +41,14 @@
 //! srv.shutdown();
 //! ```
 
+pub mod chaos;
 pub mod client;
 pub mod namespace;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Client, ClientError};
+pub use chaos::{ChaosSpec, FaultPlan};
+pub use client::{Client, ClientConfig, ClientError, RetryPolicy};
 pub use namespace::{Kind, Namespace, NsError};
 pub use protocol::{Acquired, Op, Response, SvcStats};
 pub use server::{Server, SvcConfig};

@@ -15,7 +15,7 @@
 //! | 0 `LOST` / 1 `WIN` | arbitration verdict | `u64 LE` epoch |
 //! | 2 `RESET` | recycle acknowledged | `u64 LE` newly opened epoch (0 = no such key) |
 //! | 3 `ERR` | request refused | UTF-8 message |
-//! | 4 `STATS` | server counters | 5 × `u64 LE`: keys, ops, wins, resets, registers |
+//! | 4 `STATS` | server counters | 6 × `u64 LE`: keys, ops, wins, resets, registers, reclaimed |
 //!
 //! Responses are returned **in request order** on each connection, so a
 //! client may pipeline: write any number of request frames, then read
@@ -99,10 +99,15 @@ pub struct SvcStats {
     pub ops: u64,
     /// Winning operations, cumulative — one per completed key-epoch.
     pub wins: u64,
-    /// Epoch recycles performed (RESETs that found a key), cumulative.
+    /// Epoch recycles performed (RESETs that found a key, plus lease
+    /// reclamations), cumulative.
     pub resets: u64,
     /// Atomic registers held by all live keyed objects.
     pub registers: u64,
+    /// Epochs recycled by the server itself because the lease on an
+    /// admitted-but-never-acked epoch expired (a strict subset of
+    /// `resets`). Zero unless the server was configured with a lease.
+    pub reclaimed: u64,
 }
 
 /// A decoded request.
@@ -186,7 +191,7 @@ pub fn frame_response(resp: &Response, buf: &mut Vec<u8>) {
         }
         Response::Stats(s) => {
             buf.push(STATUS_STATS);
-            for v in [s.keys, s.ops, s.wins, s.resets, s.registers] {
+            for v in [s.keys, s.ops, s.wins, s.resets, s.registers, s.reclaimed] {
                 buf.extend_from_slice(&v.to_le_bytes());
             }
         }
@@ -226,6 +231,7 @@ pub fn decode_response(payload: &[u8]) -> io::Result<Response> {
             wins: u64_at(payload, 17)?,
             resets: u64_at(payload, 25)?,
             registers: u64_at(payload, 33)?,
+            reclaimed: u64_at(payload, 41)?,
         })),
         STATUS_ERR => Ok(Response::Err(String::from_utf8_lossy(rest).into_owned())),
         other => Err(invalid(format!("unknown response status {other}"))),
@@ -310,6 +316,7 @@ mod tests {
                 wins: 3,
                 resets: 4,
                 registers: 5,
+                reclaimed: 6,
             }),
             Response::Err("kind mismatch".to_string()),
         ];

@@ -21,6 +21,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use rtas::native::NativeRunner;
 use rtas::Backend;
@@ -45,6 +46,17 @@ pub struct SvcConfig {
     /// is refused, bounding server memory against key-churning clients
     /// (see [`Namespace::with_max_keys`]).
     pub max_keys: usize,
+    /// Admission lease: when `Some`, an epoch whose holder never acks
+    /// `RESET` is reclaimed by the server once the lease expires (see
+    /// [`Namespace::with_lease`]); a reaper thread sweeps expired
+    /// epochs at a quarter of the lease period. `None` (the default)
+    /// disables reclamation entirely.
+    pub lease: Option<Duration>,
+    /// Per-connection read deadline: a connection idle (or stalled
+    /// mid-frame) past this duration is answered with a best-effort
+    /// `ERR` and closed, so a stalled client cannot pin a handler
+    /// thread forever. `None` (the default) waits indefinitely.
+    pub read_timeout: Option<Duration>,
 }
 
 impl Default for SvcConfig {
@@ -56,6 +68,8 @@ impl Default for SvcConfig {
             backend: Backend::Combined,
             listeners: 2,
             max_keys: crate::namespace::DEFAULT_MAX_KEYS,
+            lease: None,
+            read_timeout: None,
         }
     }
 }
@@ -69,6 +83,7 @@ pub struct Server {
     namespace: Arc<Namespace>,
     stop: Arc<AtomicBool>,
     accepters: Vec<JoinHandle<()>>,
+    reaper: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -76,11 +91,12 @@ impl Server {
     pub fn spawn(config: SvcConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
-        let namespace = Arc::new(Namespace::with_max_keys(
+        let namespace = Arc::new(Namespace::with_lease(
             config.backend,
             config.shards,
             config.capacity,
             config.max_keys,
+            config.lease,
         ));
         let stop = Arc::new(AtomicBool::new(false));
         // Clone every listener handle BEFORE spawning any thread: a
@@ -89,19 +105,36 @@ impl Server {
         let listeners = (0..config.listeners.max(1))
             .map(|_| listener.try_clone())
             .collect::<io::Result<Vec<_>>>()?;
+        let read_timeout = config.read_timeout;
         let accepters = listeners
             .into_iter()
             .map(|listener| {
                 let namespace = Arc::clone(&namespace);
                 let stop = Arc::clone(&stop);
-                std::thread::spawn(move || accept_loop(&listener, &namespace, &stop))
+                std::thread::spawn(move || accept_loop(&listener, &namespace, &stop, read_timeout))
             })
             .collect();
+        // The reaper: sweep expired leases at a quarter of the lease
+        // period (bounded to stay responsive to shutdown without
+        // spinning), so a vanished holder wedges a key for at most
+        // ~1.25 leases even with zero traffic on it.
+        let reaper = config.lease.map(|lease| {
+            let namespace = Arc::clone(&namespace);
+            let stop = Arc::clone(&stop);
+            let period = (lease / 4).clamp(Duration::from_millis(1), Duration::from_millis(250));
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    namespace.reclaim_expired();
+                    std::thread::sleep(period);
+                }
+            })
+        });
         Ok(Server {
             addr,
             namespace,
             stop,
             accepters,
+            reaper,
         })
     }
 
@@ -128,6 +161,9 @@ impl Server {
         for handle in self.accepters {
             let _ = handle.join();
         }
+        if let Some(reaper) = self.reaper {
+            let _ = reaper.join();
+        }
     }
 
     /// Block on the accept threads forever (the `serve` CLI path).
@@ -138,7 +174,12 @@ impl Server {
     }
 }
 
-fn accept_loop(listener: &TcpListener, namespace: &Arc<Namespace>, stop: &Arc<AtomicBool>) {
+fn accept_loop(
+    listener: &TcpListener,
+    namespace: &Arc<Namespace>,
+    stop: &Arc<AtomicBool>,
+    read_timeout: Option<Duration>,
+) {
     loop {
         let stream = match listener.accept() {
             Ok((stream, _)) => stream,
@@ -158,15 +199,17 @@ fn accept_loop(listener: &TcpListener, namespace: &Arc<Namespace>, stop: &Arc<At
             return;
         }
         let namespace = Arc::clone(namespace);
-        std::thread::spawn(move || handle_connection(stream, &namespace));
+        std::thread::spawn(move || handle_connection(stream, &namespace, read_timeout));
     }
 }
 
-/// Serve one connection until EOF or a framing violation.
-fn handle_connection(mut stream: TcpStream, namespace: &Namespace) {
+/// Serve one connection until EOF, a framing violation, or a read
+/// deadline expiry.
+fn handle_connection(mut stream: TcpStream, namespace: &Namespace, read_timeout: Option<Duration>) {
     // Request/response frames are single small writes; batching them
     // behind Nagle would serialize pipelined round trips.
     let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(read_timeout);
     let mut runner = NativeRunner::new();
     let mut payload = Vec::new();
     let mut out = Vec::new();
@@ -175,11 +218,22 @@ fn handle_connection(mut stream: TcpStream, namespace: &Namespace) {
             Ok(Some(())) => {}
             Ok(None) => return, // clean EOF
             Err(e) => {
-                if e.kind() == io::ErrorKind::InvalidData {
-                    // Framing violation on a live stream: name it, then
-                    // hang up — the stream position is untrustworthy.
+                let timed_out = matches!(
+                    e.kind(),
+                    io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+                );
+                if e.kind() == io::ErrorKind::InvalidData || timed_out {
+                    // Framing violation or deadline expiry on a live
+                    // stream: name it, then hang up — the stream
+                    // position is untrustworthy (and a stalled client
+                    // must not pin this thread).
                     out.clear();
-                    frame_response(&Response::Err(e.to_string()), &mut out);
+                    let msg = if timed_out {
+                        "read deadline expired".to_string()
+                    } else {
+                        e.to_string()
+                    };
+                    frame_response(&Response::Err(msg), &mut out);
                     let _ = stream.write_all(&out);
                 }
                 return;

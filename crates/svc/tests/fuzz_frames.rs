@@ -1,0 +1,126 @@
+//! Protocol robustness property test: random truncations and byte
+//! mutations of valid request frames must always yield an `ERR` (or a
+//! silent close), never a server panic — and never a *phantom*
+//! `Acquired`: a verdict can only ever answer a byte sequence that
+//! still frames a valid `TAS`/`ELECT` request.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::time::Duration;
+
+use rtas::sim::rng::SplitMix64;
+use rtas_svc::protocol::{decode_request, decode_response, frame_request, Op, MAX_PAYLOAD};
+use rtas_svc::server::SvcConfig;
+use rtas_svc::{Client, Response, Server};
+
+/// Replay the server's framing over `bytes`: how many complete frames
+/// decode as valid `TAS`/`ELECT` requests before the stream dies
+/// (an oversized length header kills it; a decode error only kills the
+/// frame). This is the ceiling on legitimate `Acquired` responses.
+fn max_legitimate_verdicts(bytes: &[u8]) -> usize {
+    let mut verdicts = 0;
+    let mut rest = bytes;
+    while rest.len() >= 4 {
+        let len = u32::from_le_bytes(rest[..4].try_into().unwrap()) as usize;
+        if len > MAX_PAYLOAD {
+            break; // ERR + close
+        }
+        if rest.len() < 4 + len {
+            break; // incomplete frame: the server sees EOF mid-payload
+        }
+        let payload = &rest[4..4 + len];
+        if let Ok(req) = decode_request(payload) {
+            if matches!(req.op, Op::Tas | Op::Elect) && !req.key.is_empty() {
+                verdicts += 1;
+            }
+        }
+        rest = &rest[4 + len..];
+    }
+    verdicts
+}
+
+#[test]
+fn mutated_frames_never_panic_the_server_or_fake_a_verdict() {
+    let srv = Server::spawn(SvcConfig {
+        shards: 2,
+        capacity: 4,
+        read_timeout: Some(Duration::from_secs(2)),
+        ..SvcConfig::default()
+    })
+    .expect("bind loopback");
+    let addr = srv.addr();
+    let mut rng = SplitMix64::new(0xF0_5A_11);
+
+    for trial in 0..300u64 {
+        // A valid frame: random op over a trial-unique key (unique so
+        // a mutated-but-valid frame never trips kind mismatches into
+        // the accounting below).
+        let op = match rng.next_below(3) {
+            0 => Op::Tas,
+            1 => Op::Elect,
+            _ => Op::Reset,
+        };
+        let key = format!("fuzz/{trial}").into_bytes();
+        let mut frame = Vec::new();
+        frame_request(op, &key, &mut frame);
+
+        // One random mutation: truncate, flip a byte, or rewrite the
+        // length header.
+        match rng.next_below(3) {
+            0 => frame.truncate(rng.next_below(frame.len() as u64) as usize),
+            1 => {
+                let i = rng.next_below(frame.len() as u64) as usize;
+                frame[i] ^= 1 << rng.next_below(8);
+            }
+            _ => {
+                let bogus = rng.next_below(2 * MAX_PAYLOAD as u64) as u32;
+                frame[..4].copy_from_slice(&bogus.to_le_bytes());
+            }
+        }
+
+        let mut raw = TcpStream::connect(addr).unwrap();
+        raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        // The server may slam the connection shut mid-write (an
+        // oversized length header is answered and closed immediately),
+        // so the write and the half-close both race a reset — a dead
+        // connection is a legitimate outcome, not a test failure.
+        let _ = raw.write_all(&frame);
+        let _ = raw.shutdown(Shutdown::Write);
+        let mut answer = Vec::new();
+        if raw.read_to_end(&mut answer).is_err() {
+            // Connection reset under us: nothing was answered; the
+            // liveness check at the end still covers this trial.
+            continue;
+        }
+
+        // Every complete response frame must decode; verdicts are
+        // bounded by the byte stream's legitimate requests.
+        let budget = max_legitimate_verdicts(&frame);
+        let mut verdicts = 0;
+        let mut rest = &answer[..];
+        while rest.len() >= 4 {
+            let len = u32::from_le_bytes(rest[..4].try_into().unwrap()) as usize;
+            assert!(
+                rest.len() >= 4 + len,
+                "trial {trial}: server wrote a torn response frame"
+            );
+            let resp = decode_response(&rest[4..4 + len])
+                .unwrap_or_else(|e| panic!("trial {trial}: undecodable response: {e}"));
+            if matches!(resp, Response::Acquired(_)) {
+                verdicts += 1;
+            }
+            rest = &rest[4 + len..];
+        }
+        assert!(rest.is_empty(), "trial {trial}: trailing response bytes");
+        assert!(
+            verdicts <= budget,
+            "trial {trial}: {verdicts} verdict(s) for {budget} legitimate \
+             request(s) — phantom Acquired"
+        );
+    }
+
+    // The server shrugged all 300 mutations off: a fresh client works.
+    let mut client = Client::connect(addr).unwrap();
+    assert!(client.tas(b"alive-after-fuzz").unwrap().won);
+    srv.shutdown();
+}

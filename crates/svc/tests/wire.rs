@@ -6,10 +6,12 @@
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::Barrier;
+use std::time::{Duration, Instant};
 
 use rtas::Backend;
 use rtas_svc::protocol::MAX_PAYLOAD;
-use rtas_svc::{server, Client, ClientError, Op, Response};
+use rtas_svc::server::SvcConfig;
+use rtas_svc::{server, Client, ClientConfig, ClientError, Op, Response, Server};
 
 fn spawn_server(shards: usize, capacity: usize) -> rtas_svc::Server {
     server::spawn_local(Backend::Combined, shards, capacity).expect("bind loopback")
@@ -219,6 +221,135 @@ fn reset_then_reuse_round_trips_under_eight_real_client_threads() {
     assert_eq!(stats.wins, threads as u64 * rounds + 1);
     assert_eq!(stats.resets, threads as u64 * rounds);
     assert_eq!(stats.ops, 2 * threads as u64 * rounds);
+    srv.shutdown();
+}
+
+#[test]
+fn mid_epoch_disconnect_is_reclaimed_by_the_lease_with_no_second_winner() {
+    let srv = Server::spawn(SvcConfig {
+        shards: 1,
+        capacity: 1,
+        lease: Some(Duration::from_millis(20)),
+        ..SvcConfig::default()
+    })
+    .expect("bind loopback");
+
+    // The holder wins epoch 0, then vanishes without a RESET.
+    let mut holder = Client::connect(srv.addr()).unwrap();
+    let verdict = holder.tas(b"leased").unwrap();
+    assert!(verdict.won);
+    assert_eq!(verdict.epoch, 0);
+    drop(holder);
+
+    // A second client polls: nothing but losses on the stranded epoch
+    // until the lease expires, then a win on a FRESH epoch — the
+    // stranded epoch 0 is retired as a loss, never re-awarded.
+    let mut other = Client::connect(srv.addr()).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let win = loop {
+        let v = other.tas(b"leased").unwrap();
+        if v.won {
+            break v;
+        }
+        assert_eq!(v.epoch, 0, "losses stay on the stranded epoch");
+        assert!(Instant::now() < deadline, "lease never reclaimed the slot");
+        std::thread::sleep(Duration::from_millis(1));
+    };
+    assert!(
+        win.epoch >= 1,
+        "the second win is on a reclaimed, fresh epoch"
+    );
+    let stats = srv.namespace().stats();
+    assert!(stats.reclaimed >= 1, "the reclaim is counted");
+    assert_eq!(stats.wins, 2, "exactly one winner per epoch, ever");
+    srv.shutdown();
+}
+
+#[test]
+fn server_read_deadline_expires_a_stalled_connection() {
+    let srv = Server::spawn(SvcConfig {
+        shards: 1,
+        capacity: 1,
+        read_timeout: Some(Duration::from_millis(50)),
+        ..SvcConfig::default()
+    })
+    .expect("bind loopback");
+    let mut raw = TcpStream::connect(srv.addr()).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    // A header promising payload that never comes: the handler must
+    // answer ERR at its deadline and close, not pin a thread forever.
+    raw.write_all(&10u32.to_le_bytes()).unwrap();
+    let mut header = [0u8; 4];
+    raw.read_exact(&mut header).unwrap();
+    let mut payload = vec![0u8; u32::from_le_bytes(header) as usize];
+    raw.read_exact(&mut payload).unwrap();
+    match rtas_svc::protocol::decode_response(&payload).unwrap() {
+        Response::Err(msg) => assert!(msg.contains("read deadline"), "{msg}"),
+        other => panic!("expected ERR, got {other:?}"),
+    }
+    assert_eq!(
+        raw.read(&mut header).unwrap(),
+        0,
+        "closed after the deadline"
+    );
+    srv.shutdown();
+}
+
+#[test]
+fn client_read_timeout_expires_against_a_silent_server() {
+    // A listener that never answers (the connection sits in the accept
+    // backlog): the client's read deadline must surface as an error
+    // instead of hanging the caller.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let mut client = Client::connect_with(
+        addr,
+        ClientConfig {
+            read_timeout: Some(Duration::from_millis(50)),
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap();
+    let start = Instant::now();
+    match client.tas(b"never-answered") {
+        Err(ClientError::Io(e)) => assert!(
+            matches!(
+                e.kind(),
+                std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+            ),
+            "expected a timeout kind, got {e}"
+        ),
+        other => panic!("expected a read timeout, got {other:?}"),
+    }
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "the deadline must bound the wait"
+    );
+    drop(listener);
+}
+
+#[test]
+fn connect_timeout_dial_is_bounded_and_serves_a_live_server() {
+    // The timeout dialer must resolve a dial to a non-answering
+    // address inside its bound — 203.0.113.1 (TEST-NET-3) drops SYNs
+    // on real networks, though some sandboxes answer for everything,
+    // so only boundedness is asserted, not failure.
+    let config = ClientConfig {
+        connect_timeout: Some(Duration::from_millis(250)),
+        ..ClientConfig::default()
+    };
+    let start = Instant::now();
+    let _ = Client::connect_with("203.0.113.1:9", config.clone());
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "the connect timeout must bound the dial"
+    );
+
+    // And the same timeout-dial path must serve a real server: the
+    // deadline applies to the dial, never to established traffic.
+    let srv = spawn_server(1, 2);
+    let mut client = Client::connect_with(srv.addr(), config).unwrap();
+    assert!(client.tas(b"dialed-with-deadline").unwrap().won);
     srv.shutdown();
 }
 
