@@ -35,6 +35,7 @@ fn bench_backend(micro: &Micro, backend: Backend, threads: usize) {
         seed: 0,
         churn: None,
         warmup: Warmup::None,
+        pipeline: 1,
     };
     micro.bench(
         &format!("{backend:?}/{threads}thr x{EPOCHS_PER_SAMPLE}res"),

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! bench-diff <baseline-dir> <current-dir> [options]
+//! bench-diff --ab <a-report.json> <b-report.json> [--p50-ratio r] [--gate-wall]
 //!
 //! options:
 //!   --mean-tol <f>   relative tolerance on mean/p50/p90   (default 0.10)
@@ -17,6 +18,14 @@
 //!                    Extras (throughput_ops_s, ...) stay
 //!                    informational either way
 //!   --verbose        list in-tolerance metrics too
+//!
+//! --ab mode: the two positional arguments are report FILES, not
+//! directories. Their `scope=total` rows' median latencies are
+//! compared as a ratio (B over A) and printed; with --gate-wall the
+//! comparison also GATES — exit 1 when the ratio exceeds --p50-ratio
+//! (default 2.0). Used by CI's same-machine native-vs-remote A/B: the
+//! two reports come from the same run on the same runner, so the
+//! absolute ratio is meaningful where cross-machine tolerances are not.
 //! ```
 //!
 //! Compares every `BENCH_*.json` in `<current-dir>` against the
@@ -30,22 +39,25 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use rtas_bench::diff::{diff_dirs, markdown_summary, Tolerances};
+use rtas_bench::diff::{ab_p50_files, diff_dirs, markdown_summary, Tolerances};
 
 fn usage() -> ! {
     eprintln!(
         "usage: bench-diff <baseline-dir> <current-dir> \
          [--mean-tol f] [--tail-tol f] [--wall-tol f] [--no-wall] \
-         [--gate-wall] [--verbose]"
+         [--gate-wall] [--verbose]\n       \
+         bench-diff --ab <a.json> <b.json> [--p50-ratio r] [--gate-wall]"
     );
     std::process::exit(2);
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut dirs: Vec<PathBuf> = Vec::new();
+    let mut paths: Vec<PathBuf> = Vec::new();
     let mut tol = Tolerances::default();
     let mut verbose = false;
+    let mut ab = false;
+    let mut p50_ratio = 2.0f64;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         let mut tol_value = |name: &str| -> f64 {
@@ -64,19 +76,40 @@ fn main() -> ExitCode {
             "--wall-tol" => tol.wall = tol_value("--wall-tol"),
             "--no-wall" => tol.check_wall = false,
             "--gate-wall" => tol.gate_wall_rows = true,
+            "--ab" => ab = true,
+            "--p50-ratio" => p50_ratio = tol_value("--p50-ratio"),
             "--verbose" => verbose = true,
             "--help" | "-h" => usage(),
             flag if flag.starts_with("--") => {
                 eprintln!("error: unknown flag {flag}");
                 usage();
             }
-            dir => dirs.push(PathBuf::from(dir)),
+            path => paths.push(PathBuf::from(path)),
         }
     }
-    if dirs.len() != 2 {
+    if paths.len() != 2 {
         usage();
     }
-    match diff_dirs(&dirs[0], &dirs[1], &tol) {
+    if ab {
+        return match ab_p50_files(&paths[0], &paths[1], p50_ratio) {
+            Ok(outcome) => {
+                println!("{}", outcome.summary());
+                // Like the directory mode, wall-clock ratios only GATE
+                // under --gate-wall; without it the A/B is informational
+                // (printed, never failing).
+                if tol.gate_wall_rows && !outcome.passed() {
+                    ExitCode::from(1)
+                } else {
+                    ExitCode::SUCCESS
+                }
+            }
+            Err(err) => {
+                eprintln!("bench-diff: {err}");
+                ExitCode::from(2)
+            }
+        };
+    }
+    match diff_dirs(&paths[0], &paths[1], &tol) {
         Ok(outcome) => {
             print!("{}", markdown_summary(&outcome, verbose));
             if outcome.regressed() {

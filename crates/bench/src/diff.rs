@@ -401,6 +401,105 @@ pub fn diff_dirs(
     Ok(out)
 }
 
+/// The outcome of a two-report A/B latency comparison (see [`ab_p50`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbOutcome {
+    /// The A side's `scope=total` median latency, microseconds.
+    pub base_p50: f64,
+    /// The B side's `scope=total` median latency, microseconds.
+    pub current_p50: f64,
+    /// `current_p50 / base_p50`.
+    pub ratio: f64,
+    /// The ceiling the ratio gates at.
+    pub max_ratio: f64,
+}
+
+impl AbOutcome {
+    /// Whether the B side's median is within `max_ratio` of the A side's.
+    pub fn passed(&self) -> bool {
+        self.ratio <= self.max_ratio
+    }
+
+    /// One human-readable verdict line.
+    pub fn summary(&self) -> String {
+        format!(
+            "A/B p50: {:.1}us vs {:.1}us = {:.2}x (ceiling {:.2}x) — {}",
+            self.base_p50,
+            self.current_p50,
+            self.ratio,
+            self.max_ratio,
+            if self.passed() { "PASS" } else { "FAIL" }
+        )
+    }
+}
+
+fn total_p50(report: &BenchReport, side: &str) -> Result<f64, String> {
+    let row = report
+        .rows()
+        .iter()
+        .find(|r| {
+            r.labels
+                .iter()
+                .any(|(name, value)| name == "scope" && value == "total")
+        })
+        .ok_or_else(|| format!("{side} report {:?} has no scope=total row", report.name()))?;
+    if !row.p50.is_finite() {
+        return Err(format!(
+            "{side} report {:?}: total-row p50 is not finite",
+            report.name()
+        ));
+    }
+    Ok(row.p50)
+}
+
+/// Same-machine A/B gate: compare the `scope=total` rows' median
+/// latencies of two load reports (typically `BENCH_native_load.json`
+/// as A and `BENCH_svc_load.json` as B, run back to back at the same
+/// offered load) and fail if B's median exceeds `max_ratio` × A's.
+/// This is the absolute remote-vs-native overhead bound that the
+/// relative baseline diff cannot express: the baselines could both
+/// drift slower in lockstep and still pass [`diff_dirs`].
+///
+/// Unlike the directory diff, both inputs are fresh measurements from
+/// the same run on the same machine, so the ratio is meaningful
+/// regardless of how fast the runner is.
+pub fn ab_p50(
+    base: &BenchReport,
+    current: &BenchReport,
+    max_ratio: f64,
+) -> Result<AbOutcome, String> {
+    if !(max_ratio.is_finite() && max_ratio > 0.0) {
+        return Err(format!(
+            "A/B ratio ceiling {max_ratio} must be positive and finite"
+        ));
+    }
+    let base_p50 = total_p50(base, "A")?;
+    let current_p50 = total_p50(current, "B")?;
+    if base_p50 <= 0.0 {
+        return Err(format!(
+            "A report {:?}: total-row p50 {base_p50} must be positive to form a ratio",
+            base.name()
+        ));
+    }
+    let ratio = current_p50 / base_p50;
+    if !ratio.is_finite() {
+        return Err(format!("A/B ratio {current_p50}/{base_p50} is not finite"));
+    }
+    Ok(AbOutcome {
+        base_p50,
+        current_p50,
+        ratio,
+        max_ratio,
+    })
+}
+
+/// [`ab_p50`] over two report *files* (the `bench-diff --ab` path).
+pub fn ab_p50_files(base: &Path, current: &Path, max_ratio: f64) -> Result<AbOutcome, String> {
+    let base = load_report(base)?;
+    let current = load_report(current)?;
+    ab_p50(&base, &current, max_ratio)
+}
+
 fn fmt_value(v: f64) -> String {
     if !v.is_finite() {
         "null".to_string()
@@ -877,6 +976,76 @@ mod tests {
             "directories are named even when only rows drift: {md}"
         );
 
+        std::fs::remove_dir_all(&tmp).ok();
+    }
+
+    fn total_row(p50: f64) -> BenchRow {
+        let mut r = row(0, p50);
+        r.p50 = p50;
+        r.with_label("scope", "total").with_label("gate", "wall")
+    }
+
+    #[test]
+    fn ab_p50_gates_on_the_total_row_ratio() {
+        let native = report_with("native_load", vec![row(0, 5.0), total_row(100.0)]);
+        let remote = report_with("svc_load", vec![row(0, 9.0), total_row(180.0)]);
+        let out = ab_p50(&native, &remote, 2.0).expect("comparable");
+        assert!(
+            out.passed(),
+            "1.8x is under the 2x ceiling: {}",
+            out.summary()
+        );
+        assert!((out.ratio - 1.8).abs() < 1e-12);
+        assert!(out.summary().contains("PASS"));
+
+        let slow = report_with("svc_load", vec![total_row(250.0)]);
+        let out = ab_p50(&native, &slow, 2.0).expect("comparable");
+        assert!(!out.passed(), "2.5x must fail the 2x ceiling");
+        assert!(out.summary().contains("FAIL"));
+
+        // The ceiling is a parameter: the same pair passes at 3x.
+        assert!(ab_p50(&native, &slow, 3.0).unwrap().passed());
+    }
+
+    #[test]
+    fn ab_p50_rejects_uncomparable_inputs() {
+        let with_total = report_with("a", vec![total_row(100.0)]);
+        let no_total = report_with("b", vec![row(0, 5.0)]);
+        assert!(ab_p50(&no_total, &with_total, 2.0)
+            .unwrap_err()
+            .contains("no scope=total row"));
+        assert!(ab_p50(&with_total, &no_total, 2.0)
+            .unwrap_err()
+            .contains("no scope=total row"));
+        // A zero-latency A side cannot form a ratio — error, not PASS.
+        let zero = report_with("a", vec![total_row(0.0)]);
+        assert!(ab_p50(&zero, &with_total, 2.0)
+            .unwrap_err()
+            .contains("must be positive"));
+        // NaN medians are structural, not a verdict.
+        let broken = report_with("a", vec![total_row(f64::NAN)]);
+        assert!(ab_p50(&broken, &with_total, 2.0)
+            .unwrap_err()
+            .contains("not finite"));
+        // And the ceiling itself must be sane.
+        assert!(ab_p50(&with_total, &with_total, 0.0).is_err());
+        assert!(ab_p50(&with_total, &with_total, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn ab_p50_files_end_to_end() {
+        let tmp = std::env::temp_dir().join(format!("bench_ab_test_{}", std::process::id()));
+        std::fs::create_dir_all(&tmp).unwrap();
+        let native = report_with("native_load", vec![total_row(100.0)]);
+        let remote = report_with("svc_load", vec![total_row(150.0)]);
+        let a = tmp.join("BENCH_native_load.json");
+        let b = tmp.join("BENCH_svc_load.json");
+        std::fs::write(&a, native.to_json()).unwrap();
+        std::fs::write(&b, remote.to_json()).unwrap();
+        let out = ab_p50_files(&a, &b, 2.0).expect("comparable");
+        assert!(out.passed());
+        assert!((out.ratio - 1.5).abs() < 1e-12);
+        assert!(ab_p50_files(&tmp.join("nope.json"), &b, 2.0).is_err());
         std::fs::remove_dir_all(&tmp).ok();
     }
 

@@ -22,6 +22,9 @@
 //!                     before the measured section
 //!   --warmup-secs <s> open loop: execute but do not record arrivals
 //!                     scheduled in the first s seconds
+//!   --pipeline <d>    remote backend only: keep d epochs in flight per
+//!                     worker connection (requires threads == shards;
+//!                     incompatible with --chaos)          (default 1)
 //!   --slo-p50 <us>    fail (exit 1) if overall p50 exceeds this
 //!   --slo-p99 <us>    fail (exit 1) if overall p99 exceeds this
 //!   --chaos <spec>    remote backend only: inject deterministic faults —
@@ -55,8 +58,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: rtas-load [--backend b] [--addr host:port] [--threads n] \
          [--shards n] [--mode closed|open] [--ops n] [--rate r] [--duration s] \
-         [--seed x] [--churn k] [--warmup n] [--warmup-secs s] [--slo-p50 us] \
-         [--slo-p99 us] [--chaos spec] [--chaos-seed x] [--no-json]"
+         [--seed x] [--churn k] [--warmup n] [--warmup-secs s] [--pipeline d] \
+         [--slo-p50 us] [--slo-p99 us] [--chaos spec] [--chaos-seed x] [--no-json]"
     );
     std::process::exit(2);
 }
@@ -78,6 +81,7 @@ fn main() -> ExitCode {
     let mut churn: Option<u64> = None;
     let mut warmup_ops: Option<u64> = None;
     let mut warmup_secs: Option<f64> = None;
+    let mut pipeline = 1usize;
     let mut slo = Slo::default();
     let mut no_json = false;
     let mut chaos: Option<String> = None;
@@ -123,6 +127,7 @@ fn main() -> ExitCode {
             "--churn" => churn = Some(parsed("--churn", value("--churn"))),
             "--warmup" => warmup_ops = Some(parsed("--warmup", value("--warmup"))),
             "--warmup-secs" => warmup_secs = Some(parsed("--warmup-secs", value("--warmup-secs"))),
+            "--pipeline" => pipeline = parsed("--pipeline", value("--pipeline")),
             "--slo-p50" => slo.p50_us = Some(parsed("--slo-p50", value("--slo-p50"))),
             "--slo-p99" => slo.p99_us = Some(parsed("--slo-p99", value("--slo-p99"))),
             "--chaos" => chaos = Some(value("--chaos").clone()),
@@ -182,6 +187,28 @@ fn main() -> ExitCode {
         eprintln!("error: --addr only applies to --backend remote");
         usage();
     }
+    if pipeline == 0 {
+        eprintln!("error: --pipeline must be at least 1");
+        usage();
+    }
+    if pipeline > 1 {
+        if !remote {
+            eprintln!("error: --pipeline only applies to --backend remote");
+            usage();
+        }
+        if chaos.is_some() {
+            eprintln!("error: --pipeline is incompatible with --chaos (lockstep only)");
+            usage();
+        }
+        if threads != shards {
+            eprintln!(
+                "error: --pipeline {pipeline} requires threads == shards \
+                 (got {threads} threads over {shards} shards): a worker keeping \
+                 epochs in flight must be its shard's sole participant"
+            );
+            usage();
+        }
+    }
     let chaos_spec = match &chaos {
         None => None,
         Some(s) => {
@@ -207,6 +234,7 @@ fn main() -> ExitCode {
         seed,
         churn,
         warmup,
+        pipeline,
     };
     let backend_name = if remote {
         "remote"
@@ -215,12 +243,17 @@ fn main() -> ExitCode {
     };
     println!(
         "rtas-load: backend={backend_name}{} mode={} threads={threads} shards={shards} \
-         group={} seed={seed}{}{}",
+         group={} seed={seed}{}{}{}",
         addr.as_deref()
             .map(|a| format!(" addr={a}"))
             .unwrap_or_default(),
         mode.label(),
         spec.group(),
+        if pipeline > 1 {
+            format!(" pipeline={pipeline}")
+        } else {
+            String::new()
+        },
         churn.map(|c| format!(" churn={c}")).unwrap_or_default(),
         match warmup {
             Warmup::None => String::new(),

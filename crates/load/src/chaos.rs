@@ -279,6 +279,12 @@ pub fn run_load_chaos(
     plan: FaultPlan,
 ) -> Result<ChaosOutcome, ClientError> {
     spec.validate();
+    assert!(
+        spec.pipeline == 1,
+        "chaos runs require pipeline depth 1: the fault plan's draw order is \
+         defined over lockstep round trips, and retry/reconnect recovery \
+         cannot replay a window of blind in-flight epochs"
+    );
     let config = ClientConfig::default();
     let target = ChaosTarget::new(addr, spec.shards, spec.group(), plan, config.clone())?;
     let before = Client::connect_with(addr, config.clone())?.stats()?;

@@ -219,6 +219,15 @@ pub struct LoadSpec {
     pub churn: Option<u64>,
     /// Unrecorded warmup preceding the measured section.
     pub warmup: Warmup,
+    /// Client pipelining depth against a remote target: how many
+    /// resolutions a worker keeps in flight on its connection before
+    /// draining the oldest. `1` (the default everywhere) is the
+    /// classic request/response lockstep. Depths above 1 require
+    /// `threads == shards` — each worker must be its shard's sole
+    /// participant so in-flight epochs cannot depend on peers' replies
+    /// (see [`crate::remote`]). Native targets ignore the depth (there
+    /// is no wire to pipeline on).
+    pub pipeline: usize,
 }
 
 impl LoadSpec {
@@ -234,6 +243,16 @@ impl LoadSpec {
             self.threads % self.shards == 0,
             "threads ({}) must be a multiple of shards ({}) so every epoch \
              has a full participant group",
+            self.threads,
+            self.shards
+        );
+        assert!(self.pipeline >= 1, "pipeline depth must be at least 1");
+        assert!(
+            self.pipeline == 1 || self.group() == 1,
+            "pipeline depth {} requires threads == shards (got {} threads over {} \
+             shards): a worker keeping epochs in flight must be its shard's sole \
+             participant",
+            self.pipeline,
             self.threads,
             self.shards
         );
@@ -338,6 +357,7 @@ impl LoadOutcome {
     pub fn bench_report(&self) -> BenchReport {
         let backend = self.backend_name();
         let mode = self.spec.mode.label();
+        let pipeline = self.spec.pipeline.to_string();
         let wall_secs = self.wall.as_secs_f64();
         let mut report = BenchReport::new(self.target.report_name(), self.spec.threads);
         for (s, cell) in self.recorder.shard_stats().iter().enumerate() {
@@ -353,7 +373,8 @@ impl LoadOutcome {
                     .with_label("backend", backend)
                     .with_label("mode", mode)
                     .with_label("scope", "shard")
-                    .with_label("gate", "wall"),
+                    .with_label("gate", "wall")
+                    .with_label("pipeline", &pipeline),
             );
         }
         report.push(
@@ -389,7 +410,8 @@ impl LoadOutcome {
             .with_label("backend", backend)
             .with_label("mode", mode)
             .with_label("scope", "total")
-            .with_label("gate", "wall"),
+            .with_label("gate", "wall")
+            .with_label("pipeline", &pipeline),
         );
         report
     }
@@ -771,6 +793,7 @@ mod tests {
             seed: 1,
             churn: None,
             warmup: Warmup::None,
+            pipeline: 1,
         }
     }
 
@@ -827,6 +850,7 @@ mod tests {
             seed: 9,
             churn: None,
             warmup: Warmup::Secs(0.02),
+            pipeline: 1,
         };
         let mut expected = ArrivalSchedule::poisson(40_000.0, 0.05, 9);
         expected.truncate_to_multiple_of(4);
@@ -870,6 +894,7 @@ mod tests {
             seed: 9,
             churn: None,
             warmup: Warmup::None,
+            pipeline: 1,
         };
         let mut expected = ArrivalSchedule::poisson(40_000.0, 0.05, 9);
         expected.truncate_to_multiple_of(4);
@@ -887,6 +912,11 @@ mod tests {
         let total = report.rows().last().unwrap();
         assert!(total.labels.contains(&("scope".into(), "total".into())));
         assert!(total.labels.contains(&("gate".into(), "wall".into())));
+        // Pipelining depth is row identity: baselines taken at depth 1
+        // never silently compare against pipelined runs.
+        for row in report.rows() {
+            assert!(row.labels.contains(&("pipeline".into(), "1".into())));
+        }
         assert_eq!(total.trials, 100);
         // Error classes ride the total row — zero on a clean network,
         // but always present so degraded runs diff structurally.
@@ -937,6 +967,7 @@ mod tests {
             seed: 1,
             churn: None,
             warmup: Warmup::None,
+            pipeline: 1,
         });
         assert_eq!(out.total_ops(), 0);
         let slo = Slo {
@@ -954,6 +985,22 @@ mod tests {
     #[should_panic(expected = "multiple of shards")]
     fn mismatched_threads_shards_rejected() {
         run_load(closed_spec(3, 2, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "pipeline depth must be at least 1")]
+    fn zero_pipeline_rejected() {
+        let mut spec = closed_spec(2, 1, 10);
+        spec.pipeline = 0;
+        run_load(spec);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires threads == shards")]
+    fn pipelining_with_peer_groups_rejected() {
+        let mut spec = closed_spec(4, 2, 10);
+        spec.pipeline = 4;
+        run_load(spec);
     }
 
     #[test]

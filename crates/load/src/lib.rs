@@ -51,6 +51,7 @@
 //!     seed: 7,
 //!     churn: None,
 //!     warmup: Warmup::None,
+//!     pipeline: 1,
 //! });
 //! assert_eq!(out.total_wins(), out.resolutions()); // one winner per epoch
 //! ```

@@ -11,19 +11,40 @@
 //! epoch gate admits and recycles), so exactly one winner per
 //! key-epoch holds end to end, asserted by the driver's win accounting.
 //!
+//! ## Pipelining
+//!
+//! At [`LoadSpec::pipeline`] depth `d > 1` a worker keeps up to `d`
+//! epochs in flight on its connection: each resolve ships the epoch's
+//! `TAS` **and** its `RESET` ack as one two-frame batch (a single
+//! `write` syscall — the server answers frames in order, so the ack is
+//! sound the moment the verdict is), advances the local epoch
+//! immediately, and only blocks to drain the *oldest* in-flight epoch's
+//! two responses once the window is full. Depth `d > 1` requires
+//! `threads == shards` (each worker the sole participant of its shard
+//! key — enforced by [`LoadSpec::validate`]): a sole participant's
+//! verdict is always a win and never depends on a peer's reply, so
+//! blind batching cannot deadlock. The drain still checks every
+//! deferred verdict — a lost epoch or failed ack panics the worker, so
+//! the one-winner accounting stays airtight. Depth 1 is the classic
+//! lockstep round trip, unchanged.
+//!
 //! Because the open-loop [`ArrivalSchedule`] is a pure function of the
 //! seed, the *offered* load is bit-identical run to run here too — the
 //! service sees the same request instants whatever the network does —
 //! and end-to-end latency is still measured from the scheduled instant
 //! (queueing included, no coordinated omission). Reports are emitted as
-//! `BENCH_svc_load.json` (rows labeled `backend=remote`, `gate=wall`).
+//! `BENCH_svc_load.json` (rows labeled `backend=remote`, `gate=wall`,
+//! `pipeline=<depth>`).
 //!
 //! [`ArrivalSchedule`]: crate::schedule::ArrivalSchedule
+//! [`LoadSpec::pipeline`]: crate::driver::LoadSpec::pipeline
+//! [`LoadSpec::validate`]: crate::driver::LoadSpec
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use rtas::sync::{Backoff, CachePadded};
-use rtas_svc::{Client, ClientError};
+use rtas_svc::{Client, ClientError, Op, Response};
 
 use crate::driver::{run_on_target, LoadOutcome, LoadSpec, LoadTarget, TargetKind};
 
@@ -47,12 +68,69 @@ pub struct RemoteTarget {
     keys: Vec<Vec<u8>>,
     states: Vec<CachePadded<KeyState>>,
     group: usize,
+    pipeline: usize,
     registers: u64,
+}
+
+/// Per-worker connection plus its pipeline window: shard indices of
+/// epochs whose `(TAS, RESET)` response pairs are still in flight, in
+/// send order (the server answers in order, so the front of the queue
+/// is always the next pair on the wire).
+#[derive(Debug)]
+pub struct RemoteCtx {
+    client: Client,
+    inflight: VecDeque<usize>,
+}
+
+impl RemoteCtx {
+    /// Block for the oldest in-flight epoch's two responses and check
+    /// them: the deferred verdict must be a win (the worker is its
+    /// shard's sole participant) and the ack must be a reset ack.
+    fn drain_one(&mut self) {
+        let shard = self
+            .inflight
+            .pop_front()
+            .expect("drain_one called with an empty pipeline window");
+        let peer = self.client.peer();
+        match self.client.recv() {
+            Ok(Response::Acquired(a)) => assert!(
+                a.won,
+                "pipelined TAS on shard {shard} via {peer} lost its epoch \
+                 despite being the sole participant"
+            ),
+            Ok(other) => panic!(
+                "pipelined TAS on shard {shard} via {peer}: expected a verdict, got {other:?}"
+            ),
+            Err(e) => panic!("pipelined TAS on shard {shard} via {peer} failed: {e}"),
+        }
+        match self.client.recv() {
+            Ok(Response::Reset { .. }) => {}
+            Ok(other) => panic!(
+                "pipelined RESET on shard {shard} via {peer}: expected an ack, got {other:?}"
+            ),
+            Err(e) => panic!("pipelined RESET on shard {shard} via {peer} failed: {e}"),
+        }
+    }
+}
+
+impl Drop for RemoteCtx {
+    fn drop(&mut self) {
+        // A worker life ends with its window drained, so every epoch it
+        // opened is verified and the server's gates are quiescent for
+        // the next life. Never on the unwind path though: the stream
+        // may be desynchronized, and a drain panic would abort.
+        if std::thread::panicking() {
+            return;
+        }
+        while !self.inflight.is_empty() {
+            self.drain_one();
+        }
+    }
 }
 
 impl RemoteTarget {
     /// Bind `shards` keys on the server at `addr`, each resolved by
-    /// `group` participants per epoch.
+    /// `group` participants per epoch, in lockstep (pipeline depth 1).
     ///
     /// Connects once to probe reachability and to put every key into a
     /// known-fresh epoch (`TAS` to materialize it, `RESET` to recycle —
@@ -65,8 +143,29 @@ impl RemoteTarget {
     ///
     /// Panics if `shards == 0` or `group == 0`.
     pub fn new(addr: &str, shards: usize, group: usize) -> Result<RemoteTarget, ClientError> {
+        Self::with_pipeline(addr, shards, group, 1)
+    }
+
+    /// [`RemoteTarget::new`] with an explicit pipeline depth (see the
+    /// [module docs](self)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`, `group == 0`, `pipeline == 0`, or
+    /// `pipeline > 1 && group > 1`.
+    pub fn with_pipeline(
+        addr: &str,
+        shards: usize,
+        group: usize,
+        pipeline: usize,
+    ) -> Result<RemoteTarget, ClientError> {
         assert!(shards >= 1, "remote target needs at least one shard key");
         assert!(group >= 1, "remote target needs at least one participant");
+        assert!(pipeline >= 1, "pipeline depth must be at least 1");
+        assert!(
+            pipeline == 1 || group == 1,
+            "pipeline depth {pipeline} requires a group of 1 (got {group})"
+        );
         let mut probe = Client::connect(addr)?;
         let keys: Vec<Vec<u8>> = (0..shards)
             .map(|s| format!("load/{s}").into_bytes())
@@ -88,6 +187,7 @@ impl RemoteTarget {
                 .collect(),
             keys,
             group,
+            pipeline,
             registers,
         })
     }
@@ -96,10 +196,15 @@ impl RemoteTarget {
     pub fn addr(&self) -> &str {
         &self.addr
     }
+
+    /// The pipeline depth every worker connection runs at.
+    pub fn pipeline(&self) -> usize {
+        self.pipeline
+    }
 }
 
 impl LoadTarget for RemoteTarget {
-    type Ctx = Client;
+    type Ctx = RemoteCtx;
 
     fn shards(&self) -> usize {
         self.keys.len()
@@ -116,15 +221,21 @@ impl LoadTarget for RemoteTarget {
             .collect()
     }
 
-    fn context(&self) -> Client {
-        Client::connect(&self.addr)
-            .unwrap_or_else(|e| panic!("cannot connect load worker to {}: {e}", self.addr))
+    fn context(&self) -> RemoteCtx {
+        let client = Client::connect(&self.addr)
+            .unwrap_or_else(|e| panic!("cannot connect load worker to {}: {e}", self.addr));
+        RemoteCtx {
+            client,
+            inflight: VecDeque::with_capacity(self.pipeline),
+        }
     }
 
-    fn resolve(&self, client: &mut Client, shard: usize, epoch: u64) -> bool {
+    fn resolve(&self, ctx: &mut RemoteCtx, shard: usize, epoch: u64) -> bool {
         let state = &self.states[shard].0;
         // Wait for our epoch — same spin-then-yield discipline as the
-        // in-process arena.
+        // in-process arena. (At pipeline depths above 1 the worker is
+        // the shard's sole participant and opened the epoch itself, so
+        // this check passes immediately.)
         let mut backoff = Backoff::new();
         loop {
             let current = state.epoch.load(Ordering::Acquire);
@@ -139,7 +250,25 @@ impl LoadTarget for RemoteTarget {
             backoff.snooze();
         }
         let key = &self.keys[shard];
-        let won = client
+        if self.pipeline > 1 {
+            // Sole participant: ship the epoch's TAS and its RESET ack
+            // as one two-frame batch (one write syscall), open the next
+            // local epoch immediately, and only block once the window
+            // holds `pipeline` undrained epochs. The deferred verdict
+            // is checked in drain_one — a loss panics, so returning
+            // `true` here cannot corrupt the win accounting silently.
+            ctx.client
+                .send_batch(&[(Op::Tas, key), (Op::Reset, key)])
+                .unwrap_or_else(|e| panic!("pipelined batch on {} failed: {e}", self.addr));
+            ctx.inflight.push_back(shard);
+            state.epoch.fetch_add(1, Ordering::Release);
+            if ctx.inflight.len() >= self.pipeline {
+                ctx.drain_one();
+            }
+            return true;
+        }
+        let won = ctx
+            .client
             .tas(key)
             .unwrap_or_else(|e| panic!("TAS on {} failed: {e}", self.addr))
             .won;
@@ -147,7 +276,7 @@ impl LoadTarget for RemoteTarget {
             // Last finisher: every call of this epoch has its response,
             // so the server-side gate is quiescent the moment our RESET
             // is admitted. Ack it, then open the next local epoch.
-            client
+            ctx.client
                 .reset(key)
                 .unwrap_or_else(|e| panic!("RESET on {} failed: {e}", self.addr));
             state.done.store(0, Ordering::Relaxed);
@@ -165,7 +294,9 @@ impl LoadTarget for RemoteTarget {
 /// (see [`RemoteTarget`]); the outcome reports as `svc_load`.
 ///
 /// `spec.backend` is ignored — the server chose its algorithm at
-/// `serve` time; rows are labeled `backend=remote`.
+/// `serve` time; rows are labeled `backend=remote`. `spec.pipeline`
+/// sets every worker connection's pipelining depth (see the [module
+/// docs](self)).
 ///
 /// # Errors
 ///
@@ -182,6 +313,6 @@ impl LoadTarget for RemoteTarget {
 /// Panics on an inconsistent spec (see [`LoadSpec`] field docs).
 pub fn run_load_remote(addr: &str, spec: LoadSpec) -> Result<LoadOutcome, ClientError> {
     spec.validate();
-    let target = RemoteTarget::new(addr, spec.shards, spec.group())?;
+    let target = RemoteTarget::with_pipeline(addr, spec.shards, spec.group(), spec.pipeline)?;
     Ok(run_on_target(&target, spec, TargetKind::Remote))
 }

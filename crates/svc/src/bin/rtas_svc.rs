@@ -10,6 +10,7 @@
 //!   --max-keys <n>   ceiling on live keys              (default 1048576)
 //!   --lease-ms <n>   reclaim unacked epochs after n ms (default off)
 //!   --read-timeout-ms <n>  close connections idle past n ms (default off)
+//!   --max-conns <n>  refuse connections beyond n live  (default 1024)
 //!
 //! rtas-svc stats --addr <a>       print a server's counters and exit
 //! ```
@@ -26,7 +27,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: rtas-svc serve [--addr a] [--shards n] [--capacity n] \
          [--backend b] [--listeners n] [--max-keys n] [--lease-ms n] \
-         [--read-timeout-ms n]\n       \
+         [--read-timeout-ms n] [--max-conns n]\n       \
          rtas-svc stats --addr a"
     );
     std::process::exit(2);
@@ -62,6 +63,13 @@ fn main() -> ExitCode {
             "--capacity" => config.capacity = parsed("--capacity", value("--capacity")),
             "--listeners" => config.listeners = parsed("--listeners", value("--listeners")),
             "--max-keys" => config.max_keys = parsed("--max-keys", value("--max-keys")),
+            "--max-conns" => {
+                config.max_conns = parsed("--max-conns", value("--max-conns"));
+                if config.max_conns == 0 {
+                    eprintln!("error: --max-conns must be positive");
+                    usage();
+                }
+            }
             "--lease-ms" => {
                 let ms: u64 = parsed("--lease-ms", value("--lease-ms"));
                 if ms == 0 {
@@ -139,8 +147,16 @@ fn main() -> ExitCode {
             match stats {
                 Ok(s) => {
                     println!(
-                        "keys {} | ops {} | wins {} | resets {} | registers {} | reclaimed {}",
-                        s.keys, s.ops, s.wins, s.resets, s.registers, s.reclaimed
+                        "keys {} | ops {} | wins {} | resets {} | registers {} | \
+                         reclaimed {} | conns {} | refused {}",
+                        s.keys,
+                        s.ops,
+                        s.wins,
+                        s.resets,
+                        s.registers,
+                        s.reclaimed,
+                        s.conns,
+                        s.refused
                     );
                     ExitCode::SUCCESS
                 }

@@ -550,12 +550,11 @@ impl ChaosClient {
         let client = self.ensure_client().map_err(ClientError::Io)?;
         let acquired = if reorder {
             // Reorder within the pipeline: the same request twice in
-            // one batch, back frame first in construction order. The
-            // server answers in arrival order; both verdicts belong to
-            // this op's key, and at most one can win. Take the win if
-            // either got it.
-            client.send(op, key)?;
-            client.send(op, key)?;
+            // one batch, back frame first in construction order, both
+            // frames shipped in one coalesced write. The server answers
+            // in arrival order; both verdicts belong to this op's key,
+            // and at most one can win. Take the win if either got it.
+            client.send_batch(&[(op, key), (op, key)])?;
             let first = expect_acquired(client.recv()?)?;
             let second = expect_acquired(client.recv()?)?;
             if first.won {
@@ -622,9 +621,10 @@ impl ChaosClient {
 
     fn reset_once(&mut self, key: &[u8], sends: u32) -> Result<u64, ClientError> {
         let client = self.ensure_client().map_err(ClientError::Io)?;
-        for _ in 0..sends {
-            client.send(Op::Reset, key)?;
-        }
+        // A duplicated ack goes out as one pipelined batch — a single
+        // coalesced write carrying both RESET frames.
+        let batch: Vec<(Op, &[u8])> = (0..sends).map(|_| (Op::Reset, key)).collect();
+        client.send_batch(&batch)?;
         let mut last = 0;
         for _ in 0..sends {
             match client.recv()? {

@@ -4,9 +4,15 @@
 //! ([`Client::tas`], [`Client::elect`], [`Client::reset`],
 //! [`Client::stats`]) are one synchronous round trip each. For
 //! pipelining, split the halves yourself: any number of
-//! [`Client::send`] calls followed by the same number of
-//! [`Client::recv`] calls — the server answers every connection's
-//! frames strictly in request order.
+//! [`Client::send`] calls (or one [`Client::send_batch`], which frames
+//! a whole burst into one buffer and ships it with a **single**
+//! `write` syscall) followed by the same number of [`Client::recv`]
+//! calls — the server answers every connection's frames strictly in
+//! request order. Every send is one coalesced write (length prefix and
+//! payload together — [`Client::wire_writes`] counts them for the
+//! socket-level assertion tests), and `recv` reads in bulk through an
+//! incremental [`FrameDecoder`], so a pipelined burst of responses
+//! costs one `read` instead of two per frame.
 //!
 //! The client is deliberately *not* `Sync`: one connection belongs to
 //! one thread (the load harness opens a connection per worker), which
@@ -27,15 +33,14 @@
 //! colliding with a completed one.
 
 use std::fmt;
-use std::io::{self, Write};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use rtas::sim::rng::SplitMix64;
 
-use crate::protocol::{
-    decode_response, frame_request, read_frame, Acquired, Op, Response, SvcStats,
-};
+use crate::conn::FrameDecoder;
+use crate::protocol::{decode_response, frame_request, Acquired, Op, Response, SvcStats};
 
 /// What went wrong with a request.
 #[derive(Debug)]
@@ -140,6 +145,10 @@ impl RetryPolicy {
     }
 }
 
+/// Bytes pulled per `recv`-side `read` call: enough to swallow a whole
+/// pipelined burst of responses in one syscall.
+const READ_CHUNK: usize = 64 * 1024;
+
 /// One blocking connection to an arbitration server.
 #[derive(Debug)]
 pub struct Client {
@@ -149,7 +158,9 @@ pub struct Client {
     peer: SocketAddr,
     config: ClientConfig,
     out: Vec<u8>,
-    payload: Vec<u8>,
+    decoder: FrameDecoder,
+    chunk: Vec<u8>,
+    wire_writes: u64,
 }
 
 impl Client {
@@ -173,7 +184,9 @@ impl Client {
                         peer,
                         config,
                         out: Vec::new(),
-                        payload: Vec::new(),
+                        decoder: FrameDecoder::new(),
+                        chunk: vec![0u8; READ_CHUNK],
+                        wire_writes: 0,
                     })
                 }
                 Err(e) => last_err = Some(e),
@@ -197,10 +210,13 @@ impl Client {
 
     /// Drop the current stream and re-dial the original peer with the
     /// original config. On success the client is fresh: any responses
-    /// in flight on the old connection are gone, so a pipelining
-    /// caller must re-send everything unanswered.
+    /// in flight on the old connection are gone (the receive buffer is
+    /// dropped with them — a partial frame from the old stream must
+    /// not splice onto the new one), so a pipelining caller must
+    /// re-send everything unanswered.
     pub fn reconnect(&mut self) -> io::Result<()> {
         self.stream = Self::dial(self.peer, &self.config)?;
+        self.decoder.clear();
         Ok(())
     }
 
@@ -209,27 +225,78 @@ impl Client {
         self.peer
     }
 
+    /// Whether `TCP_NODELAY` is set on the live stream (it always is —
+    /// the socket-level assertion tests check it).
+    pub fn nodelay(&self) -> io::Result<bool> {
+        self.stream.nodelay()
+    }
+
+    /// Transport writes performed so far on this client (every send is
+    /// exactly one — the diagnostic behind the single-write framing
+    /// assertions; a reconnect does not reset it).
+    pub fn wire_writes(&self) -> u64 {
+        self.wire_writes
+    }
+
     /// Write raw bytes where a request frame would go — the chaos
     /// harness's hook for truncated/mutated/duplicated frames. Not a
     /// frame: no length header is added and nothing is validated.
     pub fn inject_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.wire_writes += 1;
         self.stream.write_all(bytes)
     }
 
-    /// Pipeline half 1: write one request frame without waiting.
+    /// Pipeline half 1: write one request frame without waiting —
+    /// length prefix and payload coalesced into a single `write`.
     pub fn send(&mut self, op: Op, key: &[u8]) -> io::Result<()> {
         self.out.clear();
         frame_request(op, key, &mut self.out);
+        self.wire_writes += 1;
+        self.stream.write_all(&self.out)
+    }
+
+    /// Pipeline a whole burst: frame every request into one reused
+    /// buffer and ship the lot with a **single** `write` syscall. The
+    /// caller then issues one [`Client::recv`] per request, in order.
+    pub fn send_batch(&mut self, reqs: &[(Op, &[u8])]) -> io::Result<()> {
+        self.out.clear();
+        for &(op, key) in reqs {
+            frame_request(op, key, &mut self.out);
+        }
+        self.wire_writes += 1;
         self.stream.write_all(&self.out)
     }
 
     /// Pipeline half 2: read the next response frame, in request order.
+    ///
+    /// Reads are bulk: one `read` pulls whatever burst of responses
+    /// the server coalesced, and subsequent `recv` calls drain the
+    /// buffer without touching the socket.
     pub fn recv(&mut self) -> Result<Response, ClientError> {
-        match read_frame(&mut self.stream, &mut self.payload)? {
-            Some(()) => Ok(decode_response(&self.payload)?),
-            None => Err(ClientError::Protocol(
-                "connection closed while awaiting a response".to_string(),
-            )),
+        loop {
+            if let Some(payload) = self.decoder.next_frame()? {
+                return Ok(decode_response(payload)?);
+            }
+            match self.stream.read(&mut self.chunk) {
+                Ok(0) => {
+                    return Err(if self.decoder.has_partial() {
+                        ClientError::Io(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "truncated frame",
+                        ))
+                    } else {
+                        ClientError::Protocol(
+                            "connection closed while awaiting a response".to_string(),
+                        )
+                    })
+                }
+                Ok(n) => {
+                    let (chunk, decoder) = (&self.chunk, &mut self.decoder);
+                    decoder.push(&chunk[..n]);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(ClientError::Io(e)),
+            }
         }
     }
 

@@ -1,0 +1,419 @@
+//! The per-connection protocol state machine: bytes in → response
+//! bytes out, zero I/O inside.
+//!
+//! [`Connection`] is the server's request path with the transport
+//! stripped away. The driving loop (today `server.rs`, tomorrow an
+//! event-driven reactor) hands it whatever bytes one `read` produced;
+//! the embedded incremental [`FrameDecoder`] consumes **every**
+//! complete frame in the buffer — a whole pipelined burst per call —
+//! and carries a trailing partial frame across reads. Each decoded
+//! request is executed against the [`Namespace`] and its response is
+//! framed into one reused output buffer, so the driver can flush an
+//! entire burst's responses with a single coalesced write. That turns
+//! the previous 2-reads + 1-write **per frame** syscall pattern into
+//! one read + one write **per burst**.
+//!
+//! Error policy is identical to the blocking loop it replaces (see the
+//! [protocol docs](crate::protocol)): a framing violation (declared
+//! length over [`MAX_PAYLOAD`]) appends a best-effort `ERR` frame and
+//! poisons the connection ([`ConnStatus::Closed`] — the driver flushes
+//! what it can and hangs up); a clean frame carrying a bad request
+//! gets an `ERR` response and the connection stays usable. Bytes after
+//! a poisoned frame are never interpreted: the stream position is
+//! untrustworthy.
+//!
+//! [`ConnGauges`] is the accept loop's side of the story — live and
+//! refused connection counts, surfaced through the widened `STATS`
+//! frame (a `STATS` request answered by a `Connection` reports the
+//! gauges of the server that owns it).
+
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rtas::native::NativeRunner;
+
+use crate::namespace::{Kind, Namespace};
+use crate::protocol::{
+    decode_request, frame_response, oversized_payload, Op, Request, Response, MAX_PAYLOAD,
+};
+
+/// An incremental frame decoder: feed it byte chunks of any size
+/// ([`FrameDecoder::push`]), pull complete frame payloads out
+/// ([`FrameDecoder::next_frame`]). A frame split across chunks is
+/// carried until its remainder arrives; the backing buffer is reused
+/// and compacted, so steady state allocates nothing once it has grown
+/// to the working burst size.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Offset of the first unconsumed byte in `buf`; everything before
+    /// it is already-decoded frames awaiting compaction.
+    start: usize,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Append freshly read bytes. Compacts the consumed prefix first,
+    /// so the buffer never grows beyond one burst plus one partial
+    /// frame.
+    pub fn push(&mut self, bytes: &[u8]) {
+        if self.start > 0 {
+            let len = self.buf.len();
+            self.buf.copy_within(self.start.., 0);
+            self.buf.truncate(len - self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// The next complete frame's payload, if one is buffered.
+    ///
+    /// `Ok(None)` means "need more bytes" (empty buffer or a partial
+    /// frame — see [`FrameDecoder::has_partial`] to tell them apart).
+    /// A declared length over [`MAX_PAYLOAD`] is
+    /// [`io::ErrorKind::InvalidData`]: the stream is poisoned and the
+    /// caller must stop decoding — the violating bytes stay buffered
+    /// and every later call returns the same error.
+    pub fn next_frame(&mut self) -> io::Result<Option<&[u8]>> {
+        let remaining = self.buf.len() - self.start;
+        if remaining < 4 {
+            return Ok(None);
+        }
+        let header: [u8; 4] = self.buf[self.start..self.start + 4].try_into().unwrap();
+        let len = u32::from_le_bytes(header) as usize;
+        if len > MAX_PAYLOAD {
+            return Err(oversized_payload(len));
+        }
+        if remaining < 4 + len {
+            return Ok(None);
+        }
+        let at = self.start + 4;
+        self.start = at + len;
+        Ok(Some(&self.buf[at..at + len]))
+    }
+
+    /// Whether undcoded bytes are buffered — a partial frame if
+    /// [`FrameDecoder::next_frame`] just returned `Ok(None)`. Lets a
+    /// client classify EOF: at a frame boundary it is clean, mid-frame
+    /// it is truncation.
+    pub fn has_partial(&self) -> bool {
+        self.buf.len() > self.start
+    }
+
+    /// Drop all buffered bytes (a client reconnecting mid-frame must
+    /// not splice the old stream's tail onto the new one).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.start = 0;
+    }
+}
+
+/// Connection gauges owned by the server's accept loop: how many
+/// connections are live right now and how many were refused at the
+/// `max_conns` ceiling, cumulatively. Lock-free like the shard
+/// counters — relaxed increments, relaxed snapshot reads — and
+/// surfaced through the widened `STATS` frame.
+#[derive(Debug, Default)]
+pub struct ConnGauges {
+    live: AtomicU64,
+    refused: AtomicU64,
+}
+
+impl ConnGauges {
+    /// Record an accepted connection and return the new live count —
+    /// the atomic claim the accept loop checks against `max_conns`.
+    /// The matching [`ConnGauges::disconnected`] must run when the
+    /// connection ends (or the claim is rolled back).
+    pub fn connected(&self) -> u64 {
+        self.live.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Record a connection ending (however it ended).
+    pub fn disconnected(&self) {
+        self.live.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Record a connection refused at the `max_conns` ceiling.
+    pub fn refuse(&self) {
+        self.refused.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Connections currently being served.
+    pub fn live(&self) -> u64 {
+        self.live.load(Ordering::Relaxed)
+    }
+
+    /// Connections refused so far, cumulative.
+    pub fn refused(&self) -> u64 {
+        self.refused.load(Ordering::Relaxed)
+    }
+}
+
+/// What [`Connection::ingest`] left the connection in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnStatus {
+    /// Keep reading; flush [`Connection::output`] first if non-empty.
+    Open,
+    /// The stream is poisoned: flush [`Connection::output`]
+    /// best-effort, then close. Further `ingest` calls are no-ops.
+    Closed,
+}
+
+/// One connection's protocol state: the incremental decoder, the
+/// connection-private [`NativeRunner`], and the reused output buffer.
+/// See the [module docs](self).
+#[derive(Debug, Default)]
+pub struct Connection {
+    decoder: FrameDecoder,
+    runner: NativeRunner,
+    out: Vec<u8>,
+    closed: bool,
+}
+
+impl Connection {
+    /// A fresh connection state machine.
+    pub fn new() -> Self {
+        Connection::default()
+    }
+
+    /// Feed one read's worth of bytes; decode and execute **every**
+    /// complete frame they complete, framing each response into the
+    /// output buffer in request order.
+    pub fn ingest(
+        &mut self,
+        bytes: &[u8],
+        namespace: &Namespace,
+        gauges: &ConnGauges,
+    ) -> ConnStatus {
+        if self.closed {
+            return ConnStatus::Closed;
+        }
+        self.decoder.push(bytes);
+        loop {
+            match self.decoder.next_frame() {
+                Ok(Some(payload)) => {
+                    let response = match decode_request(payload) {
+                        Ok(request) => execute(namespace, gauges, request, &mut self.runner),
+                        // A clean frame with a bad request: answer and
+                        // carry on.
+                        Err(e) => Response::Err(e.to_string()),
+                    };
+                    frame_response(&response, &mut self.out);
+                }
+                Ok(None) => return ConnStatus::Open,
+                Err(e) => {
+                    // Framing violation: name it, then poison — the
+                    // stream position is untrustworthy.
+                    frame_response(&Response::Err(e.to_string()), &mut self.out);
+                    self.closed = true;
+                    return ConnStatus::Closed;
+                }
+            }
+        }
+    }
+
+    /// Response bytes accumulated since the last
+    /// [`Connection::clear_output`] — the driver writes these with one
+    /// coalesced write.
+    pub fn output(&self) -> &[u8] {
+        &self.out
+    }
+
+    /// Discard flushed output (keeps the buffer's capacity).
+    pub fn clear_output(&mut self) {
+        self.out.clear();
+    }
+
+    /// Whether a framing violation has poisoned this connection.
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+}
+
+/// Execute one decoded request against the namespace. `STATS` merges
+/// the accept loop's connection gauges into the namespace counters.
+pub(crate) fn execute(
+    namespace: &Namespace,
+    gauges: &ConnGauges,
+    request: Request<'_>,
+    runner: &mut NativeRunner,
+) -> Response {
+    match request.op {
+        Op::Tas | Op::Elect => {
+            let kind = if request.op == Op::Tas {
+                Kind::Tas
+            } else {
+                Kind::Elect
+            };
+            match namespace.acquire(kind, request.key, runner) {
+                Ok(acquired) => Response::Acquired(acquired),
+                Err(e) => Response::Err(e.to_string()),
+            }
+        }
+        Op::Reset => Response::Reset {
+            epoch: namespace.reset(request.key).unwrap_or(0),
+        },
+        Op::Stats => {
+            let mut stats = namespace.stats();
+            stats.conns = gauges.live();
+            stats.refused = gauges.refused();
+            Response::Stats(stats)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{decode_response, frame_request, read_frame};
+    use rtas::Backend;
+
+    fn decode_all(bytes: &[u8]) -> Vec<Response> {
+        let mut cursor = io::Cursor::new(bytes.to_vec());
+        let mut payload = Vec::new();
+        let mut out = Vec::new();
+        while read_frame(&mut cursor, &mut payload).unwrap().is_some() {
+            out.push(decode_response(&payload).unwrap());
+        }
+        out
+    }
+
+    #[test]
+    fn decoder_reassembles_frames_split_anywhere() {
+        let mut burst = Vec::new();
+        frame_request(Op::Tas, b"alpha", &mut burst);
+        frame_request(Op::Reset, b"alpha", &mut burst);
+        frame_request(Op::Stats, b"", &mut burst);
+        for split in 0..=burst.len() {
+            let mut dec = FrameDecoder::new();
+            let mut seen = 0;
+            dec.push(&burst[..split]);
+            while dec.next_frame().unwrap().is_some() {
+                seen += 1;
+            }
+            dec.push(&burst[split..]);
+            while let Some(payload) = dec.next_frame().unwrap() {
+                assert!(decode_request(payload).is_ok());
+                seen += 1;
+            }
+            assert_eq!(seen, 3, "all frames recovered at split {split}");
+            assert!(!dec.has_partial());
+        }
+    }
+
+    #[test]
+    fn decoder_poisons_on_oversized_length_and_stays_poisoned() {
+        let mut dec = FrameDecoder::new();
+        let mut bytes = ((MAX_PAYLOAD as u32) + 1).to_le_bytes().to_vec();
+        bytes.extend_from_slice(b"garbage");
+        dec.push(&bytes);
+        for _ in 0..3 {
+            let err = dec.next_frame().unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+            assert!(err.to_string().contains("frame limit"));
+        }
+    }
+
+    #[test]
+    fn decoder_reports_partial_frames() {
+        let mut frame = Vec::new();
+        frame_request(Op::Tas, b"key", &mut frame);
+        let mut dec = FrameDecoder::new();
+        assert!(!dec.has_partial());
+        dec.push(&frame[..frame.len() - 1]);
+        assert!(dec.next_frame().unwrap().is_none());
+        assert!(dec.has_partial(), "mid-frame EOF must be classifiable");
+        dec.clear();
+        assert!(!dec.has_partial());
+        assert!(dec.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn connection_answers_a_whole_burst_in_order() {
+        let ns = Namespace::new(Backend::Combined, 2, 4);
+        let gauges = ConnGauges::default();
+        let mut conn = Connection::new();
+        let mut burst = Vec::new();
+        frame_request(Op::Tas, b"k", &mut burst); // win epoch 0
+        frame_request(Op::Tas, b"k", &mut burst); // lose epoch 0
+        frame_request(Op::Reset, b"k", &mut burst); // open epoch 1
+        frame_request(Op::Tas, b"k", &mut burst); // win epoch 1
+        assert_eq!(conn.ingest(&burst, &ns, &gauges), ConnStatus::Open);
+        let responses = decode_all(conn.output());
+        use crate::protocol::Acquired;
+        assert_eq!(
+            responses,
+            vec![
+                Response::Acquired(Acquired {
+                    won: true,
+                    epoch: 0
+                }),
+                Response::Acquired(Acquired {
+                    won: false,
+                    epoch: 0
+                }),
+                Response::Reset { epoch: 1 },
+                Response::Acquired(Acquired {
+                    won: true,
+                    epoch: 1
+                }),
+            ]
+        );
+        conn.clear_output();
+        assert!(conn.output().is_empty());
+    }
+
+    #[test]
+    fn connection_survives_bad_requests_but_poisons_on_framing() {
+        let ns = Namespace::new(Backend::Combined, 1, 2);
+        let gauges = ConnGauges::default();
+        let mut conn = Connection::new();
+
+        // A clean frame with an unknown opcode: ERR, still open.
+        let bad = [1u8, 0, 0, 0, 99];
+        assert_eq!(conn.ingest(&bad, &ns, &gauges), ConnStatus::Open);
+        let responses = decode_all(conn.output());
+        assert!(matches!(&responses[0], Response::Err(m) if m.contains("unknown opcode")));
+        conn.clear_output();
+
+        // An oversized declared length: ERR, poisoned, and later bytes
+        // are never interpreted.
+        let poison = ((MAX_PAYLOAD as u32) + 1).to_le_bytes();
+        assert_eq!(conn.ingest(&poison, &ns, &gauges), ConnStatus::Closed);
+        assert!(conn.is_closed());
+        let responses = decode_all(conn.output());
+        assert!(matches!(&responses[0], Response::Err(m) if m.contains("frame limit")));
+        conn.clear_output();
+        let mut valid = Vec::new();
+        frame_request(Op::Tas, b"k", &mut valid);
+        assert_eq!(conn.ingest(&valid, &ns, &gauges), ConnStatus::Closed);
+        assert!(conn.output().is_empty(), "poisoned connections go silent");
+    }
+
+    #[test]
+    fn stats_responses_carry_the_gauges() {
+        let ns = Namespace::new(Backend::Combined, 1, 2);
+        let gauges = ConnGauges::default();
+        gauges.connected();
+        gauges.connected();
+        gauges.refuse();
+        gauges.disconnected();
+        assert_eq!((gauges.live(), gauges.refused()), (1, 1));
+        let mut conn = Connection::new();
+        let mut req = Vec::new();
+        frame_request(Op::Stats, b"", &mut req);
+        conn.ingest(&req, &ns, &gauges);
+        let responses = decode_all(conn.output());
+        match &responses[0] {
+            Response::Stats(s) => {
+                assert_eq!(s.conns, 1);
+                assert_eq!(s.refused, 1);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+    }
+}

@@ -16,9 +16,15 @@
 //!   CAS-admission / release-publish gate that generalizes the
 //!   `rtas-load` arena's protocol to dynamic membership with an
 //!   explicit ack (`RESET`), allocation-free in steady state;
+//! * [`conn`] — the per-connection protocol state machine (bytes in →
+//!   response bytes out, zero I/O inside): an incremental frame
+//!   decoder that drains whole pipelined bursts per read and carries
+//!   partial frames across reads;
 //! * [`server`] / [`client`] — thread-per-connection TCP serving with
-//!   sharded accept loops, and a blocking pipelining-capable client
-//!   with bounded timeouts and jittered reconnect backoff;
+//!   sharded accept loops and bulk-I/O burst handling (one read, one
+//!   coalesced write per pipelined burst), and a blocking
+//!   pipelining-capable client with batched single-write sends,
+//!   bounded timeouts, and jittered reconnect backoff;
 //! * [`chaos`] — the deterministic hostile-network layer: a seeded
 //!   fault plan (delays, connection drops, frame truncation and
 //!   reordering, stalled holders, byzantine `RESET` acks) that the
@@ -43,12 +49,14 @@
 
 pub mod chaos;
 pub mod client;
+pub mod conn;
 pub mod namespace;
 pub mod protocol;
 pub mod server;
 
 pub use chaos::{ChaosSpec, FaultPlan};
 pub use client::{Client, ClientConfig, ClientError, RetryPolicy};
+pub use conn::{ConnGauges, ConnStatus, Connection, FrameDecoder};
 pub use namespace::{Kind, Namespace, NsError};
 pub use protocol::{Acquired, Op, Response, SvcStats};
 pub use server::{Server, SvcConfig};

@@ -303,14 +303,14 @@ impl EpochGate {
 }
 
 /// One key's state: the recyclable object behind the [`Arbiter`]
-/// vtable, its epoch gate, and cumulative counters.
+/// vtable and its epoch gate. Cumulative counters live on the key's
+/// *shard* (`ShardCounters`), not the entry — `stats()` then reads
+/// a handful of atomics per shard instead of walking every key under
+/// its lock.
 pub struct Entry {
     kind: Kind,
     arbiter: Box<dyn Arbiter>,
     gate: EpochGate,
-    ops: AtomicU64,
-    wins: AtomicU64,
-    reclaimed: AtomicU64,
 }
 
 impl std::fmt::Debug for Entry {
@@ -320,8 +320,6 @@ impl std::fmt::Debug for Entry {
             .field("backend", &self.arbiter.backend())
             .field("capacity", &self.arbiter.capacity())
             .field("epoch", &self.epoch())
-            .field("ops", &self.ops())
-            .field("wins", &self.wins())
             .finish()
     }
 }
@@ -336,9 +334,6 @@ impl Entry {
             kind,
             arbiter,
             gate: EpochGate::new(),
-            ops: AtomicU64::new(0),
-            wins: AtomicU64::new(0),
-            reclaimed: AtomicU64::new(0),
         }
     }
 
@@ -352,23 +347,14 @@ impl Entry {
         self.gate.epoch()
     }
 
-    /// Cumulative operations served on this key.
-    pub fn ops(&self) -> u64 {
-        self.ops.load(Ordering::Relaxed)
-    }
-
-    /// Cumulative winning operations on this key.
-    pub fn wins(&self) -> u64 {
-        self.wins.load(Ordering::Relaxed)
-    }
-
-    /// Cumulative lease reclamations on this key.
-    pub fn reclaimed(&self) -> u64 {
-        self.reclaimed.load(Ordering::Relaxed)
-    }
-
-    fn acquire(&self, runner: &mut NativeRunner, now_ns: u64, lease_ns: u64) -> Acquired {
-        self.ops.fetch_add(1, Ordering::Relaxed);
+    fn acquire(
+        &self,
+        counters: &ShardCounters,
+        runner: &mut NativeRunner,
+        now_ns: u64,
+        lease_ns: u64,
+    ) -> Acquired {
+        counters.ops.fetch_add(1, Ordering::Relaxed);
         loop {
             match self
                 .gate
@@ -381,7 +367,7 @@ impl Entry {
                 // into the fresh epoch (traffic heals a wedged key
                 // without waiting for the reaper sweep).
                 Admission::Full { epoch } => {
-                    if lease_ns != 0 && self.reclaim(now_ns) {
+                    if lease_ns != 0 && self.reclaim(counters, now_ns) {
                         continue;
                     }
                     return Acquired { won: false, epoch };
@@ -389,7 +375,7 @@ impl Entry {
                 Admission::Admitted { epoch } => {
                     let won = self.arbiter.try_acquire(runner);
                     if won {
-                        self.wins.fetch_add(1, Ordering::Relaxed);
+                        counters.wins.fetch_add(1, Ordering::Relaxed);
                     }
                     self.gate.finish();
                     return Acquired { won, epoch };
@@ -401,10 +387,11 @@ impl Entry {
     /// Recycle for the next epoch (the client's `RESET` ack). A
     /// zero-admission open epoch is left untouched — the ack is
     /// idempotent — and the open epoch is returned unchanged.
-    fn recycle(&self) -> u64 {
+    fn recycle(&self, counters: &ShardCounters) -> u64 {
         match self.gate.begin_reset() {
             Some(old) => {
                 self.arbiter.reset();
+                counters.resets.fetch_add(1, Ordering::Relaxed);
                 self.gate.end_reset(old)
             }
             None => self.gate.epoch(),
@@ -414,12 +401,13 @@ impl Entry {
     /// Reclaim the open epoch if its lease has expired at `now_ns`;
     /// `true` if an epoch was retired. Same quiescent recycle path as a
     /// client ack — a reclamation can never produce a second winner.
-    fn reclaim(&self, now_ns: u64) -> bool {
+    fn reclaim(&self, counters: &ShardCounters, now_ns: u64) -> bool {
         match self.gate.begin_reclaim(now_ns) {
             Some(old) => {
                 self.arbiter.reset();
                 self.gate.end_reset(old);
-                self.reclaimed.fetch_add(1, Ordering::Relaxed);
+                counters.resets.fetch_add(1, Ordering::Relaxed);
+                counters.reclaimed.fetch_add(1, Ordering::Relaxed);
                 true
             }
             None => false,
@@ -427,9 +415,25 @@ impl Entry {
     }
 }
 
+/// Per-shard cumulative counters: relaxed increments on the hot path,
+/// relaxed snapshot loads in [`Namespace::stats`]. A `STATS` request
+/// therefore never takes a shard lock and never stalls a TAS/ELECT —
+/// the same lock-free read discipline the epoch gate already uses for
+/// recycling. Every epoch advance (client ack or lease reclamation)
+/// bumps `resets`, so `resets` equals the sum of all live keys' epochs.
+#[derive(Debug, Default)]
+struct ShardCounters {
+    ops: AtomicU64,
+    wins: AtomicU64,
+    resets: AtomicU64,
+    registers: AtomicU64,
+    reclaimed: AtomicU64,
+}
+
 #[derive(Debug)]
 struct NsShard {
     map: RwLock<HashMap<Box<[u8]>, Arc<Entry>>>,
+    counters: ShardCounters,
 }
 
 /// The sharded keyed namespace. See the [module docs](self).
@@ -535,6 +539,7 @@ impl Namespace {
                 .map(|_| {
                     CachePadded(NsShard {
                         map: RwLock::new(HashMap::new()),
+                        counters: ShardCounters::default(),
                     })
                 })
                 .collect(),
@@ -588,8 +593,13 @@ impl Namespace {
         self.shard_of(key).map.read().unwrap().get(key).cloned()
     }
 
-    fn get_or_create(&self, kind: Kind, key: &[u8]) -> Result<Arc<Entry>, NsError> {
-        if let Some(entry) = self.lookup(key) {
+    fn get_or_create(
+        &self,
+        shard: &NsShard,
+        kind: Kind,
+        key: &[u8],
+    ) -> Result<Arc<Entry>, NsError> {
+        if let Some(entry) = shard.map.read().unwrap().get(key).cloned() {
             return if entry.kind == kind {
                 Ok(entry)
             } else {
@@ -599,7 +609,7 @@ impl Namespace {
                 })
             };
         }
-        let mut map = self.shard_of(key).map.write().unwrap();
+        let mut map = shard.map.write().unwrap();
         if let Some(entry) = map.get(key) {
             // Lost the creation race; the other creator picked the kind.
             return if entry.kind == kind {
@@ -617,6 +627,12 @@ impl Namespace {
             });
         }
         let entry = Arc::new(Entry::new(kind, self.backend, self.capacity));
+        // Keys are never evicted, so accumulating registers at creation
+        // keeps the counter equal to the sum over all live objects.
+        shard
+            .counters
+            .registers
+            .fetch_add(entry.arbiter.registers(), Ordering::Relaxed);
         map.insert(key.into(), Arc::clone(&entry));
         self.key_count.fetch_add(1, Ordering::Relaxed);
         Ok(entry)
@@ -634,9 +650,13 @@ impl Namespace {
         // Read the clock only when a lease is armed: the disabled path
         // stays clock-free (and allocation-free — see tests/alloc_steady).
         let now_ns = if self.lease_ns != 0 { self.now_ns() } else { 0 };
-        Ok(self
-            .get_or_create(kind, key)?
-            .acquire(runner, now_ns, self.lease_ns))
+        let shard = self.shard_of(key);
+        Ok(self.get_or_create(shard, kind, key)?.acquire(
+            &shard.counters,
+            runner,
+            now_ns,
+            self.lease_ns,
+        ))
     }
 
     /// Recycle `key`'s object for its next epoch (the resolution ack).
@@ -645,7 +665,9 @@ impl Namespace {
     /// retired; admission re-opens only after the allocation-free reset
     /// is published (release/acquire — see the [module docs](self)).
     pub fn reset(&self, key: &[u8]) -> Option<u64> {
-        Some(self.lookup(key)?.recycle())
+        let shard = self.shard_of(key);
+        let entry = shard.map.read().unwrap().get(key).cloned()?;
+        Some(entry.recycle(&shard.counters))
     }
 
     /// One reclamation sweep: retire every key-epoch whose lease has
@@ -663,25 +685,33 @@ impl Namespace {
             // quiesces in-flight admissions and must not stall lookups.
             let entries: Vec<Arc<Entry>> = shard.0.map.read().unwrap().values().cloned().collect();
             for entry in entries {
-                reclaimed += entry.reclaim(now_ns) as u64;
+                reclaimed += entry.reclaim(&shard.0.counters, now_ns) as u64;
             }
         }
         reclaimed
     }
 
-    /// Aggregate counters over every shard and key.
+    /// Aggregate counters over every shard — lock-free: a handful of
+    /// relaxed atomic loads per shard plus the global key count, so a
+    /// `STATS` request never blocks behind (or stalls) the arbitration
+    /// hot path. The snapshot is not atomic across counters: under
+    /// concurrent traffic, individual counters may be skewed by the
+    /// operations in flight, which is the usual (and here acceptable)
+    /// monitoring-read semantics. The connection gauges
+    /// ([`SvcStats::conns`], [`SvcStats::refused`]) are left zero —
+    /// only the server's accept loop knows them.
     pub fn stats(&self) -> SvcStats {
-        let mut stats = SvcStats::default();
+        let mut stats = SvcStats {
+            keys: self.key_count.load(Ordering::Relaxed) as u64,
+            ..SvcStats::default()
+        };
         for shard in &self.shards {
-            let map = shard.0.map.read().unwrap();
-            for entry in map.values() {
-                stats.keys += 1;
-                stats.ops += entry.ops();
-                stats.wins += entry.wins();
-                stats.resets += entry.epoch();
-                stats.registers += entry.arbiter.registers();
-                stats.reclaimed += entry.reclaimed();
-            }
+            let c = &shard.0.counters;
+            stats.ops += c.ops.load(Ordering::Relaxed);
+            stats.wins += c.wins.load(Ordering::Relaxed);
+            stats.resets += c.resets.load(Ordering::Relaxed);
+            stats.registers += c.registers.load(Ordering::Relaxed);
+            stats.reclaimed += c.reclaimed.load(Ordering::Relaxed);
         }
         stats
     }

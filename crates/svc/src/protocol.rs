@@ -15,7 +15,7 @@
 //! | 0 `LOST` / 1 `WIN` | arbitration verdict | `u64 LE` epoch |
 //! | 2 `RESET` | recycle acknowledged | `u64 LE` newly opened epoch (0 = no such key) |
 //! | 3 `ERR` | request refused | UTF-8 message |
-//! | 4 `STATS` | server counters | 6 × `u64 LE`: keys, ops, wins, resets, registers, reclaimed |
+//! | 4 `STATS` | server counters | 8 × `u64 LE`: keys, ops, wins, resets, registers, reclaimed, conns, refused |
 //!
 //! Responses are returned **in request order** on each connection, so a
 //! client may pipeline: write any number of request frames, then read
@@ -108,6 +108,14 @@ pub struct SvcStats {
     /// admitted-but-never-acked epoch expired (a strict subset of
     /// `resets`). Zero unless the server was configured with a lease.
     pub reclaimed: u64,
+    /// Connections currently being served (the connection answering a
+    /// `STATS` request counts itself). Zero when the stats come from an
+    /// in-process [`Namespace::stats`](crate::Namespace::stats) call —
+    /// only the server's accept loop tracks connections.
+    pub conns: u64,
+    /// Connections refused because the server was at its `max_conns`
+    /// ceiling, cumulative. Zero for in-process stats, as above.
+    pub refused: u64,
 }
 
 /// A decoded request.
@@ -138,6 +146,16 @@ pub enum Response {
 
 fn invalid(msg: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// The framing-violation error for a declared length over
+/// [`MAX_PAYLOAD`] — shared by [`read_frame`] and the incremental
+/// [`FrameDecoder`](crate::conn::FrameDecoder) so both report the
+/// violation identically.
+pub(crate) fn oversized_payload(len: usize) -> io::Error {
+    invalid(format!(
+        "declared payload of {len} bytes exceeds the {MAX_PAYLOAD}-byte frame limit"
+    ))
 }
 
 /// Append a complete request frame (length prefix included) to `buf`.
@@ -191,7 +209,16 @@ pub fn frame_response(resp: &Response, buf: &mut Vec<u8>) {
         }
         Response::Stats(s) => {
             buf.push(STATUS_STATS);
-            for v in [s.keys, s.ops, s.wins, s.resets, s.registers, s.reclaimed] {
+            for v in [
+                s.keys,
+                s.ops,
+                s.wins,
+                s.resets,
+                s.registers,
+                s.reclaimed,
+                s.conns,
+                s.refused,
+            ] {
                 buf.extend_from_slice(&v.to_le_bytes());
             }
         }
@@ -232,6 +259,8 @@ pub fn decode_response(payload: &[u8]) -> io::Result<Response> {
             resets: u64_at(payload, 25)?,
             registers: u64_at(payload, 33)?,
             reclaimed: u64_at(payload, 41)?,
+            conns: u64_at(payload, 49)?,
+            refused: u64_at(payload, 57)?,
         })),
         STATUS_ERR => Ok(Response::Err(String::from_utf8_lossy(rest).into_owned())),
         other => Err(invalid(format!("unknown response status {other}"))),
@@ -265,9 +294,7 @@ pub fn read_frame(r: &mut impl Read, buf: &mut Vec<u8>) -> io::Result<Option<()>
     }
     let len = u32::from_le_bytes(header) as usize;
     if len > MAX_PAYLOAD {
-        return Err(invalid(format!(
-            "declared payload of {len} bytes exceeds the {MAX_PAYLOAD}-byte frame limit"
-        )));
+        return Err(oversized_payload(len));
     }
     buf.clear();
     buf.resize(len, 0);
@@ -317,6 +344,8 @@ mod tests {
                 resets: 4,
                 registers: 5,
                 reclaimed: 6,
+                conns: 7,
+                refused: 8,
             }),
             Response::Err("kind mismatch".to_string()),
         ];

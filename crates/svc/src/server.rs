@@ -3,31 +3,44 @@
 //!
 //! `listeners` accept threads share one bound socket (via
 //! [`TcpListener::try_clone`]); each accepted connection gets its own
-//! handler thread owning a reusable [`NativeRunner`] and reusable
-//! frame buffers, so the steady-state request path performs no
-//! allocation beyond the protocol state machines (see
-//! `tests/alloc_steady.rs` for the namespace half of that claim).
-//! Requests on one connection are executed and answered **in order**,
-//! which is what makes client-side pipelining sound.
+//! handler thread owning a [`Connection`] state machine — a reusable
+//! [`rtas::native::NativeRunner`] plus reusable frame buffers — so the
+//! steady-state request path performs no allocation beyond the
+//! protocol state machines (see `tests/alloc_steady.rs` for the
+//! namespace half of that claim). Requests on one connection are
+//! executed and answered **in order**, which is what makes client-side
+//! pipelining sound.
+//!
+//! I/O is bulk: one large `read` ingests a whole pipelined burst, the
+//! [`Connection`] decodes and executes every complete frame in it, and
+//! all of the burst's responses are flushed with a single coalesced
+//! write — one read + one write per burst instead of 2 reads + 1 write
+//! per frame.
 //!
 //! Error policy, matching the [protocol docs](crate::protocol):
 //! framing violations (oversized declared length, truncation) get a
 //! best-effort `ERR` frame and the connection is closed; clean frames
 //! carrying a bad request (unknown opcode, empty key, kind mismatch)
 //! get an `ERR` response and the connection stays usable.
+//!
+//! The accept loops are bounded: at most [`SvcConfig::max_conns`]
+//! connections are served concurrently; one beyond the ceiling gets a
+//! best-effort `ERR` frame and an immediate close, and the refusal is
+//! counted in the `STATS` gauges ([`crate::protocol::SvcStats::conns`]
+//! / [`refused`](crate::protocol::SvcStats::refused)).
 
-use std::io::{self, Write};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use rtas::native::NativeRunner;
 use rtas::Backend;
 
-use crate::namespace::{Kind, Namespace};
-use crate::protocol::{decode_request, frame_response, read_frame, Op, Request, Response};
+use crate::conn::{ConnGauges, ConnStatus, Connection};
+use crate::namespace::Namespace;
+use crate::protocol::{frame_response, Response};
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -57,7 +70,18 @@ pub struct SvcConfig {
     /// `ERR` and closed, so a stalled client cannot pin a handler
     /// thread forever. `None` (the default) waits indefinitely.
     pub read_timeout: Option<Duration>,
+    /// Ceiling on concurrently served connections — the bound on the
+    /// one-thread-per-connection design's memory and thread count. A
+    /// connection accepted at the ceiling is answered with a
+    /// best-effort `ERR` naming the limit and closed immediately;
+    /// refusals are counted in the `STATS` gauges.
+    pub max_conns: usize,
 }
+
+/// Default [`SvcConfig::max_conns`]: far above any load the
+/// thread-per-connection server is meant for, low enough that an
+/// accept storm cannot exhaust process threads or memory.
+pub const DEFAULT_MAX_CONNS: usize = 1024;
 
 impl Default for SvcConfig {
     fn default() -> Self {
@@ -70,6 +94,7 @@ impl Default for SvcConfig {
             max_keys: crate::namespace::DEFAULT_MAX_KEYS,
             lease: None,
             read_timeout: None,
+            max_conns: DEFAULT_MAX_CONNS,
         }
     }
 }
@@ -81,6 +106,7 @@ impl Default for SvcConfig {
 pub struct Server {
     addr: SocketAddr,
     namespace: Arc<Namespace>,
+    gauges: Arc<ConnGauges>,
     stop: Arc<AtomicBool>,
     accepters: Vec<JoinHandle<()>>,
     reaper: Option<JoinHandle<()>>,
@@ -99,6 +125,7 @@ impl Server {
             config.lease,
         ));
         let stop = Arc::new(AtomicBool::new(false));
+        let gauges = Arc::new(ConnGauges::default());
         // Clone every listener handle BEFORE spawning any thread: a
         // try_clone failure must abort cleanly, not leave already
         // spawned accepters running with no Server handle to stop them.
@@ -106,12 +133,23 @@ impl Server {
             .map(|_| listener.try_clone())
             .collect::<io::Result<Vec<_>>>()?;
         let read_timeout = config.read_timeout;
+        let max_conns = config.max_conns.max(1);
         let accepters = listeners
             .into_iter()
             .map(|listener| {
                 let namespace = Arc::clone(&namespace);
                 let stop = Arc::clone(&stop);
-                std::thread::spawn(move || accept_loop(&listener, &namespace, &stop, read_timeout))
+                let gauges = Arc::clone(&gauges);
+                std::thread::spawn(move || {
+                    accept_loop(
+                        &listener,
+                        &namespace,
+                        &gauges,
+                        &stop,
+                        read_timeout,
+                        max_conns,
+                    )
+                })
             })
             .collect();
         // The reaper: sweep expired leases at a quarter of the lease
@@ -132,6 +170,7 @@ impl Server {
         Ok(Server {
             addr,
             namespace,
+            gauges,
             stop,
             accepters,
             reaper,
@@ -147,6 +186,12 @@ impl Server {
     /// examples) can inspect stats or drive keys directly.
     pub fn namespace(&self) -> &Arc<Namespace> {
         &self.namespace
+    }
+
+    /// The accept loops' connection gauges (live / refused counts) —
+    /// what a wire `STATS` reports in its last two fields.
+    pub fn gauges(&self) -> &Arc<ConnGauges> {
+        &self.gauges
     }
 
     /// Stop accepting and join the accept threads. Connections already
@@ -177,11 +222,13 @@ impl Server {
 fn accept_loop(
     listener: &TcpListener,
     namespace: &Arc<Namespace>,
+    gauges: &Arc<ConnGauges>,
     stop: &Arc<AtomicBool>,
     read_timeout: Option<Duration>,
+    max_conns: usize,
 ) {
     loop {
-        let stream = match listener.accept() {
+        let mut stream = match listener.accept() {
             Ok((stream, _)) => stream,
             Err(_) => {
                 if stop.load(Ordering::SeqCst) {
@@ -198,77 +245,98 @@ fn accept_loop(
         if stop.load(Ordering::SeqCst) {
             return;
         }
+        // Claim a connection slot optimistically; over the ceiling,
+        // undo the claim, name the limit best-effort, and hang up —
+        // inline, without spending a thread on the refusal.
+        if gauges.connected() > max_conns as u64 {
+            gauges.disconnected();
+            gauges.refuse();
+            let mut out = Vec::new();
+            frame_response(
+                &Response::Err(format!(
+                    "connection refused: server is at its {max_conns}-connection limit"
+                )),
+                &mut out,
+            );
+            let _ = stream.write_all(&out);
+            continue;
+        }
         let namespace = Arc::clone(namespace);
-        std::thread::spawn(move || handle_connection(stream, &namespace, read_timeout));
+        let gauges = Arc::clone(gauges);
+        std::thread::spawn(move || {
+            // The slot is released however the handler exits — clean
+            // EOF, poisoned stream, or a panic unwinding through it.
+            struct SlotGuard(Arc<ConnGauges>);
+            impl Drop for SlotGuard {
+                fn drop(&mut self) {
+                    self.0.disconnected();
+                }
+            }
+            let _guard = SlotGuard(Arc::clone(&gauges));
+            handle_connection(stream, &namespace, &gauges, read_timeout);
+        });
     }
 }
 
+/// Bytes ingested per `read` call: large enough to swallow a whole
+/// pipelined burst (hundreds of requests) in one syscall.
+const READ_CHUNK: usize = 64 * 1024;
+
 /// Serve one connection until EOF, a framing violation, or a read
-/// deadline expiry.
-fn handle_connection(mut stream: TcpStream, namespace: &Namespace, read_timeout: Option<Duration>) {
-    // Request/response frames are single small writes; batching them
-    // behind Nagle would serialize pipelined round trips.
+/// deadline expiry — bulk reads in, one coalesced write per burst out.
+fn handle_connection(
+    mut stream: TcpStream,
+    namespace: &Namespace,
+    gauges: &ConnGauges,
+    read_timeout: Option<Duration>,
+) {
+    // Responses are flushed in one coalesced write per burst; batching
+    // that write behind Nagle would still serialize pipelined round
+    // trips, so the burst must leave immediately.
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(read_timeout);
-    let mut runner = NativeRunner::new();
-    let mut payload = Vec::new();
-    let mut out = Vec::new();
+    let mut conn = Connection::new();
+    let mut chunk = vec![0u8; READ_CHUNK];
     loop {
-        match read_frame(&mut stream, &mut payload) {
-            Ok(Some(())) => {}
-            Ok(None) => return, // clean EOF
-            Err(e) => {
-                let timed_out = matches!(
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => return, // EOF (mid-frame truncation closes silently)
+            Ok(n) => n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if matches!(
                     e.kind(),
                     io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+                ) =>
+            {
+                // Deadline expiry on a live stream: name it, then hang
+                // up — a stalled client must not pin this thread.
+                let mut out = Vec::new();
+                frame_response(
+                    &Response::Err("read deadline expired".to_string()),
+                    &mut out,
                 );
-                if e.kind() == io::ErrorKind::InvalidData || timed_out {
-                    // Framing violation or deadline expiry on a live
-                    // stream: name it, then hang up — the stream
-                    // position is untrustworthy (and a stalled client
-                    // must not pin this thread).
-                    out.clear();
-                    let msg = if timed_out {
-                        "read deadline expired".to_string()
-                    } else {
-                        e.to_string()
-                    };
-                    frame_response(&Response::Err(msg), &mut out);
-                    let _ = stream.write_all(&out);
+                let _ = stream.write_all(&out);
+                return;
+            }
+            Err(_) => return,
+        };
+        match conn.ingest(&chunk[..n], namespace, gauges) {
+            ConnStatus::Open => {
+                if !conn.output().is_empty() {
+                    let flushed = stream.write_all(conn.output());
+                    conn.clear_output();
+                    if flushed.is_err() {
+                        return;
+                    }
                 }
+            }
+            ConnStatus::Closed => {
+                // Framing violation: flush the burst's responses plus
+                // the trailing ERR best-effort, then hang up.
+                let _ = stream.write_all(conn.output());
                 return;
             }
         }
-        let response = match decode_request(&payload) {
-            Ok(request) => execute(namespace, request, &mut runner),
-            // A clean frame with a bad request: answer and carry on.
-            Err(e) => Response::Err(e.to_string()),
-        };
-        out.clear();
-        frame_response(&response, &mut out);
-        if stream.write_all(&out).is_err() {
-            return;
-        }
-    }
-}
-
-fn execute(namespace: &Namespace, request: Request<'_>, runner: &mut NativeRunner) -> Response {
-    match request.op {
-        Op::Tas | Op::Elect => {
-            let kind = if request.op == Op::Tas {
-                Kind::Tas
-            } else {
-                Kind::Elect
-            };
-            match namespace.acquire(kind, request.key, runner) {
-                Ok(acquired) => Response::Acquired(acquired),
-                Err(e) => Response::Err(e.to_string()),
-            }
-        }
-        Op::Reset => Response::Reset {
-            epoch: namespace.reset(request.key).unwrap_or(0),
-        },
-        Op::Stats => Response::Stats(namespace.stats()),
     }
 }
 

@@ -9,9 +9,10 @@ use std::net::{Shutdown, TcpStream};
 use std::time::Duration;
 
 use rtas::sim::rng::SplitMix64;
+use rtas::Backend;
 use rtas_svc::protocol::{decode_request, decode_response, frame_request, Op, MAX_PAYLOAD};
 use rtas_svc::server::SvcConfig;
-use rtas_svc::{Client, Response, Server};
+use rtas_svc::{Client, ConnGauges, ConnStatus, Connection, Namespace, Response, Server};
 
 /// Replay the server's framing over `bytes`: how many complete frames
 /// decode as valid `TAS`/`ELECT` requests before the stream dies
@@ -123,4 +124,149 @@ fn mutated_frames_never_panic_the_server_or_fake_a_verdict() {
     let mut client = Client::connect(addr).unwrap();
     assert!(client.tas(b"alive-after-fuzz").unwrap().won);
     srv.shutdown();
+}
+
+/// Decode every complete response frame in `bytes`, panicking (with
+/// `label` context) on torn or undecodable frames.
+fn decode_responses(bytes: &[u8], label: &str) -> Vec<Response> {
+    let mut out = Vec::new();
+    let mut rest = bytes;
+    while rest.len() >= 4 {
+        let len = u32::from_le_bytes(rest[..4].try_into().unwrap()) as usize;
+        assert!(rest.len() >= 4 + len, "{label}: torn response frame");
+        out.push(
+            decode_response(&rest[4..4 + len])
+                .unwrap_or_else(|e| panic!("{label}: undecodable response: {e}")),
+        );
+        rest = &rest[4 + len..];
+    }
+    assert!(rest.is_empty(), "{label}: trailing response bytes");
+    out
+}
+
+#[test]
+fn mutated_frames_never_panic_the_connection_state_machine() {
+    // The same 300-mutation property, driven straight through the
+    // `Connection` state machine with no TCP in the loop: whatever the
+    // bytes, ingest must not panic, every response it frames must
+    // decode, and verdicts stay bounded by the byte stream's legitimate
+    // requests (no phantom `Acquired`). A framing violation must
+    // poison the connection (`Closed`), after which further bytes are
+    // ignored.
+    let ns = Namespace::new(Backend::Combined, 2, 4);
+    let gauges = ConnGauges::default();
+    let mut rng = SplitMix64::new(0xC0_44_EC);
+
+    for trial in 0..300u64 {
+        let op = match rng.next_below(3) {
+            0 => Op::Tas,
+            1 => Op::Elect,
+            _ => Op::Reset,
+        };
+        let key = format!("fuzz-conn/{trial}").into_bytes();
+        let mut bytes = Vec::new();
+        frame_request(op, &key, &mut bytes);
+        match rng.next_below(3) {
+            0 => bytes.truncate(rng.next_below(bytes.len() as u64) as usize),
+            1 => {
+                let i = rng.next_below(bytes.len() as u64) as usize;
+                bytes[i] ^= 1 << rng.next_below(8);
+            }
+            _ => {
+                let bogus = rng.next_below(2 * MAX_PAYLOAD as u64) as u32;
+                bytes[..4].copy_from_slice(&bogus.to_le_bytes());
+            }
+        }
+
+        let budget = max_legitimate_verdicts(&bytes);
+        let mut conn = Connection::new();
+        // Feed the mutated stream in random chunk sizes — partial
+        // frames must carry across ingest calls exactly like partial
+        // reads on a socket.
+        let mut status = ConnStatus::Open;
+        let mut fed = 0;
+        while fed < bytes.len() {
+            let take = 1 + rng.next_below((bytes.len() - fed) as u64) as usize;
+            status = conn.ingest(&bytes[fed..fed + take], &ns, &gauges);
+            fed += take;
+        }
+        let verdicts = decode_responses(conn.output(), &format!("trial {trial}"))
+            .iter()
+            .filter(|r| matches!(r, Response::Acquired(_)))
+            .count();
+        assert!(
+            verdicts <= budget,
+            "trial {trial}: {verdicts} verdict(s) for {budget} legitimate \
+             request(s) — phantom Acquired"
+        );
+        if status == ConnStatus::Closed {
+            // Poisoned: further bytes (even a valid frame) are ignored.
+            let mut valid = Vec::new();
+            frame_request(Op::Tas, b"after-poison", &mut valid);
+            let before = conn.output().len();
+            assert_eq!(conn.ingest(&valid, &ns, &gauges), ConnStatus::Closed);
+            assert_eq!(
+                conn.output().len(),
+                before,
+                "trial {trial}: poisoned conn answered"
+            );
+        }
+    }
+
+    // The shared namespace shrugged all 300 mutated streams off.
+    let mut conn = Connection::new();
+    let mut frame = Vec::new();
+    frame_request(Op::Tas, b"alive-after-conn-fuzz", &mut frame);
+    assert_eq!(conn.ingest(&frame, &ns, &gauges), ConnStatus::Open);
+    match decode_responses(conn.output(), "liveness").as_slice() {
+        [Response::Acquired(a)] => assert!(a.won),
+        other => panic!("expected one verdict, got {other:?}"),
+    }
+}
+
+#[test]
+fn pipeline_burst_rejoined_in_random_chunks_is_bit_identical() {
+    // A multi-frame pipelined burst split at random chunk boundaries
+    // and re-ingested must produce byte-for-byte the responses of the
+    // whole burst ingested at once — the incremental decoder cannot
+    // care where the reads land.
+    let burst = {
+        let mut b = Vec::new();
+        for i in 0..24 {
+            frame_request(Op::Tas, format!("rejoin/{}", i % 3).as_bytes(), &mut b);
+        }
+        frame_request(Op::Reset, b"rejoin/0", &mut b);
+        frame_request(Op::Stats, b"", &mut b);
+        b
+    };
+
+    // Reference: one shot on a fresh namespace.
+    let reference = {
+        let ns = Namespace::new(Backend::Combined, 2, 32);
+        let gauges = ConnGauges::default();
+        let mut conn = Connection::new();
+        assert_eq!(conn.ingest(&burst, &ns, &gauges), ConnStatus::Open);
+        conn.output().to_vec()
+    };
+
+    let mut rng = SplitMix64::new(0x5EED_C4A9);
+    for round in 0..50 {
+        let ns = Namespace::new(Backend::Combined, 2, 32);
+        let gauges = ConnGauges::default();
+        let mut conn = Connection::new();
+        let mut fed = 0;
+        while fed < burst.len() {
+            let take = 1 + rng.next_below((burst.len() - fed) as u64) as usize;
+            assert_eq!(
+                conn.ingest(&burst[fed..fed + take], &ns, &gauges),
+                ConnStatus::Open
+            );
+            fed += take;
+        }
+        assert_eq!(
+            conn.output(),
+            &reference[..],
+            "round {round}: chunked ingest diverged from the one-shot burst"
+        );
+    }
 }

@@ -363,11 +363,118 @@ fn stats_round_trip_over_the_wire_matches_in_process_counters() {
     client.reset(b"a").unwrap();
     assert_eq!(client.reset(b"missing").unwrap(), 0, "no such key");
     let wire = client.stats().unwrap();
-    assert_eq!(wire, srv.namespace().stats());
+    // The namespace-backed counters agree field for field; the
+    // connection gauges are the server's own — an in-process
+    // `Namespace::stats` has no accept loop, so it reports zeros there,
+    // while the wire answer counts at least the connection asking.
+    let local = srv.namespace().stats();
+    assert_eq!(wire.keys, local.keys);
+    assert_eq!(wire.ops, local.ops);
+    assert_eq!(wire.wins, local.wins);
+    assert_eq!(wire.resets, local.resets);
+    assert_eq!(wire.registers, local.registers);
+    assert_eq!(wire.reclaimed, local.reclaimed);
+    assert_eq!(local.conns, 0);
+    assert_eq!(local.refused, 0);
+    assert_eq!(wire.conns, 1, "the STATS connection counts itself");
+    assert_eq!(wire.refused, 0);
     assert_eq!(wire.keys, 2);
     assert_eq!(wire.ops, 3);
     assert_eq!(wire.wins, 2);
     assert_eq!(wire.resets, 1);
     assert!(wire.registers > 0);
+    srv.shutdown();
+}
+
+#[test]
+fn every_send_is_one_wire_write_with_nodelay() {
+    // The socket-level coalescing assertions: TCP_NODELAY is on (a
+    // coalesced frame must leave immediately, not sit behind Nagle)
+    // and every send — convenience round trip, pipelined half, or a
+    // whole batch — costs exactly ONE transport write, so a frame can
+    // never straddle two syscalls and tear under a crashing client.
+    let srv = spawn_server(2, 4);
+    let mut client = Client::connect(srv.addr()).unwrap();
+    assert!(client.nodelay().unwrap(), "TCP_NODELAY must be set");
+    assert_eq!(client.wire_writes(), 0);
+
+    client.tas(b"one").unwrap();
+    assert_eq!(client.wire_writes(), 1, "tas = one write");
+    client.reset(b"one").unwrap();
+    assert_eq!(client.wire_writes(), 2, "reset = one write");
+    client.stats().unwrap();
+    assert_eq!(client.wire_writes(), 3, "stats = one write");
+
+    client.send(Op::Tas, b"two").unwrap();
+    assert_eq!(client.wire_writes(), 4, "pipelined send = one write");
+    client.recv().unwrap();
+
+    // A whole pipelined burst: 16 requests, ONE write syscall.
+    let reqs: Vec<(Op, &[u8])> = (0..16).map(|_| (Op::Tas, b"three".as_ref())).collect();
+    client.send_batch(&reqs).unwrap();
+    assert_eq!(client.wire_writes(), 5, "a 16-frame batch = one write");
+    let mut wins = 0;
+    for _ in 0..16 {
+        match client.recv().unwrap() {
+            Response::Acquired(a) => wins += a.won as u64,
+            other => panic!("expected a verdict, got {other:?}"),
+        }
+    }
+    assert_eq!(wins, 1, "the batch's epoch still has exactly one winner");
+    srv.shutdown();
+}
+
+#[test]
+fn connections_beyond_max_conns_are_refused_with_a_named_err() {
+    let srv = Server::spawn(SvcConfig {
+        shards: 1,
+        capacity: 4,
+        max_conns: 2,
+        ..SvcConfig::default()
+    })
+    .expect("bind loopback");
+
+    // Fill the ceiling with live connections (prove them live with a
+    // round trip each — the gauge counts served connections, not
+    // accept-queue residents).
+    let mut a = Client::connect(srv.addr()).unwrap();
+    let mut b = Client::connect(srv.addr()).unwrap();
+    assert!(a.tas(b"slots").unwrap().won);
+    assert!(!b.tas(b"slots").unwrap().won);
+
+    // One more: refused with an ERR naming the limit, then closed.
+    let mut raw = TcpStream::connect(srv.addr()).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut header = [0u8; 4];
+    raw.read_exact(&mut header).unwrap();
+    let mut payload = vec![0u8; u32::from_le_bytes(header) as usize];
+    raw.read_exact(&mut payload).unwrap();
+    match rtas_svc::protocol::decode_response(&payload).unwrap() {
+        Response::Err(msg) => {
+            assert!(msg.contains("2-connection limit"), "{msg}");
+        }
+        other => panic!("expected ERR, got {other:?}"),
+    }
+    assert_eq!(raw.read(&mut header).unwrap(), 0, "refused then closed");
+    drop(raw);
+
+    // The refusal is visible in the wire STATS gauges.
+    let stats = a.stats().unwrap();
+    assert_eq!(stats.conns, 2, "both live connections are counted");
+    assert_eq!(stats.refused, 1, "the refusal is counted");
+
+    // Releasing a slot readmits: drop one client, and a retry loop gets
+    // in (the handler thread may take a moment to observe the EOF).
+    drop(b);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if let Ok(mut c) = Client::connect(srv.addr()) {
+            if c.tas(b"readmitted").is_ok() {
+                break;
+            }
+        }
+        assert!(Instant::now() < deadline, "slot never released");
+        std::thread::sleep(Duration::from_millis(2));
+    }
     srv.shutdown();
 }

@@ -47,6 +47,7 @@ fn main() {
         seed: 42,
         churn: None,
         warmup: Warmup::None,
+        pipeline: 1,
     });
     print_outcome("closed", &closed);
 
@@ -60,6 +61,7 @@ fn main() {
         seed: 42,
         churn: Some(1_000),
         warmup: Warmup::None,
+        pipeline: 1,
     });
     print_outcome("closed+churn", &churned);
 
@@ -77,6 +79,7 @@ fn main() {
         seed: 42,
         churn: None,
         warmup: Warmup::None,
+        pipeline: 1,
     });
     print_outcome("open", &open);
 

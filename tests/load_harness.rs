@@ -19,6 +19,7 @@ fn arena_reuse_over_100_epochs_under_contention() {
         seed: 3,
         churn: None,
         warmup: rtas_load::Warmup::None,
+        pipeline: 1,
     });
     assert_eq!(out.total_ops(), 960);
     assert_eq!(out.resolutions(), 480, "120 epochs per shard");
@@ -46,6 +47,7 @@ fn every_backend_survives_the_closed_loop() {
             seed: 5,
             churn: None,
             warmup: rtas_load::Warmup::None,
+            pipeline: 1,
         });
         assert_eq!(out.total_wins(), out.resolutions(), "{backend:?}");
     }
@@ -61,6 +63,7 @@ fn churn_respawns_workers_without_losing_ops_or_safety() {
         seed: 11,
         churn: Some(7),
         warmup: rtas_load::Warmup::None,
+        pipeline: 1,
     });
     assert_eq!(out.total_ops(), 400);
     assert_eq!(out.total_wins(), out.resolutions());
@@ -89,6 +92,7 @@ fn open_loop_same_seed_same_offered_load() {
         seed: 77,
         churn: None,
         warmup: rtas_load::Warmup::None,
+        pipeline: 1,
     };
     let x = run_load(spec);
     let y = run_load(spec);
@@ -114,6 +118,7 @@ fn report_carries_wall_gate_labels_and_matches_counts() {
         seed: 1,
         churn: None,
         warmup: rtas_load::Warmup::None,
+        pipeline: 1,
     });
     let report = out.bench_report();
     assert_eq!(report.name(), "native_load");
@@ -143,6 +148,7 @@ fn slo_checks_read_the_overall_distribution() {
         seed: 2,
         churn: None,
         warmup: rtas_load::Warmup::None,
+        pipeline: 1,
     });
     assert!(Slo {
         p50_us: Some(1e12),
@@ -174,6 +180,7 @@ fn arena_epochs_continue_across_driver_runs() {
         seed: 0,
         churn: None,
         warmup: rtas_load::Warmup::None,
+        pipeline: 1,
     };
     let first = rtas_load::run_load_on(&arena, spec);
     assert_eq!(arena.epochs_completed(0), 20);

@@ -33,6 +33,7 @@ fn spec(threads: usize, shards: usize, total_ops: u64) -> LoadSpec {
         seed: 1,
         churn: None,
         warmup: Warmup::None,
+        pipeline: 1,
     }
 }
 

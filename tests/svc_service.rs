@@ -18,6 +18,7 @@ fn spec(threads: usize, shards: usize, mode: Mode) -> LoadSpec {
         seed: 1,
         churn: None,
         warmup: Warmup::None,
+        pipeline: 1,
     }
 }
 
