@@ -36,6 +36,7 @@ fn bench_backend(micro: &Micro, backend: Backend, threads: usize) {
         churn: None,
         warmup: Warmup::None,
         pipeline: 1,
+        conns: None,
     };
     micro.bench(
         &format!("{backend:?}/{threads}thr x{EPOCHS_PER_SAMPLE}res"),

@@ -25,6 +25,11 @@
 //!   --pipeline <d>    remote backend only: keep d epochs in flight per
 //!                     worker connection (requires threads == shards;
 //!                     incompatible with --chaos)          (default 1)
+//!   --conns <n>       remote backend only: hold n total connections open
+//!                     across the worker fleet, round-robining operations
+//!                     over them (the C10K posture; requires n to be a
+//!                     multiple of threads, incompatible with --pipeline
+//!                     and --chaos); reports as svc_c10k
 //!   --slo-p50 <us>    fail (exit 1) if overall p50 exceeds this
 //!   --slo-p99 <us>    fail (exit 1) if overall p99 exceeds this
 //!   --chaos <spec>    remote backend only: inject deterministic faults —
@@ -59,7 +64,8 @@ fn usage() -> ! {
         "usage: rtas-load [--backend b] [--addr host:port] [--threads n] \
          [--shards n] [--mode closed|open] [--ops n] [--rate r] [--duration s] \
          [--seed x] [--churn k] [--warmup n] [--warmup-secs s] [--pipeline d] \
-         [--slo-p50 us] [--slo-p99 us] [--chaos spec] [--chaos-seed x] [--no-json]"
+         [--conns n] [--slo-p50 us] [--slo-p99 us] [--chaos spec] \
+         [--chaos-seed x] [--no-json]"
     );
     std::process::exit(2);
 }
@@ -82,6 +88,7 @@ fn main() -> ExitCode {
     let mut warmup_ops: Option<u64> = None;
     let mut warmup_secs: Option<f64> = None;
     let mut pipeline = 1usize;
+    let mut conns: Option<usize> = None;
     let mut slo = Slo::default();
     let mut no_json = false;
     let mut chaos: Option<String> = None;
@@ -128,6 +135,7 @@ fn main() -> ExitCode {
             "--warmup" => warmup_ops = Some(parsed("--warmup", value("--warmup"))),
             "--warmup-secs" => warmup_secs = Some(parsed("--warmup-secs", value("--warmup-secs"))),
             "--pipeline" => pipeline = parsed("--pipeline", value("--pipeline")),
+            "--conns" => conns = Some(parsed("--conns", value("--conns"))),
             "--slo-p50" => slo.p50_us = Some(parsed("--slo-p50", value("--slo-p50"))),
             "--slo-p99" => slo.p99_us = Some(parsed("--slo-p99", value("--slo-p99"))),
             "--chaos" => chaos = Some(value("--chaos").clone()),
@@ -209,6 +217,27 @@ fn main() -> ExitCode {
             usage();
         }
     }
+    if let Some(c) = conns {
+        if !remote {
+            eprintln!("error: --conns only applies to --backend remote");
+            usage();
+        }
+        if pipeline > 1 {
+            eprintln!("error: --conns is incompatible with --pipeline (the pipeline window is per-connection)");
+            usage();
+        }
+        if chaos.is_some() {
+            eprintln!("error: --conns is incompatible with --chaos");
+            usage();
+        }
+        if c < threads || c % threads != 0 {
+            eprintln!(
+                "error: --conns ({c}) must be a positive multiple of \
+                 threads ({threads}): each worker owns conns/threads connections"
+            );
+            usage();
+        }
+    }
     let chaos_spec = match &chaos {
         None => None,
         Some(s) => {
@@ -235,6 +264,7 @@ fn main() -> ExitCode {
         churn,
         warmup,
         pipeline,
+        conns,
     };
     let backend_name = if remote {
         "remote"
@@ -243,7 +273,7 @@ fn main() -> ExitCode {
     };
     println!(
         "rtas-load: backend={backend_name}{} mode={} threads={threads} shards={shards} \
-         group={} seed={seed}{}{}{}",
+         group={} seed={seed}{}{}{}{}",
         addr.as_deref()
             .map(|a| format!(" addr={a}"))
             .unwrap_or_default(),
@@ -255,6 +285,7 @@ fn main() -> ExitCode {
             String::new()
         },
         churn.map(|c| format!(" churn={c}")).unwrap_or_default(),
+        conns.map(|c| format!(" conns={c}")).unwrap_or_default(),
         match warmup {
             Warmup::None => String::new(),
             Warmup::Ops(n) => format!(" warmup={n}ops"),

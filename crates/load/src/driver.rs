@@ -186,6 +186,9 @@ pub enum TargetKind {
     /// Remote server behind the deterministic fault-injection layer
     /// (see [`crate::chaos`]): `BENCH_svc_chaos.json`.
     Chaos,
+    /// Remote server driven through a held-open connection fan-out
+    /// ([`LoadSpec::conns`] — the C10K posture): `BENCH_svc_c10k.json`.
+    C10k,
 }
 
 impl TargetKind {
@@ -195,6 +198,7 @@ impl TargetKind {
             TargetKind::Native => "native_load",
             TargetKind::Remote => "svc_load",
             TargetKind::Chaos => "svc_chaos",
+            TargetKind::C10k => "svc_c10k",
         }
     }
 }
@@ -228,6 +232,15 @@ pub struct LoadSpec {
     /// (see [`crate::remote`]). Native targets ignore the depth (there
     /// is no wire to pipeline on).
     pub pipeline: usize,
+    /// Remote targets only: hold this many **total** connections open
+    /// across the worker fleet (the C10K posture). Each worker owns
+    /// `conns / threads` connections and round-robins its operations
+    /// across them, so every connection stays live for the whole run
+    /// while the thread count stays small. Must be a multiple of
+    /// `threads` and requires `pipeline == 1` (the window bookkeeping
+    /// is per-connection). `None` (the default) keeps the classic one
+    /// connection per worker.
+    pub conns: Option<usize>,
 }
 
 impl LoadSpec {
@@ -247,6 +260,20 @@ impl LoadSpec {
             self.shards
         );
         assert!(self.pipeline >= 1, "pipeline depth must be at least 1");
+        if let Some(conns) = self.conns {
+            assert!(
+                conns >= self.threads && conns % self.threads == 0,
+                "conns ({conns}) must be a positive multiple of threads ({}) so \
+                 every worker owns the same share of the fan-out",
+                self.threads
+            );
+            assert!(
+                self.pipeline == 1,
+                "conns is a lockstep axis (the pipeline window bookkeeping is \
+                 per-connection); got pipeline depth {}",
+                self.pipeline
+            );
+        }
         assert!(
             self.pipeline == 1 || self.group() == 1,
             "pipeline depth {} requires threads == shards (got {} threads over {} \
@@ -340,7 +367,7 @@ impl LoadOutcome {
     pub fn backend_name(&self) -> &'static str {
         match self.target {
             TargetKind::Native => backend_label(self.spec.backend),
-            TargetKind::Remote => "remote",
+            TargetKind::Remote | TargetKind::C10k => "remote",
             TargetKind::Chaos => "chaos",
         }
     }
@@ -358,13 +385,20 @@ impl LoadOutcome {
         let backend = self.backend_name();
         let mode = self.spec.mode.label();
         let pipeline = self.spec.pipeline.to_string();
+        // The fan-out width labels every row — but only when the axis
+        // is in play, so classic reports keep their row identity.
+        let conns = self.spec.conns.map(|c| c.to_string());
+        let fan_out = |row: BenchRow| match &conns {
+            Some(c) => row.with_label("conns", c),
+            None => row,
+        };
         let wall_secs = self.wall.as_secs_f64();
         let mut report = BenchReport::new(self.target.report_name(), self.spec.threads);
         for (s, cell) in self.recorder.shard_stats().iter().enumerate() {
             // Per-shard wall clock is meaningless (shards run
             // concurrently): NaN serializes as null, never a fabricated
             // number. The run's wall lives on the total row.
-            report.push(
+            report.push(fan_out(
                 BenchRow::from_summary(s as u64, &cell.latency.summary(), f64::NAN)
                     .with("ops", cell.ops as f64)
                     .with("wins", cell.wins as f64)
@@ -375,9 +409,9 @@ impl LoadOutcome {
                     .with_label("scope", "shard")
                     .with_label("gate", "wall")
                     .with_label("pipeline", &pipeline),
-            );
+            ));
         }
-        report.push(
+        report.push(fan_out(
             BenchRow::from_summary(
                 0,
                 &self.recorder.overall_latency(),
@@ -412,7 +446,7 @@ impl LoadOutcome {
             .with_label("scope", "total")
             .with_label("gate", "wall")
             .with_label("pipeline", &pipeline),
-        );
+        ));
         report
     }
 }
@@ -491,6 +525,10 @@ pub fn parse_backend(label: &str) -> Option<Backend> {
 /// Panics on an inconsistent spec (see [`LoadSpec`] field docs).
 pub fn run_load(spec: LoadSpec) -> LoadOutcome {
     spec.validate();
+    assert!(
+        spec.conns.is_none(),
+        "conns is a remote axis (there are no connections to fan out in-process)"
+    );
     let arena = TasArena::new(spec.backend, spec.shards, spec.group());
     run_on_target(&arena, spec, TargetKind::Native)
 }
@@ -794,6 +832,7 @@ mod tests {
             churn: None,
             warmup: Warmup::None,
             pipeline: 1,
+            conns: None,
         }
     }
 
@@ -851,6 +890,7 @@ mod tests {
             churn: None,
             warmup: Warmup::Secs(0.02),
             pipeline: 1,
+            conns: None,
         };
         let mut expected = ArrivalSchedule::poisson(40_000.0, 0.05, 9);
         expected.truncate_to_multiple_of(4);
@@ -895,6 +935,7 @@ mod tests {
             churn: None,
             warmup: Warmup::None,
             pipeline: 1,
+            conns: None,
         };
         let mut expected = ArrivalSchedule::poisson(40_000.0, 0.05, 9);
         expected.truncate_to_multiple_of(4);
@@ -968,6 +1009,7 @@ mod tests {
             churn: None,
             warmup: Warmup::None,
             pipeline: 1,
+            conns: None,
         });
         assert_eq!(out.total_ops(), 0);
         let slo = Slo {
@@ -1001,6 +1043,53 @@ mod tests {
         let mut spec = closed_spec(4, 2, 10);
         spec.pipeline = 4;
         run_load(spec);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive multiple of threads")]
+    fn conns_must_divide_evenly_across_workers() {
+        let mut spec = closed_spec(4, 2, 10);
+        spec.conns = Some(6); // 6 % 4 != 0
+        spec.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "lockstep axis")]
+    fn conns_with_pipelining_rejected() {
+        let mut spec = closed_spec(2, 2, 10);
+        spec.pipeline = 2;
+        spec.conns = Some(4);
+        spec.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "remote axis")]
+    fn conns_against_the_native_target_rejected() {
+        let mut spec = closed_spec(2, 1, 10);
+        spec.conns = Some(4);
+        run_load(spec);
+    }
+
+    #[test]
+    fn conns_label_marks_every_fan_out_row() {
+        let spec = closed_spec(2, 1, 100);
+        let mut out = run_load(spec);
+        // Native reports carry no conns label...
+        let plain = out.bench_report();
+        assert!(plain
+            .rows()
+            .iter()
+            .all(|r| !r.labels.iter().any(|(k, _)| k == "conns")));
+        // ...while a fan-out outcome labels every row, and the report
+        // lands under the dedicated c10k name.
+        out.spec.conns = Some(8);
+        out.target = TargetKind::C10k;
+        let fanned = out.bench_report();
+        assert_eq!(fanned.name(), "svc_c10k");
+        assert!(fanned
+            .rows()
+            .iter()
+            .all(|r| r.labels.iter().any(|(k, v)| k == "conns" && v == "8")));
     }
 
     #[test]

@@ -36,8 +36,18 @@
 //! `BENCH_svc_load.json` (rows labeled `backend=remote`, `gate=wall`,
 //! `pipeline=<depth>`).
 //!
+//! ## Connection fan-out (C10K)
+//!
+//! [`LoadSpec::conns`] holds a fixed fleet of `conns / threads`
+//! connections open **per worker** for the whole run; each resolution
+//! round-robins onto the next connection, so thousands of live
+//! connections are exercised by a handful of threads. Reports from a
+//! fan-out run are emitted as `BENCH_svc_c10k.json` with a `conns`
+//! label on every row.
+//!
 //! [`ArrivalSchedule`]: crate::schedule::ArrivalSchedule
 //! [`LoadSpec::pipeline`]: crate::driver::LoadSpec::pipeline
+//! [`LoadSpec::conns`]: crate::driver::LoadSpec::conns
 //! [`LoadSpec::validate`]: crate::driver::LoadSpec
 
 use std::collections::VecDeque;
@@ -69,16 +79,27 @@ pub struct RemoteTarget {
     states: Vec<CachePadded<KeyState>>,
     group: usize,
     pipeline: usize,
+    /// Connections each worker holds open and round-robins across
+    /// (the C10K fan-out; 1 is the classic one-connection worker).
+    conns_per_worker: usize,
     registers: u64,
 }
 
-/// Per-worker connection plus its pipeline window: shard indices of
+/// Per-worker connections plus the pipeline window: shard indices of
 /// epochs whose `(TAS, RESET)` response pairs are still in flight, in
 /// send order (the server answers in order, so the front of the queue
 /// is always the next pair on the wire).
+///
+/// Under a connection fan-out ([`LoadSpec::conns`]) a worker owns many
+/// clients and round-robins resolutions across them so every
+/// connection stays live; pipelining (which is per-connection
+/// bookkeeping) is restricted to the single-client shape by
+/// `LoadSpec::validate`.
 #[derive(Debug)]
 pub struct RemoteCtx {
-    client: Client,
+    clients: Vec<Client>,
+    /// Next client in the round-robin.
+    next: usize,
     inflight: VecDeque<usize>,
 }
 
@@ -91,8 +112,11 @@ impl RemoteCtx {
             .inflight
             .pop_front()
             .expect("drain_one called with an empty pipeline window");
-        let peer = self.client.peer();
-        match self.client.recv() {
+        // Pipelining implies the single-client shape (validate()), so
+        // the window always belongs to clients[0].
+        let client = &mut self.clients[0];
+        let peer = client.peer();
+        match client.recv() {
             Ok(Response::Acquired(a)) => assert!(
                 a.won,
                 "pipelined TAS on shard {shard} via {peer} lost its epoch \
@@ -103,7 +127,7 @@ impl RemoteCtx {
             ),
             Err(e) => panic!("pipelined TAS on shard {shard} via {peer} failed: {e}"),
         }
-        match self.client.recv() {
+        match client.recv() {
             Ok(Response::Reset { .. }) => {}
             Ok(other) => panic!(
                 "pipelined RESET on shard {shard} via {peer}: expected an ack, got {other:?}"
@@ -159,12 +183,40 @@ impl RemoteTarget {
         group: usize,
         pipeline: usize,
     ) -> Result<RemoteTarget, ClientError> {
+        Self::with_shape(addr, shards, group, pipeline, 1)
+    }
+
+    /// [`RemoteTarget::new`] with an explicit per-worker connection
+    /// fan-out: every worker context holds `conns_per_worker`
+    /// connections open and round-robins its resolutions across them
+    /// (the C10K posture — see [`LoadSpec::conns`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the [`RemoteTarget::with_pipeline`] conditions, if
+    /// `conns_per_worker == 0`, or if `conns_per_worker > 1 &&
+    /// pipeline > 1` (the pipeline window is per-connection).
+    pub fn with_shape(
+        addr: &str,
+        shards: usize,
+        group: usize,
+        pipeline: usize,
+        conns_per_worker: usize,
+    ) -> Result<RemoteTarget, ClientError> {
         assert!(shards >= 1, "remote target needs at least one shard key");
         assert!(group >= 1, "remote target needs at least one participant");
         assert!(pipeline >= 1, "pipeline depth must be at least 1");
         assert!(
             pipeline == 1 || group == 1,
             "pipeline depth {pipeline} requires a group of 1 (got {group})"
+        );
+        assert!(
+            conns_per_worker >= 1,
+            "each worker needs at least one connection"
+        );
+        assert!(
+            conns_per_worker == 1 || pipeline == 1,
+            "a connection fan-out requires pipeline depth 1 (got {pipeline})"
         );
         let mut probe = Client::connect(addr)?;
         let keys: Vec<Vec<u8>> = (0..shards)
@@ -188,6 +240,7 @@ impl RemoteTarget {
             keys,
             group,
             pipeline,
+            conns_per_worker,
             registers,
         })
     }
@@ -222,10 +275,15 @@ impl LoadTarget for RemoteTarget {
     }
 
     fn context(&self) -> RemoteCtx {
-        let client = Client::connect(&self.addr)
-            .unwrap_or_else(|e| panic!("cannot connect load worker to {}: {e}", self.addr));
+        let clients = (0..self.conns_per_worker)
+            .map(|_| {
+                Client::connect(&self.addr)
+                    .unwrap_or_else(|e| panic!("cannot connect load worker to {}: {e}", self.addr))
+            })
+            .collect();
         RemoteCtx {
-            client,
+            clients,
+            next: 0,
             inflight: VecDeque::with_capacity(self.pipeline),
         }
     }
@@ -250,6 +308,11 @@ impl LoadTarget for RemoteTarget {
             backoff.snooze();
         }
         let key = &self.keys[shard];
+        // Round-robin the fan-out: each resolution (TAS and, for the
+        // last finisher, its RESET) runs on one connection, and every
+        // connection takes its turn so all of them stay live.
+        let at = ctx.next;
+        ctx.next = (ctx.next + 1) % ctx.clients.len();
         if self.pipeline > 1 {
             // Sole participant: ship the epoch's TAS and its RESET ack
             // as one two-frame batch (one write syscall), open the next
@@ -257,7 +320,7 @@ impl LoadTarget for RemoteTarget {
             // holds `pipeline` undrained epochs. The deferred verdict
             // is checked in drain_one — a loss panics, so returning
             // `true` here cannot corrupt the win accounting silently.
-            ctx.client
+            ctx.clients[at]
                 .send_batch(&[(Op::Tas, key), (Op::Reset, key)])
                 .unwrap_or_else(|e| panic!("pipelined batch on {} failed: {e}", self.addr));
             ctx.inflight.push_back(shard);
@@ -267,8 +330,7 @@ impl LoadTarget for RemoteTarget {
             }
             return true;
         }
-        let won = ctx
-            .client
+        let won = ctx.clients[at]
             .tas(key)
             .unwrap_or_else(|e| panic!("TAS on {} failed: {e}", self.addr))
             .won;
@@ -276,7 +338,7 @@ impl LoadTarget for RemoteTarget {
             // Last finisher: every call of this epoch has its response,
             // so the server-side gate is quiescent the moment our RESET
             // is admitted. Ack it, then open the next local epoch.
-            ctx.client
+            ctx.clients[at]
                 .reset(key)
                 .unwrap_or_else(|e| panic!("RESET on {} failed: {e}", self.addr));
             state.done.store(0, Ordering::Relaxed);
@@ -313,6 +375,18 @@ impl LoadTarget for RemoteTarget {
 /// Panics on an inconsistent spec (see [`LoadSpec`] field docs).
 pub fn run_load_remote(addr: &str, spec: LoadSpec) -> Result<LoadOutcome, ClientError> {
     spec.validate();
-    let target = RemoteTarget::with_pipeline(addr, spec.shards, spec.group(), spec.pipeline)?;
-    Ok(run_on_target(&target, spec, TargetKind::Remote))
+    let conns_per_worker = spec.conns.map_or(1, |c| c / spec.threads);
+    let target = RemoteTarget::with_shape(
+        addr,
+        spec.shards,
+        spec.group(),
+        spec.pipeline,
+        conns_per_worker,
+    )?;
+    let kind = if spec.conns.is_some() {
+        TargetKind::C10k
+    } else {
+        TargetKind::Remote
+    };
+    Ok(run_on_target(&target, spec, kind))
 }

@@ -1,35 +1,20 @@
 //! `rtas-svc` — serve and inspect the network arbitration service.
 //!
-//! ```text
-//! rtas-svc serve [options]        run a server (blocks)
-//!   --addr <a>       bind address                      (default 127.0.0.1:7045)
-//!   --shards <n>     namespace shards                  (default 8)
-//!   --capacity <n>   participants per key-epoch        (default 64)
-//!   --backend <b>    logstar | loglog | ratrace | combined  (default combined)
-//!   --listeners <n>  accept threads                    (default 2)
-//!   --max-keys <n>   ceiling on live keys              (default 1048576)
-//!   --lease-ms <n>   reclaim unacked epochs after n ms (default off)
-//!   --read-timeout-ms <n>  close connections idle past n ms (default off)
-//!   --max-conns <n>  refuse connections beyond n live  (default 1024)
-//!
-//! rtas-svc stats --addr <a>       print a server's counters and exit
-//! ```
+//! Run `rtas-svc --help` for the flag list: the usage text is rendered
+//! from [`rtas_svc::cli::SERVE_FLAGS`], the same table the parser is
+//! tested against, so help and parser cannot drift. The same flags are
+//! documented with units and defaults in `docs/OPERATIONS.md`.
 //!
 //! `serve` prints `listening on <addr>` once the socket is bound —
-//! smoke scripts can wait for the port. See the README's
-//! "Network arbitration service" section for the wire protocol.
+//! smoke scripts can wait for the port. See `docs/WIRE.md` for the
+//! wire protocol.
 
 use std::process::ExitCode;
 
-use rtas_svc::{Client, Server, SvcConfig};
+use rtas_svc::{cli, Client, Server};
 
 fn usage() -> ! {
-    eprintln!(
-        "usage: rtas-svc serve [--addr a] [--shards n] [--capacity n] \
-         [--backend b] [--listeners n] [--max-keys n] [--lease-ms n] \
-         [--read-timeout-ms n] [--max-conns n]\n       \
-         rtas-svc stats --addr a"
-    );
+    eprintln!("{}", cli::serve_usage());
     std::process::exit(2);
 }
 
@@ -38,110 +23,42 @@ fn main() -> ExitCode {
     let Some(command) = args.first() else {
         usage();
     };
-    let mut config = SvcConfig {
-        addr: "127.0.0.1:7045".to_string(),
-        ..SvcConfig::default()
-    };
-
-    let mut iter = args[1..].iter();
-    while let Some(arg) = iter.next() {
-        let mut value = |name: &str| -> &String {
-            iter.next().unwrap_or_else(|| {
-                eprintln!("error: {name} requires a value");
-                usage();
-            })
-        };
-        fn parsed<T: std::str::FromStr>(name: &str, value: &str) -> T {
-            value.parse::<T>().unwrap_or_else(|_| {
-                eprintln!("error: {name} value {value:?} is invalid");
-                usage();
-            })
-        }
-        match arg.as_str() {
-            "--addr" => config.addr = value("--addr").clone(),
-            "--shards" => config.shards = parsed("--shards", value("--shards")),
-            "--capacity" => config.capacity = parsed("--capacity", value("--capacity")),
-            "--listeners" => config.listeners = parsed("--listeners", value("--listeners")),
-            "--max-keys" => config.max_keys = parsed("--max-keys", value("--max-keys")),
-            "--max-conns" => {
-                config.max_conns = parsed("--max-conns", value("--max-conns"));
-                if config.max_conns == 0 {
-                    eprintln!("error: --max-conns must be positive");
-                    usage();
-                }
-            }
-            "--lease-ms" => {
-                let ms: u64 = parsed("--lease-ms", value("--lease-ms"));
-                if ms == 0 {
-                    eprintln!("error: --lease-ms must be positive (omit to disable)");
-                    usage();
-                }
-                config.lease = Some(std::time::Duration::from_millis(ms));
-            }
-            "--read-timeout-ms" => {
-                let ms: u64 = parsed("--read-timeout-ms", value("--read-timeout-ms"));
-                if ms == 0 {
-                    eprintln!("error: --read-timeout-ms must be positive (omit to disable)");
-                    usage();
-                }
-                config.read_timeout = Some(std::time::Duration::from_millis(ms));
-            }
-            "--backend" => {
-                let v = value("--backend");
-                config.backend = rtas::Backend::parse(v).unwrap_or_else(|| {
-                    eprintln!("error: unknown backend {v:?} (logstar|loglog|ratrace|combined)");
-                    usage();
-                });
-            }
-            "--help" | "-h" => usage(),
-            flag => {
-                eprintln!("error: unknown argument {flag}");
-                usage();
-            }
-        }
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
     }
-
     match command.as_str() {
         "serve" => {
-            if config.shards == 0
-                || config.capacity == 0
-                || config.listeners == 0
-                || config.max_keys == 0
-            {
-                eprintln!(
-                    "error: --shards, --capacity, --listeners, and --max-keys \
-                     must be positive"
-                );
+            let config = cli::parse_serve(&args[1..]).unwrap_or_else(|message| {
+                eprintln!("error: {message}");
                 usage();
-            }
-            if config.capacity > rtas_svc::namespace::MAX_CAPACITY {
-                eprintln!(
-                    "error: --capacity must be at most {} (the per-epoch \
-                     admission counter width)",
-                    rtas_svc::namespace::MAX_CAPACITY
-                );
-                usage();
-            }
+            });
             let server = match Server::spawn(config.clone()) {
                 Ok(server) => server,
                 Err(e) => {
-                    eprintln!("rtas-svc: cannot bind {}: {e}", config.addr);
+                    eprintln!("rtas-svc: cannot serve on {}: {e}", config.addr);
                     return ExitCode::from(2);
                 }
             };
             println!(
-                "rtas-svc: listening on {} (backend={:?} shards={} capacity={} listeners={})",
+                "rtas-svc: listening on {} (backend={:?} shards={} capacity={} listeners={} \
+                 engine={} workers={})",
                 server.addr(),
                 config.backend,
                 config.shards,
                 config.capacity,
-                config.listeners
+                config.listeners,
+                config.engine,
+                config.workers,
             );
             server.join();
             ExitCode::SUCCESS
         }
         "stats" => {
-            let stats = Client::connect(&config.addr)
+            let addr = cli::parse_stats(&args[1..]).unwrap_or_else(|message| {
+                eprintln!("error: {message}");
+                usage();
+            });
+            let stats = Client::connect(&addr)
                 .map_err(rtas_svc::ClientError::Io)
                 .and_then(|mut client| client.stats());
             match stats {
@@ -161,7 +78,7 @@ fn main() -> ExitCode {
                     ExitCode::SUCCESS
                 }
                 Err(e) => {
-                    eprintln!("rtas-svc: stats from {} failed: {e}", config.addr);
+                    eprintln!("rtas-svc: stats from {addr} failed: {e}");
                     ExitCode::from(2)
                 }
             }

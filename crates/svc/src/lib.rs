@@ -20,11 +20,17 @@
 //!   response bytes out, zero I/O inside): an incremental frame
 //!   decoder that drains whole pipelined bursts per read and carries
 //!   partial frames across reads;
-//! * [`server`] / [`client`] — thread-per-connection TCP serving with
-//!   sharded accept loops and bulk-I/O burst handling (one read, one
-//!   coalesced write per pipelined burst), and a blocking
-//!   pipelining-capable client with batched single-write sends,
-//!   bounded timeouts, and jittered reconnect backoff;
+//! * [`reactor`] — the readiness-driven core: an `epoll(7)`-backed
+//!   event loop (`poll(2)` as the reference engine) over a libc-free
+//!   syscall shim, driving thousands of `Connection` machines per
+//!   worker with write backpressure and timer-wheel read deadlines;
+//! * [`server`] / [`client`] — TCP serving through either engine
+//!   (reactor workers by default, thread-per-connection as the
+//!   portable fallback) with sharded accept loops and bulk-I/O burst
+//!   handling (one read, one coalesced write per pipelined burst),
+//!   and a blocking pipelining-capable client with batched
+//!   single-write sends, bounded timeouts, and jittered reconnect
+//!   backoff;
 //! * [`chaos`] — the deterministic hostile-network layer: a seeded
 //!   fault plan (delays, connection drops, frame truncation and
 //!   reordering, stalled holders, byzantine `RESET` acks) that the
@@ -46,12 +52,21 @@
 //! assert_eq!(epoch, 1); // recycled: the key arbitrates afresh
 //! srv.shutdown();
 //! ```
+//!
+//! The architecture (crate graph, reactor event loop, connection
+//! lifecycle) is specified in `docs/ARCHITECTURE.md`, the wire format
+//! in `docs/WIRE.md`, and every operational flag in
+//! `docs/OPERATIONS.md`.
+
+#![warn(missing_docs)]
 
 pub mod chaos;
+pub mod cli;
 pub mod client;
 pub mod conn;
 pub mod namespace;
 pub mod protocol;
+pub mod reactor;
 pub mod server;
 
 pub use chaos::{ChaosSpec, FaultPlan};
@@ -59,4 +74,5 @@ pub use client::{Client, ClientConfig, ClientError, RetryPolicy};
 pub use conn::{ConnGauges, ConnStatus, Connection, FrameDecoder};
 pub use namespace::{Kind, Namespace, NsError};
 pub use protocol::{Acquired, Op, Response, SvcStats};
+pub use reactor::Engine;
 pub use server::{Server, SvcConfig};

@@ -27,6 +27,12 @@
 //! frames that merely carry a bad request (unknown opcode, empty or
 //! oversized key, kind mismatch) get an `ERR` response and the
 //! connection stays usable.
+//!
+//! The **normative** specification — exact byte layouts, the `STATS`
+//! counter table with units, error classes and their close-vs-continue
+//! fates, and the pipelining guarantees — is `docs/WIRE.md` in the
+//! repository root; this module and that document are kept in lockstep
+//! (the repo's docs CI job link-checks one against the other).
 
 use std::io::{self, Read};
 

@@ -1,14 +1,26 @@
-//! The std-only TCP server: sharded accept loops, one handler thread
-//! per connection, frames served strictly in order.
+//! The std-only TCP server: sharded accept loops feeding either the
+//! readiness-driven reactor (default) or one handler thread per
+//! connection, frames served strictly in order.
 //!
 //! `listeners` accept threads share one bound socket (via
-//! [`TcpListener::try_clone`]); each accepted connection gets its own
-//! handler thread owning a [`Connection`] state machine — a reusable
-//! [`rtas::native::NativeRunner`] plus reusable frame buffers — so the
-//! steady-state request path performs no allocation beyond the
-//! protocol state machines (see `tests/alloc_steady.rs` for the
-//! namespace half of that claim). Requests on one connection are
-//! executed and answered **in order**, which is what makes client-side
+//! [`TcpListener::try_clone`]). What happens to an accepted connection
+//! depends on [`SvcConfig::engine`]:
+//!
+//! * [`Engine::Epoll`] / [`Engine::Poll`] (the default where the
+//!   [reactor](crate::reactor)'s syscall shim exists): the accepter
+//!   hands the socket to a bounded pool of [`SvcConfig::workers`]
+//!   reactor workers, each multiplexing thousands of nonblocking
+//!   connections over one readiness source.
+//! * [`Engine::Threads`]: the original design — each connection gets
+//!   its own blocking handler thread. Kept as the portable fallback
+//!   and as the behavioral reference.
+//!
+//! Either way a connection is a [`Connection`] state machine — a
+//! reusable [`rtas::native::NativeRunner`] plus reusable frame buffers
+//! — so the steady-state request path performs no allocation beyond
+//! the protocol state machines (see `tests/alloc_steady.rs` and
+//! `tests/alloc_reactor.rs`). Requests on one connection are executed
+//! and answered **in order**, which is what makes client-side
 //! pipelining sound.
 //!
 //! I/O is bulk: one large `read` ingests a whole pipelined burst, the
@@ -41,6 +53,7 @@ use rtas::Backend;
 use crate::conn::{ConnGauges, ConnStatus, Connection};
 use crate::namespace::Namespace;
 use crate::protocol::{frame_response, Response};
+use crate::reactor::{Dispatcher, Engine, ReactorPool};
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -70,12 +83,34 @@ pub struct SvcConfig {
     /// `ERR` and closed, so a stalled client cannot pin a handler
     /// thread forever. `None` (the default) waits indefinitely.
     pub read_timeout: Option<Duration>,
-    /// Ceiling on concurrently served connections — the bound on the
-    /// one-thread-per-connection design's memory and thread count. A
-    /// connection accepted at the ceiling is answered with a
+    /// Ceiling on concurrently served connections — the memory bound
+    /// for the reactor engines and the thread bound for the threads
+    /// engine. A connection accepted at the ceiling is answered with a
     /// best-effort `ERR` naming the limit and closed immediately;
     /// refusals are counted in the `STATS` gauges.
     pub max_conns: usize,
+    /// Connection-serving engine (see [`Engine`]). Defaults to
+    /// [`Engine::auto`]: `epoll` where the reactor's syscall shim
+    /// exists, `threads` elsewhere.
+    pub engine: Engine,
+    /// Reactor worker threads ([`Engine::Epoll`] / [`Engine::Poll`]
+    /// only; the threads engine ignores it). Defaults to available
+    /// parallelism capped at [`DEFAULT_MAX_WORKERS`].
+    pub workers: usize,
+}
+
+/// Cap on the default [`SvcConfig::workers`]: beyond a handful of
+/// workers the namespace shards, not the event loops, are the
+/// bottleneck, and idle workers still cost wake plumbing.
+pub const DEFAULT_MAX_WORKERS: usize = 8;
+
+/// The default [`SvcConfig::workers`]: available parallelism, capped
+/// at [`DEFAULT_MAX_WORKERS`].
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(DEFAULT_MAX_WORKERS)
 }
 
 /// Default [`SvcConfig::max_conns`]: far above any load the
@@ -95,6 +130,8 @@ impl Default for SvcConfig {
             lease: None,
             read_timeout: None,
             max_conns: DEFAULT_MAX_CONNS,
+            engine: Engine::auto(),
+            workers: default_workers(),
         }
     }
 }
@@ -109,6 +146,7 @@ pub struct Server {
     gauges: Arc<ConnGauges>,
     stop: Arc<AtomicBool>,
     accepters: Vec<JoinHandle<()>>,
+    pool: Option<ReactorPool>,
     reaper: Option<JoinHandle<()>>,
 }
 
@@ -134,21 +172,39 @@ impl Server {
             .collect::<io::Result<Vec<_>>>()?;
         let read_timeout = config.read_timeout;
         let max_conns = config.max_conns.max(1);
+        // Reactor engines get their worker pool up before the first
+        // accept; the threads engine spawns handlers on demand.
+        let pool = match config.engine {
+            Engine::Threads => None,
+            engine => Some(ReactorPool::spawn(
+                engine,
+                config.workers,
+                &namespace,
+                &gauges,
+                &stop,
+                read_timeout,
+            )?),
+        };
+        let dispatcher = pool.as_ref().map(ReactorPool::dispatcher);
         let accepters = listeners
             .into_iter()
             .map(|listener| {
                 let namespace = Arc::clone(&namespace);
                 let stop = Arc::clone(&stop);
                 let gauges = Arc::clone(&gauges);
-                std::thread::spawn(move || {
-                    accept_loop(
+                let dispatcher = dispatcher.clone();
+                std::thread::spawn(move || match dispatcher {
+                    Some(dispatcher) => {
+                        accept_loop_reactor(&listener, &dispatcher, &gauges, &stop, max_conns)
+                    }
+                    None => accept_loop(
                         &listener,
                         &namespace,
                         &gauges,
                         &stop,
                         read_timeout,
                         max_conns,
-                    )
+                    ),
                 })
             })
             .collect();
@@ -173,6 +229,7 @@ impl Server {
             gauges,
             stop,
             accepters,
+            pool,
             reaper,
         })
     }
@@ -194,8 +251,10 @@ impl Server {
         &self.gauges
     }
 
-    /// Stop accepting and join the accept threads. Connections already
-    /// established keep being served until their clients disconnect.
+    /// Stop accepting and join the accept threads. Under a reactor
+    /// engine the worker pool is joined too, closing every live
+    /// connection; under the threads engine, established connections
+    /// keep being served until their clients disconnect.
     pub fn shutdown(self) {
         self.stop.store(true, Ordering::SeqCst);
         // One wake-up connection per accept thread: each accepter checks
@@ -205,6 +264,9 @@ impl Server {
         }
         for handle in self.accepters {
             let _ = handle.join();
+        }
+        if let Some(pool) = self.pool {
+            pool.join();
         }
         if let Some(reaper) = self.reaper {
             let _ = reaper.join();
@@ -219,6 +281,52 @@ impl Server {
     }
 }
 
+/// One `accept` plus the shared admission policy: returns a stream
+/// whose `max_conns` slot is already claimed, or `None` when the
+/// caller should `continue` (refusal, transient error) or `Err(())`
+/// when it should return (stop flag).
+fn accept_one(
+    listener: &TcpListener,
+    gauges: &ConnGauges,
+    stop: &AtomicBool,
+    max_conns: usize,
+) -> Result<Option<TcpStream>, ()> {
+    let mut stream = match listener.accept() {
+        Ok((stream, _)) => stream,
+        Err(_) => {
+            if stop.load(Ordering::SeqCst) {
+                return Err(());
+            }
+            // Persistent accept failures (EMFILE under fd exhaustion,
+            // transient ECONNABORTED) must not hot-loop a core: back
+            // off briefly so workers get the cycles to drain and close
+            // connections.
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            return Ok(None);
+        }
+    };
+    if stop.load(Ordering::SeqCst) {
+        return Err(());
+    }
+    // Claim a connection slot optimistically; over the ceiling, undo
+    // the claim, name the limit best-effort, and hang up — inline,
+    // without spending a thread or a worker slot on the refusal.
+    if gauges.connected() > max_conns as u64 {
+        gauges.disconnected();
+        gauges.refuse();
+        let mut out = Vec::new();
+        frame_response(
+            &Response::Err(format!(
+                "connection refused: server is at its {max_conns}-connection limit"
+            )),
+            &mut out,
+        );
+        let _ = stream.write_all(&out);
+        return Ok(None);
+    }
+    Ok(Some(stream))
+}
+
 fn accept_loop(
     listener: &TcpListener,
     namespace: &Arc<Namespace>,
@@ -228,39 +336,11 @@ fn accept_loop(
     max_conns: usize,
 ) {
     loop {
-        let mut stream = match listener.accept() {
-            Ok((stream, _)) => stream,
-            Err(_) => {
-                if stop.load(Ordering::SeqCst) {
-                    return;
-                }
-                // Persistent accept failures (EMFILE under fd
-                // exhaustion, transient ECONNABORTED) must not hot-loop
-                // a core: back off briefly so handler threads get the
-                // cycles to drain and close connections.
-                std::thread::sleep(std::time::Duration::from_millis(10));
-                continue;
-            }
+        let stream = match accept_one(listener, gauges, stop, max_conns) {
+            Ok(Some(stream)) => stream,
+            Ok(None) => continue,
+            Err(()) => return,
         };
-        if stop.load(Ordering::SeqCst) {
-            return;
-        }
-        // Claim a connection slot optimistically; over the ceiling,
-        // undo the claim, name the limit best-effort, and hang up —
-        // inline, without spending a thread on the refusal.
-        if gauges.connected() > max_conns as u64 {
-            gauges.disconnected();
-            gauges.refuse();
-            let mut out = Vec::new();
-            frame_response(
-                &Response::Err(format!(
-                    "connection refused: server is at its {max_conns}-connection limit"
-                )),
-                &mut out,
-            );
-            let _ = stream.write_all(&out);
-            continue;
-        }
         let namespace = Arc::clone(namespace);
         let gauges = Arc::clone(gauges);
         std::thread::spawn(move || {
@@ -275,6 +355,25 @@ fn accept_loop(
             let _guard = SlotGuard(Arc::clone(&gauges));
             handle_connection(stream, &namespace, &gauges, read_timeout);
         });
+    }
+}
+
+/// The reactor engines' accept loop: same socket, same admission
+/// policy, but accepted connections go to a worker inbox instead of a
+/// fresh thread. The worker releases the `max_conns` claim on close.
+fn accept_loop_reactor(
+    listener: &TcpListener,
+    dispatcher: &Dispatcher,
+    gauges: &Arc<ConnGauges>,
+    stop: &Arc<AtomicBool>,
+    max_conns: usize,
+) {
+    loop {
+        match accept_one(listener, gauges, stop, max_conns) {
+            Ok(Some(stream)) => dispatcher.dispatch(stream),
+            Ok(None) => continue,
+            Err(()) => return,
+        }
     }
 }
 

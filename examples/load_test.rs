@@ -48,6 +48,7 @@ fn main() {
         churn: None,
         warmup: Warmup::None,
         pipeline: 1,
+        conns: None,
     });
     print_outcome("closed", &closed);
 
@@ -62,6 +63,7 @@ fn main() {
         churn: Some(1_000),
         warmup: Warmup::None,
         pipeline: 1,
+        conns: None,
     });
     print_outcome("closed+churn", &churned);
 
@@ -80,6 +82,7 @@ fn main() {
         churn: None,
         warmup: Warmup::None,
         pipeline: 1,
+        conns: None,
     });
     print_outcome("open", &open);
 

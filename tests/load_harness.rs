@@ -20,6 +20,7 @@ fn arena_reuse_over_100_epochs_under_contention() {
         churn: None,
         warmup: rtas_load::Warmup::None,
         pipeline: 1,
+        conns: None,
     });
     assert_eq!(out.total_ops(), 960);
     assert_eq!(out.resolutions(), 480, "120 epochs per shard");
@@ -48,6 +49,7 @@ fn every_backend_survives_the_closed_loop() {
             churn: None,
             warmup: rtas_load::Warmup::None,
             pipeline: 1,
+            conns: None,
         });
         assert_eq!(out.total_wins(), out.resolutions(), "{backend:?}");
     }
@@ -64,6 +66,7 @@ fn churn_respawns_workers_without_losing_ops_or_safety() {
         churn: Some(7),
         warmup: rtas_load::Warmup::None,
         pipeline: 1,
+        conns: None,
     });
     assert_eq!(out.total_ops(), 400);
     assert_eq!(out.total_wins(), out.resolutions());
@@ -93,6 +96,7 @@ fn open_loop_same_seed_same_offered_load() {
         churn: None,
         warmup: rtas_load::Warmup::None,
         pipeline: 1,
+        conns: None,
     };
     let x = run_load(spec);
     let y = run_load(spec);
@@ -119,6 +123,7 @@ fn report_carries_wall_gate_labels_and_matches_counts() {
         churn: None,
         warmup: rtas_load::Warmup::None,
         pipeline: 1,
+        conns: None,
     });
     let report = out.bench_report();
     assert_eq!(report.name(), "native_load");
@@ -149,6 +154,7 @@ fn slo_checks_read_the_overall_distribution() {
         churn: None,
         warmup: rtas_load::Warmup::None,
         pipeline: 1,
+        conns: None,
     });
     assert!(Slo {
         p50_us: Some(1e12),
@@ -181,6 +187,7 @@ fn arena_epochs_continue_across_driver_runs() {
         churn: None,
         warmup: rtas_load::Warmup::None,
         pipeline: 1,
+        conns: None,
     };
     let first = rtas_load::run_load_on(&arena, spec);
     assert_eq!(arena.epochs_completed(0), 20);

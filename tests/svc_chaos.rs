@@ -34,6 +34,7 @@ fn spec(threads: usize, shards: usize, total_ops: u64) -> LoadSpec {
         churn: None,
         warmup: Warmup::None,
         pipeline: 1,
+        conns: None,
     }
 }
 

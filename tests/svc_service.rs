@@ -19,6 +19,7 @@ fn spec(threads: usize, shards: usize, mode: Mode) -> LoadSpec {
         churn: None,
         warmup: Warmup::None,
         pipeline: 1,
+        conns: None,
     }
 }
 
