@@ -53,13 +53,20 @@ const SUB_BINS: u64 = 8;
 const MIN_EXP: i64 = -32;
 const MAX_EXP: i64 = 95;
 const OCTAVES: usize = (MAX_EXP - MIN_EXP + 1) as usize;
-const BINS: usize = OCTAVES * SUB_BINS as usize;
+
+/// Total histogram bins in the log-bin scheme ([`bin_index`] returns
+/// values in `0..BINS`). Public so other consumers — the `rtas-obs`
+/// metrics plane's lock-free latency histograms — can size their bin
+/// arrays to the exact same layout and stay merge-compatible with
+/// [`StatsAccumulator`]'s quantile semantics.
+pub const BINS: usize = OCTAVES * SUB_BINS as usize;
 
 /// Histogram bin for a finite positive value: octave from the f64
 /// exponent bits, sub-bin from the top three mantissa bits. Pure bit
 /// arithmetic — no rounding-sensitive float ops — so binning is exactly
-/// reproducible everywhere.
-fn bin_index(v: f64) -> usize {
+/// reproducible everywhere. Public as the shared binning scheme behind
+/// both [`StatsAccumulator`] and the `rtas-obs` atomic histograms.
+pub fn bin_index(v: f64) -> usize {
     debug_assert!(v.is_finite() && v > 0.0);
     let bits = v.to_bits();
     let exp = ((bits >> 52) & 0x7ff) as i64 - 1023;
@@ -73,8 +80,9 @@ fn bin_index(v: f64) -> usize {
     ((exp - MIN_EXP) as u64 * SUB_BINS + sub) as usize
 }
 
-/// Midpoint of histogram bin `idx`: `2^e · (1 + (sub + ½)/8)`.
-fn bin_midpoint(idx: usize) -> f64 {
+/// Midpoint of histogram bin `idx`: `2^e · (1 + (sub + ½)/8)` — the
+/// value a [`bin_index`]-binned quantile reports for that bin.
+pub fn bin_midpoint(idx: usize) -> f64 {
     let exp = (idx / SUB_BINS as usize) as i64 + MIN_EXP;
     let sub = (idx % SUB_BINS as usize) as f64;
     (exp as f64).exp2() * (1.0 + (sub + 0.5) / SUB_BINS as f64)

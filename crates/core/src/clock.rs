@@ -1,0 +1,74 @@
+//! A cheap monotonic clock for timestamping hot-path events.
+//!
+//! [`MonotonicClock`] is an [`Instant`] origin plus a nanosecond
+//! readout: every [`MonotonicClock::now_ns`] call is one
+//! `Instant::elapsed` (a `clock_gettime(CLOCK_MONOTONIC)` on Linux —
+//! vDSO, no syscall trap, no allocation), returned as a plain `u64`
+//! offset from the origin. A `u64` nanosecond count is what lock-free
+//! consumers want: it stores in one atomic, compares without arithmetic
+//! on `Instant`s, and serializes into binary trace records directly.
+//!
+//! Two subsystems share this type so their timestamps mean the same
+//! thing *within* each: the `rtas-svc` namespace's lease deadlines and
+//! the `rtas-obs` flight recorder's event stamps. Offsets from
+//! *different* clocks are not comparable — each clock is its own epoch.
+
+use std::time::Instant;
+
+/// An origin instant plus nanosecond readout — see the [module
+/// docs](self).
+#[derive(Debug, Clone, Copy)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose origin is now: the next [`MonotonicClock::now_ns`]
+    /// reads close to zero.
+    pub fn new() -> Self {
+        MonotonicClock {
+            origin: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed since the clock's origin. Saturates at
+    /// `u64::MAX` (≈ 584 years), so the readout never panics.
+    pub fn now_ns(&self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// The origin instant (for callers that need to convert back into
+    /// `Instant` arithmetic).
+    pub fn origin(&self) -> Instant {
+        self.origin
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        MonotonicClock::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn readings_are_monotone_and_advance() {
+        let clock = MonotonicClock::new();
+        let a = clock.now_ns();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let b = clock.now_ns();
+        assert!(b >= a + 1_000_000, "2ms sleep advanced only {}ns", b - a);
+        let c = clock.now_ns();
+        assert!(c >= b);
+    }
+
+    #[test]
+    fn origin_round_trips() {
+        let clock = MonotonicClock::default();
+        let elapsed = clock.origin().elapsed().as_nanos() as u64;
+        assert!(clock.now_ns() >= elapsed);
+    }
+}

@@ -43,11 +43,13 @@
 //! construction. They are `Sync` — share them by reference across
 //! threads.
 
+pub mod clock;
 pub mod native;
 pub mod once;
 pub mod renaming;
 pub mod sync;
 
+pub use clock::MonotonicClock;
 pub use once::RegisterOnce;
 pub use renaming::Renaming;
 

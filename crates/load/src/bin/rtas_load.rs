@@ -293,7 +293,7 @@ fn main() -> ExitCode {
         },
     );
     let mut chaos_summary: Option<String> = None;
-    let out = if let Some(chaos_spec) = chaos_spec {
+    let mut out = if let Some(chaos_spec) = chaos_spec {
         println!("rtas-load: chaos spec={chaos_spec} seed={chaos_seed}");
         let plan = FaultPlan::new(chaos_spec, chaos_seed);
         match run_load_chaos(addr.as_deref().unwrap(), spec, plan) {
@@ -342,6 +342,19 @@ fn main() -> ExitCode {
     } else {
         run_load(spec)
     };
+    if remote {
+        // Server-side observability: fold the curated svc_* extras from
+        // the METRICS exposition into the report's total row. A failed
+        // scrape costs a warning, never the finished run.
+        match rtas_load::remote::scrape_svc_extras(addr.as_deref().unwrap()) {
+            Ok(extras) => out.svc_extras = extras,
+            Err(e) => eprintln!(
+                "rtas-load: warning: metrics scrape from {} failed ({e}); \
+                 svc_* report extras omitted",
+                addr.as_deref().unwrap()
+            ),
+        }
+    }
 
     println!("shard | ops | wins | epochs | ops/s | p50 us | p90 us | p99 us | max us");
     for (s, cell) in out.recorder.shard_stats().iter().enumerate() {

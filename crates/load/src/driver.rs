@@ -330,6 +330,12 @@ pub struct LoadOutcome {
     pub warmup_ops: u64,
     /// Warmup operations that won their resolution.
     pub warmup_wins: u64,
+    /// Server-side observability extras scraped from a remote target's
+    /// `METRICS` exposition after the run (empty for native targets or
+    /// when the scrape failed) — folded into the report's `scope=total`
+    /// row as extra `svc_*` values. See
+    /// [`crate::remote::scrape_svc_extras`].
+    pub svc_extras: Vec<(String, f64)>,
 }
 
 impl LoadOutcome {
@@ -411,7 +417,7 @@ impl LoadOutcome {
                     .with_label("pipeline", &pipeline),
             ));
         }
-        report.push(fan_out(
+        let mut total = fan_out(
             BenchRow::from_summary(
                 0,
                 &self.recorder.overall_latency(),
@@ -446,7 +452,14 @@ impl LoadOutcome {
             .with_label("scope", "total")
             .with_label("gate", "wall")
             .with_label("pipeline", &pipeline),
-        ));
+        );
+        // Server-side observability extras, when a remote run scraped
+        // them: same gate=wall structural treatment as the err_*
+        // classes.
+        for (name, value) in &self.svc_extras {
+            total = total.with(name, *value);
+        }
+        report.push(total);
         report
     }
 }
@@ -588,6 +601,7 @@ pub(crate) fn run_on_target<T: LoadTarget>(
         registers,
         warmup_ops: warmup.ops,
         warmup_wins: warmup.wins,
+        svc_extras: Vec::new(),
     }
 }
 

@@ -72,5 +72,5 @@ pub use driver::{
     run_load, run_load_on, LoadOutcome, LoadSpec, LoadTarget, Mode, Slo, TargetKind, Warmup,
 };
 pub use recorder::{ErrorClasses, LoadRecorder};
-pub use remote::{run_load_remote, RemoteTarget};
+pub use remote::{run_load_remote, scrape_svc_extras, RemoteTarget};
 pub use schedule::ArrivalSchedule;

@@ -390,3 +390,58 @@ pub fn run_load_remote(addr: &str, spec: LoadSpec) -> Result<LoadOutcome, Client
     };
     Ok(run_on_target(&target, spec, kind))
 }
+
+/// Scrape a server's `METRICS` exposition into the curated `svc_*`
+/// report extras a remote run attaches to its `scope=total` row
+/// ([`LoadOutcome::svc_extras`]).
+///
+/// The set is **fixed** — nine extras, always in this order, every name
+/// present even when the server reports nothing for it (a threads
+/// engine has no `reactor.worker<k>.*` gauges; the sums are then 0) —
+/// so baseline and current reports always carry identical value keys
+/// and `bench-diff` can gate them structurally:
+///
+/// `svc_ops`, `svc_wins`, `svc_resets`, `svc_reclaimed`, `svc_refused`
+/// (the namespace counters), `svc_wake_writes`, `svc_carryovers`
+/// (reactor counters), and `svc_slab_live` / `svc_wheel_entries`
+/// (per-worker gauges summed across workers).
+///
+/// Errors carry a printable message; callers warn and omit the extras
+/// rather than failing a finished run over a scrape.
+pub fn scrape_svc_extras(addr: &str) -> Result<Vec<(String, f64)>, String> {
+    let mut client =
+        Client::connect(addr).map_err(|e| format!("connect for metrics scrape: {e}"))?;
+    let text = client
+        .metrics()
+        .map_err(|e| format!("METRICS request: {e}"))?;
+    let parsed = rtas_svc::obs::parse_metrics(&text)
+        .ok_or_else(|| "malformed metrics exposition".to_string())?;
+    let value = |name: &str| -> f64 {
+        parsed
+            .iter()
+            .find(|(k, _)| k.as_str() == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0.0)
+    };
+    let worker_sum = |suffix: &str| -> f64 {
+        parsed
+            .iter()
+            .filter(|(k, _)| k.starts_with("reactor.worker") && k.ends_with(suffix))
+            .map(|&(_, v)| v)
+            .sum()
+    };
+    Ok(vec![
+        ("svc_ops".to_string(), value("svc.ops")),
+        ("svc_wins".to_string(), value("svc.wins")),
+        ("svc_resets".to_string(), value("svc.resets")),
+        ("svc_reclaimed".to_string(), value("svc.reclaimed")),
+        ("svc_refused".to_string(), value("svc.refused")),
+        ("svc_wake_writes".to_string(), value("reactor.wake_writes")),
+        ("svc_carryovers".to_string(), value("reactor.carryovers")),
+        ("svc_slab_live".to_string(), worker_sum(".slab_live")),
+        (
+            "svc_wheel_entries".to_string(),
+            worker_sum(".wheel_entries"),
+        ),
+    ])
+}

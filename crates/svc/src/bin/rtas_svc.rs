@@ -7,15 +7,131 @@
 //!
 //! `serve` prints `listening on <addr>` once the socket is bound —
 //! smoke scripts can wait for the port. See `docs/WIRE.md` for the
-//! wire protocol.
+//! wire protocol, and the "Observability" section of
+//! `docs/OPERATIONS.md` for `stats --metrics`, `--trace`, and
+//! `trace-dump`.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
+use rtas_svc::obs::{decode_dump, render_json, render_timeline};
 use rtas_svc::{cli, Client, Server};
 
 fn usage() -> ! {
     eprintln!("{}", cli::serve_usage());
     std::process::exit(2);
+}
+
+/// Render the stats counters as one flat JSON object.
+fn stats_json(s: &rtas_svc::protocol::SvcStats) -> String {
+    format!(
+        "{{\"keys\":{},\"ops\":{},\"wins\":{},\"resets\":{},\"registers\":{},\
+         \"reclaimed\":{},\"conns\":{},\"refused\":{}}}",
+        s.keys, s.ops, s.wins, s.resets, s.registers, s.reclaimed, s.conns, s.refused
+    )
+}
+
+fn run_stats(args: &[String]) -> ExitCode {
+    let parsed = cli::parse_stats(args).unwrap_or_else(|message| {
+        eprintln!("error: {message}");
+        usage();
+    });
+    let mut client = match Client::connect(&parsed.addr) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("rtas-svc: stats from {} failed: {e}", parsed.addr);
+            return ExitCode::from(2);
+        }
+    };
+    if parsed.metrics {
+        return match client.metrics() {
+            Ok(text) => {
+                print!("{text}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("rtas-svc: metrics from {} failed: {e}", parsed.addr);
+                ExitCode::from(2)
+            }
+        };
+    }
+    match client.stats() {
+        Ok(s) => {
+            if parsed.json {
+                println!("{}", stats_json(&s));
+            } else if parsed.raw {
+                println!(
+                    "keys {} | ops {} | wins {} | resets {} | registers {} | \
+                     reclaimed {} | conns {} | refused {}",
+                    s.keys, s.ops, s.wins, s.resets, s.registers, s.reclaimed, s.conns, s.refused
+                );
+            } else {
+                for (name, value) in [
+                    ("keys", s.keys),
+                    ("ops", s.ops),
+                    ("wins", s.wins),
+                    ("resets", s.resets),
+                    ("registers", s.registers),
+                    ("reclaimed", s.reclaimed),
+                    ("conns", s.conns),
+                    ("refused", s.refused),
+                ] {
+                    println!("{name:<10} {value}");
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("rtas-svc: stats from {} failed: {e}", parsed.addr);
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_trace_dump(args: &[String]) -> ExitCode {
+    let mut file = None;
+    let mut json = false;
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            other if !other.starts_with("--") && file.is_none() => file = Some(other.to_string()),
+            other => {
+                eprintln!("error: unknown argument {other}");
+                usage();
+            }
+        }
+    }
+    let Some(file) = file else {
+        eprintln!("error: trace-dump requires a dump file path");
+        usage();
+    };
+    let bytes = match std::fs::read(&file) {
+        Ok(bytes) => bytes,
+        Err(e) => {
+            eprintln!("rtas-svc: cannot read {file}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let dump = match decode_dump(&bytes) {
+        Ok(dump) => dump,
+        Err(e) => {
+            eprintln!("rtas-svc: {file} is not a valid RTASTRC1 dump: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let dropped = dump.dropped();
+    let events = dump.merged();
+    if json {
+        print!("{}", render_json(&events));
+    } else {
+        print!("{}", render_timeline(&events));
+        if dropped > 0 {
+            eprintln!(
+                "rtas-svc: {dropped} event(s) were overwritten before the dump (lossy rings)"
+            );
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -39,9 +155,20 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             };
+            // A panicking server leaves its black box behind: dump the
+            // flight recorder to RTAS_TRACE_DIR (if set) before the
+            // default hook prints the panic.
+            let recorder = Arc::clone(server.recorder());
+            let default_hook = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                if let Ok(Some(path)) = recorder.dump_to_trace_dir("panic") {
+                    eprintln!("rtas-svc: flight recorder dumped to {}", path.display());
+                }
+                default_hook(info);
+            }));
             println!(
                 "rtas-svc: listening on {} (backend={:?} shards={} capacity={} listeners={} \
-                 engine={} workers={})",
+                 engine={} workers={} trace={})",
                 server.addr(),
                 config.backend,
                 config.shards,
@@ -49,40 +176,13 @@ fn main() -> ExitCode {
                 config.listeners,
                 config.engine,
                 config.workers,
+                config.trace.label(),
             );
             server.join();
             ExitCode::SUCCESS
         }
-        "stats" => {
-            let addr = cli::parse_stats(&args[1..]).unwrap_or_else(|message| {
-                eprintln!("error: {message}");
-                usage();
-            });
-            let stats = Client::connect(&addr)
-                .map_err(rtas_svc::ClientError::Io)
-                .and_then(|mut client| client.stats());
-            match stats {
-                Ok(s) => {
-                    println!(
-                        "keys {} | ops {} | wins {} | resets {} | registers {} | \
-                         reclaimed {} | conns {} | refused {}",
-                        s.keys,
-                        s.ops,
-                        s.wins,
-                        s.resets,
-                        s.registers,
-                        s.reclaimed,
-                        s.conns,
-                        s.refused
-                    );
-                    ExitCode::SUCCESS
-                }
-                Err(e) => {
-                    eprintln!("rtas-svc: stats from {addr} failed: {e}");
-                    ExitCode::from(2)
-                }
-            }
-        }
+        "stats" => run_stats(&args[1..]),
+        "trace-dump" => run_trace_dump(&args[1..]),
         other => {
             eprintln!("error: unknown command {other:?}");
             usage();

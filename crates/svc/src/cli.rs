@@ -14,6 +14,8 @@
 
 use std::time::Duration;
 
+use rtas_obs::TraceMode;
+
 use crate::reactor::Engine;
 use crate::server::SvcConfig;
 
@@ -116,6 +118,13 @@ pub const SERVE_FLAGS: &[Flag] = &[
         help: "refuse connections beyond this many live",
         sample: "100",
     },
+    Flag {
+        name: "--trace",
+        value: "<m>",
+        default: "off",
+        help: "flight recorder: on | off | sampled:<n> (every nth frame)",
+        sample: "sampled:16",
+    },
 ];
 
 /// The full usage text, rendered from [`SERVE_FLAGS`].
@@ -128,7 +137,15 @@ pub fn serve_usage() -> String {
             flag.help, flag.default
         ));
     }
-    out.push_str("       rtas-svc stats --addr <host:port>   print a server's counters and exit\n");
+    out.push_str(
+        "       rtas-svc stats [--addr <host:port>] [--json | --raw | --metrics]\n\
+         \x20                                  print a server's counters (default named\n\
+         \x20                                  fields; --metrics fetches the METRICS\n\
+         \x20                                  exposition) and exit\n\
+         \x20      rtas-svc trace-dump <file> [--json]\n\
+         \x20                                  decode a flight-recorder dump (RTASTRC1)\n\
+         \x20                                  as a timeline (or JSON) and exit\n",
+    );
     out
 }
 
@@ -191,6 +208,11 @@ pub fn parse_serve(args: &[String]) -> Result<SvcConfig, String> {
                     format!("unknown backend {v:?} (logstar|loglog|ratrace|combined)")
                 })?;
             }
+            "--trace" => {
+                let v = value("--trace")?;
+                config.trace = TraceMode::parse(v)
+                    .ok_or_else(|| format!("unknown trace mode {v:?} (on|off|sampled:<n>)"))?;
+            }
             flag => return Err(format!("unknown argument {flag}")),
         }
     }
@@ -209,23 +231,50 @@ pub fn parse_serve(args: &[String]) -> Result<SvcConfig, String> {
     Ok(config)
 }
 
-/// Parse `rtas-svc stats` arguments: just `--addr` (default
-/// [`DEFAULT_ADDR`]).
-pub fn parse_stats(args: &[String]) -> Result<String, String> {
-    let mut addr = DEFAULT_ADDR.to_string();
+/// Parsed `rtas-svc stats` arguments: the address to query plus one
+/// (at most) output selector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsArgs {
+    /// Server to query (default [`DEFAULT_ADDR`]).
+    pub addr: String,
+    /// Render the counters as one JSON object.
+    pub json: bool,
+    /// Render the legacy single `a | b | c` line (the pre-9 default,
+    /// kept for scripts that scrape it).
+    pub raw: bool,
+    /// Fetch the `METRICS` exposition instead of `STATS` and print it
+    /// verbatim.
+    pub metrics: bool,
+}
+
+/// Parse `rtas-svc stats` arguments: `--addr` plus at most one of
+/// `--json` / `--raw` / `--metrics`.
+pub fn parse_stats(args: &[String]) -> Result<StatsArgs, String> {
+    let mut parsed = StatsArgs {
+        addr: DEFAULT_ADDR.to_string(),
+        json: false,
+        raw: false,
+        metrics: false,
+    };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--addr" => {
-                addr = iter
+                parsed.addr = iter
                     .next()
                     .ok_or_else(|| "--addr requires a value".to_string())?
                     .clone();
             }
+            "--json" => parsed.json = true,
+            "--raw" => parsed.raw = true,
+            "--metrics" => parsed.metrics = true,
             flag => return Err(format!("unknown argument {flag}")),
         }
     }
-    Ok(addr)
+    if usize::from(parsed.json) + usize::from(parsed.raw) + usize::from(parsed.metrics) > 1 {
+        return Err("--json, --raw and --metrics are mutually exclusive".to_string());
+    }
+    Ok(parsed)
 }
 
 #[cfg(test)]
@@ -301,6 +350,8 @@ mod tests {
             "1000",
             "--max-conns",
             "7",
+            "--trace",
+            "sampled:32",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -317,13 +368,33 @@ mod tests {
         assert_eq!(config.lease, Some(Duration::from_millis(250)));
         assert_eq!(config.read_timeout, Some(Duration::from_millis(1000)));
         assert_eq!(config.max_conns, 7);
+        assert_eq!(config.trace, TraceMode::Sampled(32));
     }
 
     #[test]
-    fn stats_parses_addr_only() {
-        assert_eq!(parse_stats(&[]).unwrap(), DEFAULT_ADDR);
-        let args = vec!["--addr".to_string(), "10.0.0.1:1".to_string()];
-        assert_eq!(parse_stats(&args).unwrap(), "10.0.0.1:1");
-        assert!(parse_stats(&["--x".to_string()]).is_err());
+    fn stats_parses_addr_and_one_output_selector() {
+        let parsed = parse_stats(&[]).unwrap();
+        assert_eq!(parsed.addr, DEFAULT_ADDR);
+        assert!(!parsed.json && !parsed.raw && !parsed.metrics);
+
+        let strs = |args: &[&str]| args.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let parsed = parse_stats(&strs(&["--addr", "10.0.0.1:1", "--json"])).unwrap();
+        assert_eq!(parsed.addr, "10.0.0.1:1");
+        assert!(parsed.json);
+        assert!(parse_stats(&strs(&["--raw"])).unwrap().raw);
+        assert!(parse_stats(&strs(&["--metrics"])).unwrap().metrics);
+
+        assert!(parse_stats(&strs(&["--x"])).is_err());
+        let err = parse_stats(&strs(&["--json", "--raw"])).unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
+    fn bad_trace_modes_are_rejected() {
+        let err = |args: &[&str]| {
+            parse_serve(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap_err()
+        };
+        assert!(err(&["--trace", "always"]).contains("unknown trace mode"));
+        assert!(err(&["--trace", "sampled:0"]).contains("unknown trace mode"));
     }
 }

@@ -346,4 +346,19 @@ impl Client {
             ))),
         }
     }
+
+    /// The server's metrics exposition (the `METRICS` op): the
+    /// versioned `rtas-metrics/1` text with `svc.*` counters, reactor
+    /// instruments, and per-stage latency histograms. Parse it with
+    /// [`rtas_obs::parse_metrics`].
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        self.send(Op::Metrics, b"")?;
+        match self.recv()? {
+            Response::Metrics(text) => Ok(text),
+            Response::Err(msg) => Err(ClientError::Remote(msg)),
+            other => Err(ClientError::Protocol(format!(
+                "expected a metrics exposition, got {other:?}"
+            ))),
+        }
+    }
 }

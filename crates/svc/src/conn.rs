@@ -31,8 +31,10 @@ use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use rtas::native::NativeRunner;
+use rtas_obs::{EventKind, FlightRecorder, Lane, METRICS_HEADER};
 
-use crate::namespace::{Kind, Namespace};
+use crate::metrics::SvcMetrics;
+use crate::namespace::{fnv1a, Kind, Namespace};
 use crate::protocol::{
     decode_request, frame_response, oversized_payload, Op, Request, Response, MAX_PAYLOAD,
 };
@@ -163,6 +165,22 @@ pub enum ConnStatus {
     Closed,
 }
 
+/// The observability hooks a driver threads through
+/// [`Connection::ingest_obs`]: the flight recorder (with the lane this
+/// connection's events belong on) and the metrics plane's stage
+/// histograms. Borrowed per call — the connection state machine itself
+/// stays free of `Arc`s and allocation.
+pub(crate) struct ConnObs<'a> {
+    /// The server's flight recorder.
+    pub recorder: &'a FlightRecorder,
+    /// The server's metrics instruments.
+    pub metrics: &'a SvcMetrics,
+    /// The lane this connection's per-frame events are written to
+    /// (its reactor worker's lane, or the accept lane for the threads
+    /// engine).
+    pub lane: Lane,
+}
+
 /// One connection's protocol state: the incremental decoder, the
 /// connection-private [`NativeRunner`], and the reused output buffer.
 /// See the [module docs](self).
@@ -172,6 +190,11 @@ pub struct Connection {
     runner: NativeRunner,
     out: Vec<u8>,
     closed: bool,
+    /// Frames decoded on this connection — the per-connection sequence
+    /// the trace sampling gate (`--trace sampled:<n>`) runs on. Plain
+    /// arithmetic, deliberately no RNG: tracing must never perturb
+    /// seeded fault streams.
+    frames: u64,
 }
 
 impl Connection {
@@ -189,20 +212,62 @@ impl Connection {
         namespace: &Namespace,
         gauges: &ConnGauges,
     ) -> ConnStatus {
+        self.ingest_obs(bytes, namespace, gauges, None)
+    }
+
+    /// [`Connection::ingest`] with the observability plane threaded in:
+    /// sampled frames get per-stage latency samples (decode / arbiter /
+    /// encode) and `FrameDecoded` / `ArbiterVerdict` / `ResetAck`
+    /// flight-recorder events. With `obs` absent (or the recorder's
+    /// sampling gate cold) the path is byte-identical to plain
+    /// `ingest` — no clock reads, no events, no allocations.
+    pub(crate) fn ingest_obs(
+        &mut self,
+        bytes: &[u8],
+        namespace: &Namespace,
+        gauges: &ConnGauges,
+        obs: Option<&ConnObs<'_>>,
+    ) -> ConnStatus {
         if self.closed {
             return ConnStatus::Closed;
         }
         self.decoder.push(bytes);
         loop {
+            // Sample decision for the frame about to be decoded. The
+            // clock reads themselves are gated on it, so an untraced (or
+            // unsampled) frame pays exactly one branch here.
+            let timed = obs.filter(|o| o.recorder.sample_hit(self.frames));
+            let t0 = timed.map(|o| o.recorder.now_ns());
             match self.decoder.next_frame() {
                 Ok(Some(payload)) => {
-                    let response = match decode_request(payload) {
-                        Ok(request) => execute(namespace, gauges, request, &mut self.runner),
+                    self.frames += 1;
+                    let decoded = decode_request(payload);
+                    let t1 = timed.map(|o| o.recorder.now_ns());
+                    if let (Some(o), Ok(req)) = (timed, &decoded) {
+                        o.recorder.record(
+                            o.lane,
+                            EventKind::FrameDecoded,
+                            req.op.code() as u32,
+                            payload.len() as u64,
+                            0,
+                        );
+                    }
+                    let response = match decoded {
+                        Ok(request) => {
+                            execute_obs(namespace, gauges, request, &mut self.runner, obs, timed)
+                        }
                         // A clean frame with a bad request: answer and
                         // carry on.
                         Err(e) => Response::Err(e.to_string()),
                     };
+                    let t2 = timed.map(|o| o.recorder.now_ns());
                     frame_response(&response, &mut self.out);
+                    if let (Some(o), Some(t0), Some(t1), Some(t2)) = (timed, t0, t1, t2) {
+                        let t3 = o.recorder.now_ns();
+                        o.metrics.stage_decode.record((t1 - t0) as f64);
+                        o.metrics.stage_arbiter.record((t2 - t1) as f64);
+                        o.metrics.stage_encode.record((t3 - t2) as f64);
+                    }
                 }
                 Ok(None) => return ConnStatus::Open,
                 Err(e) => {
@@ -235,12 +300,17 @@ impl Connection {
 }
 
 /// Execute one decoded request against the namespace. `STATS` merges
-/// the accept loop's connection gauges into the namespace counters.
-pub(crate) fn execute(
+/// the accept loop's connection gauges into the namespace counters;
+/// `obs` renders the registry into `METRICS` responses; `timed` (the
+/// sample-gated recorder handle) gets `ArbiterVerdict`/`ResetAck`
+/// events.
+pub(crate) fn execute_obs(
     namespace: &Namespace,
     gauges: &ConnGauges,
     request: Request<'_>,
     runner: &mut NativeRunner,
+    obs: Option<&ConnObs<'_>>,
+    timed: Option<&ConnObs<'_>>,
 ) -> Response {
     match request.op {
         Op::Tas | Op::Elect => {
@@ -250,20 +320,67 @@ pub(crate) fn execute(
                 Kind::Elect
             };
             match namespace.acquire(kind, request.key, runner) {
-                Ok(acquired) => Response::Acquired(acquired),
+                Ok(acquired) => {
+                    if let Some(o) = timed {
+                        o.recorder.record(
+                            o.lane,
+                            EventKind::ArbiterVerdict,
+                            acquired.won as u32,
+                            acquired.epoch,
+                            fnv1a(request.key),
+                        );
+                    }
+                    Response::Acquired(acquired)
+                }
                 Err(e) => Response::Err(e.to_string()),
             }
         }
-        Op::Reset => Response::Reset {
-            epoch: namespace.reset(request.key).unwrap_or(0),
-        },
+        Op::Reset => {
+            let epoch = namespace.reset(request.key).unwrap_or(0);
+            if let Some(o) = timed {
+                o.recorder
+                    .record(o.lane, EventKind::ResetAck, 0, epoch, fnv1a(request.key));
+            }
+            Response::Reset { epoch }
+        }
         Op::Stats => {
             let mut stats = namespace.stats();
             stats.conns = gauges.live();
             stats.refused = gauges.refused();
             Response::Stats(stats)
         }
+        Op::Metrics => Response::Metrics(render_metrics(namespace, gauges, obs)),
     }
+}
+
+/// The `METRICS` exposition: the `rtas-metrics/1` header, the `svc.*`
+/// namespace/gauge counters (always present, so scrapers see a stable
+/// core even from an in-process namespace with no registry wired), then
+/// the registry's named instruments sorted by name.
+fn render_metrics(namespace: &Namespace, gauges: &ConnGauges, obs: Option<&ConnObs<'_>>) -> String {
+    let stats = namespace.stats();
+    let mut out = String::with_capacity(1024);
+    out.push_str(METRICS_HEADER);
+    out.push('\n');
+    for (name, value) in [
+        ("svc.keys", stats.keys),
+        ("svc.ops", stats.ops),
+        ("svc.wins", stats.wins),
+        ("svc.resets", stats.resets),
+        ("svc.registers", stats.registers),
+        ("svc.reclaimed", stats.reclaimed),
+        ("svc.conns", gauges.live()),
+        ("svc.refused", gauges.refused()),
+    ] {
+        out.push_str(name);
+        out.push(' ');
+        out.push_str(&value.to_string());
+        out.push('\n');
+    }
+    if let Some(o) = obs {
+        o.metrics.registry().render_into(&mut out);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -392,6 +509,107 @@ mod tests {
         frame_request(Op::Tas, b"k", &mut valid);
         assert_eq!(conn.ingest(&valid, &ns, &gauges), ConnStatus::Closed);
         assert!(conn.output().is_empty(), "poisoned connections go silent");
+    }
+
+    #[test]
+    fn metrics_requests_render_the_exposition() {
+        let ns = Namespace::new(Backend::Combined, 1, 2);
+        let gauges = ConnGauges::default();
+        let mut conn = Connection::new();
+        let mut burst = Vec::new();
+        frame_request(Op::Tas, b"k", &mut burst);
+        frame_request(Op::Metrics, b"", &mut burst);
+        assert_eq!(conn.ingest(&burst, &ns, &gauges), ConnStatus::Open);
+        let responses = decode_all(conn.output());
+        let text = match &responses[1] {
+            Response::Metrics(text) => text,
+            other => panic!("expected metrics, got {other:?}"),
+        };
+        // Plain ingest (no obs wired): header + the svc.* core lines.
+        assert!(text.starts_with(METRICS_HEADER));
+        assert!(text.contains("svc.ops 1\n"));
+        assert!(text.contains("svc.wins 1\n"));
+        assert!(text.contains("svc.conns 0\n"));
+        assert!(!text.contains("reactor."), "no registry without obs");
+        let pairs = rtas_obs::parse_metrics(text).expect("scrapable");
+        assert_eq!(pairs.len(), 8);
+    }
+
+    #[test]
+    fn obs_ingest_times_stages_and_records_events() {
+        let ns = Namespace::new(Backend::Combined, 1, 2);
+        let gauges = ConnGauges::default();
+        let recorder = FlightRecorder::new(rtas_obs::TraceMode::On, 1);
+        let metrics = SvcMetrics::new(1);
+        let obs = ConnObs {
+            recorder: &recorder,
+            metrics: &metrics,
+            lane: Lane::Worker(0),
+        };
+        let mut conn = Connection::new();
+        let mut burst = Vec::new();
+        frame_request(Op::Tas, b"k", &mut burst);
+        frame_request(Op::Reset, b"k", &mut burst);
+        frame_request(Op::Metrics, b"", &mut burst);
+        assert_eq!(
+            conn.ingest_obs(&burst, &ns, &gauges, Some(&obs)),
+            ConnStatus::Open
+        );
+        // Stage histograms saw all three frames.
+        assert_eq!(metrics.stage_decode.count(), 3);
+        assert_eq!(metrics.stage_arbiter.count(), 3);
+        assert_eq!(metrics.stage_encode.count(), 3);
+        assert_eq!(metrics.stage_read.count(), 0, "read timing is the driver's");
+        // Events landed on the worker lane.
+        let events = recorder.snapshot();
+        let kind_count = |k: EventKind| events.iter().filter(|e| e.kind == k as u32).count();
+        assert_eq!(kind_count(EventKind::FrameDecoded), 3);
+        assert_eq!(kind_count(EventKind::ArbiterVerdict), 1);
+        assert_eq!(kind_count(EventKind::ResetAck), 1);
+        let verdict = events
+            .iter()
+            .find(|e| e.kind == EventKind::ArbiterVerdict as u32)
+            .unwrap();
+        assert_eq!(verdict.a, 1, "the solo caller won");
+        assert_eq!(verdict.c, fnv1a(b"k"));
+        // The METRICS response now carries the registry too.
+        let responses = decode_all(conn.output());
+        match &responses[2] {
+            Response::Metrics(text) => {
+                assert!(text.contains("stage.arbiter_ns.count 2\n"));
+                assert!(text.contains("reactor.wake_writes 0\n"));
+            }
+            other => panic!("expected metrics, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sampled_mode_times_every_nth_frame() {
+        let ns = Namespace::new(Backend::Combined, 1, 4);
+        let gauges = ConnGauges::default();
+        let recorder = FlightRecorder::new(rtas_obs::TraceMode::Sampled(4), 1);
+        let metrics = SvcMetrics::new(1);
+        let obs = ConnObs {
+            recorder: &recorder,
+            metrics: &metrics,
+            lane: Lane::Worker(0),
+        };
+        let mut conn = Connection::new();
+        let mut burst = Vec::new();
+        for _ in 0..8 {
+            frame_request(Op::Tas, b"k", &mut burst);
+        }
+        conn.ingest_obs(&burst, &ns, &gauges, Some(&obs));
+        // Frames 0 and 4 of the 8 hit the 1-in-4 gate.
+        assert_eq!(metrics.stage_arbiter.count(), 2);
+        let events = recorder.snapshot();
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| e.kind == EventKind::FrameDecoded as u32)
+                .count(),
+            2
+        );
     }
 
     #[test]

@@ -34,7 +34,14 @@
 //! * [`chaos`] — the deterministic hostile-network layer: a seeded
 //!   fault plan (delays, connection drops, frame truncation and
 //!   reordering, stalled holders, byzantine `RESET` acks) that the
-//!   load harness replays bit-identically from one seed.
+//!   load harness replays bit-identically from one seed;
+//! * [`metrics`] — the service's always-on metrics plane (reactor
+//!   counters, per-worker gauges, per-stage latency histograms) built
+//!   on [`rtas_obs`], served by the `METRICS` wire op and scraped into
+//!   `rtas-load` report extras. The companion flight recorder
+//!   (`--trace on|off|sampled:<n>`) writes lock-free per-worker event
+//!   rings dumped in the `RTASTRC1` format and decoded by
+//!   `rtas-svc trace-dump`.
 //!
 //! The `rtas-svc` binary serves (`rtas-svc serve`) and inspects
 //! (`rtas-svc stats`) from the command line; `rtas-load --backend
@@ -64,15 +71,23 @@ pub mod chaos;
 pub mod cli;
 pub mod client;
 pub mod conn;
+pub mod metrics;
 pub mod namespace;
 pub mod protocol;
 pub mod reactor;
 pub mod server;
 
+/// The observability substrate (event rings, dump codec, metric
+/// types), re-exported so integration tests and tools decode trace
+/// dumps without naming a second crate.
+pub use rtas_obs as obs;
+
 pub use chaos::{ChaosSpec, FaultPlan};
 pub use client::{Client, ClientConfig, ClientError, RetryPolicy};
 pub use conn::{ConnGauges, ConnStatus, Connection, FrameDecoder};
+pub use metrics::SvcMetrics;
 pub use namespace::{Kind, Namespace, NsError};
 pub use protocol::{Acquired, Op, Response, SvcStats};
 pub use reactor::Engine;
+pub use rtas_obs::TraceMode;
 pub use server::{Server, SvcConfig};

@@ -61,11 +61,12 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, RwLock};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use rtas::native::NativeRunner;
 use rtas::sync::{Backoff, CachePadded};
-use rtas::{Arbiter, Backend, LeaderElection, TestAndSet};
+use rtas::{Arbiter, Backend, LeaderElection, MonotonicClock, TestAndSet};
+use rtas_obs::{EventKind, FlightRecorder, Lane};
 
 use crate::protocol::{Acquired, SvcStats};
 
@@ -353,6 +354,8 @@ impl Entry {
         runner: &mut NativeRunner,
         now_ns: u64,
         lease_ns: u64,
+        key_hash: u64,
+        trace: Option<&FlightRecorder>,
     ) -> Acquired {
         counters.ops.fetch_add(1, Ordering::Relaxed);
         loop {
@@ -367,7 +370,7 @@ impl Entry {
                 // into the fresh epoch (traffic heals a wedged key
                 // without waiting for the reaper sweep).
                 Admission::Full { epoch } => {
-                    if lease_ns != 0 && self.reclaim(counters, now_ns) {
+                    if lease_ns != 0 && self.reclaim(counters, now_ns, key_hash, trace) {
                         continue;
                     }
                     return Acquired { won: false, epoch };
@@ -401,13 +404,25 @@ impl Entry {
     /// Reclaim the open epoch if its lease has expired at `now_ns`;
     /// `true` if an epoch was retired. Same quiescent recycle path as a
     /// client ack — a reclamation can never produce a second winner.
-    fn reclaim(&self, counters: &ShardCounters, now_ns: u64) -> bool {
+    /// Each reclamation lands a [`EventKind::LeaseReclaim`] record
+    /// (retired epoch + key hash) on the recorder's reclaim lane, so a
+    /// flight-recorder dump accounts for every `reclaimed` tick.
+    fn reclaim(
+        &self,
+        counters: &ShardCounters,
+        now_ns: u64,
+        key_hash: u64,
+        trace: Option<&FlightRecorder>,
+    ) -> bool {
         match self.gate.begin_reclaim(now_ns) {
             Some(old) => {
                 self.arbiter.reset();
                 self.gate.end_reset(old);
                 counters.resets.fetch_add(1, Ordering::Relaxed);
                 counters.reclaimed.fetch_add(1, Ordering::Relaxed);
+                if let Some(rec) = trace {
+                    rec.record(Lane::Reclaim, EventKind::LeaseReclaim, 0, old, key_hash);
+                }
                 true
             }
             None => false,
@@ -451,14 +466,22 @@ pub struct Namespace {
     /// reclamation entirely (the default — the hot path then never
     /// reads the clock).
     lease_ns: u64,
-    /// The namespace's monotonic clock origin; all lease deadlines are
-    /// nanosecond offsets from this instant.
-    clock: Instant,
+    /// The namespace's monotonic clock; all lease deadlines are
+    /// nanosecond offsets from its origin. When a flight recorder is
+    /// attached the recorder's clock is adopted, so lease deadlines and
+    /// trace timestamps share one axis.
+    clock: MonotonicClock,
+    /// Flight recorder for lease-reclaim events, if tracing is wired up
+    /// ([`Namespace::attach_recorder`]).
+    trace: Option<Arc<FlightRecorder>>,
 }
 
 /// FNV-1a: tiny, allocation-free, and deterministic — the shard choice
-/// must not depend on `std`'s per-process `RandomState`.
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// must not depend on `std`'s per-process `RandomState`. Also the key
+/// fingerprint carried by flight-recorder events (`ArbiterVerdict`,
+/// `LeaseReclaim`), so a trace can be joined against keys without
+/// storing variable-length bytes in fixed-size records.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         hash ^= b as u64;
@@ -548,8 +571,18 @@ impl Namespace {
             max_keys,
             key_count: AtomicUsize::new(0),
             lease_ns,
-            clock: Instant::now(),
+            clock: MonotonicClock::new(),
+            trace: None,
         }
+    }
+
+    /// Wire a flight recorder in: lease reclamations emit
+    /// [`EventKind::LeaseReclaim`] events, and the namespace adopts the
+    /// recorder's clock so lease deadlines and trace timestamps share
+    /// one origin. Call before serving traffic (the clock origin moves).
+    pub fn attach_recorder(&mut self, recorder: Arc<FlightRecorder>) {
+        self.clock = *recorder.clock();
+        self.trace = Some(recorder);
     }
 
     /// Number of namespace shards.
@@ -580,7 +613,14 @@ impl Namespace {
     /// Nanoseconds elapsed on the namespace's own clock. Saturates at
     /// `u64::MAX` (≈ 584 years of uptime).
     fn now_ns(&self) -> u64 {
-        u64::try_from(self.clock.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        self.clock.now_ns()
+    }
+
+    /// The attached flight recorder, if any — only reclaim events are
+    /// recorded *inside* the namespace; per-request events are the
+    /// connection layer's job (it knows lanes and sampling).
+    fn recorder(&self) -> Option<&FlightRecorder> {
+        self.trace.as_deref().filter(|r| r.enabled())
     }
 
     fn shard_of(&self, key: &[u8]) -> &NsShard {
@@ -650,12 +690,15 @@ impl Namespace {
         // Read the clock only when a lease is armed: the disabled path
         // stays clock-free (and allocation-free — see tests/alloc_steady).
         let now_ns = if self.lease_ns != 0 { self.now_ns() } else { 0 };
-        let shard = self.shard_of(key);
+        let key_hash = fnv1a(key);
+        let shard = &self.shards[(key_hash % self.shards.len() as u64) as usize].0;
         Ok(self.get_or_create(shard, kind, key)?.acquire(
             &shard.counters,
             runner,
             now_ns,
             self.lease_ns,
+            key_hash,
+            self.recorder(),
         ))
     }
 
@@ -683,9 +726,18 @@ impl Namespace {
         for shard in &self.shards {
             // Collect under the read lock, reclaim outside it: reclaim
             // quiesces in-flight admissions and must not stall lookups.
-            let entries: Vec<Arc<Entry>> = shard.0.map.read().unwrap().values().cloned().collect();
-            for entry in entries {
-                reclaimed += entry.reclaim(&shard.0.counters, now_ns) as u64;
+            // The key hash rides along so reclaim events identify keys.
+            let entries: Vec<(u64, Arc<Entry>)> = shard
+                .0
+                .map
+                .read()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (fnv1a(k), Arc::clone(v)))
+                .collect();
+            for (key_hash, entry) in entries {
+                reclaimed +=
+                    entry.reclaim(&shard.0.counters, now_ns, key_hash, self.recorder()) as u64;
             }
         }
         reclaimed
@@ -895,6 +947,28 @@ mod tests {
         assert_eq!(stats.resets, 1, "a reclamation is a reset");
         // Idempotent: nothing else has expired.
         assert_eq!(ns.reclaim_expired(), 0);
+    }
+
+    #[test]
+    fn reclamations_land_on_the_recorder_reclaim_lane() {
+        let lease = Duration::from_millis(2);
+        let mut ns = Namespace::with_lease(Backend::Combined, 2, 2, 16, Some(lease));
+        let recorder = Arc::new(FlightRecorder::new(rtas_obs::TraceMode::On, 0));
+        ns.attach_recorder(Arc::clone(&recorder));
+        let mut runner = NativeRunner::new();
+        assert!(ns.acquire(Kind::Tas, b"gone", &mut runner).unwrap().won);
+        std::thread::sleep(lease * 4);
+        assert_eq!(ns.reclaim_expired(), 1);
+        let events = recorder.snapshot();
+        let reclaims: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::LeaseReclaim as u32)
+            .collect();
+        assert_eq!(reclaims.len(), 1);
+        assert_eq!(reclaims[0].lane, 1, "reclaim lane");
+        assert_eq!(reclaims[0].b, 0, "epoch 0 was retired");
+        assert_eq!(reclaims[0].c, fnv1a(b"gone"));
+        assert_eq!(ns.stats().reclaimed, 1);
     }
 
     #[test]

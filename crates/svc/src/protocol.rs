@@ -16,6 +16,7 @@
 //! | 2 `RESET` | recycle acknowledged | `u64 LE` newly opened epoch (0 = no such key) |
 //! | 3 `ERR` | request refused | UTF-8 message |
 //! | 4 `STATS` | server counters | 8 × `u64 LE`: keys, ops, wins, resets, registers, reclaimed, conns, refused |
+//! | 5 `METRICS` | named metrics | UTF-8 `rtas-metrics/1` text exposition |
 //!
 //! Responses are returned **in request order** on each connection, so a
 //! client may pipeline: write any number of request frames, then read
@@ -56,6 +57,9 @@ pub enum Op {
     Reset,
     /// Server-wide counters; the key is ignored.
     Stats,
+    /// The named-metrics text exposition (counters, gauges, latency
+    /// histograms) from the observability plane; the key is ignored.
+    Metrics,
 }
 
 impl Op {
@@ -66,6 +70,7 @@ impl Op {
             Op::Elect => 2,
             Op::Reset => 3,
             Op::Stats => 4,
+            Op::Metrics => 5,
         }
     }
 
@@ -76,6 +81,7 @@ impl Op {
             2 => Some(Op::Elect),
             3 => Some(Op::Reset),
             4 => Some(Op::Stats),
+            5 => Some(Op::Metrics),
             _ => None,
         }
     }
@@ -86,6 +92,7 @@ const STATUS_WIN: u8 = 1;
 const STATUS_RESET: u8 = 2;
 const STATUS_ERR: u8 = 3;
 const STATUS_STATS: u8 = 4;
+const STATUS_METRICS: u8 = 5;
 
 /// The verdict of one arbitration request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -146,6 +153,8 @@ pub enum Response {
     },
     /// `STATS` counters.
     Stats(SvcStats),
+    /// `METRICS` text exposition (`rtas-metrics/1` key/value lines).
+    Metrics(String),
     /// The request was refused; the connection remains usable.
     Err(String),
 }
@@ -194,7 +203,7 @@ pub fn decode_request(payload: &[u8]) -> io::Result<Request<'_>> {
             key.len()
         )));
     }
-    if key.is_empty() && op != Op::Stats {
+    if key.is_empty() && !matches!(op, Op::Stats | Op::Metrics) {
         return Err(invalid(format!("{op:?} requires a non-empty key")));
     }
     Ok(Request { op, key })
@@ -227,6 +236,10 @@ pub fn frame_response(resp: &Response, buf: &mut Vec<u8>) {
             ] {
                 buf.extend_from_slice(&v.to_le_bytes());
             }
+        }
+        Response::Metrics(text) => {
+            buf.push(STATUS_METRICS);
+            buf.extend_from_slice(text.as_bytes());
         }
         Response::Err(msg) => {
             buf.push(STATUS_ERR);
@@ -268,6 +281,9 @@ pub fn decode_response(payload: &[u8]) -> io::Result<Response> {
             conns: u64_at(payload, 49)?,
             refused: u64_at(payload, 57)?,
         })),
+        STATUS_METRICS => Ok(Response::Metrics(
+            String::from_utf8_lossy(rest).into_owned(),
+        )),
         STATUS_ERR => Ok(Response::Err(String::from_utf8_lossy(rest).into_owned())),
         other => Err(invalid(format!("unknown response status {other}"))),
     }
@@ -328,6 +344,7 @@ mod tests {
         round_trip_request(Op::Elect, b"leader/shard-7");
         round_trip_request(Op::Reset, b"jobs/backfill");
         round_trip_request(Op::Stats, b"");
+        round_trip_request(Op::Metrics, b"");
         round_trip_request(Op::Tas, &[0xff; MAX_KEY]);
     }
 
@@ -353,6 +370,7 @@ mod tests {
                 conns: 7,
                 refused: 8,
             }),
+            Response::Metrics("rtas-metrics/1\nreactor.wake_writes 42\n".to_string()),
             Response::Err("kind mismatch".to_string()),
         ];
         for resp in cases {
@@ -404,8 +422,9 @@ mod tests {
         let mut oversized = vec![Op::Tas.code()];
         oversized.resize(MAX_KEY + 2, b'x');
         assert!(decode_request(&oversized).is_err(), "oversized key");
-        // STATS needs no key.
+        // STATS and METRICS need no key.
         assert!(decode_request(&[Op::Stats.code()]).is_ok());
+        assert!(decode_request(&[Op::Metrics.code()]).is_ok());
     }
 
     #[test]
@@ -418,10 +437,10 @@ mod tests {
 
     #[test]
     fn opcodes_round_trip_and_unknown_codes_do_not() {
-        for op in [Op::Tas, Op::Elect, Op::Reset, Op::Stats] {
+        for op in [Op::Tas, Op::Elect, Op::Reset, Op::Stats, Op::Metrics] {
             assert_eq!(Op::from_code(op.code()), Some(op));
         }
         assert_eq!(Op::from_code(0), None);
-        assert_eq!(Op::from_code(5), None);
+        assert_eq!(Op::from_code(6), None);
     }
 }

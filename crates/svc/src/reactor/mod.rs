@@ -51,7 +51,10 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use rtas_obs::{Counter, FlightRecorder};
+
 use crate::conn::ConnGauges;
+use crate::metrics::SvcMetrics;
 use crate::namespace::Namespace;
 
 /// Which connection-serving engine a server runs.
@@ -135,6 +138,9 @@ pub(crate) struct Dispatcher {
     inboxes: Vec<Arc<Mutex<Vec<TcpStream>>>>,
     wakers: Vec<TcpStream>,
     rr: AtomicUsize,
+    /// `reactor.wake_writes` — every nudge byte written to a worker's
+    /// wake socket (handoffs and shutdown broadcasts alike).
+    wake_writes: Arc<Counter>,
 }
 
 impl Dispatcher {
@@ -152,6 +158,7 @@ impl Dispatcher {
         // A nonblocking one-byte nudge; WouldBlock means wakeups are
         // already queued, which is just as good.
         let mut waker: &TcpStream = &self.wakers[at];
+        self.wake_writes.inc();
         let _ = waker.write_all(&[1u8]);
     }
 
@@ -159,6 +166,7 @@ impl Dispatcher {
     fn wake_all(&self) {
         for waker in &self.wakers {
             let mut waker: &TcpStream = waker;
+            self.wake_writes.inc();
             let _ = waker.write_all(&[1u8]);
         }
     }
@@ -176,11 +184,14 @@ impl ReactorPool {
     /// Build `workers` reactor workers for `engine`. Fails cleanly if
     /// the engine is unsupported in this build or poller/wake-socket
     /// setup fails — nothing is left running on error.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn spawn(
         engine: Engine,
         workers: usize,
         namespace: &Arc<Namespace>,
         gauges: &Arc<ConnGauges>,
+        metrics: &Arc<SvcMetrics>,
+        recorder: &Arc<FlightRecorder>,
         stop: &Arc<AtomicBool>,
         read_timeout: Option<Duration>,
     ) -> io::Result<ReactorPool> {
@@ -198,6 +209,8 @@ impl ReactorPool {
             workers.max(1),
             namespace,
             gauges,
+            metrics,
+            recorder,
             stop,
             read_timeout,
         )
@@ -222,11 +235,14 @@ impl ReactorPool {
     target_os = "linux",
     any(target_arch = "x86_64", target_arch = "aarch64")
 ))]
+#[allow(clippy::too_many_arguments)]
 fn spawn_impl(
     engine: Engine,
     workers: usize,
     namespace: &Arc<Namespace>,
     gauges: &Arc<ConnGauges>,
+    metrics: &Arc<SvcMetrics>,
+    recorder: &Arc<FlightRecorder>,
     stop: &Arc<AtomicBool>,
     read_timeout: Option<Duration>,
 ) -> io::Result<ReactorPool> {
@@ -235,15 +251,18 @@ fn spawn_impl(
     let mut built = Vec::with_capacity(workers);
     let mut inboxes = Vec::with_capacity(workers);
     let mut wakers = Vec::with_capacity(workers);
-    for _ in 0..workers {
+    for index in 0..workers {
         let (wake_rx, wake_tx) = worker::wake_pair()?;
         let inbox = Arc::new(Mutex::new(Vec::new()));
         built.push(worker::Worker::new(
             engine,
+            index,
             wake_rx,
             Arc::clone(&inbox),
             Arc::clone(namespace),
             Arc::clone(gauges),
+            Arc::clone(metrics),
+            Arc::clone(recorder),
             Arc::clone(stop),
             read_timeout,
         )?);
@@ -259,6 +278,7 @@ fn spawn_impl(
             inboxes,
             wakers,
             rr: AtomicUsize::new(0),
+            wake_writes: Arc::clone(&metrics.wake_writes),
         }),
         workers: handles,
     })
@@ -268,11 +288,14 @@ fn spawn_impl(
     target_os = "linux",
     any(target_arch = "x86_64", target_arch = "aarch64")
 )))]
+#[allow(clippy::too_many_arguments)]
 fn spawn_impl(
     _engine: Engine,
     _workers: usize,
     _namespace: &Arc<Namespace>,
     _gauges: &Arc<ConnGauges>,
+    _metrics: &Arc<SvcMetrics>,
+    _recorder: &Arc<FlightRecorder>,
     _stop: &Arc<AtomicBool>,
     _read_timeout: Option<Duration>,
 ) -> io::Result<ReactorPool> {

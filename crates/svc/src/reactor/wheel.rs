@@ -105,6 +105,13 @@ impl TimerWheel {
         }
     }
 
+    /// Live entries across all slots (stale generations included until
+    /// a sweep surfaces and discards them) — the level behind the
+    /// `reactor.worker<k>.wheel_entries` gauge.
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
     /// How long `epoll_wait` may sleep before the earliest possibly-due
     /// entry: the end of the first non-empty slot's tick. `None` when
     /// the wheel is empty (sleep indefinitely; admissions wake the

@@ -37,7 +37,10 @@ use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use crate::conn::{ConnGauges, ConnStatus, Connection};
+use rtas_obs::{EventKind, FlightRecorder, Lane};
+
+use crate::conn::{ConnGauges, ConnObs, ConnStatus, Connection};
+use crate::metrics::SvcMetrics;
 use crate::namespace::Namespace;
 use crate::protocol::{frame_response, Response};
 use crate::reactor::wheel::TimerWheel;
@@ -279,10 +282,19 @@ pub(super) fn wake_pair() -> io::Result<(TcpStream, TcpStream)> {
 #[derive(Debug)]
 pub(super) struct Worker {
     poller: Poller,
+    /// This worker's position in the pool — selects its flight-recorder
+    /// lane and its `reactor.worker<k>.*` gauges.
+    index: usize,
     wake_rx: TcpStream,
     inbox: Arc<Mutex<Vec<TcpStream>>>,
     namespace: Arc<Namespace>,
     gauges: Arc<ConnGauges>,
+    metrics: Arc<SvcMetrics>,
+    recorder: Arc<FlightRecorder>,
+    /// Serve calls on this worker — the sequence the read/write stage
+    /// sampling gate runs on (per-frame stages sample on the
+    /// connection's own frame counter instead).
+    serves: u64,
     stop: Arc<AtomicBool>,
     read_timeout: Option<Duration>,
     wheel: Option<TimerWheel>,
@@ -304,12 +316,16 @@ pub(super) struct Worker {
 }
 
 impl Worker {
+    #[allow(clippy::too_many_arguments)]
     pub(super) fn new(
         engine: Engine,
+        index: usize,
         wake_rx: TcpStream,
         inbox: Arc<Mutex<Vec<TcpStream>>>,
         namespace: Arc<Namespace>,
         gauges: Arc<ConnGauges>,
+        metrics: Arc<SvcMetrics>,
+        recorder: Arc<FlightRecorder>,
         stop: Arc<AtomicBool>,
         read_timeout: Option<Duration>,
     ) -> io::Result<Worker> {
@@ -323,10 +339,14 @@ impl Worker {
         );
         Ok(Worker {
             poller,
+            index,
             wake_rx,
             inbox,
             namespace,
             gauges,
+            metrics,
+            recorder,
+            serves: 0,
             stop,
             read_timeout,
             wheel: read_timeout.map(|t| TimerWheel::new(t, now)),
@@ -364,6 +384,15 @@ impl Worker {
                 std::thread::sleep(Duration::from_millis(10));
                 continue;
             }
+            if !self.events.is_empty() {
+                self.recorder.record(
+                    Lane::Worker(self.index),
+                    EventKind::ReadinessWakeup,
+                    self.events.len() as u32,
+                    0,
+                    0,
+                );
+            }
             for at in 0..self.events.len() {
                 let ev = self.events[at];
                 if ev.token == WAKE_TOKEN {
@@ -381,6 +410,11 @@ impl Worker {
     /// then flush and settle interest.
     fn serve(&mut self, ev: Event) {
         let idx = ev.token as usize;
+        // The read/write stage-timing gate: one decision per serve
+        // call, on the worker's own serve sequence (per-frame stages
+        // sample on the connection's frame counter inside `ingest_obs`).
+        let timed = self.recorder.enabled() && self.recorder.sample_hit(self.serves);
+        self.serves = self.serves.wrapping_add(1);
         let Some(slot) = self.slab.get_mut(idx).and_then(Option::as_mut) else {
             // Closed earlier in this same batch; stale report.
             return;
@@ -388,6 +422,11 @@ impl Worker {
         let mut eof = false;
         let mut verdict = Verdict::Keep;
         if ev.readable && !slot.draining {
+            let t0 = if timed {
+                Some(self.recorder.now_ns())
+            } else {
+                None
+            };
             loop {
                 match slot.stream.read(&mut self.chunk) {
                     Ok(0) => {
@@ -396,9 +435,17 @@ impl Worker {
                     }
                     Ok(n) => {
                         slot.last_activity = Instant::now();
-                        let status =
-                            slot.conn
-                                .ingest(&self.chunk[..n], &self.namespace, &self.gauges);
+                        let obs = ConnObs {
+                            recorder: &self.recorder,
+                            metrics: &self.metrics,
+                            lane: Lane::Worker(self.index),
+                        };
+                        let status = slot.conn.ingest_obs(
+                            &self.chunk[..n],
+                            &self.namespace,
+                            &self.gauges,
+                            Some(&obs),
+                        );
                         if status == ConnStatus::Closed {
                             // Poisoned: no more reads; drain the ERR.
                             slot.draining = true;
@@ -419,21 +466,33 @@ impl Worker {
                     }
                 }
             }
+            if let Some(t0) = t0 {
+                let spent = self.recorder.now_ns().saturating_sub(t0);
+                self.metrics.stage_read.record(spent as f64);
+            }
         }
         if verdict == Verdict::Close {
             self.close(idx);
             return;
         }
-        self.flush(idx, eof);
+        self.flush(idx, eof, timed);
     }
 
     /// Flush as much of the coalesced output as the socket accepts,
     /// carry the remainder via `write_pos`, and reconcile poller
     /// interest with what is left to do. `eof` records that the read
     /// side just ended: close once (and only once) output is drained.
-    fn flush(&mut self, idx: usize, eof: bool) {
+    /// `timed` is the serve call's stage-sampling verdict — when up and
+    /// there is output to push, the write loop lands one
+    /// `stage.write_ns` sample.
+    fn flush(&mut self, idx: usize, eof: bool, timed: bool) {
         let Some(slot) = self.slab.get_mut(idx).and_then(Option::as_mut) else {
             return;
+        };
+        let t0 = if timed && slot.write_pos < slot.conn.output().len() {
+            Some(self.recorder.now_ns())
+        } else {
+            None
         };
         let mut verdict = Verdict::Keep;
         loop {
@@ -455,6 +514,10 @@ impl Worker {
                 }
             }
         }
+        if let Some(t0) = t0 {
+            let spent = self.recorder.now_ns().saturating_sub(t0);
+            self.metrics.stage_write.record(spent as f64);
+        }
         if verdict == Verdict::Keep {
             if slot.write_pos == slot.conn.output().len() {
                 if slot.write_pos > 0 {
@@ -466,6 +529,17 @@ impl Worker {
                     // to say: hang up.
                     verdict = Verdict::Close;
                 } else {
+                    if slot.want_write {
+                        // Backpressure released: the carried output
+                        // drained and write interest comes off.
+                        self.recorder.record(
+                            Lane::Worker(self.index),
+                            EventKind::BackpressureOff,
+                            idx as u32,
+                            0,
+                            0,
+                        );
+                    }
                     let (read, write) = (true, false);
                     if (slot.want_read, slot.want_write) != (read, write) {
                         let _ =
@@ -477,6 +551,17 @@ impl Worker {
             } else {
                 // Backpressure: output remains. EOF here still waits —
                 // buffered responses belong to the client.
+                self.metrics.carryovers.inc();
+                if !slot.want_write {
+                    let carried = slot.conn.output().len() - slot.write_pos;
+                    self.recorder.record(
+                        Lane::Worker(self.index),
+                        EventKind::BackpressureOn,
+                        idx as u32,
+                        carried as u64,
+                        0,
+                    );
+                }
                 if eof {
                     slot.draining = true;
                 }
@@ -502,6 +587,9 @@ impl Worker {
             self.gens[idx] = self.gens[idx].wrapping_add(1);
             self.free.push(idx);
             self.gauges.disconnected();
+            if let Some(live) = self.metrics.slab_live.get(self.index) {
+                live.sub(1);
+            }
         }
     }
 
@@ -575,6 +663,9 @@ impl Worker {
             last_activity: now,
             gen,
         });
+        if let Some(live) = self.metrics.slab_live.get(self.index) {
+            live.add(1);
+        }
     }
 
     /// Surface possibly-due wheel entries and expire the genuinely
@@ -590,6 +681,7 @@ impl Worker {
         let now = Instant::now();
         self.due.clear();
         wheel.advance(now, &mut self.due);
+        let surfaced = self.due.len();
         for at in 0..self.due.len() {
             let (idx32, gen) = self.due[at];
             let idx = idx32 as usize;
@@ -613,6 +705,20 @@ impl Worker {
             if expired {
                 self.close(idx);
             }
+        }
+        if let Some(entries) = self.metrics.wheel_entries.get(self.index) {
+            entries.set(wheel.len() as u64);
+        }
+        if surfaced > 0 {
+            // Only sweeps that surfaced work are worth a ring slot —
+            // an every-wakeup heartbeat would evict useful events.
+            self.recorder.record(
+                Lane::Worker(self.index),
+                EventKind::TimerSweep,
+                surfaced as u32,
+                wheel.len() as u64,
+                0,
+            );
         }
         self.wheel = Some(wheel);
     }

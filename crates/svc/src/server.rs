@@ -49,8 +49,10 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use rtas::Backend;
+use rtas_obs::{EventKind, FlightRecorder, Lane, TraceMode};
 
-use crate::conn::{ConnGauges, ConnStatus, Connection};
+use crate::conn::{ConnGauges, ConnObs, ConnStatus, Connection};
+use crate::metrics::SvcMetrics;
 use crate::namespace::Namespace;
 use crate::protocol::{frame_response, Response};
 use crate::reactor::{Dispatcher, Engine, ReactorPool};
@@ -97,6 +99,11 @@ pub struct SvcConfig {
     /// only; the threads engine ignores it). Defaults to available
     /// parallelism capped at [`DEFAULT_MAX_WORKERS`].
     pub workers: usize,
+    /// Flight-recorder mode (`--trace on|off|sampled:<n>`). `Off` (the
+    /// default) allocates no ring storage and records nothing; the
+    /// metrics plane stays on regardless — its instruments are plain
+    /// atomics.
+    pub trace: TraceMode,
 }
 
 /// Cap on the default [`SvcConfig::workers`]: beyond a handful of
@@ -132,6 +139,7 @@ impl Default for SvcConfig {
             max_conns: DEFAULT_MAX_CONNS,
             engine: Engine::auto(),
             workers: default_workers(),
+            trace: TraceMode::Off,
         }
     }
 }
@@ -144,6 +152,8 @@ pub struct Server {
     addr: SocketAddr,
     namespace: Arc<Namespace>,
     gauges: Arc<ConnGauges>,
+    metrics: Arc<SvcMetrics>,
+    recorder: Arc<FlightRecorder>,
     stop: Arc<AtomicBool>,
     accepters: Vec<JoinHandle<()>>,
     pool: Option<ReactorPool>,
@@ -155,13 +165,25 @@ impl Server {
     pub fn spawn(config: SvcConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
-        let namespace = Arc::new(Namespace::with_lease(
+        // One lane per reactor worker; the threads engine has no
+        // workers, so its per-connection events share the accept lane.
+        let worker_lanes = match config.engine {
+            Engine::Threads => 0,
+            _ => config.workers.max(1),
+        };
+        let recorder = Arc::new(FlightRecorder::new(config.trace, worker_lanes));
+        let metrics = Arc::new(SvcMetrics::new(worker_lanes));
+        let mut namespace = Namespace::with_lease(
             config.backend,
             config.shards,
             config.capacity,
             config.max_keys,
             config.lease,
-        ));
+        );
+        // The namespace adopts the recorder's clock so lease deadlines
+        // and trace timestamps share one origin.
+        namespace.attach_recorder(Arc::clone(&recorder));
+        let namespace = Arc::new(namespace);
         let stop = Arc::new(AtomicBool::new(false));
         let gauges = Arc::new(ConnGauges::default());
         // Clone every listener handle BEFORE spawning any thread: a
@@ -181,6 +203,8 @@ impl Server {
                 config.workers,
                 &namespace,
                 &gauges,
+                &metrics,
+                &recorder,
                 &stop,
                 read_timeout,
             )?),
@@ -192,15 +216,24 @@ impl Server {
                 let namespace = Arc::clone(&namespace);
                 let stop = Arc::clone(&stop);
                 let gauges = Arc::clone(&gauges);
+                let metrics = Arc::clone(&metrics);
+                let recorder = Arc::clone(&recorder);
                 let dispatcher = dispatcher.clone();
                 std::thread::spawn(move || match dispatcher {
-                    Some(dispatcher) => {
-                        accept_loop_reactor(&listener, &dispatcher, &gauges, &stop, max_conns)
-                    }
+                    Some(dispatcher) => accept_loop_reactor(
+                        &listener,
+                        &dispatcher,
+                        &gauges,
+                        &recorder,
+                        &stop,
+                        max_conns,
+                    ),
                     None => accept_loop(
                         &listener,
                         &namespace,
                         &gauges,
+                        &metrics,
+                        &recorder,
                         &stop,
                         read_timeout,
                         max_conns,
@@ -227,6 +260,8 @@ impl Server {
             addr,
             namespace,
             gauges,
+            metrics,
+            recorder,
             stop,
             accepters,
             pool,
@@ -249,6 +284,25 @@ impl Server {
     /// what a wire `STATS` reports in its last two fields.
     pub fn gauges(&self) -> &Arc<ConnGauges> {
         &self.gauges
+    }
+
+    /// The metrics plane the `METRICS` wire op renders — in-process
+    /// callers can read the instruments directly.
+    pub fn metrics(&self) -> &Arc<SvcMetrics> {
+        &self.metrics
+    }
+
+    /// The flight recorder behind [`SvcConfig::trace`]. Disabled
+    /// (`--trace off`) it records nothing and dumps empty lanes.
+    pub fn recorder(&self) -> &Arc<FlightRecorder> {
+        &self.recorder
+    }
+
+    /// Dump the flight recorder's current ring contents to `path` in
+    /// the `RTASTRC1` format (decode with `rtas-svc trace-dump`).
+    /// Lossy by construction: each lane holds its most recent events.
+    pub fn dump_trace(&self, path: &std::path::Path) -> io::Result<()> {
+        self.recorder.dump_to_file(path)
     }
 
     /// Stop accepting and join the accept threads. Under a reactor
@@ -288,6 +342,7 @@ impl Server {
 fn accept_one(
     listener: &TcpListener,
     gauges: &ConnGauges,
+    recorder: &FlightRecorder,
     stop: &AtomicBool,
     max_conns: usize,
 ) -> Result<Option<TcpStream>, ()> {
@@ -311,9 +366,17 @@ fn accept_one(
     // Claim a connection slot optimistically; over the ceiling, undo
     // the claim, name the limit best-effort, and hang up — inline,
     // without spending a thread or a worker slot on the refusal.
-    if gauges.connected() > max_conns as u64 {
+    let live = gauges.connected();
+    if live > max_conns as u64 {
         gauges.disconnected();
         gauges.refuse();
+        recorder.record(
+            Lane::Accept,
+            EventKind::AdmissionRefusal,
+            (live - 1) as u32,
+            0,
+            0,
+        );
         let mut out = Vec::new();
         frame_response(
             &Response::Err(format!(
@@ -324,25 +387,31 @@ fn accept_one(
         let _ = stream.write_all(&out);
         return Ok(None);
     }
+    recorder.record(Lane::Accept, EventKind::Accept, live as u32, 0, 0);
     Ok(Some(stream))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn accept_loop(
     listener: &TcpListener,
     namespace: &Arc<Namespace>,
     gauges: &Arc<ConnGauges>,
+    metrics: &Arc<SvcMetrics>,
+    recorder: &Arc<FlightRecorder>,
     stop: &Arc<AtomicBool>,
     read_timeout: Option<Duration>,
     max_conns: usize,
 ) {
     loop {
-        let stream = match accept_one(listener, gauges, stop, max_conns) {
+        let stream = match accept_one(listener, gauges, recorder, stop, max_conns) {
             Ok(Some(stream)) => stream,
             Ok(None) => continue,
             Err(()) => return,
         };
         let namespace = Arc::clone(namespace);
         let gauges = Arc::clone(gauges);
+        let metrics = Arc::clone(metrics);
+        let recorder = Arc::clone(recorder);
         std::thread::spawn(move || {
             // The slot is released however the handler exits — clean
             // EOF, poisoned stream, or a panic unwinding through it.
@@ -353,7 +422,14 @@ fn accept_loop(
                 }
             }
             let _guard = SlotGuard(Arc::clone(&gauges));
-            handle_connection(stream, &namespace, &gauges, read_timeout);
+            handle_connection(
+                stream,
+                &namespace,
+                &gauges,
+                &metrics,
+                &recorder,
+                read_timeout,
+            );
         });
     }
 }
@@ -365,11 +441,12 @@ fn accept_loop_reactor(
     listener: &TcpListener,
     dispatcher: &Dispatcher,
     gauges: &Arc<ConnGauges>,
+    recorder: &Arc<FlightRecorder>,
     stop: &Arc<AtomicBool>,
     max_conns: usize,
 ) {
     loop {
-        match accept_one(listener, gauges, stop, max_conns) {
+        match accept_one(listener, gauges, recorder, stop, max_conns) {
             Ok(Some(stream)) => dispatcher.dispatch(stream),
             Ok(None) => continue,
             Err(()) => return,
@@ -387,6 +464,8 @@ fn handle_connection(
     mut stream: TcpStream,
     namespace: &Namespace,
     gauges: &ConnGauges,
+    metrics: &SvcMetrics,
+    recorder: &FlightRecorder,
     read_timeout: Option<Duration>,
 ) {
     // Responses are flushed in one coalesced write per burst; batching
@@ -394,6 +473,13 @@ fn handle_connection(
     // trips, so the burst must leave immediately.
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(read_timeout);
+    // The threads engine has no worker lanes; its per-frame events
+    // share the accept lane.
+    let obs = ConnObs {
+        recorder,
+        metrics,
+        lane: Lane::Accept,
+    };
     let mut conn = Connection::new();
     let mut chunk = vec![0u8; READ_CHUNK];
     loop {
@@ -419,7 +505,7 @@ fn handle_connection(
             }
             Err(_) => return,
         };
-        match conn.ingest(&chunk[..n], namespace, gauges) {
+        match conn.ingest_obs(&chunk[..n], namespace, gauges, Some(&obs)) {
             ConnStatus::Open => {
                 if !conn.output().is_empty() {
                     let flushed = stream.write_all(conn.output());

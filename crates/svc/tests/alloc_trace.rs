@@ -1,0 +1,127 @@
+//! Allocation accounting for the flight recorder's steady state.
+//!
+//! The recorder allocates its event rings once, at spawn; after that,
+//! recording is a ticket `fetch_add` plus four relaxed word stores into
+//! a preallocated slot, and the metrics plane is atomic counters and
+//! fixed log-bin histograms. The claim — differential, mirroring
+//! `alloc_reactor.rs` — is that serving identical traffic with
+//! `--trace on` adds **zero** allocations per operation over serving it
+//! untraced. Both runs drive the same reactor engine over the same keys
+//! and epoch counts, so the counts are comparable exactly.
+//!
+//! Everything runs in ONE test function: the default test harness runs
+//! `#[test]` functions concurrently, and a second thread would pollute
+//! the global counters.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rtas_svc::{Client, Engine, Op, Response, Server, SvcConfig, TraceMode};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// One lockstep round on `client`: a winning TAS, then the RESET ack.
+fn round(client: &mut Client, key: &[u8]) {
+    assert!(client.tas(key).expect("TAS").won);
+    client.reset(key).expect("RESET");
+}
+
+/// One pipelined round: both requests on the wire before either
+/// response is read, exercising the traced decode/encode burst path.
+fn batched_round(client: &mut Client, key: &[u8]) {
+    client
+        .send_batch(&[(Op::Tas, key), (Op::Reset, key)])
+        .expect("batch send");
+    match client.recv().expect("batched TAS reply") {
+        Response::Acquired(a) => assert!(a.won),
+        other => panic!("expected Acquired, got {other:?}"),
+    }
+    match client.recv().expect("batched RESET reply") {
+        Response::Reset { .. } => {}
+        other => panic!("expected Reset, got {other:?}"),
+    }
+}
+
+/// Spawn a reactor server with the given trace mode, drive the
+/// canonical traffic shape (6 connections alternating lockstep and
+/// pipelined rounds), and return the allocation count over the measured
+/// window. Warmup faults in every key, slab slot, ring, and scratch
+/// buffer before counting.
+fn drive(trace: TraceMode) -> u64 {
+    let server = Server::spawn(SvcConfig {
+        engine: Engine::Epoll,
+        workers: 2,
+        trace,
+        ..SvcConfig::default()
+    })
+    .expect("spawn server");
+    let addr = server.addr().to_string();
+
+    let mut clients: Vec<(Client, Vec<u8>)> = (0..6)
+        .map(|i| {
+            let client = Client::connect(&addr).expect("connect");
+            (client, format!("alloc/trace/{i}").into_bytes())
+        })
+        .collect();
+
+    for _ in 0..50 {
+        for (client, key) in clients.iter_mut() {
+            round(client, key);
+            batched_round(client, key);
+        }
+    }
+
+    let before = allocations();
+    for r in 0..400 {
+        for (client, key) in clients.iter_mut() {
+            if r % 2 == 0 {
+                round(client, key);
+            } else {
+                batched_round(client, key);
+            }
+        }
+    }
+    let counted = allocations() - before;
+
+    drop(clients);
+    server.shutdown();
+    counted
+}
+
+#[test]
+fn tracing_adds_zero_allocations_over_an_untraced_server() {
+    if !Engine::Epoll.supported() {
+        eprintln!("skipping: reactor syscall shim unavailable on this target");
+        return;
+    }
+    // Untraced first: its measured window sets the budget the traced
+    // server must match exactly on the identical traffic shape.
+    let untraced = drive(TraceMode::Off);
+    let traced = drive(TraceMode::On);
+    assert_eq!(
+        traced, untraced,
+        "`--trace on` allocated {traced} times where the untraced server \
+         allocated {untraced}: the flight recorder's steady state is not \
+         allocation-free"
+    );
+}

@@ -11,14 +11,19 @@ use std::time::Duration;
 use rtas_load::chaos::run_load_chaos;
 use rtas_load::driver::{LoadSpec, Mode, TargetKind, Warmup};
 use rtas_svc::server::SvcConfig;
-use rtas_svc::{ChaosSpec, FaultPlan, Server};
+use rtas_svc::{ChaosSpec, FaultPlan, Server, TraceMode};
 
 fn hostile_server(lease_ms: u64) -> Server {
+    hostile_server_traced(lease_ms, TraceMode::Off)
+}
+
+fn hostile_server_traced(lease_ms: u64, trace: TraceMode) -> Server {
     Server::spawn(SvcConfig {
         shards: 4,
         capacity: 8,
         lease: Some(Duration::from_millis(lease_ms)),
         read_timeout: Some(Duration::from_secs(2)),
+        trace,
         ..SvcConfig::default()
     })
     .expect("bind loopback")
@@ -128,6 +133,37 @@ fn delay_only_same_seed_replays_identical_schedules_and_winner_sets() {
         let expect: Vec<u64> = (0..shard_winners.len() as u64).map(|i| base + i).collect();
         assert_eq!(*shard_winners, expect, "winner epochs are contiguous");
     }
+}
+
+#[test]
+fn tracing_never_perturbs_the_fault_schedule() {
+    // The flight recorder deliberately samples with pure arithmetic and
+    // all fault RNG lives client-side, so running the identical seeded
+    // cell against a traced and an untraced server must replay the
+    // bit-identical fault schedule and winner sets. This is the guard
+    // that keeps `--trace on` out of the determinism contract.
+    let chaos = ChaosSpec::preset("delay-only").unwrap();
+    let mut outs = Vec::new();
+    for trace in [TraceMode::Off, TraceMode::On] {
+        let srv = hostile_server_traced(200, trace);
+        let addr = srv.addr().to_string();
+        let out = run_load_chaos(&addr, spec(4, 2, 2_000), FaultPlan::new(chaos.clone(), 7))
+            .expect("chaos run");
+        srv.shutdown();
+        outs.push(out);
+    }
+    let (untraced, traced) = (&outs[0], &outs[1]);
+    assert!(untraced.counts.delays > 0, "the cell must inject faults");
+    assert_eq!(
+        untraced.counts, traced.counts,
+        "tracing changed the injected fault schedule"
+    );
+    assert_eq!(
+        untraced.winners, traced.winners,
+        "tracing changed the winner sets"
+    );
+    assert_eq!(untraced.outcome.total_ops(), traced.outcome.total_ops());
+    assert_eq!(untraced.outcome.total_wins(), traced.outcome.total_wins());
 }
 
 #[test]
