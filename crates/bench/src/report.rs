@@ -388,6 +388,41 @@ impl BenchReport {
     }
 }
 
+/// Parse one **flat** JSON object of numeric fields — the shape tool
+/// surfaces like `rtas-svc stats --json` and `rtas-svc top --json`
+/// emit — into `(name, value)` pairs in document order.
+///
+/// Reuses the report parser, so strings, escapes, numbers and `null`
+/// (→ NaN) behave exactly as in [`BenchReport::from_json`]. String
+/// values, nested objects/arrays, and trailing data are errors: the
+/// scrapers built on this want numbers or a loud failure, never a
+/// silent partial parse.
+pub fn parse_json_object(input: &str) -> Result<Vec<(String, f64)>, String> {
+    let mut p = Parser::new(input);
+    p.expect(b'{')?;
+    let mut out = Vec::new();
+    loop {
+        if p.peek() == Some(b'}') {
+            p.pos += 1;
+            break;
+        }
+        let key = p.parse_string()?;
+        p.expect(b':')?;
+        match p.parse_scalar()? {
+            Scalar::Num(v) => out.push((key, v)),
+            Scalar::Str(_) => return Err(p.err(&format!("field {key:?} is not numeric"))),
+        }
+        if p.peek() == Some(b',') {
+            p.pos += 1;
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing data after object"));
+    }
+    Ok(out)
+}
+
 /// One parsed JSON scalar: everything a report row can contain.
 enum Scalar {
     Num(f64),
@@ -741,6 +776,36 @@ mod tests {
         assert!(BenchReport::from_json("{\"bogus\": 1}").is_err());
         let valid = BenchReport::new("x", 1).to_json();
         assert!(BenchReport::from_json(&format!("{valid}trailing")).is_err());
+    }
+
+    #[test]
+    fn flat_objects_parse_to_ordered_numeric_pairs() {
+        let pairs =
+            parse_json_object("{\"keys\":1,\"ops\":2.5,\"p99\":null}").expect("valid object");
+        assert_eq!(pairs.len(), 3);
+        assert_eq!(pairs[0], ("keys".to_string(), 1.0));
+        assert_eq!(pairs[1], ("ops".to_string(), 2.5));
+        assert_eq!(pairs[2].0, "p99");
+        assert!(pairs[2].1.is_nan(), "null parses as NaN");
+        assert_eq!(parse_json_object("{}").unwrap(), vec![]);
+        // Whitespace-insensitive, like the report parser.
+        assert_eq!(
+            parse_json_object(" { \"a\" : 7 } ").unwrap(),
+            vec![("a".to_string(), 7.0)]
+        );
+    }
+
+    #[test]
+    fn flat_object_parser_rejects_strings_nesting_and_trailing_data() {
+        assert!(parse_json_object("").is_err());
+        assert!(parse_json_object("{\"a\":\"text\"}")
+            .unwrap_err()
+            .contains("not numeric"));
+        assert!(parse_json_object("{\"a\":{\"b\":1}}").is_err());
+        assert!(parse_json_object("{\"a\":[1]}").is_err());
+        assert!(parse_json_object("{\"a\":1}x")
+            .unwrap_err()
+            .contains("trailing"));
     }
 
     #[test]

@@ -37,6 +37,13 @@
 //!                     or k=v pairs (delay, drop, truncate, reorder, stall,
 //!                     skip-reset, dup-reset, ...); reports as svc_chaos
 //!   --chaos-seed <x>  fault-schedule seed                     (default 42)
+//!   --trace <m>       remote backend only: client-side flight recorder —
+//!                     on | off | sampled:<n>; every lockstep request then
+//!                     carries a wire trace span the server echoes, and the
+//!                     client dump pairs with the server's via rtas-trace
+//!                     merge (see docs/WIRE.md)               (default off)
+//!   --trace-out <f>   where to write the client trace dump
+//!                     (default rtas-load.rtastrc; requires --trace)
 //!   --no-json         skip writing the BENCH_*.json report
 //! ```
 //!
@@ -51,13 +58,16 @@
 //! README's "Native load harness" section.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
-use rtas_load::chaos::run_load_chaos;
+use rtas_load::chaos::run_load_chaos_traced;
 use rtas_load::driver::{
     backend_label, default_shards, parse_backend, run_load, LoadSpec, Mode, Slo, Warmup,
 };
-use rtas_load::remote::run_load_remote;
+use rtas_load::remote::run_load_remote_traced;
 use rtas_svc::chaos::{ChaosSpec, FaultPlan};
+use rtas_svc::obs::FlightRecorder;
+use rtas_svc::TraceMode;
 
 fn usage() -> ! {
     eprintln!(
@@ -65,7 +75,8 @@ fn usage() -> ! {
          [--shards n] [--mode closed|open] [--ops n] [--rate r] [--duration s] \
          [--seed x] [--churn k] [--warmup n] [--warmup-secs s] [--pipeline d] \
          [--conns n] [--slo-p50 us] [--slo-p99 us] [--chaos spec] \
-         [--chaos-seed x] [--no-json]"
+         [--chaos-seed x] [--trace on|off|sampled:n] [--trace-out file] \
+         [--no-json]"
     );
     std::process::exit(2);
 }
@@ -93,6 +104,8 @@ fn main() -> ExitCode {
     let mut no_json = false;
     let mut chaos: Option<String> = None;
     let mut chaos_seed = 42u64;
+    let mut trace_mode = TraceMode::Off;
+    let mut trace_out: Option<String> = None;
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -140,6 +153,14 @@ fn main() -> ExitCode {
             "--slo-p99" => slo.p99_us = Some(parsed("--slo-p99", value("--slo-p99"))),
             "--chaos" => chaos = Some(value("--chaos").clone()),
             "--chaos-seed" => chaos_seed = parsed("--chaos-seed", value("--chaos-seed")),
+            "--trace" => {
+                let v = value("--trace");
+                trace_mode = TraceMode::parse(v).unwrap_or_else(|| {
+                    eprintln!("error: unknown trace mode {v:?} (on|off|sampled:<n>)");
+                    usage();
+                });
+            }
+            "--trace-out" => trace_out = Some(value("--trace-out").clone()),
             "--no-json" => no_json = true,
             "--help" | "-h" => usage(),
             flag => {
@@ -255,6 +276,20 @@ fn main() -> ExitCode {
         }
     };
 
+    if trace_mode.enabled() && !remote {
+        eprintln!("error: --trace requires --backend remote (the native path has no wire)");
+        usage();
+    }
+    if trace_out.is_some() && !trace_mode.enabled() {
+        eprintln!("error: --trace-out requires --trace on or sampled:<n>");
+        usage();
+    }
+    // One worker lane per thread: context indices map onto lanes, so
+    // each worker's client spans land on its own lock-free ring.
+    let recorder = trace_mode
+        .enabled()
+        .then(|| Arc::new(FlightRecorder::new(trace_mode, threads)));
+
     let spec = LoadSpec {
         backend,
         threads,
@@ -296,7 +331,7 @@ fn main() -> ExitCode {
     let mut out = if let Some(chaos_spec) = chaos_spec {
         println!("rtas-load: chaos spec={chaos_spec} seed={chaos_seed}");
         let plan = FaultPlan::new(chaos_spec, chaos_seed);
-        match run_load_chaos(addr.as_deref().unwrap(), spec, plan) {
+        match run_load_chaos_traced(addr.as_deref().unwrap(), spec, plan, recorder.clone()) {
             Ok(chaos_out) => {
                 let c = chaos_out.counts;
                 let winners: usize = chaos_out.winners.iter().map(Vec::len).sum();
@@ -329,7 +364,7 @@ fn main() -> ExitCode {
             }
         }
     } else if remote {
-        match run_load_remote(addr.as_deref().unwrap(), spec) {
+        match run_load_remote_traced(addr.as_deref().unwrap(), spec, recorder.clone()) {
             Ok(out) => out,
             Err(err) => {
                 eprintln!(
@@ -342,6 +377,18 @@ fn main() -> ExitCode {
     } else {
         run_load(spec)
     };
+    if let Some(recorder) = &recorder {
+        // The client-side black box: the worker lanes' ClientSpan
+        // events, pairable with the server's dump by rtas-trace merge.
+        let path = trace_out.as_deref().unwrap_or("rtas-load.rtastrc");
+        match recorder.dump_to_file(std::path::Path::new(path)) {
+            Ok(()) => println!("wrote client trace {path}"),
+            Err(e) => {
+                eprintln!("rtas-load: failed to write client trace {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
     if remote {
         // Server-side observability: fold the curated svc_* extras from
         // the METRICS exposition into the report's total row. A failed

@@ -31,7 +31,8 @@ use std::sync::{Arc, Mutex};
 
 use rtas::sync::{Backoff, CachePadded};
 use rtas_svc::chaos::{ChaosClient, ChaosCounts, FaultPlan};
-use rtas_svc::{Client, ClientConfig, ClientError, Op};
+use rtas_svc::obs::FlightRecorder;
+use rtas_svc::{Client, ClientConfig, ClientError, ClientTracer, Op};
 
 use crate::driver::{run_on_target, LoadOutcome, LoadSpec, LoadTarget, TargetKind};
 use crate::recorder::ErrorClasses;
@@ -74,6 +75,12 @@ pub struct ChaosTarget {
     counts: Arc<Mutex<ChaosCounts>>,
     group: usize,
     registers: u64,
+    /// Client-side flight recorder ([`ChaosTarget::with_recorder`]):
+    /// when set, every worker's [`ChaosClient`] stamps its wire
+    /// attempts with fresh trace spans. Span minting never draws from
+    /// the fault or jitter streams, so a traced run replays the same
+    /// fault schedule as an untraced one.
+    recorder: Option<Arc<FlightRecorder>>,
 }
 
 impl ChaosTarget {
@@ -120,7 +127,34 @@ impl ChaosTarget {
             keys,
             group,
             registers,
+            recorder: None,
         })
+    }
+
+    /// Attach a client-side flight recorder: every worker's
+    /// [`ChaosClient`] stamps each wire attempt (retries included —
+    /// each attempt mints a fresh span) and records `ClientSpan`
+    /// events on its connection's lane. Negotiates with a traced
+    /// `STATS` probe first; an old server keeps tracing detached with
+    /// a warning, never an error.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the negotiation probe cannot reach the server.
+    pub fn with_recorder(
+        mut self,
+        recorder: Arc<FlightRecorder>,
+    ) -> Result<ChaosTarget, ClientError> {
+        if !Client::connect_with(&self.addr, self.config.clone())?.probe_trace()? {
+            eprintln!(
+                "rtas-load: warning: {} does not speak the wire trace \
+                 extension (old server?); tracing disabled",
+                self.addr
+            );
+            return Ok(self);
+        }
+        self.recorder = Some(recorder);
+        Ok(self)
     }
 
     /// The fault/recovery counters accumulated so far (complete once
@@ -178,7 +212,10 @@ impl LoadTarget for ChaosTarget {
 
     fn context(&self) -> ChaosCtx {
         let conn = self.next_conn.fetch_add(1, Ordering::Relaxed);
-        let client = ChaosClient::new(&self.addr, &self.plan, conn, self.config.clone());
+        let mut client = ChaosClient::new(&self.addr, &self.plan, conn, self.config.clone());
+        if let Some(recorder) = &self.recorder {
+            client = client.with_tracer(ClientTracer::new(Arc::clone(recorder), conn as usize));
+        }
         ChaosCtx {
             client,
             sink: Arc::clone(&self.counts),
@@ -278,6 +315,25 @@ pub fn run_load_chaos(
     spec: LoadSpec,
     plan: FaultPlan,
 ) -> Result<ChaosOutcome, ClientError> {
+    run_load_chaos_traced(addr, spec, plan, None)
+}
+
+/// [`run_load_chaos`] with an optional client-side flight recorder
+/// (see [`ChaosTarget::with_recorder`]): the caller keeps the `Arc`
+/// and dumps the rings after the run. Passing `None` is exactly
+/// `run_load_chaos` — and because span minting never touches the
+/// seeded fault streams, both variants replay the identical fault
+/// schedule from one `(seed, spec, workload)` triple.
+///
+/// # Errors
+///
+/// As [`run_load_chaos`], plus a failed trace-negotiation probe.
+pub fn run_load_chaos_traced(
+    addr: &str,
+    spec: LoadSpec,
+    plan: FaultPlan,
+    recorder: Option<Arc<FlightRecorder>>,
+) -> Result<ChaosOutcome, ClientError> {
     spec.validate();
     assert!(
         spec.pipeline == 1,
@@ -286,7 +342,10 @@ pub fn run_load_chaos(
          cannot replay a window of blind in-flight epochs"
     );
     let config = ClientConfig::default();
-    let target = ChaosTarget::new(addr, spec.shards, spec.group(), plan, config.clone())?;
+    let mut target = ChaosTarget::new(addr, spec.shards, spec.group(), plan, config.clone())?;
+    if let Some(recorder) = recorder {
+        target = target.with_recorder(recorder)?;
+    }
     let before = Client::connect_with(addr, config.clone())?.stats()?;
     let mut outcome = run_on_target(&target, spec, TargetKind::Chaos);
     let after = Client::connect_with(addr, config)?.stats()?;

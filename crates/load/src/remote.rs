@@ -45,6 +45,18 @@
 //! fan-out run are emitted as `BENCH_svc_c10k.json` with a `conns`
 //! label on every row.
 //!
+//! ## End-to-end tracing
+//!
+//! With a recorder attached ([`RemoteTarget::with_recorder`], the
+//! `rtas-load --trace` flag) every lockstep resolution carries a wire
+//! trace span (`docs/WIRE.md`) and records a `ClientSpan` event; the
+//! server records the matching `ServerSpan`, and `rtas-trace merge`
+//! joins the two dumps into per-request network/server/queue latency
+//! breakdowns. The pipelined path stays untraced by design — blind
+//! batches defer their responses, so there is no per-frame completion
+//! point to time. Support is negotiated with a traced `STATS` probe;
+//! old servers get plain untraced traffic.
+//!
 //! [`ArrivalSchedule`]: crate::schedule::ArrivalSchedule
 //! [`LoadSpec::pipeline`]: crate::driver::LoadSpec::pipeline
 //! [`LoadSpec::conns`]: crate::driver::LoadSpec::conns
@@ -52,9 +64,11 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use rtas::sync::{Backoff, CachePadded};
-use rtas_svc::{Client, ClientError, Op, Response};
+use rtas_svc::obs::FlightRecorder;
+use rtas_svc::{Client, ClientError, ClientTracer, Op, Response};
 
 use crate::driver::{run_on_target, LoadOutcome, LoadSpec, LoadTarget, TargetKind};
 
@@ -83,6 +97,15 @@ pub struct RemoteTarget {
     /// (the C10K fan-out; 1 is the classic one-connection worker).
     conns_per_worker: usize,
     registers: u64,
+    /// Client-side flight recorder ([`RemoteTarget::with_recorder`]):
+    /// when set, lockstep resolutions carry wire trace spans and record
+    /// `ClientSpan` events onto the context's worker lane.
+    recorder: Option<Arc<FlightRecorder>>,
+    /// Next worker-context index, handed out in `context()` call order
+    /// (the driver creates the initial fleet's contexts sequentially on
+    /// the main thread, so indices — and therefore span id spaces —
+    /// are stable run to run).
+    next_ctx: AtomicUsize,
 }
 
 /// Per-worker connections plus the pipeline window: shard indices of
@@ -101,6 +124,9 @@ pub struct RemoteCtx {
     /// Next client in the round-robin.
     next: usize,
     inflight: VecDeque<usize>,
+    /// Span minting + `ClientSpan` recording for this worker's traffic
+    /// (lockstep path only; `None` when the target has no recorder).
+    tracer: Option<ClientTracer>,
 }
 
 impl RemoteCtx {
@@ -242,7 +268,48 @@ impl RemoteTarget {
             pipeline,
             conns_per_worker,
             registers,
+            recorder: None,
+            next_ctx: AtomicUsize::new(0),
         })
+    }
+
+    /// Attach a client-side flight recorder: every lockstep resolution
+    /// is sent with a fresh wire trace span (`docs/WIRE.md`) and lands
+    /// a `ClientSpan` event on the worker's lane, pairable with the
+    /// server's dump by `rtas-trace merge`.
+    ///
+    /// Negotiates first: a traced probe (`Client::probe_trace`) tells a
+    /// new server from an old one over a healthy connection. Old
+    /// servers — and pipelined targets, whose blind batches are
+    /// deliberately untraced (the window bookkeeping has no per-frame
+    /// completion point to time) — keep the recorder detached, with a
+    /// warning on stderr rather than an error: tracing is additive
+    /// observability, never a reason to refuse load.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the negotiation probe cannot reach the server.
+    pub fn with_recorder(
+        mut self,
+        recorder: Arc<FlightRecorder>,
+    ) -> Result<RemoteTarget, ClientError> {
+        if self.pipeline > 1 {
+            eprintln!(
+                "rtas-load: warning: the pipelined path is untraced (blind \
+                 batches have no per-frame completion point); tracing disabled"
+            );
+            return Ok(self);
+        }
+        if !Client::connect(&self.addr)?.probe_trace()? {
+            eprintln!(
+                "rtas-load: warning: {} does not speak the wire trace \
+                 extension (old server?); tracing disabled",
+                self.addr
+            );
+            return Ok(self);
+        }
+        self.recorder = Some(recorder);
+        Ok(self)
     }
 
     /// The server address the target drives.
@@ -281,10 +348,15 @@ impl LoadTarget for RemoteTarget {
                     .unwrap_or_else(|e| panic!("cannot connect load worker to {}: {e}", self.addr))
             })
             .collect();
+        let ctx = self.next_ctx.fetch_add(1, Ordering::Relaxed);
         RemoteCtx {
             clients,
             next: 0,
             inflight: VecDeque::with_capacity(self.pipeline),
+            tracer: self
+                .recorder
+                .as_ref()
+                .map(|r| ClientTracer::new(Arc::clone(r), ctx)),
         }
     }
 
@@ -330,17 +402,62 @@ impl LoadTarget for RemoteTarget {
             }
             return true;
         }
-        let won = ctx.clients[at]
-            .tas(key)
-            .unwrap_or_else(|e| panic!("TAS on {} failed: {e}", self.addr))
-            .won;
+        let won = match ctx.tracer.as_mut().filter(|t| t.enabled()) {
+            Some(tracer) => {
+                // Traced lockstep round trip: a fresh span on the wire,
+                // timed send → decoded verdict, recorded as ClientSpan.
+                let span = tracer.mint();
+                let t0 = tracer.now_ns();
+                let client = &mut ctx.clients[at];
+                client
+                    .send_span(Op::Tas, span, key)
+                    .unwrap_or_else(|e| panic!("TAS on {} failed: {e}", self.addr));
+                let won = match client.recv() {
+                    Ok(Response::Acquired(a)) => a.won,
+                    Ok(other) => panic!(
+                        "traced TAS on {}: expected a verdict, got {other:?}",
+                        self.addr
+                    ),
+                    Err(e) => panic!("TAS on {} failed: {e}", self.addr),
+                };
+                tracer.record(Op::Tas, span, tracer.now_ns().saturating_sub(t0));
+                won
+            }
+            None => {
+                ctx.clients[at]
+                    .tas(key)
+                    .unwrap_or_else(|e| panic!("TAS on {} failed: {e}", self.addr))
+                    .won
+            }
+        };
         if state.done.fetch_add(1, Ordering::AcqRel) + 1 == self.group {
             // Last finisher: every call of this epoch has its response,
             // so the server-side gate is quiescent the moment our RESET
             // is admitted. Ack it, then open the next local epoch.
-            ctx.clients[at]
-                .reset(key)
-                .unwrap_or_else(|e| panic!("RESET on {} failed: {e}", self.addr));
+            match ctx.tracer.as_mut().filter(|t| t.enabled()) {
+                Some(tracer) => {
+                    let span = tracer.mint();
+                    let t0 = tracer.now_ns();
+                    let client = &mut ctx.clients[at];
+                    client
+                        .send_span(Op::Reset, span, key)
+                        .unwrap_or_else(|e| panic!("RESET on {} failed: {e}", self.addr));
+                    match client.recv() {
+                        Ok(Response::Reset { .. }) => {}
+                        Ok(other) => panic!(
+                            "traced RESET on {}: expected an ack, got {other:?}",
+                            self.addr
+                        ),
+                        Err(e) => panic!("RESET on {} failed: {e}", self.addr),
+                    }
+                    tracer.record(Op::Reset, span, tracer.now_ns().saturating_sub(t0));
+                }
+                None => {
+                    ctx.clients[at]
+                        .reset(key)
+                        .unwrap_or_else(|e| panic!("RESET on {} failed: {e}", self.addr));
+                }
+            }
             state.done.store(0, Ordering::Relaxed);
             state.epoch.fetch_add(1, Ordering::Release);
         }
@@ -374,15 +491,34 @@ impl LoadTarget for RemoteTarget {
 ///
 /// Panics on an inconsistent spec (see [`LoadSpec`] field docs).
 pub fn run_load_remote(addr: &str, spec: LoadSpec) -> Result<LoadOutcome, ClientError> {
+    run_load_remote_traced(addr, spec, None)
+}
+
+/// [`run_load_remote`] with an optional client-side flight recorder
+/// (see [`RemoteTarget::with_recorder`]): the caller keeps the `Arc`
+/// and dumps the rings after the run (`rtas-load --trace` /
+/// `--trace-out`). Passing `None` is exactly `run_load_remote`.
+///
+/// # Errors
+///
+/// As [`run_load_remote`], plus a failed trace-negotiation probe.
+pub fn run_load_remote_traced(
+    addr: &str,
+    spec: LoadSpec,
+    recorder: Option<Arc<FlightRecorder>>,
+) -> Result<LoadOutcome, ClientError> {
     spec.validate();
     let conns_per_worker = spec.conns.map_or(1, |c| c / spec.threads);
-    let target = RemoteTarget::with_shape(
+    let mut target = RemoteTarget::with_shape(
         addr,
         spec.shards,
         spec.group(),
         spec.pipeline,
         conns_per_worker,
     )?;
+    if let Some(recorder) = recorder {
+        target = target.with_recorder(recorder)?;
+    }
     let kind = if spec.conns.is_some() {
         TargetKind::C10k
     } else {

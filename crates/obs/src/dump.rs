@@ -141,6 +141,33 @@ pub fn decode_dump(bytes: &[u8]) -> io::Result<TraceDump> {
     Ok(TraceDump { version, lanes })
 }
 
+/// Re-encode a decoded dump back into `RTASTRC1` bytes. Inverse of
+/// [`decode_dump`]: for any dump a recorder wrote,
+/// `encode_dump(&decode_dump(bytes)?) == bytes`, so tools can rewrite
+/// dumps (filter lanes, merge files) without a recorder in hand.
+pub fn encode_dump(dump: &TraceDump) -> Vec<u8> {
+    let records: usize = dump.lanes.iter().map(|l| l.events.len()).sum();
+    let mut out = Vec::with_capacity(16 + dump.lanes.len() * 24 + records * RECORD_BYTES);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&dump.version.to_le_bytes());
+    out.extend_from_slice(&(dump.lanes.len() as u32).to_le_bytes());
+    for lane in &dump.lanes {
+        out.extend_from_slice(&lane.lane.to_le_bytes());
+        out.extend_from_slice(&0u32.to_le_bytes());
+        out.extend_from_slice(&lane.dropped.to_le_bytes());
+        out.extend_from_slice(&(lane.events.len() as u64).to_le_bytes());
+        for e in &lane.events {
+            out.extend_from_slice(&e.ticket.to_le_bytes());
+            out.extend_from_slice(&e.ts_ns.to_le_bytes());
+            out.extend_from_slice(&e.kind.to_le_bytes());
+            out.extend_from_slice(&e.a.to_le_bytes());
+            out.extend_from_slice(&e.b.to_le_bytes());
+            out.extend_from_slice(&e.c.to_le_bytes());
+        }
+    }
+    out
+}
+
 /// Per-kind argument rendering: field names make the timeline readable;
 /// unknown kinds fall back to raw `a/b/c`.
 fn describe(e: &TraceEvent) -> String {
@@ -157,6 +184,12 @@ fn describe(e: &TraceEvent) -> String {
         Some(EventKind::BackpressureOn) => format!("slot={} buffered={}", e.a, e.b),
         Some(EventKind::BackpressureOff) => format!("slot={}", e.a),
         Some(EventKind::TimerSweep) => format!("due={} remaining={}", e.a, e.b),
+        Some(EventKind::ServerSpan) => {
+            format!("op={} span=0x{:016x} dur={}ns", e.a, e.b, e.c)
+        }
+        Some(EventKind::ClientSpan) => {
+            format!("op={} span=0x{:016x} rtt={}ns", e.a, e.b, e.c)
+        }
         None => format!("a={} b={} c={}", e.a, e.b, e.c),
     }
 }
@@ -244,6 +277,88 @@ mod tests {
         assert_eq!(merged.len(), 5);
         assert_eq!(merged, rec.snapshot());
         assert!(merged.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+    }
+
+    #[test]
+    fn encode_is_the_byte_identical_inverse_of_decode() {
+        let rec = sample_recorder();
+        let mut bytes = Vec::new();
+        rec.write_dump(&mut bytes).unwrap();
+        let dump = decode_dump(&bytes).unwrap();
+        assert_eq!(encode_dump(&dump), bytes);
+        // Synthetic dumps (unknown kinds, nonzero drop counts) survive
+        // a decode→encode→decode cycle too.
+        let synthetic = TraceDump {
+            version: 1,
+            lanes: vec![LaneDump {
+                lane: 7,
+                dropped: 123,
+                events: vec![TraceEvent {
+                    ts_ns: 5,
+                    lane: 7,
+                    ticket: 9,
+                    kind: 99,
+                    a: 1,
+                    b: 2,
+                    c: 3,
+                }],
+            }],
+        };
+        let enc = encode_dump(&synthetic);
+        assert_eq!(decode_dump(&enc).unwrap(), synthetic);
+        assert_eq!(encode_dump(&decode_dump(&enc).unwrap()), enc);
+    }
+
+    #[test]
+    fn truncated_dumps_never_panic_and_report_the_cut() {
+        let rec = sample_recorder();
+        let mut bytes = Vec::new();
+        rec.write_dump(&mut bytes).unwrap();
+        // Every proper prefix must decode to a clean InvalidData error,
+        // never a panic or a silently-empty success.
+        for len in 0..bytes.len() {
+            let err = decode_dump(&bytes[..len]).expect_err("prefix decoded");
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        }
+        // A lane header claiming more records than the file holds is
+        // the classic torn-write shape; it must be caught up front.
+        let mut lying = bytes.clone();
+        let count_off = 8 + 4 + 4 + 4 + 4 + 8; // first lane's count field
+        lying[count_off..count_off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(decode_dump(&lying).is_err());
+    }
+
+    #[test]
+    fn span_kinds_render_with_span_ids() {
+        let events = [
+            TraceEvent {
+                ts_ns: 10,
+                lane: 2,
+                ticket: 0,
+                kind: EventKind::ServerSpan as u32,
+                a: 1,
+                b: 0xabc,
+                c: 1500,
+            },
+            TraceEvent {
+                ts_ns: 20,
+                lane: 0,
+                ticket: 1,
+                kind: EventKind::ClientSpan as u32,
+                a: 1,
+                b: 0xabc,
+                c: 9000,
+            },
+        ];
+        let timeline = render_timeline(&events);
+        assert!(timeline.contains("server-span"));
+        assert!(timeline.contains("client-span"));
+        assert!(timeline.contains("span=0x0000000000000abc"));
+        assert!(timeline.contains("dur=1500ns"));
+        assert!(timeline.contains("rtt=9000ns"));
+        let json = render_json(&events);
+        assert!(json.contains("\"kind\":\"server-span\""));
+        assert!(json.contains("\"kind\":\"client-span\""));
     }
 
     #[test]

@@ -75,6 +75,17 @@ pub enum EventKind {
     /// The timer wheel was swept. `a` = entries due, `b` = entries
     /// remaining.
     TimerSweep = 10,
+    /// A server-side request span completed: the request carried a
+    /// wire trace context and its full read→decode→arbiter→encode→write
+    /// life is summarized in one record. `a` = opcode, `b` = span id,
+    /// `c` = span duration in nanoseconds (the span *starts* at
+    /// `ts_ns - c` on the server clock).
+    ServerSpan = 11,
+    /// A client-side request span completed: one wire round trip as
+    /// seen by the load generator. `a` = opcode, `b` = span id,
+    /// `c` = send→decoded round-trip duration in nanoseconds (the span
+    /// starts at `ts_ns - c` on the client clock).
+    ClientSpan = 12,
 }
 
 impl EventKind {
@@ -91,6 +102,8 @@ impl EventKind {
             8 => EventKind::BackpressureOn,
             9 => EventKind::BackpressureOff,
             10 => EventKind::TimerSweep,
+            11 => EventKind::ServerSpan,
+            12 => EventKind::ClientSpan,
             _ => return None,
         })
     }
@@ -108,6 +121,8 @@ impl EventKind {
             EventKind::BackpressureOn => "backpressure-on",
             EventKind::BackpressureOff => "backpressure-off",
             EventKind::TimerSweep => "timer-sweep",
+            EventKind::ServerSpan => "server-span",
+            EventKind::ClientSpan => "client-span",
         }
     }
 }
@@ -167,13 +182,13 @@ mod tests {
 
     #[test]
     fn kind_codes_round_trip_and_unknown_codes_do_not() {
-        for code in 1..=10u32 {
+        for code in 1..=12u32 {
             let kind = EventKind::from_code(code).expect("known code");
             assert_eq!(kind as u32, code);
             assert!(!kind.name().is_empty());
         }
         assert_eq!(EventKind::from_code(0), None);
-        assert_eq!(EventKind::from_code(11), None);
+        assert_eq!(EventKind::from_code(13), None);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! the `METRICS` wire opcode:
 //!
 //! ```text
-//! rtas-metrics/1
+//! rtas-metrics/2
 //! reactor.wake_writes 42
 //! stage.read_ns.count 1200
 //! stage.read_ns.p50 1834.2
@@ -169,7 +169,7 @@ enum Metric {
     Histogram(Arc<Histogram>),
 }
 
-/// A named collection of instruments that renders the `rtas-metrics/1`
+/// A named collection of instruments that renders the `rtas-metrics/2`
 /// text exposition.
 ///
 /// Registration takes the only lock in the plane (a `Mutex` over the
@@ -191,8 +191,14 @@ impl std::fmt::Debug for Registry {
     }
 }
 
-/// Exposition format version line.
-pub const METRICS_HEADER: &str = "rtas-metrics/1";
+/// Exposition format version line. Version 2 added the `svc.uptime_secs`
+/// gauge and per-lane `trace.<lane>.dropped_events` counters; the line
+/// grammar is unchanged, so [`parse_metrics`] accepts both versions.
+pub const METRICS_HEADER: &str = "rtas-metrics/2";
+
+/// The previous exposition version line, still accepted by
+/// [`parse_metrics`] so new scrapers can read old servers.
+pub const METRICS_HEADER_V1: &str = "rtas-metrics/1";
 
 impl Registry {
     /// An empty registry.
@@ -296,12 +302,14 @@ impl Registry {
     }
 }
 
-/// Parse an `rtas-metrics/1` exposition into `(name, value)` pairs.
-/// Returns `None` if the header is missing or any line is malformed —
-/// scrapers treat that as "server too old / garbled" and skip extras.
+/// Parse an `rtas-metrics/1` or `rtas-metrics/2` exposition into
+/// `(name, value)` pairs. Returns `None` if the header is missing or
+/// any line is malformed — scrapers treat that as "server too old /
+/// garbled" and skip extras.
 pub fn parse_metrics(text: &str) -> Option<Vec<(String, f64)>> {
     let mut lines = text.lines();
-    if lines.next()? != METRICS_HEADER {
+    let header = lines.next()?;
+    if header != METRICS_HEADER && header != METRICS_HEADER_V1 {
         return None;
     }
     let mut out = Vec::new();
@@ -419,8 +427,13 @@ mod tests {
         assert!(pairs.iter().any(|(n, v)| n == "lat_ns.count" && *v == 1.0));
         assert!(pairs.iter().any(|(n, _)| n == "lat_ns.p90"));
 
+        // Old servers still speak version 1; the scraper must accept it.
+        let v1 = text.replacen(METRICS_HEADER, METRICS_HEADER_V1, 1);
+        assert_eq!(parse_metrics(&v1), Some(pairs.clone()));
+
         assert_eq!(parse_metrics(""), None);
         assert_eq!(parse_metrics("wrong/1\na 1\n"), None);
+        assert_eq!(parse_metrics("rtas-metrics/3\na 1\n"), None);
         assert_eq!(parse_metrics(&format!("{METRICS_HEADER}\nnovalue\n")), None);
         assert_eq!(
             parse_metrics(&format!("{METRICS_HEADER}\na notanumber\n")),

@@ -195,6 +195,15 @@ impl FlightRecorder {
             )
     }
 
+    /// Per-lane dropped-event counts, `(lane id, dropped)` in dump-file
+    /// lane order. Lets the metrics exposition surface ring lossiness
+    /// without taking a full snapshot.
+    pub fn lane_drops(&self) -> Vec<(u32, u64)> {
+        self.lanes()
+            .map(|(id, ring)| (id, ring.dropped()))
+            .collect()
+    }
+
     /// A consistent-per-slot snapshot of every lane, merged and sorted
     /// by timestamp (ties broken by lane then ticket). Runs
     /// concurrently with writers.

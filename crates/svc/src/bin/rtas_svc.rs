@@ -8,7 +8,7 @@
 //! `serve` prints `listening on <addr>` once the socket is bound —
 //! smoke scripts can wait for the port. See `docs/WIRE.md` for the
 //! wire protocol, and the "Observability" section of
-//! `docs/OPERATIONS.md` for `stats --metrics`, `--trace`, and
+//! `docs/OPERATIONS.md` for `stats --metrics`, `top`, `--trace`, and
 //! `trace-dump`.
 
 use std::process::ExitCode;
@@ -20,15 +20,6 @@ use rtas_svc::{cli, Client, Server};
 fn usage() -> ! {
     eprintln!("{}", cli::serve_usage());
     std::process::exit(2);
-}
-
-/// Render the stats counters as one flat JSON object.
-fn stats_json(s: &rtas_svc::protocol::SvcStats) -> String {
-    format!(
-        "{{\"keys\":{},\"ops\":{},\"wins\":{},\"resets\":{},\"registers\":{},\
-         \"reclaimed\":{},\"conns\":{},\"refused\":{}}}",
-        s.keys, s.ops, s.wins, s.resets, s.registers, s.reclaimed, s.conns, s.refused
-    )
 }
 
 fn run_stats(args: &[String]) -> ExitCode {
@@ -58,7 +49,7 @@ fn run_stats(args: &[String]) -> ExitCode {
     match client.stats() {
         Ok(s) => {
             if parsed.json {
-                println!("{}", stats_json(&s));
+                println!("{}", cli::stats_to_json(&s));
             } else if parsed.raw {
                 println!(
                     "keys {} | ops {} | wins {} | resets {} | registers {} | \
@@ -182,6 +173,19 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "stats" => run_stats(&args[1..]),
+        "top" => {
+            let parsed = cli::parse_top(&args[1..]).unwrap_or_else(|message| {
+                eprintln!("error: {message}");
+                usage();
+            });
+            match rtas_svc::top::run_top(&parsed) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(message) => {
+                    eprintln!("rtas-svc: {message}");
+                    ExitCode::from(2)
+                }
+            }
+        }
         "trace-dump" => run_trace_dump(&args[1..]),
         other => {
             eprintln!("error: unknown command {other:?}");

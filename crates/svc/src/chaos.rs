@@ -24,7 +24,11 @@
 //!   which racing worker happens to resolve the epoch;
 //! * [`ChaosClient`] — a [`crate::Client`] wrapper that
 //!   applies a plan's faults to real wire traffic and classifies the
-//!   fallout into [`ChaosCounts`].
+//!   fallout into [`ChaosCounts`]. It can optionally carry a
+//!   [`ClientTracer`]: every wire attempt is stamped with a fresh
+//!   trace span (see `docs/WIRE.md`) without consuming a single draw
+//!   from the fault or jitter streams, so traced chaos runs replay
+//!   the same fault schedule as untraced ones.
 //!
 //! The safety bar is unchanged under every fault mix: at most one
 //! winner per key-epoch, server-side. The chaos layer may *lose*
@@ -38,8 +42,8 @@ use std::time::Duration;
 
 use rtas::sim::rng::SplitMix64;
 
-use crate::client::{Client, ClientConfig, RetryPolicy};
-use crate::protocol::{frame_request, Op, Response};
+use crate::client::{Client, ClientConfig, ClientTracer, RetryPolicy};
+use crate::protocol::{frame_request_span, Op, Response};
 use crate::ClientError;
 
 /// Probabilities and magnitudes of every fault class. Probabilities
@@ -405,6 +409,16 @@ pub struct ChaosVerdict {
 /// [`RetryPolicy`] with a backoff jitter stream that is **separate**
 /// from the fault stream (retries are timing-dependent and must not
 /// shift the deterministic fault schedule).
+///
+/// With a [`ClientTracer`] attached ([`ChaosClient::with_tracer`])
+/// every wire attempt carries a **fresh** trace span — a retry is a
+/// new attempt and mints a new span, so a client span can never pair
+/// with more than one server span. Span minting is pure arithmetic on
+/// the tracer's own counter: it never draws from the fault or jitter
+/// streams, so traced and untraced runs replay the **bit-identical**
+/// fault schedule from the same seed. On reordered (and duplicated
+/// ack) batches only the *first* frame carries the span; the second
+/// is deliberately untraced for the same ≤1-server-span reason.
 #[derive(Debug)]
 pub struct ChaosClient {
     addr: String,
@@ -417,6 +431,7 @@ pub struct ChaosClient {
     plan: ConnectionPlan,
     jitter: SplitMix64,
     counts: ChaosCounts,
+    tracer: Option<ClientTracer>,
 }
 
 impl ChaosClient {
@@ -432,12 +447,31 @@ impl ChaosClient {
             jitter: SplitMix64::split(plan.seed() ^ 0x4A49_5454_4552_5F43, conn),
             plan: plan.for_connection(conn),
             counts: ChaosCounts::default(),
+            tracer: None,
         }
+    }
+
+    /// Attach a tracer: stamp every wire attempt with a fresh span and
+    /// record a [`rtas_obs::EventKind::ClientSpan`] per completed
+    /// attempt. The schedule-neutrality contract is documented on the
+    /// type.
+    pub fn with_tracer(mut self, tracer: ClientTracer) -> Self {
+        self.tracer = Some(tracer);
+        self
     }
 
     /// The fault/recovery counters so far.
     pub fn counts(&self) -> &ChaosCounts {
         &self.counts
+    }
+
+    /// A fresh span for the next wire attempt, or 0 (untraced) when no
+    /// live tracer is attached. Pure arithmetic — no RNG.
+    fn mint_span(&mut self) -> u64 {
+        match self.tracer.as_mut() {
+            Some(t) if t.enabled() => t.mint(),
+            _ => 0,
+        }
     }
 
     fn ensure_client(&mut self) -> io::Result<&mut Client> {
@@ -500,8 +534,12 @@ impl ChaosClient {
             // (read deadline) or sees the close; either way this op
             // never happened and the retry below re-runs it cleanly.
             self.counts.truncations += 1;
+            // The torn attempt is a wire attempt too: it gets its own
+            // span (never a response, so no client span is recorded
+            // and nothing can mispair with the retry's fresh span).
+            let span = self.mint_span();
             let mut frame = Vec::new();
-            frame_request(op, key, &mut frame);
+            frame_request_span(op, span, key, &mut frame);
             let torn = &frame[..frame.len() - 1];
             if let Ok(client) = self.ensure_client() {
                 let _ = client.inject_raw(torn);
@@ -547,6 +585,8 @@ impl ChaosClient {
         faults: &OpFaults,
     ) -> Result<ChaosVerdict, ClientError> {
         let reorder = faults.reorder;
+        let span = self.mint_span();
+        let start = self.tracer.as_ref().map(ClientTracer::now_ns);
         let client = self.ensure_client().map_err(ClientError::Io)?;
         let acquired = if reorder {
             // Reorder within the pipeline: the same request twice in
@@ -554,7 +594,9 @@ impl ChaosClient {
             // frames shipped in one coalesced write. The server answers
             // in arrival order; both verdicts belong to this op's key,
             // and at most one can win. Take the win if either got it.
-            client.send_batch(&[(op, key), (op, key)])?;
+            // Only the first frame carries the span: one traced frame
+            // per attempt keeps ≤1 server span per client span.
+            client.send_batch_span(&[(op, span, key), (op, 0, key)])?;
             let first = expect_acquired(client.recv()?)?;
             let second = expect_acquired(client.recv()?)?;
             if first.won {
@@ -563,9 +605,14 @@ impl ChaosClient {
                 second
             }
         } else {
-            client.send(op, key)?;
+            client.send_span(op, span, key)?;
             expect_acquired(client.recv()?)?
         };
+        if span != 0 {
+            if let (Some(tracer), Some(t0)) = (self.tracer.as_ref(), start) {
+                tracer.record(op, span, tracer.now_ns().saturating_sub(t0));
+            }
+        }
         if reorder {
             self.counts.reorders += 1;
         }
@@ -620,11 +667,16 @@ impl ChaosClient {
     }
 
     fn reset_once(&mut self, key: &[u8], sends: u32) -> Result<u64, ClientError> {
+        let span = self.mint_span();
+        let start = self.tracer.as_ref().map(ClientTracer::now_ns);
         let client = self.ensure_client().map_err(ClientError::Io)?;
         // A duplicated ack goes out as one pipelined batch — a single
-        // coalesced write carrying both RESET frames.
-        let batch: Vec<(Op, &[u8])> = (0..sends).map(|_| (Op::Reset, key)).collect();
-        client.send_batch(&batch)?;
+        // coalesced write carrying both RESET frames. Only the first
+        // frame is traced (see the type docs).
+        let batch: Vec<(Op, u64, &[u8])> = (0..sends)
+            .map(|i| (Op::Reset, if i == 0 { span } else { 0 }, key))
+            .collect();
+        client.send_batch_span(&batch)?;
         let mut last = 0;
         for _ in 0..sends {
             match client.recv()? {
@@ -635,6 +687,11 @@ impl ChaosClient {
                         "expected a reset ack, got {other:?}"
                     )))
                 }
+            }
+        }
+        if span != 0 {
+            if let (Some(tracer), Some(t0)) = (self.tracer.as_ref(), start) {
+                tracer.record(Op::Reset, span, tracer.now_ns().saturating_sub(t0));
             }
         }
         Ok(last)
@@ -774,6 +831,32 @@ mod tests {
             .collect();
         assert!(grid.iter().any(|f| f.skip), "skip fires");
         assert!(grid.iter().any(|f| f.duplicate), "duplicate fires");
+    }
+
+    #[test]
+    fn attaching_a_tracer_never_touches_the_fault_or_jitter_streams() {
+        use rtas_obs::{FlightRecorder, TraceMode};
+        use std::sync::Arc;
+        // Minting spans is pure arithmetic on the tracer's counter, so
+        // a traced client's fault plan must replay bit-identically to
+        // an untraced one from the same seed — even after many mints.
+        let spec = ChaosSpec::parse("drop-heavy").unwrap();
+        let plan = FaultPlan::new(spec, 42);
+        let recorder = Arc::new(FlightRecorder::new(TraceMode::On, 1));
+        let mut traced = ChaosClient::new("127.0.0.1:1", &plan, 0, ClientConfig::default())
+            .with_tracer(ClientTracer::new(recorder, 0));
+        let mut plain = ChaosClient::new("127.0.0.1:1", &plan, 0, ClientConfig::default());
+        for _ in 0..64 {
+            let span = traced.mint_span();
+            assert_ne!(span, 0, "a live tracer mints nonzero spans");
+            assert_eq!(plain.mint_span(), 0, "no tracer means span 0");
+            assert_eq!(traced.plan.next_op(), plain.plan.next_op());
+        }
+        // An attached-but-off tracer also stamps nothing on the wire.
+        let off = Arc::new(FlightRecorder::new(TraceMode::Off, 1));
+        let mut idle = ChaosClient::new("127.0.0.1:1", &plan, 0, ClientConfig::default())
+            .with_tracer(ClientTracer::new(off, 0));
+        assert_eq!(idle.mint_span(), 0);
     }
 
     #[test]

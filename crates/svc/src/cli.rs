@@ -142,11 +142,29 @@ pub fn serve_usage() -> String {
          \x20                                  print a server's counters (default named\n\
          \x20                                  fields; --metrics fetches the METRICS\n\
          \x20                                  exposition) and exit\n\
+         \x20      rtas-svc top [--addr <host:port>] [--interval-ms <ms>] [--once] [--json]\n\
+         \x20                                  live terminal view over the METRICS plane:\n\
+         \x20                                  per-second rates, per-worker gauges, stage\n\
+         \x20                                  latency sparklines (--once prints a single\n\
+         \x20                                  sample and exits; --json implies --once)\n\
          \x20      rtas-svc trace-dump <file> [--json]\n\
          \x20                                  decode a flight-recorder dump (RTASTRC1)\n\
-         \x20                                  as a timeline (or JSON) and exit\n",
+         \x20                                  as a timeline (or JSON) and exit\n\
+         \x20                                  (cross-tier merge/audit: see rtas-trace)\n",
     );
     out
+}
+
+/// Render [`SvcStats`](crate::protocol::SvcStats) as one flat JSON
+/// object with numeric values — the `rtas-svc stats --json` output.
+/// Lives in the library so the bench harness can round-trip it
+/// (`rtas_bench::report::parse_json_object`) under test.
+pub fn stats_to_json(s: &crate::protocol::SvcStats) -> String {
+    format!(
+        "{{\"keys\":{},\"ops\":{},\"wins\":{},\"resets\":{},\"registers\":{},\
+         \"reclaimed\":{},\"conns\":{},\"refused\":{}}}",
+        s.keys, s.ops, s.wins, s.resets, s.registers, s.reclaimed, s.conns, s.refused
+    )
 }
 
 /// Parse `rtas-svc serve` arguments (everything after the subcommand)
@@ -277,6 +295,58 @@ pub fn parse_stats(args: &[String]) -> Result<StatsArgs, String> {
     Ok(parsed)
 }
 
+/// Parsed `rtas-svc top` arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopArgs {
+    /// Server to poll (default [`DEFAULT_ADDR`]).
+    pub addr: String,
+    /// Poll interval between samples.
+    pub interval: Duration,
+    /// Print one sample and exit instead of looping.
+    pub once: bool,
+    /// Emit the sample as one flat JSON object (implies `once`).
+    pub json: bool,
+}
+
+/// Parse `rtas-svc top` arguments: `--addr`, `--interval-ms` (default
+/// 1000), `--once`, and `--json` (which implies `--once`: a JSON
+/// stream with screen-clear escapes would help nobody).
+pub fn parse_top(args: &[String]) -> Result<TopArgs, String> {
+    let mut parsed = TopArgs {
+        addr: DEFAULT_ADDR.to_string(),
+        interval: Duration::from_millis(1000),
+        once: false,
+        json: false,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            iter.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--addr" => parsed.addr = value("--addr")?.clone(),
+            "--interval-ms" => {
+                let v = value("--interval-ms")?;
+                let ms: u64 = v
+                    .parse()
+                    .map_err(|_| format!("--interval-ms value {v:?} is invalid"))?;
+                if ms == 0 {
+                    return Err("--interval-ms must be positive".to_string());
+                }
+                parsed.interval = Duration::from_millis(ms);
+            }
+            "--once" => parsed.once = true,
+            "--json" => parsed.json = true,
+            flag => return Err(format!("unknown argument {flag}")),
+        }
+    }
+    if parsed.json {
+        parsed.once = true;
+    }
+    Ok(parsed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -387,6 +457,54 @@ mod tests {
         assert!(parse_stats(&strs(&["--x"])).is_err());
         let err = parse_stats(&strs(&["--json", "--raw"])).unwrap_err();
         assert!(err.contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
+    fn top_parses_its_flags_and_json_implies_once() {
+        let strs = |args: &[&str]| args.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let parsed = parse_top(&[]).unwrap();
+        assert_eq!(parsed.addr, DEFAULT_ADDR);
+        assert_eq!(parsed.interval, Duration::from_millis(1000));
+        assert!(!parsed.once && !parsed.json);
+
+        let parsed = parse_top(&strs(&[
+            "--addr",
+            "10.0.0.1:1",
+            "--interval-ms",
+            "250",
+            "--once",
+        ]))
+        .unwrap();
+        assert_eq!(parsed.addr, "10.0.0.1:1");
+        assert_eq!(parsed.interval, Duration::from_millis(250));
+        assert!(parsed.once);
+
+        let parsed = parse_top(&strs(&["--json"])).unwrap();
+        assert!(parsed.json && parsed.once, "--json implies --once");
+
+        assert!(parse_top(&strs(&["--interval-ms", "0"])).is_err());
+        assert!(parse_top(&strs(&["--interval-ms", "soon"])).is_err());
+        assert!(parse_top(&strs(&["--bogus"])).is_err());
+    }
+
+    #[test]
+    fn stats_json_is_flat_and_numeric() {
+        let s = crate::protocol::SvcStats {
+            keys: 1,
+            ops: 2,
+            wins: 3,
+            resets: 4,
+            registers: 5,
+            reclaimed: 6,
+            conns: 7,
+            refused: 8,
+        };
+        let json = stats_to_json(&s);
+        assert_eq!(
+            json,
+            "{\"keys\":1,\"ops\":2,\"wins\":3,\"resets\":4,\"registers\":5,\
+             \"reclaimed\":6,\"conns\":7,\"refused\":8}"
+        );
     }
 
     #[test]

@@ -35,12 +35,16 @@
 use std::fmt;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
 use std::time::Duration;
 
 use rtas::sim::rng::SplitMix64;
+use rtas_obs::{EventKind, FlightRecorder, Lane};
 
 use crate::conn::FrameDecoder;
-use crate::protocol::{decode_response, frame_request, Acquired, Op, Response, SvcStats};
+use crate::protocol::{
+    decode_response, frame_request, frame_request_span, Acquired, Op, Response, SvcStats,
+};
 
 /// What went wrong with a request.
 #[derive(Debug)]
@@ -255,6 +259,16 @@ impl Client {
         self.stream.write_all(&self.out)
     }
 
+    /// [`Client::send`] with a wire trace context: a nonzero `span`
+    /// rides the frame's trace extension and the server echoes it on
+    /// the response (span 0 sends an ordinary untraced frame).
+    pub fn send_span(&mut self, op: Op, span: u64, key: &[u8]) -> io::Result<()> {
+        self.out.clear();
+        frame_request_span(op, span, key, &mut self.out);
+        self.wire_writes += 1;
+        self.stream.write_all(&self.out)
+    }
+
     /// Pipeline a whole burst: frame every request into one reused
     /// buffer and ship the lot with a **single** `write` syscall. The
     /// caller then issues one [`Client::recv`] per request, in order.
@@ -265,6 +279,34 @@ impl Client {
         }
         self.wire_writes += 1;
         self.stream.write_all(&self.out)
+    }
+
+    /// [`Client::send_batch`] with a per-request trace context (span 0
+    /// entries go untraced). Still a single `write` syscall.
+    pub fn send_batch_span(&mut self, reqs: &[(Op, u64, &[u8])]) -> io::Result<()> {
+        self.out.clear();
+        for &(op, span, key) in reqs {
+            frame_request_span(op, span, key, &mut self.out);
+        }
+        self.wire_writes += 1;
+        self.stream.write_all(&self.out)
+    }
+
+    /// Probe whether the server understands the wire trace extension:
+    /// one traced `STATS` round trip. A server that predates the
+    /// extension rejects the flagged opcode with an `ERR` over a
+    /// healthy connection — that is the negotiation, so `Ok(false)`
+    /// means "talk untraced", not a failure. Call once at setup, then
+    /// stamp spans only when this returned `Ok(true)`.
+    pub fn probe_trace(&mut self) -> Result<bool, ClientError> {
+        self.send_span(Op::Stats, 1, b"")?;
+        match self.recv()? {
+            Response::Stats(_) => Ok(true),
+            Response::Err(_) => Ok(false),
+            other => Err(ClientError::Protocol(format!(
+                "trace probe expected stats or an error, got {other:?}"
+            ))),
+        }
     }
 
     /// Pipeline half 2: read the next response frame, in request order.
@@ -348,7 +390,7 @@ impl Client {
     }
 
     /// The server's metrics exposition (the `METRICS` op): the
-    /// versioned `rtas-metrics/1` text with `svc.*` counters, reactor
+    /// versioned `rtas-metrics/2` text with `svc.*` counters, reactor
     /// instruments, and per-stage latency histograms. Parse it with
     /// [`rtas_obs::parse_metrics`].
     pub fn metrics(&mut self) -> Result<String, ClientError> {
@@ -360,5 +402,104 @@ impl Client {
                 "expected a metrics exposition, got {other:?}"
             ))),
         }
+    }
+}
+
+/// Client-side span bookkeeping for one load-generator worker context:
+/// mints wire span ids and records the matching
+/// [`ClientSpan`](EventKind::ClientSpan) events into the client tier's
+/// own [`FlightRecorder`].
+///
+/// Span ids must be unique across the whole client process for the
+/// merge join to be unambiguous, and minting must never draw from any
+/// seeded fault/jitter stream (tracing cannot perturb a deterministic
+/// chaos schedule). Both fall out of plain arithmetic: context `ctx`
+/// owns the id range `(ctx + 1) << 40 | seq` — 2^24 contexts, 2^40
+/// requests each, and never span 0 because `ctx + 1 > 0`.
+///
+/// Retried sends must mint a **fresh** span per wire attempt — a span
+/// id names one frame, not one logical operation — which is what keeps
+/// "at most one server span per client span" true under chaos retries.
+#[derive(Debug, Clone)]
+pub struct ClientTracer {
+    recorder: Arc<FlightRecorder>,
+    lane: Lane,
+    base: u64,
+    seq: u64,
+}
+
+impl ClientTracer {
+    /// A tracer for worker context `ctx`, recording onto the client
+    /// recorder's `Worker(ctx)` lane.
+    pub fn new(recorder: Arc<FlightRecorder>, ctx: usize) -> ClientTracer {
+        ClientTracer {
+            recorder,
+            lane: Lane::Worker(ctx),
+            base: ((ctx as u64) + 1) << 40,
+            seq: 0,
+        }
+    }
+
+    /// Whether recording is live (the recorder's mode is not `off`).
+    pub fn enabled(&self) -> bool {
+        self.recorder.enabled()
+    }
+
+    /// Mint the next span id for this context (never 0).
+    pub fn mint(&mut self) -> u64 {
+        self.seq += 1;
+        self.base | (self.seq & 0xff_ffff_ffff)
+    }
+
+    /// Nanoseconds on the client recorder's clock.
+    pub fn now_ns(&self) -> u64 {
+        self.recorder.now_ns()
+    }
+
+    /// Record a completed round trip: one `ClientSpan` event carrying
+    /// the opcode, the span id, and the send→decoded duration.
+    pub fn record(&self, op: Op, span: u64, rtt_ns: u64) {
+        self.recorder.record(
+            self.lane,
+            EventKind::ClientSpan,
+            u32::from(op.code()),
+            span,
+            rtt_ns,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtas_obs::TraceMode;
+
+    #[test]
+    fn tracer_spans_are_unique_across_contexts_and_never_zero() {
+        let recorder = Arc::new(FlightRecorder::new(TraceMode::On, 4));
+        let mut a = ClientTracer::new(Arc::clone(&recorder), 0);
+        let mut b = ClientTracer::new(Arc::clone(&recorder), 1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            assert!(seen.insert(a.mint()));
+            assert!(seen.insert(b.mint()));
+        }
+        assert!(!seen.contains(&0));
+        assert!(a.enabled());
+    }
+
+    #[test]
+    fn tracer_records_client_spans_on_its_worker_lane() {
+        let recorder = Arc::new(FlightRecorder::new(TraceMode::On, 2));
+        let mut tracer = ClientTracer::new(Arc::clone(&recorder), 1);
+        let span = tracer.mint();
+        tracer.record(Op::Tas, span, 12_345);
+        let events = recorder.snapshot();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, EventKind::ClientSpan as u32);
+        assert_eq!(events[0].lane, 3); // worker 1 = lane 2 + 1
+        assert_eq!(events[0].a, u32::from(Op::Tas.code()));
+        assert_eq!(events[0].b, span);
+        assert_eq!(events[0].c, 12_345);
     }
 }

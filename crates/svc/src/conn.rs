@@ -31,12 +31,13 @@ use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use rtas::native::NativeRunner;
-use rtas_obs::{EventKind, FlightRecorder, Lane, METRICS_HEADER};
+use rtas_obs::{lane_name, EventKind, FlightRecorder, Lane, METRICS_HEADER};
 
 use crate::metrics::SvcMetrics;
 use crate::namespace::{fnv1a, Kind, Namespace};
 use crate::protocol::{
-    decode_request, frame_response, oversized_payload, Op, Request, Response, MAX_PAYLOAD,
+    decode_request, frame_response, frame_response_span, oversized_payload, Op, Request, Response,
+    MAX_PAYLOAD,
 };
 
 /// An incremental frame decoder: feed it byte chunks of any size
@@ -252,6 +253,11 @@ impl Connection {
                             0,
                         );
                     }
+                    // The wire trace context: echoed on *every* response
+                    // to a traced request (protocol behavior, independent
+                    // of whether this server records anything).
+                    let span = decoded.as_ref().map_or(0, |r| r.span);
+                    let op_code = decoded.as_ref().map_or(0, |r| r.op.code());
                     let response = match decoded {
                         Ok(request) => {
                             execute_obs(namespace, gauges, request, &mut self.runner, obs, timed)
@@ -261,12 +267,24 @@ impl Connection {
                         Err(e) => Response::Err(e.to_string()),
                     };
                     let t2 = timed.map(|o| o.recorder.now_ns());
-                    frame_response(&response, &mut self.out);
+                    frame_response_span(&response, span, &mut self.out);
                     if let (Some(o), Some(t0), Some(t1), Some(t2)) = (timed, t0, t1, t2) {
                         let t3 = o.recorder.now_ns();
                         o.metrics.stage_decode.record((t1 - t0) as f64);
                         o.metrics.stage_arbiter.record((t2 - t1) as f64);
                         o.metrics.stage_encode.record((t3 - t2) as f64);
+                        if span != 0 {
+                            // One ServerSpan per traced+sampled frame:
+                            // decode→arbiter→encode, ending at t3 on the
+                            // server clock.
+                            o.recorder.record(
+                                o.lane,
+                                EventKind::ServerSpan,
+                                u32::from(op_code),
+                                span,
+                                t3 - t0,
+                            );
+                        }
                     }
                 }
                 Ok(None) => return ConnStatus::Open,
@@ -353,10 +371,13 @@ pub(crate) fn execute_obs(
     }
 }
 
-/// The `METRICS` exposition: the `rtas-metrics/1` header, the `svc.*`
+/// The `METRICS` exposition: the `rtas-metrics/2` header, the `svc.*`
 /// namespace/gauge counters (always present, so scrapers see a stable
-/// core even from an in-process namespace with no registry wired), then
-/// the registry's named instruments sorted by name.
+/// core even from an in-process namespace with no registry wired),
+/// then — with the observability plane wired — the server's uptime, the
+/// flight recorder's per-lane drop counters (ring lossiness must be
+/// observable, not silent), and the registry's named instruments sorted
+/// by name.
 fn render_metrics(namespace: &Namespace, gauges: &ConnGauges, obs: Option<&ConnObs<'_>>) -> String {
     let stats = namespace.stats();
     let mut out = String::with_capacity(1024);
@@ -378,6 +399,18 @@ fn render_metrics(namespace: &Namespace, gauges: &ConnGauges, obs: Option<&ConnO
         out.push('\n');
     }
     if let Some(o) = obs {
+        // The recorder's clock starts at server spawn, so its reading
+        // *is* the uptime.
+        out.push_str("svc.uptime_secs ");
+        out.push_str(&(o.recorder.now_ns() / 1_000_000_000).to_string());
+        out.push('\n');
+        for (lane, dropped) in o.recorder.lane_drops() {
+            out.push_str("trace.");
+            out.push_str(&lane_name(lane));
+            out.push_str(".dropped_events ");
+            out.push_str(&dropped.to_string());
+            out.push('\n');
+        }
         o.metrics.registry().render_into(&mut out);
     }
     out
@@ -581,6 +614,87 @@ mod tests {
             }
             other => panic!("expected metrics, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn traced_requests_are_echoed_and_recorded_as_server_spans() {
+        use crate::protocol::{decode_response_span, frame_request_span};
+        let ns = Namespace::new(Backend::Combined, 1, 2);
+        let gauges = ConnGauges::default();
+        let recorder = FlightRecorder::new(rtas_obs::TraceMode::On, 1);
+        let metrics = SvcMetrics::new(1);
+        let obs = ConnObs {
+            recorder: &recorder,
+            metrics: &metrics,
+            lane: Lane::Worker(0),
+        };
+        let mut conn = Connection::new();
+        let mut burst = Vec::new();
+        frame_request_span(Op::Tas, 0xbeef, b"k", &mut burst);
+        frame_request_span(Op::Reset, 0, b"k", &mut burst); // untraced
+        conn.ingest_obs(&burst, &ns, &gauges, Some(&obs));
+        let mut cursor = io::Cursor::new(conn.output().to_vec());
+        let mut payload = Vec::new();
+        read_frame(&mut cursor, &mut payload).unwrap().unwrap();
+        let (resp, span) = decode_response_span(&payload).unwrap();
+        assert!(matches!(resp, Response::Acquired(a) if a.won));
+        assert_eq!(span, 0xbeef, "traced request gets its span echoed");
+        read_frame(&mut cursor, &mut payload).unwrap().unwrap();
+        assert_eq!(decode_response_span(&payload).unwrap().1, 0);
+        // Exactly one ServerSpan, carrying the span id and the opcode.
+        let spans: Vec<_> = recorder
+            .snapshot()
+            .into_iter()
+            .filter(|e| e.kind == EventKind::ServerSpan as u32)
+            .collect();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].a, u32::from(Op::Tas.code()));
+        assert_eq!(spans[0].b, 0xbeef);
+        assert!(spans[0].c <= spans[0].ts_ns, "span starts at ts - dur");
+    }
+
+    #[test]
+    fn traced_requests_are_echoed_even_without_a_recorder() {
+        use crate::protocol::{decode_response_span, frame_request_span};
+        let ns = Namespace::new(Backend::Combined, 1, 2);
+        let gauges = ConnGauges::default();
+        let mut conn = Connection::new();
+        let mut frame = Vec::new();
+        frame_request_span(Op::Tas, 7, b"k", &mut frame);
+        // Plain ingest: no obs plane at all — the echo is protocol
+        // behavior, not an observability feature.
+        conn.ingest(&frame, &ns, &gauges);
+        let mut cursor = io::Cursor::new(conn.output().to_vec());
+        let mut payload = Vec::new();
+        read_frame(&mut cursor, &mut payload).unwrap().unwrap();
+        assert_eq!(decode_response_span(&payload).unwrap().1, 7);
+    }
+
+    #[test]
+    fn obs_metrics_expose_uptime_and_lane_drop_counters() {
+        let ns = Namespace::new(Backend::Combined, 1, 2);
+        let gauges = ConnGauges::default();
+        let recorder = FlightRecorder::new(rtas_obs::TraceMode::On, 1);
+        let metrics = SvcMetrics::new(1);
+        let obs = ConnObs {
+            recorder: &recorder,
+            metrics: &metrics,
+            lane: Lane::Worker(0),
+        };
+        let mut conn = Connection::new();
+        let mut req = Vec::new();
+        frame_request(Op::Metrics, b"", &mut req);
+        conn.ingest_obs(&req, &ns, &gauges, Some(&obs));
+        let responses = decode_all(conn.output());
+        let text = match &responses[0] {
+            Response::Metrics(text) => text,
+            other => panic!("expected metrics, got {other:?}"),
+        };
+        assert!(text.contains("svc.uptime_secs "), "{text}");
+        assert!(text.contains("trace.accept.dropped_events 0\n"), "{text}");
+        assert!(text.contains("trace.reclaim.dropped_events 0\n"), "{text}");
+        assert!(text.contains("trace.worker0.dropped_events 0\n"), "{text}");
+        assert!(rtas_obs::parse_metrics(text).is_some(), "still scrapable");
     }
 
     #[test]

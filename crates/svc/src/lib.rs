@@ -41,7 +41,10 @@
 //!   `rtas-load` report extras. The companion flight recorder
 //!   (`--trace on|off|sampled:<n>`) writes lock-free per-worker event
 //!   rings dumped in the `RTASTRC1` format and decoded by
-//!   `rtas-svc trace-dump`.
+//!   `rtas-svc trace-dump`; [`top`] renders a live terminal view over
+//!   the same metrics plane (`rtas-svc top`), and the `rtas-trace`
+//!   binary merges client/server dumps on wire-propagated span ids
+//!   and audits them against the paper's safety claim offline.
 //!
 //! The `rtas-svc` binary serves (`rtas-svc serve`) and inspects
 //! (`rtas-svc stats`) from the command line; `rtas-load --backend
@@ -76,6 +79,7 @@ pub mod namespace;
 pub mod protocol;
 pub mod reactor;
 pub mod server;
+pub mod top;
 
 /// The observability substrate (event rings, dump codec, metric
 /// types), re-exported so integration tests and tools decode trace
@@ -83,7 +87,7 @@ pub mod server;
 pub use rtas_obs as obs;
 
 pub use chaos::{ChaosSpec, FaultPlan};
-pub use client::{Client, ClientConfig, ClientError, RetryPolicy};
+pub use client::{Client, ClientConfig, ClientError, ClientTracer, RetryPolicy};
 pub use conn::{ConnGauges, ConnStatus, Connection, FrameDecoder};
 pub use metrics::SvcMetrics;
 pub use namespace::{Kind, Namespace, NsError};

@@ -16,7 +16,20 @@
 //! | 2 `RESET` | recycle acknowledged | `u64 LE` newly opened epoch (0 = no such key) |
 //! | 3 `ERR` | request refused | UTF-8 message |
 //! | 4 `STATS` | server counters | 8 × `u64 LE`: keys, ops, wins, resets, registers, reclaimed, conns, refused |
-//! | 5 `METRICS` | named metrics | UTF-8 `rtas-metrics/1` text exposition |
+//! | 5 `METRICS` | named metrics | UTF-8 `rtas-metrics/2` text exposition |
+//!
+//! ## Trace-context extension
+//!
+//! A request may carry a **span id**: setting [`TRACE_FLAG`] (bit 7) on
+//! the opcode byte inserts a nonzero `u64 LE` span id between the
+//! opcode and the key. The server echoes the id back by setting bit 7
+//! on the response status byte and inserting the same `u64 LE` before
+//! the response body. Span 0 is reserved for "untraced" and never
+//! appears on the wire — a flagged frame carrying span 0 is malformed.
+//! Old servers reject a flagged opcode as `unknown opcode <code|0x80>`
+//! over a healthy connection, which is the negotiation: a client probes
+//! once with a traced `STATS` and falls back to untraced frames on the
+//! `ERR`. See `docs/WIRE.md` for the normative rules.
 //!
 //! Responses are returned **in request order** on each connection, so a
 //! client may pipeline: write any number of request frames, then read
@@ -44,6 +57,11 @@ pub const MAX_PAYLOAD: usize = 64 * 1024;
 
 /// Longest permitted key, in bytes.
 pub const MAX_KEY: usize = 4096;
+
+/// Bit 7 of the opcode (request) or status (response) byte: the frame
+/// carries the trace-context extension — a nonzero `u64 LE` span id
+/// right after the flagged byte (see the [module docs](self)).
+pub const TRACE_FLAG: u8 = 0x80;
 
 /// Request opcodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -138,6 +156,8 @@ pub struct Request<'a> {
     pub op: Op,
     /// The key operated on (empty for [`Op::Stats`]).
     pub key: &'a [u8],
+    /// The request's wire span id; 0 when the frame was untraced.
+    pub span: u64,
 }
 
 /// A decoded response.
@@ -153,7 +173,7 @@ pub enum Response {
     },
     /// `STATS` counters.
     Stats(SvcStats),
-    /// `METRICS` text exposition (`rtas-metrics/1` key/value lines).
+    /// `METRICS` text exposition (`rtas-metrics/2` key/value lines).
     Metrics(String),
     /// The request was refused; the connection remains usable.
     Err(String),
@@ -180,23 +200,53 @@ pub(crate) fn oversized_payload(len: usize) -> io::Error {
 /// Panics if `key` exceeds [`MAX_KEY`] — the limit is part of the
 /// protocol, callers must not construct oversized keys.
 pub fn frame_request(op: Op, key: &[u8], buf: &mut Vec<u8>) {
+    frame_request_span(op, 0, key, buf);
+}
+
+/// [`frame_request`] with a trace context: a nonzero `span` sets
+/// [`TRACE_FLAG`] on the opcode byte and inserts the span id before the
+/// key; `span == 0` frames exactly like [`frame_request`].
+///
+/// # Panics
+///
+/// Panics if `key` exceeds [`MAX_KEY`].
+pub fn frame_request_span(op: Op, span: u64, key: &[u8], buf: &mut Vec<u8>) {
     assert!(
         key.len() <= MAX_KEY,
         "key of {} bytes exceeds MAX_KEY",
         key.len()
     );
-    let len = 1 + key.len();
+    let span_bytes = if span != 0 { 8 } else { 0 };
+    let len = 1 + span_bytes + key.len();
     buf.extend_from_slice(&(len as u32).to_le_bytes());
-    buf.push(op.code());
+    if span != 0 {
+        buf.push(op.code() | TRACE_FLAG);
+        buf.extend_from_slice(&span.to_le_bytes());
+    } else {
+        buf.push(op.code());
+    }
     buf.extend_from_slice(key);
 }
 
 /// Decode a request payload (the bytes *inside* a frame).
 pub fn decode_request(payload: &[u8]) -> io::Result<Request<'_>> {
-    let (&code, key) = payload
-        .split_first()
+    let &code = payload
+        .first()
         .ok_or_else(|| invalid("empty request frame".to_string()))?;
-    let op = Op::from_code(code).ok_or_else(|| invalid(format!("unknown opcode {code}")))?;
+    let (span, key_at) = if code & TRACE_FLAG != 0 {
+        let span = u64_at(payload, 1)?;
+        if span == 0 {
+            return Err(invalid(
+                "traced request carries the reserved span 0".to_string(),
+            ));
+        }
+        (span, 9)
+    } else {
+        (0, 1)
+    };
+    let op = Op::from_code(code & !TRACE_FLAG)
+        .ok_or_else(|| invalid(format!("unknown opcode {code}")))?;
+    let key = &payload[key_at..];
     if key.len() > MAX_KEY {
         return Err(invalid(format!(
             "key of {} bytes exceeds MAX_KEY",
@@ -206,13 +256,21 @@ pub fn decode_request(payload: &[u8]) -> io::Result<Request<'_>> {
     if key.is_empty() && !matches!(op, Op::Stats | Op::Metrics) {
         return Err(invalid(format!("{op:?} requires a non-empty key")));
     }
-    Ok(Request { op, key })
+    Ok(Request { op, key, span })
 }
 
 /// Append a complete response frame (length prefix included) to `buf`.
 pub fn frame_response(resp: &Response, buf: &mut Vec<u8>) {
+    frame_response_span(resp, 0, buf);
+}
+
+/// [`frame_response`] with the trace-context echo: a nonzero `span`
+/// sets [`TRACE_FLAG`] on the status byte and inserts the span id
+/// before the body; `span == 0` frames exactly like [`frame_response`].
+pub fn frame_response_span(resp: &Response, span: u64, buf: &mut Vec<u8>) {
     let at = buf.len();
     buf.extend_from_slice(&[0; 4]); // length backpatched below
+    let status_at = buf.len();
     match resp {
         Response::Acquired(a) => {
             buf.push(if a.won { STATUS_WIN } else { STATUS_LOST });
@@ -246,6 +304,10 @@ pub fn frame_response(resp: &Response, buf: &mut Vec<u8>) {
             buf.extend_from_slice(msg.as_bytes());
         }
     }
+    if span != 0 {
+        buf[status_at] |= TRACE_FLAG;
+        buf.splice(status_at + 1..status_at + 1, span.to_le_bytes());
+    }
     let len = (buf.len() - at - 4) as u32;
     buf[at..at + 4].copy_from_slice(&len.to_le_bytes());
 }
@@ -254,39 +316,57 @@ fn u64_at(payload: &[u8], at: usize) -> io::Result<u64> {
     let bytes: [u8; 8] = payload
         .get(at..at + 8)
         .and_then(|s| s.try_into().ok())
-        .ok_or_else(|| invalid("response truncated".to_string()))?;
+        .ok_or_else(|| invalid("frame payload truncated".to_string()))?;
     Ok(u64::from_le_bytes(bytes))
 }
 
-/// Decode a response payload (the bytes *inside* a frame).
+/// Decode a response payload (the bytes *inside* a frame), discarding
+/// any trace-context echo (see [`decode_response_span`]).
 pub fn decode_response(payload: &[u8]) -> io::Result<Response> {
-    let (&status, rest) = payload
-        .split_first()
+    Ok(decode_response_span(payload)?.0)
+}
+
+/// Decode a response payload plus its echoed span id (0 when the
+/// response was untraced).
+pub fn decode_response_span(payload: &[u8]) -> io::Result<(Response, u64)> {
+    let &raw = payload
+        .first()
         .ok_or_else(|| invalid("empty response frame".to_string()))?;
-    match status {
-        STATUS_LOST | STATUS_WIN => Ok(Response::Acquired(Acquired {
+    let (status, span, body_at) = if raw & TRACE_FLAG != 0 {
+        let span = u64_at(payload, 1)?;
+        if span == 0 {
+            return Err(invalid(
+                "traced response carries the reserved span 0".to_string(),
+            ));
+        }
+        (raw & !TRACE_FLAG, span, 9usize)
+    } else {
+        (raw, 0, 1)
+    };
+    let rest = &payload[body_at..];
+    let resp = match status {
+        STATUS_LOST | STATUS_WIN => Response::Acquired(Acquired {
             won: status == STATUS_WIN,
-            epoch: u64_at(payload, 1)?,
-        })),
-        STATUS_RESET => Ok(Response::Reset {
-            epoch: u64_at(payload, 1)?,
+            epoch: u64_at(payload, body_at)?,
         }),
-        STATUS_STATS => Ok(Response::Stats(SvcStats {
-            keys: u64_at(payload, 1)?,
-            ops: u64_at(payload, 9)?,
-            wins: u64_at(payload, 17)?,
-            resets: u64_at(payload, 25)?,
-            registers: u64_at(payload, 33)?,
-            reclaimed: u64_at(payload, 41)?,
-            conns: u64_at(payload, 49)?,
-            refused: u64_at(payload, 57)?,
-        })),
-        STATUS_METRICS => Ok(Response::Metrics(
-            String::from_utf8_lossy(rest).into_owned(),
-        )),
-        STATUS_ERR => Ok(Response::Err(String::from_utf8_lossy(rest).into_owned())),
-        other => Err(invalid(format!("unknown response status {other}"))),
-    }
+        STATUS_RESET => Response::Reset {
+            epoch: u64_at(payload, body_at)?,
+        },
+        STATUS_STATS => Response::Stats(SvcStats {
+            keys: u64_at(payload, body_at)?,
+            ops: u64_at(payload, body_at + 8)?,
+            wins: u64_at(payload, body_at + 16)?,
+            resets: u64_at(payload, body_at + 24)?,
+            registers: u64_at(payload, body_at + 32)?,
+            reclaimed: u64_at(payload, body_at + 40)?,
+            conns: u64_at(payload, body_at + 48)?,
+            refused: u64_at(payload, body_at + 56)?,
+        }),
+        STATUS_METRICS => Response::Metrics(String::from_utf8_lossy(rest).into_owned()),
+        STATUS_ERR => Response::Err(String::from_utf8_lossy(rest).into_owned()),
+        other => return Err(invalid(format!("unknown response status {other}"))),
+    };
+    Ok((resp, span))
 }
 
 /// Read one frame's payload into `buf` (reused across calls — steady
@@ -335,7 +415,7 @@ mod tests {
         let mut payload = Vec::new();
         assert!(read_frame(&mut cursor, &mut payload).unwrap().is_some());
         let req = decode_request(&payload).unwrap();
-        assert_eq!(req, Request { op, key });
+        assert_eq!(req, Request { op, key, span: 0 });
     }
 
     #[test]
@@ -370,7 +450,7 @@ mod tests {
                 conns: 7,
                 refused: 8,
             }),
-            Response::Metrics("rtas-metrics/1\nreactor.wake_writes 42\n".to_string()),
+            Response::Metrics("rtas-metrics/2\nreactor.wake_writes 42\n".to_string()),
             Response::Err("kind mismatch".to_string()),
         ];
         for resp in cases {
@@ -433,6 +513,91 @@ mod tests {
         assert!(decode_response(&[77]).is_err(), "unknown status");
         assert!(decode_response(&[STATUS_WIN, 1, 2]).is_err(), "short epoch");
         assert!(decode_response(&[STATUS_STATS, 0]).is_err(), "short stats");
+    }
+
+    #[test]
+    fn traced_requests_round_trip_with_their_span() {
+        for (op, key, span) in [
+            (Op::Tas, b"jobs/backfill".as_slice(), 0x1_0000_0001u64),
+            (Op::Stats, b"".as_slice(), 1),
+            (Op::Reset, b"k".as_slice(), u64::MAX),
+        ] {
+            let mut frame = Vec::new();
+            frame_request_span(op, span, key, &mut frame);
+            let mut cursor = io::Cursor::new(frame);
+            let mut payload = Vec::new();
+            assert!(read_frame(&mut cursor, &mut payload).unwrap().is_some());
+            assert_eq!(payload[0], op.code() | TRACE_FLAG);
+            assert_eq!(decode_request(&payload).unwrap(), Request { op, key, span });
+        }
+        // Span 0 means untraced: byte-identical to frame_request.
+        let (mut plain, mut spanned) = (Vec::new(), Vec::new());
+        frame_request(Op::Tas, b"k", &mut plain);
+        frame_request_span(Op::Tas, 0, b"k", &mut spanned);
+        assert_eq!(plain, spanned);
+    }
+
+    #[test]
+    fn traced_responses_echo_the_span_and_plain_decode_strips_it() {
+        let cases = [
+            Response::Acquired(Acquired {
+                won: true,
+                epoch: 7,
+            }),
+            Response::Reset { epoch: 3 },
+            Response::Stats(SvcStats::default()),
+            Response::Metrics("rtas-metrics/2\n".to_string()),
+            Response::Err("kind mismatch".to_string()),
+        ];
+        for resp in cases {
+            let mut frame = Vec::new();
+            frame_response_span(&resp, 0xabc, &mut frame);
+            let payload = &frame[4..];
+            assert_eq!(payload[0] & TRACE_FLAG, TRACE_FLAG);
+            assert_eq!(
+                decode_response_span(payload).unwrap(),
+                (resp.clone(), 0xabc)
+            );
+            // Old-style decoding sees the same response, span dropped.
+            assert_eq!(decode_response(payload).unwrap(), resp);
+            // Span 0 frames identically to the untraced encoder.
+            let (mut plain, mut spanned) = (Vec::new(), Vec::new());
+            frame_response(&resp, &mut plain);
+            frame_response_span(&resp, 0, &mut spanned);
+            assert_eq!(plain, spanned);
+            assert_eq!(decode_response_span(&plain[4..]).unwrap(), (resp, 0));
+        }
+    }
+
+    #[test]
+    fn flagged_frames_with_span_zero_are_malformed() {
+        let mut req = vec![Op::Tas.code() | TRACE_FLAG];
+        req.extend_from_slice(&0u64.to_le_bytes());
+        req.push(b'k');
+        assert!(decode_request(&req).is_err());
+        let mut resp = vec![STATUS_RESET | TRACE_FLAG];
+        resp.extend_from_slice(&0u64.to_le_bytes());
+        resp.extend_from_slice(&5u64.to_le_bytes());
+        assert!(decode_response(&resp).is_err());
+        // And a flagged request too short to hold the span is truncated,
+        // not a panic.
+        assert!(decode_request(&[Op::Tas.code() | TRACE_FLAG, 1, 2]).is_err());
+        assert!(decode_response(&[STATUS_WIN | TRACE_FLAG, 1]).is_err());
+    }
+
+    #[test]
+    fn old_servers_would_reject_a_traced_probe_as_unknown_opcode() {
+        // The negotiation contract: a server that predates the trace
+        // extension sees the flagged STATS opcode (132) as unknown and
+        // answers ERR over a healthy connection. A new server reports
+        // genuinely-unknown flagged opcodes the same way.
+        let mut probe = vec![Op::Stats.code() | TRACE_FLAG];
+        probe.extend_from_slice(&1u64.to_le_bytes());
+        assert!(decode_request(&probe).is_ok());
+        let mut unknown = vec![99u8 | TRACE_FLAG];
+        unknown.extend_from_slice(&1u64.to_le_bytes());
+        let err = decode_request(&unknown).unwrap_err();
+        assert!(err.to_string().contains("unknown opcode"), "{err}");
     }
 
     #[test]

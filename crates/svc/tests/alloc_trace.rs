@@ -6,8 +6,12 @@
 //! fixed log-bin histograms. The claim — differential, mirroring
 //! `alloc_reactor.rs` — is that serving identical traffic with
 //! `--trace on` adds **zero** allocations per operation over serving it
-//! untraced. Both runs drive the same reactor engine over the same keys
-//! and epoch counts, so the counts are comparable exactly.
+//! untraced. The traced run additionally stamps every request with a
+//! wire trace span (`docs/WIRE.md`), so the span insert on the request
+//! frame, the echo splice on the response frame, and the `ServerSpan`
+//! ring record are all inside the measured window. Both runs drive the
+//! same reactor engine over the same keys and epoch counts, so the
+//! counts are comparable exactly.
 //!
 //! Everything runs in ONE test function: the default test harness runs
 //! `#[test]` functions concurrently, and a second thread would pollute
@@ -41,16 +45,29 @@ fn allocations() -> u64 {
 }
 
 /// One lockstep round on `client`: a winning TAS, then the RESET ack.
-fn round(client: &mut Client, key: &[u8]) {
-    assert!(client.tas(key).expect("TAS").won);
-    client.reset(key).expect("RESET");
+/// Nonzero spans put both requests on the traced wire path (the server
+/// echoes each span and records a `ServerSpan` event); zero spans are
+/// the classic untraced frames.
+fn round(client: &mut Client, key: &[u8], tas_span: u64, reset_span: u64) {
+    client.send_span(Op::Tas, tas_span, key).expect("TAS send");
+    match client.recv().expect("TAS reply") {
+        Response::Acquired(a) => assert!(a.won),
+        other => panic!("expected Acquired, got {other:?}"),
+    }
+    client
+        .send_span(Op::Reset, reset_span, key)
+        .expect("RESET send");
+    match client.recv().expect("RESET reply") {
+        Response::Reset { .. } => {}
+        other => panic!("expected Reset, got {other:?}"),
+    }
 }
 
 /// One pipelined round: both requests on the wire before either
 /// response is read, exercising the traced decode/encode burst path.
-fn batched_round(client: &mut Client, key: &[u8]) {
+fn batched_round(client: &mut Client, key: &[u8], tas_span: u64, reset_span: u64) {
     client
-        .send_batch(&[(Op::Tas, key), (Op::Reset, key)])
+        .send_batch_span(&[(Op::Tas, tas_span, key), (Op::Reset, reset_span, key)])
         .expect("batch send");
     match client.recv().expect("batched TAS reply") {
         Response::Acquired(a) => assert!(a.won),
@@ -64,10 +81,11 @@ fn batched_round(client: &mut Client, key: &[u8]) {
 
 /// Spawn a reactor server with the given trace mode, drive the
 /// canonical traffic shape (6 connections alternating lockstep and
-/// pipelined rounds), and return the allocation count over the measured
-/// window. Warmup faults in every key, slab slot, ring, and scratch
-/// buffer before counting.
-fn drive(trace: TraceMode) -> u64 {
+/// pipelined rounds, span-stamped when `spans` is set), and return the
+/// allocation count over the measured window. Warmup faults in every
+/// key, slab slot, ring, scratch buffer, and span splice capacity
+/// before counting.
+fn drive(trace: TraceMode, spans: bool) -> u64 {
     let server = Server::spawn(SvcConfig {
         engine: Engine::Epoll,
         workers: 2,
@@ -84,20 +102,33 @@ fn drive(trace: TraceMode) -> u64 {
         })
         .collect();
 
+    let mut next_span: u64 = 0;
+    let mut mint = move || -> u64 {
+        if spans {
+            next_span += 1;
+            next_span
+        } else {
+            0
+        }
+    };
+
     for _ in 0..50 {
         for (client, key) in clients.iter_mut() {
-            round(client, key);
-            batched_round(client, key);
+            let (a, b) = (mint(), mint());
+            round(client, key, a, b);
+            let (a, b) = (mint(), mint());
+            batched_round(client, key, a, b);
         }
     }
 
     let before = allocations();
     for r in 0..400 {
         for (client, key) in clients.iter_mut() {
+            let (a, b) = (mint(), mint());
             if r % 2 == 0 {
-                round(client, key);
+                round(client, key, a, b);
             } else {
-                batched_round(client, key);
+                batched_round(client, key, a, b);
             }
         }
     }
@@ -114,14 +145,15 @@ fn tracing_adds_zero_allocations_over_an_untraced_server() {
         eprintln!("skipping: reactor syscall shim unavailable on this target");
         return;
     }
-    // Untraced first: its measured window sets the budget the traced
-    // server must match exactly on the identical traffic shape.
-    let untraced = drive(TraceMode::Off);
-    let traced = drive(TraceMode::On);
+    // Untraced first: its measured window sets the budget the traced,
+    // span-stamped server must match exactly on the identical traffic
+    // shape.
+    let untraced = drive(TraceMode::Off, false);
+    let traced = drive(TraceMode::On, true);
     assert_eq!(
         traced, untraced,
-        "`--trace on` allocated {traced} times where the untraced server \
-         allocated {untraced}: the flight recorder's steady state is not \
-         allocation-free"
+        "`--trace on` with span-stamped requests allocated {traced} times \
+         where the untraced server allocated {untraced}: the traced wire \
+         path's steady state is not allocation-free"
     );
 }

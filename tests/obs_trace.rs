@@ -8,12 +8,15 @@
 //! `RTASTRC1` file, and find every reclaim the client observed on the
 //! reclaim lane of the timeline.
 
+use std::sync::Arc;
 use std::time::Duration;
 
-use rtas_load::chaos::run_load_chaos;
+use rtas_load::chaos::{run_load_chaos, run_load_chaos_traced};
 use rtas_load::driver::{LoadSpec, Mode, Warmup};
 use rtas_load::scrape_svc_extras;
-use rtas_svc::obs::{decode_dump, render_timeline, EventKind};
+use rtas_svc::obs::{
+    audit_events, decode_dump, merge_spans, render_timeline, EventKind, FlightRecorder,
+};
 use rtas_svc::{ChaosSpec, Client, Engine, FaultPlan, Server, SvcConfig, TraceMode};
 
 fn spec(threads: usize, shards: usize, total_ops: u64) -> LoadSpec {
@@ -105,6 +108,117 @@ fn chaos_run_dump_accounts_for_every_observed_reclaim() {
     assert!(timeline.contains("reclaim"), "reclaim lane named");
 
     std::fs::remove_file(&path).ok();
+    srv.shutdown();
+}
+
+#[test]
+fn drop_heavy_chaos_traced_on_both_tiers_merges_and_audits_clean() {
+    // The PR's end-to-end acceptance bar: a fixed-seed drop-heavy cell
+    // with tracing on BOTH tiers must merge into per-request timelines
+    // where every client span pairs with at most one server span, and
+    // the merged evidence must audit clean (one winner per key-epoch,
+    // no post-reclaim wins).
+    let srv = Server::spawn(SvcConfig {
+        shards: 4,
+        capacity: 64,
+        lease: Some(Duration::from_millis(5)),
+        read_timeout: Some(Duration::from_secs(2)),
+        trace: TraceMode::On,
+        ..SvcConfig::default()
+    })
+    .expect("bind loopback");
+    let addr = srv.addr().to_string();
+    let chaos = ChaosSpec::preset("drop-heavy").expect("preset");
+    let recorder = Arc::new(FlightRecorder::new(TraceMode::On, 2));
+    let out = run_load_chaos_traced(
+        &addr,
+        spec(2, 1, 160),
+        FaultPlan::new(chaos, 7),
+        Some(Arc::clone(&recorder)),
+    )
+    .expect("traced chaos run");
+    assert!(
+        out.outcome.recorder.total_ops() > 0,
+        "the cell must make progress"
+    );
+
+    // Merge the two tiers on span identity — lossy frames mean some
+    // client spans go unanswered, but no span may pair twice.
+    let client_events = recorder.snapshot();
+    let server_events = srv.recorder().snapshot();
+    let merged = merge_spans(&client_events, &server_events);
+    assert!(
+        merged.client_spans > 0,
+        "the traced client must have recorded round trips"
+    );
+    assert!(
+        !merged.pairs.is_empty(),
+        "at least one request must be seen end to end \
+         ({} client spans, {} server spans)",
+        merged.client_spans,
+        merged.server_spans
+    );
+    assert_eq!(
+        merged.duplicate_server, 0,
+        "a client span paired with more than one server span — the \
+         one-traced-frame-per-attempt rule is broken"
+    );
+
+    // Audit the combined evidence: spans are ignored, the arbitration
+    // events must contain no counterexample to one-winner-per-epoch.
+    let mut evidence = server_events;
+    evidence.extend(client_events);
+    let report = audit_events(&evidence);
+    assert!(report.wins > 0, "the cell must have arbitrated winners");
+    assert!(report.passed(), "audit failed:\n{}", report.render());
+
+    // When the CI smoke job points RTAS_TRACE_DIR at a workspace dir,
+    // leave both tiers' dumps there for the `rtas-trace merge` and
+    // `rtas-trace audit` CLI steps (no-op when the variable is unset).
+    recorder
+        .dump_to_trace_dir("e2e-client")
+        .expect("client trace-dir dump");
+    srv.recorder()
+        .dump_to_trace_dir("e2e-server")
+        .expect("server trace-dir dump");
+    srv.shutdown();
+}
+
+#[test]
+fn stats_json_round_trips_through_the_bench_report_parser() {
+    // `rtas-svc stats --json` emits a flat object via `stats_to_json`;
+    // `rtas_bench::report::parse_json_object` is the programmatic
+    // consumer. The round trip pins both the field set and the order.
+    let srv = Server::spawn(SvcConfig::default()).expect("bind loopback");
+    let addr = srv.addr().to_string();
+    let mut client = Client::connect(&addr).expect("connect");
+    for i in 0..5u32 {
+        let key = format!("obs/statsjson/{i}").into_bytes();
+        assert!(client.tas(&key).expect("TAS").won);
+        client.reset(&key).expect("RESET");
+    }
+    let stats = client.stats().expect("STATS");
+    let json = rtas_svc::cli::stats_to_json(&stats);
+    let pairs = rtas_bench::report::parse_json_object(&json).expect("flat JSON parses");
+    let names: Vec<&str> = pairs.iter().map(|(n, _)| n.as_str()).collect();
+    assert_eq!(
+        names,
+        [
+            "keys",
+            "ops",
+            "wins",
+            "resets",
+            "registers",
+            "reclaimed",
+            "conns",
+            "refused"
+        ],
+        "the stats JSON shape is a published interface"
+    );
+    let value = |name: &str| pairs.iter().find(|(n, _)| n == name).unwrap().1;
+    assert_eq!(value("ops"), 5.0, "5 arbitration ops");
+    assert_eq!(value("wins"), 5.0);
+    assert_eq!(value("resets"), 5.0);
     srv.shutdown();
 }
 
